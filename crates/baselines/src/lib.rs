@@ -1,0 +1,81 @@
+//! # socflow-baselines
+//!
+//! The six baselines of the paper's evaluation (§4.1), all running through
+//! the same [`socflow`] engine so comparisons are apples-to-apples:
+//!
+//! | Baseline | Category | Topology |
+//! |---|---|---|
+//! | PS | distributed ML | centralized FP32 parameter server |
+//! | RING | distributed ML | Horovod-style Ring-AllReduce |
+//! | HiPress | distributed ML | ring + DGC top-k gradient compression |
+//! | 2D-Paral | distributed ML | intra-group pipeline + inter-group ring |
+//! | FedAvg | federated | per-epoch control-board averaging |
+//! | T-FedAvg | federated | tree-aggregation hierarchical FedAvg |
+//!
+//! [`dgc`] implements the Deep Gradient Compression sparsifier HiPress
+//! uses (top-k selection with residual accumulation and momentum
+//! correction), exercised functionally in tests and priced on the wire by
+//! the time model. [`suite`] runs a workload through every method.
+
+pub mod dgc;
+pub mod suite;
+
+use socflow::config::MethodSpec;
+
+/// The PS baseline.
+pub fn parameter_server() -> MethodSpec {
+    MethodSpec::ParameterServer
+}
+
+/// The RING (Horovod) baseline.
+pub fn ring() -> MethodSpec {
+    MethodSpec::Ring
+}
+
+/// The HiPress baseline (DGC compression over ring synchronization).
+pub fn hipress() -> MethodSpec {
+    MethodSpec::HiPress
+}
+
+/// The 2D-parallelism baseline with the paper's group size of 4.
+pub fn two_d_parallel() -> MethodSpec {
+    MethodSpec::TwoDParallel { group_size: 4 }
+}
+
+/// The FedAvg baseline.
+pub fn fedavg() -> MethodSpec {
+    MethodSpec::FedAvg
+}
+
+/// The tree-aggregation hierarchical FedAvg baseline (fanout 2).
+pub fn t_fedavg() -> MethodSpec {
+    MethodSpec::TFedAvg { fanout: 2 }
+}
+
+/// Every baseline, in the paper's legend order.
+pub fn all_baselines() -> Vec<MethodSpec> {
+    vec![
+        parameter_server(),
+        ring(),
+        hipress(),
+        two_d_parallel(),
+        fedavg(),
+        t_fedavg(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_baselines() {
+        let all = all_baselines();
+        assert_eq!(all.len(), 6);
+        let names: Vec<&str> = all.iter().map(|m| m.name()).collect();
+        assert_eq!(
+            names,
+            vec!["PS", "RING", "HiPress", "2D-Paral", "FedAvg", "T-FedAvg"]
+        );
+    }
+}

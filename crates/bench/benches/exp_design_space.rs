@@ -1,0 +1,57 @@
+//! Extension experiment: the (group count × batch size × model) design
+//! space of group-wise parallelism, mapped with the calibrated time model
+//! (no training — pure simulation, so the whole space is cheap).
+//!
+//! Answers the planner's questions quantitatively:
+//! - intra-board group sizes (≤5 SoCs) dominate: split groups pay the NIC;
+//! - larger per-group batches amortize the per-iteration ring;
+//! - the best (N, BS_g) shifts with the model's payload-to-compute ratio —
+//!   LeNet wants many small groups, ResNet-18 wants fewer, larger batches.
+
+use socflow::config::{MethodSpec, SocFlowConfig, TrainJobSpec};
+use socflow::mapping::integrity_greedy;
+use socflow::planning::divide_communication_groups;
+use socflow::timemodel::TimeModel;
+use socflow_bench::{paper_workloads, print_table};
+use socflow_cluster::ClusterSpec;
+
+fn main() {
+    let socs = 32;
+    let cluster = ClusterSpec::for_socs(socs);
+    let defs = paper_workloads();
+    for name in ["LeNet5-FMNIST", "VGG11", "ResNet18"] {
+        let def = defs.iter().find(|d| d.name == name).unwrap();
+        let mut rows = Vec::new();
+        let mut best: Option<(f64, usize, usize)> = None;
+        for groups in [2usize, 4, 8, 16] {
+            let mut row = vec![format!("{groups} groups")];
+            for batch in [32usize, 64, 128, 256] {
+                let mut spec: TrainJobSpec = socflow_bench::build_spec(
+                    def,
+                    MethodSpec::SocFlow(SocFlowConfig::with_groups(groups)),
+                    socs,
+                    1,
+                );
+                spec.global_batch = batch;
+                let tm = TimeModel::new(&spec);
+                let mapping = integrity_greedy(&cluster, socs, groups);
+                let cgs = divide_communication_groups(&mapping).unwrap();
+                let cost = tm.socflow_epoch(&mapping, &cgs, true, 0.37);
+                row.push(format!("{:.0}", cost.time));
+                if best.is_none_or(|(t, _, _)| cost.time < t) {
+                    best = Some((cost.time, groups, batch));
+                }
+            }
+            rows.push(row);
+        }
+        print_table(
+            &format!("Extension: epoch time (s) across the (groups × batch) space — {name}, 32 SoCs"),
+            &["", "BS=32", "BS=64", "BS=128", "BS=256"],
+            &rows,
+        );
+        if let Some((t, g, b)) = best {
+            println!("fastest point: {g} groups × batch {b} → {t:.0} s/epoch");
+        }
+    }
+    println!("\n(no paper counterpart — the paper fixes BS_g = 64 and picks N by heuristic)");
+}

@@ -1,0 +1,64 @@
+//! Extension experiment (paper §5, "future applicability of SoCFlow"):
+//! newer mobile NPUs (Snapdragon 8gen1/8gen2) support INT4/INT8/INT16/FP16
+//! concurrently. This bench trains the same workload under each NPU
+//! format — including the §5 Transformer case — and reports converged
+//! accuracy alongside the per-format synchronization payload.
+//!
+//! Expected shape: accuracy improves monotonically with format fidelity
+//! (INT4 ≪ INT8 < INT16 ≈ FP16 ≈ FP32) while the wire payload grows, so
+//! INT8 remains the sweet spot the paper builds on — and FP16 unlocks the
+//! Transformer, which INT4 visibly degrades.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use socflow_bench::{print_table, train_with_format};
+use socflow_data::{Dataset, DatasetPreset};
+use socflow_nn::models::{ModelConfig, ModelKind};
+use socflow_tensor::quant::QuantFormat;
+
+fn main() {
+    let samples = std::cmp::min(socflow_bench::samples(), 2048);
+    let epochs = std::cmp::min(socflow_bench::epochs(), 12);
+    for (model, preset, width) in [
+        (ModelKind::LeNet5, DatasetPreset::FashionMnist, 0.5f32),
+        (ModelKind::TinyViT, DatasetPreset::Cifar10, 0.5),
+    ] {
+        let spec = preset.synthetic_spec(samples + 512, 8, 42);
+        let all = Dataset::synthetic(spec);
+        let train = all.subset(&(0..samples).collect::<Vec<_>>());
+        let test = all.subset(&(samples..samples + 512).collect::<Vec<_>>());
+        let cfg = ModelConfig::new(train.channels(), 8, train.classes(), width);
+
+        let mut rows = Vec::new();
+        let payload = model.payload_bytes_fp32() as f64;
+        // FP32 reference first
+        let mut rng = StdRng::seed_from_u64(7);
+        let fp32_acc = train_with_format(model, cfg, &train, &test, None, epochs, &mut rng);
+        rows.push(vec![
+            "FP32 (CPU)".to_string(),
+            format!("{:.1}", fp32_acc * 100.0),
+            format!("{:.1}", payload / 1e6),
+        ]);
+        for format in [
+            QuantFormat::Int4,
+            QuantFormat::Int8,
+            QuantFormat::Int16,
+            QuantFormat::Fp16,
+        ] {
+            let mut rng = StdRng::seed_from_u64(7);
+            let acc =
+                train_with_format(model, cfg, &train, &test, Some(format), epochs, &mut rng);
+            rows.push(vec![
+                format.to_string(),
+                format!("{:.1}", acc * 100.0),
+                format!("{:.1}", payload * format.wire_bytes() / 4.0 / 1e6),
+            ]);
+        }
+        print_table(
+            &format!("Extension: NPU format sweep — {model} ({epochs} epochs, {samples} samples)"),
+            &["format", "accuracy %", "sync payload MB"],
+            &rows,
+        );
+    }
+    println!("\npaper §5: INT4/INT8/INT16/FP16 NPUs open SoCFlow to larger DNNs incl. Transformers");
+}

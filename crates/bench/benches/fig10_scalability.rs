@@ -1,0 +1,65 @@
+//! Figure 10: elapsed training time to the same target accuracy as the
+//! SoC count grows (8 → 32), for all methods on all workloads.
+//!
+//! Paper shape: SoCFlow is fastest at every scale and its advantage grows
+//! with the SoC count (2.6× larger speedups at 32 SoCs than at 8),
+//! because group-wise parallelism adds groups instead of stretching one
+//! bandwidth-starved ring.
+
+use socflow_bench::{epochs, fmt_hours, paper_workloads, print_table, run_comparison};
+
+fn main() {
+    let n_epochs = epochs();
+    // a representative subset keeps the bench affordable; set
+    // SOCFLOW_ALL_WORKLOADS=1 to sweep all eight
+    let all = std::env::var("SOCFLOW_ALL_WORKLOADS").is_ok();
+    let defs = paper_workloads();
+    let selected: Vec<_> = if all {
+        defs.iter().collect()
+    } else {
+        defs.iter()
+            .filter(|d| ["VGG11", "ResNet18", "LeNet5-FMNIST"].contains(&d.name))
+            .collect()
+    };
+
+    for def in selected {
+        let mut rows = Vec::new();
+        let mut speedup_vs_ring = Vec::new();
+        for socs in [8usize, 16, 24, 32] {
+            let groups = (socs / 4).max(1); // intra-board-sized groups at every scale
+            let runs = run_comparison(def, socs, n_epochs, groups);
+            let target = runs
+                .iter()
+                .map(|r| r.result.best_accuracy())
+                .fold(0.0f32, f32::max)
+                * 0.95;
+            let mut row = vec![socs.to_string()];
+            let mut times = Vec::new();
+            for r in &runs {
+                let t = r.result.time_to_accuracy(target);
+                times.push(t);
+                row.push(fmt_hours(t));
+            }
+            if let (Some(ring), Some(ours)) = (times[1], times[6]) {
+                speedup_vs_ring.push((socs, ring / ours));
+            }
+            rows.push(row);
+        }
+        print_table(
+            &format!("Figure 10: time to target accuracy (hours) — {}", def.name),
+            &["SoCs", "PS", "RING", "HiPress", "2D-Paral", "FedAvg", "T-FedAvg", "Ours"],
+            &rows,
+        );
+        for (socs, s) in &speedup_vs_ring {
+            println!("  {socs} SoCs: Ours is {s:.1}x faster than RING");
+        }
+        if speedup_vs_ring.len() >= 2 {
+            let first = speedup_vs_ring.first().unwrap().1;
+            let last = speedup_vs_ring.last().unwrap().1;
+            println!(
+                "  speedup growth 8→32 SoCs: {:.2}x (paper: benefits grow ~2.6x)",
+                last / first
+            );
+        }
+    }
+}

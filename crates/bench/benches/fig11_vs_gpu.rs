@@ -1,0 +1,77 @@
+//! Figure 11: 60-SoC SoCFlow vs traditional datacenter GPUs.
+//!
+//! (a,c) Snapdragon 865 cluster vs NVIDIA V100; (b,d) Snapdragon 8gen1
+//! cluster vs NVIDIA A100 — training time and energy for VGG-11,
+//! ResNet-18, LeNet (EMNIST) and LeNet (FMNIST).
+//!
+//! Paper: comparable speed (0.80–2.79× vs V100) at 2.31×–10.23× less
+//! energy. The 60-SoC runs use a per-group batch of 256 (12 whole-board
+//! groups), which is what lets the intra-group ring amortize across the
+//! larger batch.
+
+use socflow::config::{MethodSpec, SocFlowConfig, TrainJobSpec};
+use socflow::mapping::integrity_greedy;
+use socflow::planning::divide_communication_groups;
+use socflow::timemodel::TimeModel;
+use socflow_bench::{build_spec, hours, paper_workloads, print_table};
+use socflow_cluster::{ClusterSpec, Processor};
+
+const EPOCHS: f64 = 200.0;
+
+fn socflow_epoch_60(spec: &TrainJobSpec, gen1: bool) -> (f64, f64) {
+    let tm = TimeModel::new(spec);
+    let cluster = ClusterSpec::paper_server();
+    let mapping = integrity_greedy(&cluster, 60, 12);
+    let cgs = divide_communication_groups(&mapping).unwrap();
+    let beta = tm.compute().beta();
+    // steady-state controller split at α = 1 (early/mid training)
+    let ctrl_cpu_frac = (-1.0f64).exp().max(1.0 - beta);
+    let cost = tm.socflow_epoch(&mapping, &cgs, true, ctrl_cpu_frac);
+    // 8gen1 silicon: CPU 1.6x, NPU 4x faster than the 865 — compute-bound
+    // portions shrink ~3x; sync is unchanged. Approximate with a 2.5x
+    // epoch-time scale (compute dominates these workloads' iterations).
+    let scale = if gen1 { 1.0 / 2.5 } else { 1.0 };
+    (cost.time * EPOCHS * scale, cost.energy * EPOCHS * scale)
+}
+
+fn main() {
+    let defs = paper_workloads();
+    let names = ["VGG11", "ResNet18", "LeNet5-EMNIST", "LeNet5-FMNIST"];
+
+    for (gen1, gpu, gpu_name) in [
+        (false, Processor::GpuV100, "V100"),
+        (true, Processor::GpuA100, "A100"),
+    ] {
+        let soc_name = if gen1 { "8gen1x60" } else { "865x60" };
+        let mut rows = Vec::new();
+        for name in names {
+            let def = defs.iter().find(|d| d.name == name).unwrap();
+            let mut spec = build_spec(
+                def,
+                MethodSpec::SocFlow(SocFlowConfig::with_groups(12)),
+                60,
+                1,
+            );
+            spec.global_batch = 256;
+            let (ours_t, ours_e) = socflow_epoch_60(&spec, gen1);
+            let tm = TimeModel::new(&spec);
+            let g = tm.gpu_epoch(gpu);
+            let (gpu_t, gpu_e) = (g.time * EPOCHS, g.energy * EPOCHS);
+            rows.push(vec![
+                def.name.to_string(),
+                format!("{:.2}", hours(ours_t)),
+                format!("{:.2}", hours(gpu_t)),
+                format!("{:.2}x", gpu_t / ours_t),
+                format!("{:.0}", ours_e / 1e3),
+                format!("{:.0}", gpu_e / 1e3),
+                format!("{:.2}x", gpu_e / ours_e),
+            ]);
+        }
+        print_table(
+            &format!("Figure 11: SoCFlow ({soc_name}) vs {gpu_name} — time (h) and energy (kJ)"),
+            &["model", "ours h", "gpu h", "speedup", "ours kJ", "gpu kJ", "energy saving"],
+            &rows,
+        );
+    }
+    println!("\npaper: speedup 0.80–2.79x vs V100; energy saving 2.31x, 2.81x, 2.96x, 10.23x");
+}

@@ -1,0 +1,41 @@
+//! Figure 12: visible training-time breakdown (Compute / Sync / Update)
+//! for Ours, RING, HiPress, 2D-Paral and FedAvg on VGG-11 and ResNet-18
+//! (CIFAR-10, 32 SoCs).
+//!
+//! Paper shape: RING's sync dominates (~81 % for VGG-11); HiPress and
+//! 2D-Paral still sit at ~76.5 %/71.5 %; FedAvg drops to 16.5–34.7 %
+//! thanks to per-epoch sync; SoCFlow lands in between (~46 %).
+
+use socflow_bench::{epochs, paper_workloads, print_table, run_comparison};
+
+fn main() {
+    let n_epochs = epochs();
+    let defs = paper_workloads();
+    for name in ["VGG11", "ResNet18"] {
+        let def = defs.iter().find(|d| d.name == name).unwrap();
+        let runs = run_comparison(def, 32, n_epochs, 8);
+        let mut rows = Vec::new();
+        for r in &runs {
+            if !["Ours", "RING", "HiPress", "2D-Paral", "FedAvg"].contains(&r.name) {
+                continue;
+            }
+            let b = r.result.breakdown;
+            let total = b.total().max(1e-9);
+            rows.push(vec![
+                r.name.to_string(),
+                format!("{:.2}", b.compute / 3600.0),
+                format!("{:.2}", b.sync / 3600.0),
+                format!("{:.3}", b.update / 3600.0),
+                format!("{:.0}%", b.compute / total * 100.0),
+                format!("{:.0}%", b.sync / total * 100.0),
+                format!("{:.0}%", b.update / total * 100.0),
+            ]);
+        }
+        print_table(
+            &format!("Figure 12: training-time breakdown — {name} (hours over {n_epochs} epochs)"),
+            &["method", "compute h", "sync h", "update h", "compute", "sync", "update"],
+            &rows,
+        );
+    }
+    println!("\npaper sync shares: RING ~81%, HiPress ~76.5%, 2D-Paral ~71.5%, FedAvg 16.5–34.7%, Ours ~46%");
+}

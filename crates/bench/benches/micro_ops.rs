@@ -1,0 +1,87 @@
+//! Criterion micro-benchmarks of the substrate kernels: matmul, conv2d,
+//! INT8 quantization, the flow-network simulation, the integrity-greedy
+//! mapper and the CG coloring.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use socflow::mapping::integrity_greedy;
+use socflow::planning::divide_communication_groups;
+use socflow_cluster::{ClusterNet, ClusterSpec, Flow, SocId};
+use socflow_collectives::{Collective, RingAllReduce};
+use socflow_tensor::conv::{conv2d, ConvParams};
+use socflow_tensor::quant::{self, QuantParams};
+use socflow_tensor::{linalg, Shape, Tensor};
+
+fn rand_tensor(shape: impl Into<Shape>, seed: u64) -> Tensor {
+    let shape = shape.into();
+    let mut state = seed;
+    let data = (0..shape.len())
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        })
+        .collect();
+    Tensor::from_vec(data, shape)
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let a = rand_tensor([128, 128], 1);
+    let b = rand_tensor([128, 128], 2);
+    c.bench_function("matmul_128", |bench| {
+        bench.iter(|| linalg::matmul(std::hint::black_box(&a), std::hint::black_box(&b)))
+    });
+}
+
+fn bench_conv2d(c: &mut Criterion) {
+    let x = rand_tensor([8, 16, 16, 16], 3);
+    let w = rand_tensor([32, 16, 3, 3], 4);
+    c.bench_function("conv2d_16x16x16_to_32", |bench| {
+        bench.iter(|| conv2d(std::hint::black_box(&x), std::hint::black_box(&w), ConvParams::new(1, 1)))
+    });
+}
+
+fn bench_quantization(c: &mut Criterion) {
+    let t = rand_tensor([65536], 5);
+    let p = QuantParams::from_tensor(&t);
+    c.bench_function("fake_quant_64k", |bench| {
+        bench.iter(|| quant::fake_quant(std::hint::black_box(&t), p))
+    });
+}
+
+fn bench_flow_network(c: &mut Criterion) {
+    let net = ClusterNet::new(ClusterSpec::paper_server());
+    let flows: Vec<Flow> = (0..32)
+        .map(|i| Flow::new(SocId(i), SocId((i + 1) % 32), 1e6))
+        .collect();
+    c.bench_function("maxmin_transfer_32_flows", |bench| {
+        bench.iter(|| net.transfer(std::hint::black_box(&flows)))
+    });
+    let members: Vec<SocId> = (0..32).map(SocId).collect();
+    c.bench_function("ring_allreduce_time_32", |bench| {
+        bench.iter(|| RingAllReduce.time(&net, std::hint::black_box(&members), 36.9e6))
+    });
+}
+
+fn bench_mapping_and_coloring(c: &mut Criterion) {
+    let spec = ClusterSpec::paper_server();
+    c.bench_function("integrity_greedy_60socs_9groups", |bench| {
+        bench.iter(|| integrity_greedy(std::hint::black_box(&spec), 60, 9))
+    });
+    let mapping = integrity_greedy(&spec, 60, 9);
+    c.bench_function("cg_coloring_60socs", |bench| {
+        bench.iter_batched(
+            || mapping.clone(),
+            |m| divide_communication_groups(std::hint::black_box(&m)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_conv2d,
+    bench_quantization,
+    bench_flow_network,
+    bench_mapping_and_coloring
+);
+criterion_main!(benches);

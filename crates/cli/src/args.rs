@@ -1,0 +1,119 @@
+//! Minimal `--flag value` option parsing (no external dependencies).
+
+/// Parsed command-line options; every field has a sensible default.
+#[derive(Debug, Clone)]
+pub struct Options {
+    pub socs: usize,
+    pub groups: Option<usize>,
+    pub model: String,
+    pub dataset: String,
+    pub method: String,
+    pub epochs: usize,
+    pub samples: usize,
+    pub seed: u64,
+    pub json: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            socs: 32,
+            groups: None,
+            model: "lenet5".into(),
+            dataset: "fmnist".into(),
+            method: "ours".into(),
+            epochs: 10,
+            samples: 2048,
+            seed: 42,
+            json: false,
+        }
+    }
+}
+
+impl Options {
+    /// Parses `--flag value` pairs (plus the bare `--json` switch).
+    ///
+    /// # Errors
+    /// Returns a description of the first malformed flag.
+    pub fn parse(argv: &[String]) -> Result<Options, String> {
+        let mut o = Options::default();
+        let mut it = argv.iter();
+        while let Some(flag) = it.next() {
+            if flag == "--json" {
+                o.json = true;
+                continue;
+            }
+            let value = it
+                .next()
+                .ok_or_else(|| format!("flag `{flag}` needs a value"))?;
+            match flag.as_str() {
+                "--socs" => o.socs = parse_num(flag, value)?,
+                "--groups" => o.groups = Some(parse_num(flag, value)?),
+                "--model" => o.model = value.clone(),
+                "--dataset" => o.dataset = value.clone(),
+                "--method" => o.method = value.clone(),
+                "--epochs" => o.epochs = parse_num(flag, value)?,
+                "--samples" => o.samples = parse_num(flag, value)?,
+                "--seed" => o.seed = parse_num(flag, value)? as u64,
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+        }
+        if o.socs == 0 {
+            return Err("--socs must be positive".into());
+        }
+        Ok(o)
+    }
+}
+
+fn parse_num(flag: &str, value: &str) -> Result<usize, String> {
+    value
+        .parse()
+        .map_err(|_| format!("`{flag}` expects a number, got `{value}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        Options::parse(&v)
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.socs, 32);
+        assert_eq!(o.method, "ours");
+        assert!(!o.json);
+    }
+
+    #[test]
+    fn flags_override() {
+        let o = parse(&["--socs", "16", "--model", "vgg11", "--json", "--groups", "4"]).unwrap();
+        assert_eq!(o.socs, 16);
+        assert_eq!(o.model, "vgg11");
+        assert_eq!(o.groups, Some(4));
+        assert!(o.json);
+    }
+
+    #[test]
+    fn rejects_dangling_flag() {
+        assert!(parse(&["--socs"]).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_number() {
+        assert!(parse(&["--epochs", "lots"]).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_flag() {
+        assert!(parse(&["--gpu", "v100"]).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_socs() {
+        assert!(parse(&["--socs", "0"]).is_err());
+    }
+}

@@ -1,0 +1,295 @@
+//! The CLI subcommands.
+
+use crate::args::Options;
+use socflow::config::{MethodSpec, SocFlowConfig, TrainJobSpec};
+use socflow::engine::Workload;
+use socflow::scheduler::GlobalScheduler;
+use socflow_cluster::tidal::TidalTrace;
+use socflow_cluster::ClusterSpec;
+use socflow_data::DatasetPreset;
+use socflow_nn::models::ModelKind;
+
+/// Prints the usage banner.
+pub fn print_usage() {
+    eprintln!(
+        "socflow-cli — SoCFlow reproduction CLI
+
+USAGE:
+  socflow-cli plan  [--socs N] [--groups G]
+  socflow-cli train [--model M] [--dataset D] [--method X] [--socs N]
+                [--groups G] [--epochs E] [--samples S] [--seed S] [--json]
+  socflow-cli compare [--model M] [--dataset D] [--socs N] [--epochs E]
+  socflow-cli tidal [--socs N] [--seed S]
+  socflow-cli info
+
+  models:   lenet5 | vgg11 | resnet18 | resnet50 | mobilenet | tinyvit
+  datasets: cifar10 | emnist | fmnist | celeba | cinic10
+  methods:  ours | ours-int8 | ours-half | ring | ps | hipress | 2d |
+            fedavg | t-fedavg | local"
+    );
+}
+
+fn model_of(name: &str) -> Result<ModelKind, String> {
+    Ok(match name {
+        "lenet5" | "lenet" => ModelKind::LeNet5,
+        "vgg11" | "vgg" => ModelKind::Vgg11,
+        "resnet18" | "r18" => ModelKind::ResNet18,
+        "resnet50" | "r50" => ModelKind::ResNet50,
+        "mobilenet" => ModelKind::MobileNetV1,
+        "tinyvit" | "vit" => ModelKind::TinyViT,
+        other => return Err(format!("unknown model `{other}`")),
+    })
+}
+
+fn dataset_of(name: &str) -> Result<DatasetPreset, String> {
+    Ok(match name {
+        "cifar10" | "cifar" => DatasetPreset::Cifar10,
+        "emnist" => DatasetPreset::Emnist,
+        "fmnist" | "fashion-mnist" => DatasetPreset::FashionMnist,
+        "celeba" => DatasetPreset::CelebA,
+        "cinic10" | "cinic" => DatasetPreset::Cinic10,
+        other => return Err(format!("unknown dataset `{other}`")),
+    })
+}
+
+fn method_of(name: &str, groups: Option<usize>) -> Result<MethodSpec, String> {
+    let cfg = SocFlowConfig {
+        groups,
+        ..SocFlowConfig::full()
+    };
+    Ok(match name {
+        "ours" | "socflow" => MethodSpec::SocFlow(cfg),
+        "ours-int8" => MethodSpec::SocFlowInt8(cfg),
+        "ours-half" => MethodSpec::SocFlowHalf(cfg),
+        "ring" => MethodSpec::Ring,
+        "ps" => MethodSpec::ParameterServer,
+        "hipress" => MethodSpec::HiPress,
+        "2d" | "2d-paral" => MethodSpec::TwoDParallel { group_size: 4 },
+        "fedavg" => MethodSpec::FedAvg,
+        "t-fedavg" | "tfedavg" => MethodSpec::TFedAvg { fanout: 2 },
+        "local" => MethodSpec::Local,
+        other => return Err(format!("unknown method `{other}`")),
+    })
+}
+
+fn default_width(model: ModelKind) -> f32 {
+    match model {
+        ModelKind::LeNet5 => 0.5,
+        ModelKind::Vgg11 => 0.22,
+        ModelKind::ResNet18 => 0.18,
+        ModelKind::ResNet50 => 0.1,
+        ModelKind::MobileNetV1 => 0.22,
+        ModelKind::TinyViT => 0.5,
+    }
+}
+
+/// `socflow-cli plan`: print the grouping/mapping/CG pipeline for a cluster.
+pub fn plan(opts: &Options) -> Result<(), String> {
+    let cluster = ClusterSpec::for_socs(opts.socs);
+    let groups = opts.groups.unwrap_or(opts.socs.div_euclid(4).max(1));
+    println!(
+        "cluster: {} boards x {} SoCs — planning {} logical groups over {} SoCs",
+        cluster.boards, cluster.socs_per_board, groups, opts.socs
+    );
+    let mapping = socflow::mapping::integrity_greedy(&cluster, opts.socs, groups);
+    for g in 0..mapping.num_groups() {
+        let gid = socflow::mapping::GroupId(g);
+        let members: Vec<String> = mapping.group(gid).iter().map(|s| s.to_string()).collect();
+        println!(
+            "  {gid}: [{}]{}",
+            members.join(", "),
+            if mapping.is_split(gid) { "  (split)" } else { "" }
+        );
+    }
+    println!("conflict count C = {}", mapping.conflict_count());
+    match socflow::planning::divide_communication_groups(&mapping) {
+        Ok(cgs) => {
+            for (i, cg) in cgs.cgs.iter().enumerate() {
+                let names: Vec<String> = cg.iter().map(|g| g.to_string()).collect();
+                println!("CG{}: {}", i + 1, names.join(", "));
+            }
+            Ok(())
+        }
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+/// `socflow-cli train`: run one training job and report the results.
+pub fn train(opts: &Options) -> Result<(), String> {
+    let model = model_of(&opts.model)?;
+    let preset = dataset_of(&opts.dataset)?;
+    let method = method_of(&opts.method, opts.groups)?;
+    let mut spec = TrainJobSpec::new(model, preset, method);
+    spec.socs = opts.socs;
+    spec.epochs = opts.epochs;
+    spec.seed = opts.seed;
+    spec.lr = 0.05;
+    let workload = Workload::standard(&spec, opts.samples, 8, default_width(model));
+    let result = GlobalScheduler::new(spec, workload).run();
+
+    if opts.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&result).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+    println!(
+        "{} on {} with {} ({} SoCs, {} epochs)",
+        model, preset, result.method, opts.socs, opts.epochs
+    );
+    println!("epoch  accuracy  sim-time(min)");
+    let mut t = 0.0;
+    for (i, acc) in result.epoch_accuracy.iter().enumerate() {
+        t += result.epoch_time[i];
+        println!("{:>5}  {:>7.1}%  {:>10.1}", i + 1, acc * 100.0, t / 60.0);
+    }
+    println!(
+        "\nbest accuracy {:.1}% | simulated {:.2} h | {:.0} kJ | sync share {:.0}%",
+        result.best_accuracy() * 100.0,
+        result.total_time() / 3600.0,
+        result.energy_joules / 1e3,
+        result.breakdown.sync / result.breakdown.total().max(1e-9) * 100.0
+    );
+    Ok(())
+}
+
+/// `socflow-cli compare`: run the method comparison on one workload.
+pub fn compare(opts: &Options) -> Result<(), String> {
+    let model = model_of(&opts.model)?;
+    let preset = dataset_of(&opts.dataset)?;
+    let methods: Vec<(&str, MethodSpec)> = vec![
+        ("PS", MethodSpec::ParameterServer),
+        ("RING", MethodSpec::Ring),
+        ("HiPress", MethodSpec::HiPress),
+        ("2D-Paral", MethodSpec::TwoDParallel { group_size: 4 }),
+        ("FedAvg", MethodSpec::FedAvg),
+        ("Ours", method_of("ours", opts.groups)?),
+    ];
+    println!(
+        "{} on {} — {} SoCs, {} epochs, {} samples",
+        model, preset, opts.socs, opts.epochs, opts.samples
+    );
+    println!("{:<10} {:>9} {:>11} {:>10}", "method", "best acc", "sim time h", "energy kJ");
+    for (name, method) in methods {
+        let mut spec = TrainJobSpec::new(model, preset, method);
+        spec.socs = opts.socs;
+        spec.epochs = opts.epochs;
+        spec.seed = opts.seed;
+        spec.lr = 0.05;
+        let workload = Workload::standard(&spec, opts.samples, 8, default_width(model));
+        let r = GlobalScheduler::new(spec, workload).run();
+        println!(
+            "{:<10} {:>8.1}% {:>11.2} {:>10.0}",
+            name,
+            r.best_accuracy() * 100.0,
+            r.total_time() / 3600.0,
+            r.energy_joules / 1e3
+        );
+    }
+    Ok(())
+}
+
+/// `socflow-cli tidal`: print the diurnal utilization trace.
+pub fn tidal(opts: &Options) -> Result<(), String> {
+    let trace = TidalTrace::generate(opts.socs.max(1), opts.seed);
+    for h in 0..24 {
+        let frac = trace.busy_fraction(h);
+        println!(
+            "{h:02}:00  {:>3.0}%  {}",
+            frac * 100.0,
+            "#".repeat((frac * 40.0).round() as usize)
+        );
+    }
+    let (start, len) = trace.best_idle_window(opts.socs / 2);
+    println!(
+        "\nbest window with >={} idle SoCs: {len} h starting {start:02}:00",
+        opts.socs / 2
+    );
+    Ok(())
+}
+
+/// `socflow-cli info`: models, datasets and calibration summary.
+pub fn info() -> Result<(), String> {
+    println!("models (reference params / payload):");
+    for m in ModelKind::ALL {
+        println!(
+            "  {m:<12} {:>10} params  {:>6.1} MB FP32 payload",
+            m.reference_params(),
+            m.payload_bytes_fp32() as f64 / 1e6
+        );
+    }
+    println!("\ndatasets (reference size):");
+    for d in DatasetPreset::ALL {
+        let s = d.spec();
+        println!(
+            "  {d:<14} {}x{}x{}  {} classes  {} samples",
+            s.channels, s.size, s.size, s.classes, s.reference_samples
+        );
+    }
+    let c = ClusterSpec::paper_server();
+    println!(
+        "\ncluster: {} boards x {} SoCs, {} Gb/s SoC links, {} Gb/s NICs, {} Gb/s switch",
+        c.boards,
+        c.socs_per_board,
+        c.soc_link_bps / 1e9,
+        c.board_uplink_bps / 1e9,
+        c.switch_bps / 1e9
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_and_dataset_lookup() {
+        assert_eq!(model_of("vgg11").unwrap(), ModelKind::Vgg11);
+        assert_eq!(model_of("tinyvit").unwrap(), ModelKind::TinyViT);
+        assert!(model_of("gpt4").is_err());
+        assert_eq!(dataset_of("cifar10").unwrap(), DatasetPreset::Cifar10);
+        assert!(dataset_of("imagenet").is_err());
+    }
+
+    #[test]
+    fn method_lookup_respects_groups() {
+        match method_of("ours", Some(4)).unwrap() {
+            MethodSpec::SocFlow(cfg) => assert_eq!(cfg.groups, Some(4)),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(method_of("carrier-pigeon", None).is_err());
+    }
+
+    #[test]
+    fn plan_runs() {
+        let opts = Options {
+            socs: 15,
+            groups: Some(5),
+            ..Options::default()
+        };
+        plan(&opts).unwrap();
+    }
+
+    #[test]
+    fn tidal_runs() {
+        let opts = Options {
+            socs: 20,
+            ..Options::default()
+        };
+        tidal(&opts).unwrap();
+        info().unwrap();
+    }
+
+    #[test]
+    fn train_runs_tiny() {
+        let opts = Options {
+            socs: 8,
+            groups: Some(2),
+            epochs: 1,
+            samples: 128,
+            ..Options::default()
+        };
+        train(&opts).unwrap();
+    }
+}

@@ -1,0 +1,46 @@
+//! `socflow-cli` — the command-line face of the reproduction.
+//!
+//! ```text
+//! socflow-cli plan  [--socs N] [--groups G]
+//! socflow-cli train [--model M] [--dataset D] [--method X] [--socs N]
+//!               [--groups G] [--epochs E] [--samples S] [--json]
+//! socflow-cli compare [--model M] [--dataset D] [--socs N] [--epochs E]
+//! socflow-cli tidal [--socs N] [--seed S]
+//! socflow-cli info
+//! ```
+
+mod args;
+mod commands;
+
+fn main() {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        commands::print_usage();
+        std::process::exit(2);
+    }
+    let cmd = argv.remove(0);
+    let opts = match args::Options::parse(&argv) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            commands::print_usage();
+            std::process::exit(2);
+        }
+    };
+    let outcome = match cmd.as_str() {
+        "plan" => commands::plan(&opts),
+        "train" => commands::train(&opts),
+        "compare" => commands::compare(&opts),
+        "tidal" => commands::tidal(&opts),
+        "info" => commands::info(),
+        "help" | "--help" | "-h" => {
+            commands::print_usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    if let Err(e) = outcome {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

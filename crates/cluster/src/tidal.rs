@@ -1,0 +1,188 @@
+//! Diurnal ("tidal") utilization traces of deployed SoC-Clusters.
+//!
+//! Paper Fig. 3 shows the busy-SoC fraction over a day on production
+//! servers hosting cloud gaming: near-idle from roughly 3:00–8:00 and more
+//! than an order of magnitude busier from 11:00–17:00. This module
+//! generates per-SoC busy/idle schedules with that shape, the input to the
+//! "harvest idle cycles" scenario and the preemption experiments.
+
+use crate::topology::SocId;
+use crate::Seconds;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Mean busy-SoC fraction for each hour of the day, matching the shape of
+/// paper Fig. 3 (user-centric cloud-gaming load: trough before dawn, peak
+/// through the afternoon and evening).
+pub const HOURLY_BUSY_FRACTION: [f64; 24] = [
+    0.18, 0.10, 0.05, 0.02, 0.02, 0.02, 0.03, 0.05, // 00-07
+    0.15, 0.30, 0.50, 0.70, 0.78, 0.80, 0.78, 0.75, // 08-15
+    0.72, 0.70, 0.65, 0.62, 0.60, 0.55, 0.42, 0.28, // 16-23
+];
+
+/// A synthetic one-day utilization trace for a cluster of SoCs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TidalTrace {
+    /// `busy[hour][soc]` — whether the SoC serves user workload that hour.
+    busy: Vec<Vec<bool>>,
+    socs: usize,
+}
+
+impl TidalTrace {
+    /// Samples a trace for `socs` SoCs. Per hour, each SoC is busy with the
+    /// probability given by [`HOURLY_BUSY_FRACTION`]; busy SoCs are chosen
+    /// with temporal correlation (a busy SoC tends to stay busy next hour,
+    /// as game sessions span hours).
+    pub fn generate(socs: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut busy = Vec::with_capacity(24);
+        let mut prev = vec![false; socs];
+        for target in HOURLY_BUSY_FRACTION {
+            let mut cur = vec![false; socs];
+            for s in 0..socs {
+                // 70 % session carry-over, rest resampled at the hour's rate
+                let p = if prev[s] {
+                    0.7 + 0.3 * target
+                } else {
+                    0.3 * target / (1.0 - target).max(0.05)
+                };
+                cur[s] = rng.gen::<f64>() < p.min(1.0);
+            }
+            // correct toward the target fraction
+            let want = (target * socs as f64).round() as usize;
+            let mut have = cur.iter().filter(|&&b| b).count();
+            while have > want {
+                let s = rng.gen_range(0..socs);
+                if cur[s] {
+                    cur[s] = false;
+                    have -= 1;
+                }
+            }
+            while have < want {
+                let s = rng.gen_range(0..socs);
+                if !cur[s] {
+                    cur[s] = true;
+                    have += 1;
+                }
+            }
+            prev = cur.clone();
+            busy.push(cur);
+        }
+        TidalTrace { busy, socs }
+    }
+
+    /// Number of SoCs in the trace.
+    pub fn socs(&self) -> usize {
+        self.socs
+    }
+
+    /// Busy-SoC fraction in `[0,1]` for an hour of the day.
+    ///
+    /// # Panics
+    /// Panics if `hour >= 24`.
+    pub fn busy_fraction(&self, hour: usize) -> f64 {
+        let row = &self.busy[hour];
+        row.iter().filter(|&&b| b).count() as f64 / self.socs as f64
+    }
+
+    /// Whether a SoC is serving user workload at an hour.
+    ///
+    /// # Panics
+    /// Panics if `hour >= 24` or the SoC is out of range.
+    pub fn is_busy(&self, soc: SocId, hour: usize) -> bool {
+        self.busy[hour][soc.0]
+    }
+
+    /// SoCs idle for the *entire* window `[start_hour, start_hour + len)`
+    /// (wrapping midnight) — candidates for a training job of that length.
+    pub fn idle_through(&self, start_hour: usize, len: usize) -> Vec<SocId> {
+        (0..self.socs)
+            .map(SocId)
+            .filter(|&s| (0..len).all(|h| !self.is_busy(s, (start_hour + h) % 24)))
+            .collect()
+    }
+
+    /// The start hour of the longest window where at least `min_socs` SoCs
+    /// are simultaneously idle throughout, together with the window length
+    /// in hours. The paper's deployment uses the pre-dawn trough (~4 h).
+    pub fn best_idle_window(&self, min_socs: usize) -> (usize, usize) {
+        let mut best = (0usize, 0usize);
+        for start in 0..24 {
+            let mut len = 0;
+            while len < 24 && self.idle_through(start, len + 1).len() >= min_socs {
+                len += 1;
+            }
+            if len > best.1 {
+                best = (start, len);
+            }
+        }
+        best
+    }
+}
+
+/// The idle period the paper assumes a daily training job must fit in
+/// (≈ 4 hours, §1 and the dashed "Idle time" line of Fig. 8), seconds.
+pub const DAILY_IDLE_WINDOW: Seconds = 4.0 * 3600.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trough_and_peak_shape() {
+        let t = TidalTrace::generate(60, 1);
+        // pre-dawn trough far below afternoon peak
+        let trough: f64 = (3..8).map(|h| t.busy_fraction(h)).sum::<f64>() / 5.0;
+        let peak: f64 = (11..17).map(|h| t.busy_fraction(h)).sum::<f64>() / 6.0;
+        assert!(
+            peak > trough * 10.0,
+            "paper: peak >10x trough (trough {trough}, peak {peak})"
+        );
+    }
+
+    #[test]
+    fn busy_fraction_tracks_target() {
+        let t = TidalTrace::generate(100, 2);
+        for (h, &target) in HOURLY_BUSY_FRACTION.iter().enumerate() {
+            let got = t.busy_fraction(h);
+            assert!(
+                (got - target).abs() < 0.06,
+                "hour {h}: target {target}, got {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn idle_window_covers_predawn() {
+        let t = TidalTrace::generate(60, 3);
+        let (start, len) = t.best_idle_window(32);
+        assert!(len >= 3, "expect >=3h window with 32 idle SoCs, got {len}");
+        // window should overlap the 1:00-7:00 trough
+        let covers_trough = (0..len).any(|o| {
+            let h = (start + o) % 24;
+            (1..=7).contains(&h)
+        });
+        assert!(covers_trough, "window {start}+{len} misses the trough");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = TidalTrace::generate(30, 9);
+        let b = TidalTrace::generate(30, 9);
+        for h in 0..24 {
+            assert_eq!(a.busy_fraction(h), b.busy_fraction(h));
+        }
+    }
+
+    #[test]
+    fn idle_through_subset_of_each_hour() {
+        let t = TidalTrace::generate(40, 4);
+        let idle = t.idle_through(3, 4);
+        for s in idle {
+            for h in 3..7 {
+                assert!(!t.is_busy(s, h));
+            }
+        }
+    }
+}

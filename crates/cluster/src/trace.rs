@@ -1,0 +1,199 @@
+//! Replaying *real* utilization traces.
+//!
+//! The paper's Fig. 3 comes from traces collected on thousands of deployed
+//! servers. Operators of this library will have their own: this module
+//! parses a simple CSV form — one row per hour, one column per SoC, cell
+//! `1` = busy — and exposes the same queries as the synthetic
+//! [`TidalTrace`](crate::tidal::TidalTrace), so a measured trace can drive
+//! the harvesting scheduler unchanged.
+
+use crate::topology::SocId;
+
+/// A measured busy/idle schedule parsed from CSV.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayTrace {
+    busy: Vec<Vec<bool>>, // [hour][soc]
+    socs: usize,
+}
+
+/// Errors from trace parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The input had no rows.
+    Empty,
+    /// A row had a different number of columns than the first.
+    RaggedRow {
+        /// 0-based row index.
+        row: usize,
+        /// Columns found.
+        got: usize,
+        /// Columns expected.
+        expected: usize,
+    },
+    /// A cell was neither `0` nor `1`.
+    BadCell {
+        /// 0-based row index.
+        row: usize,
+        /// 0-based column index.
+        col: usize,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Empty => write!(f, "trace has no rows"),
+            TraceError::RaggedRow { row, got, expected } => {
+                write!(f, "row {row} has {got} columns, expected {expected}")
+            }
+            TraceError::BadCell { row, col } => {
+                write!(f, "cell ({row},{col}) is not 0 or 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl ReplayTrace {
+    /// Parses the CSV form described in the module docs. Whitespace around
+    /// cells is ignored; empty lines are skipped.
+    ///
+    /// # Errors
+    /// Returns a [`TraceError`] describing the first malformed row/cell.
+    pub fn parse_csv(text: &str) -> Result<Self, TraceError> {
+        let mut busy = Vec::new();
+        let mut expected = None;
+        for (row, line) in text.lines().filter(|l| !l.trim().is_empty()).enumerate() {
+            let cells: Vec<&str> = line.split(',').map(str::trim).collect();
+            let width = *expected.get_or_insert(cells.len());
+            if cells.len() != width {
+                return Err(TraceError::RaggedRow {
+                    row,
+                    got: cells.len(),
+                    expected: width,
+                });
+            }
+            let mut hour = Vec::with_capacity(width);
+            for (col, cell) in cells.iter().enumerate() {
+                match *cell {
+                    "0" => hour.push(false),
+                    "1" => hour.push(true),
+                    _ => return Err(TraceError::BadCell { row, col }),
+                }
+            }
+            busy.push(hour);
+        }
+        if busy.is_empty() {
+            return Err(TraceError::Empty);
+        }
+        let socs = busy[0].len();
+        Ok(ReplayTrace { busy, socs })
+    }
+
+    /// Number of hours covered.
+    pub fn hours(&self) -> usize {
+        self.busy.len()
+    }
+
+    /// Number of SoCs covered.
+    pub fn socs(&self) -> usize {
+        self.socs
+    }
+
+    /// Busy fraction for one hour.
+    ///
+    /// # Panics
+    /// Panics if `hour` is out of range.
+    pub fn busy_fraction(&self, hour: usize) -> f64 {
+        let row = &self.busy[hour];
+        row.iter().filter(|&&b| b).count() as f64 / self.socs.max(1) as f64
+    }
+
+    /// SoCs idle throughout `[start, start + len)` (indices wrap at the
+    /// trace length, matching the daily-cycle interpretation).
+    pub fn idle_through(&self, start: usize, len: usize) -> Vec<SocId> {
+        (0..self.socs)
+            .map(SocId)
+            .filter(|s| (0..len).all(|o| !self.busy[(start + o) % self.hours()][s.0]))
+            .collect()
+    }
+
+    /// Longest window with at least `min_socs` simultaneously idle, as
+    /// `(start_hour, length)`.
+    pub fn best_idle_window(&self, min_socs: usize) -> (usize, usize) {
+        let mut best = (0usize, 0usize);
+        for start in 0..self.hours() {
+            let mut len = 0;
+            while len < self.hours() && self.idle_through(start, len + 1).len() >= min_socs {
+                len += 1;
+            }
+            if len > best.1 {
+                best = (start, len);
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+0,0,1,0
+0,0,0,0
+1,1,1,0
+1,1,1,1
+";
+
+    #[test]
+    fn parses_and_queries() {
+        let t = ReplayTrace::parse_csv(SAMPLE).unwrap();
+        assert_eq!(t.hours(), 4);
+        assert_eq!(t.socs(), 4);
+        assert_eq!(t.busy_fraction(0), 0.25);
+        assert_eq!(t.busy_fraction(3), 1.0);
+        // soc3 idle hours 0-2; socs 0,1 idle hours 0-1
+        assert_eq!(t.idle_through(0, 2).len(), 3);
+        assert_eq!(t.idle_through(0, 3), vec![SocId(3)]);
+    }
+
+    #[test]
+    fn best_window() {
+        let t = ReplayTrace::parse_csv(SAMPLE).unwrap();
+        let (start, len) = t.best_idle_window(3);
+        assert_eq!((start, len), (0, 2));
+        // hour 1 is the only hour with all four SoCs idle
+        assert_eq!(t.best_idle_window(4), (1, 1));
+    }
+
+    #[test]
+    fn rejects_ragged() {
+        let err = ReplayTrace::parse_csv("0,1\n0\n").unwrap_err();
+        assert_eq!(
+            err,
+            TraceError::RaggedRow {
+                row: 1,
+                got: 1,
+                expected: 2
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_bad_cell_and_empty() {
+        assert_eq!(
+            ReplayTrace::parse_csv("0,2\n").unwrap_err(),
+            TraceError::BadCell { row: 0, col: 1 }
+        );
+        assert_eq!(ReplayTrace::parse_csv("\n\n").unwrap_err(), TraceError::Empty);
+    }
+
+    #[test]
+    fn skips_blank_lines_and_whitespace() {
+        let t = ReplayTrace::parse_csv(" 0 , 1 \n\n 1 , 0 \n").unwrap();
+        assert_eq!(t.hours(), 2);
+        assert!(t.busy_fraction(0) > 0.0);
+    }
+}

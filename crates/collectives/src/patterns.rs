@@ -1,0 +1,327 @@
+//! Temporal collectives: step sequences priced on the cluster network.
+
+use socflow_cluster::{ClusterNet, Flow, Seconds, SocId};
+
+/// A communication pattern whose wall-clock cost can be evaluated on the
+/// simulated cluster network.
+pub trait Collective {
+    /// Pattern name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Wall-clock time to synchronize `bytes` of gradients/weights across
+    /// `members` (every member ends with the combined result).
+    ///
+    /// # Panics
+    /// Implementations may panic if `members.len() < 2` where the pattern
+    /// is undefined.
+    fn time(&self, net: &ClusterNet, members: &[SocId], bytes: f64) -> Seconds;
+}
+
+/// Horovod-style Ring-AllReduce: `2(n−1)` steps, each moving one `bytes/n`
+/// chunk per member to its ring successor. Bandwidth-optimal, but every
+/// step pays the collective's protocol latency — the linear-in-`n` latency
+/// growth the paper measures in Fig. 4(b).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RingAllReduce;
+
+impl Collective for RingAllReduce {
+    fn name(&self) -> &'static str {
+        "Ring-AllReduce"
+    }
+
+    fn time(&self, net: &ClusterNet, members: &[SocId], bytes: f64) -> Seconds {
+        let n = members.len();
+        if n < 2 || bytes == 0.0 {
+            return 0.0;
+        }
+        let chunk = bytes / n as f64;
+        // every step has the same flow pattern (each member → successor)
+        let flows: Vec<Flow> = (0..n)
+            .map(|i| Flow::new(members[i], members[(i + 1) % n], chunk))
+            .collect();
+        let step = net.collective_step_time(&flows);
+        step * (2 * (n - 1)) as f64
+    }
+}
+
+/// Classic parameter server: all workers push `bytes` to one server SoC,
+/// which pushes the aggregate back. The server's single 1 Gb/s link is the
+/// incast bottleneck.
+#[derive(Debug, Clone, Copy)]
+pub struct ParameterServer {
+    /// Index *into the member slice* of the SoC acting as the server.
+    pub server_index: usize,
+}
+
+impl Default for ParameterServer {
+    fn default() -> Self {
+        ParameterServer { server_index: 0 }
+    }
+}
+
+impl Collective for ParameterServer {
+    fn name(&self) -> &'static str {
+        "Parameter Server"
+    }
+
+    fn time(&self, net: &ClusterNet, members: &[SocId], bytes: f64) -> Seconds {
+        let n = members.len();
+        if n < 2 || bytes == 0.0 {
+            return 0.0;
+        }
+        assert!(self.server_index < n, "server index out of range");
+        let server = members[self.server_index];
+        let push: Vec<Flow> = members
+            .iter()
+            .filter(|&&m| m != server)
+            .map(|&m| Flow::new(m, server, bytes))
+            .collect();
+        let pull: Vec<Flow> = members
+            .iter()
+            .filter(|&&m| m != server)
+            .map(|&m| Flow::new(server, m, bytes))
+            .collect();
+        net.collective_step_time(&push) + net.collective_step_time(&pull)
+    }
+}
+
+/// Tree aggregation (hierarchical federated learning): reduce up a
+/// `fanout`-ary tree over the members, then broadcast back down.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeAggregate {
+    /// Children per tree node (≥ 2).
+    pub fanout: usize,
+}
+
+impl Default for TreeAggregate {
+    fn default() -> Self {
+        TreeAggregate { fanout: 2 }
+    }
+}
+
+impl Collective for TreeAggregate {
+    fn name(&self) -> &'static str {
+        "Tree-Aggregate"
+    }
+
+    fn time(&self, net: &ClusterNet, members: &[SocId], bytes: f64) -> Seconds {
+        assert!(self.fanout >= 2, "fanout must be at least 2");
+        let n = members.len();
+        if n < 2 || bytes == 0.0 {
+            return 0.0;
+        }
+        // members[0] is the root; node i's parent is (i-1)/fanout
+        let mut total = 0.0;
+        // Reduce: level by level from the deepest, children send to parents.
+        let mut levels: Vec<Vec<Flow>> = Vec::new();
+        let depth_of = |mut i: usize| {
+            let mut d = 0;
+            while i > 0 {
+                i = (i - 1) / self.fanout;
+                d += 1;
+            }
+            d
+        };
+        let max_depth = (1..n).map(depth_of).max().unwrap_or(0);
+        for level in (1..=max_depth).rev() {
+            let flows: Vec<Flow> = (1..n)
+                .filter(|&i| depth_of(i) == level)
+                .map(|i| Flow::new(members[i], members[(i - 1) / self.fanout], bytes))
+                .collect();
+            levels.push(flows);
+        }
+        for flows in &levels {
+            total += net.collective_step_time(flows);
+        }
+        // Broadcast: same levels reversed, directions flipped.
+        for flows in levels.iter().rev() {
+            let down: Vec<Flow> = flows.iter().map(|f| Flow::new(f.dst, f.src, f.bytes)).collect();
+            total += net.collective_step_time(&down);
+        }
+        total
+    }
+}
+
+/// Two-level hierarchical all-reduce: board-local rings reduce first, then
+/// one delegate per board runs an inter-board ring, then delegates
+/// broadcast back inside their boards. This is the datacenter-style
+/// topology SoCFlow's group-wise design generalizes — provided here both
+/// as a comparison point and as the inter-group epoch-boundary pattern.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HierarchicalAllReduce;
+
+impl Collective for HierarchicalAllReduce {
+    fn name(&self) -> &'static str {
+        "Hierarchical-AllReduce"
+    }
+
+    fn time(&self, net: &ClusterNet, members: &[SocId], bytes: f64) -> Seconds {
+        let n = members.len();
+        if n < 2 || bytes == 0.0 {
+            return 0.0;
+        }
+        // partition members by board
+        let mut by_board: std::collections::BTreeMap<usize, Vec<SocId>> =
+            std::collections::BTreeMap::new();
+        for &m in members {
+            by_board
+                .entry(net.spec().board_of(m).0)
+                .or_default()
+                .push(m);
+        }
+        // stage 1: intra-board rings run simultaneously (disjoint links)
+        let intra: Seconds = by_board
+            .values()
+            .map(|g| RingAllReduce.time(net, g, bytes))
+            .fold(0.0, f64::max);
+        // stage 2: delegates ring across boards
+        let delegates: Vec<SocId> = by_board.values().map(|g| g[0]).collect();
+        let inter = RingAllReduce.time(net, &delegates, bytes);
+        // stage 3: delegates broadcast the result inside their board
+        let bcast_flows: Vec<Flow> = by_board
+            .values()
+            .flat_map(|g| {
+                let d = g[0];
+                g[1..].iter().map(move |&m| Flow::new(d, m, bytes))
+            })
+            .collect();
+        let bcast = net.collective_step_time(&bcast_flows);
+        intra + inter + bcast
+    }
+}
+
+/// One-to-all broadcast from `root` to the other members, as a single
+/// simultaneous flow fan-out (the model-dispatch step when a job starts).
+pub fn broadcast_time(net: &ClusterNet, root: SocId, members: &[SocId], bytes: f64) -> Seconds {
+    let flows: Vec<Flow> = members
+        .iter()
+        .filter(|&&m| m != root)
+        .map(|&m| Flow::new(root, m, bytes))
+        .collect();
+    net.collective_step_time(&flows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socflow_cluster::ClusterSpec;
+
+    const MB: f64 = 1e6;
+
+    fn net() -> ClusterNet {
+        ClusterNet::new(ClusterSpec::paper_server())
+    }
+
+    fn socs(n: usize) -> Vec<SocId> {
+        (0..n).map(SocId).collect()
+    }
+
+    #[test]
+    fn ring_intra_board_matches_paper_anchor() {
+        // Paper: 540 ms for VGG-11 (36.9 MB) intra-PCB with 5 SoCs; the
+        // paper's 4-SoC experiments land in the same regime.
+        let t = RingAllReduce.time(&net(), &socs(5), 36.9 * MB);
+        assert!((0.40..0.70).contains(&t), "VGG-11 intra ring: {t}s");
+        let t18 = RingAllReduce.time(&net(), &socs(5), 44.7 * MB);
+        assert!((0.50..0.85).contains(&t18), "ResNet-18 intra ring: {t18}s");
+        assert!(t18 > t);
+    }
+
+    #[test]
+    fn ps_intra_board_matches_paper_anchor() {
+        // Paper: ~2060 ms for VGG-11 intra-PCB parameter server.
+        let ps = ParameterServer::default();
+        let t = ps.time(&net(), &socs(5), 36.9 * MB);
+        assert!((1.8..2.9).contains(&t), "VGG-11 intra PS: {t}s");
+    }
+
+    #[test]
+    fn ring_latency_grows_linearly_with_members() {
+        let t8 = RingAllReduce.time(&net(), &socs(8), 36.9 * MB);
+        let t32 = RingAllReduce.time(&net(), &socs(32), 36.9 * MB);
+        assert!(t32 > t8 * 2.0, "32-SoC ring must be much slower: {t8} vs {t32}");
+    }
+
+    #[test]
+    fn inter_board_ring_slower_than_intra() {
+        // 5 SoCs on one board vs 5 spread across boards, same payload
+        let intra = RingAllReduce.time(&net(), &socs(5), 36.9 * MB);
+        let spread: Vec<SocId> = (0..5).map(|i| SocId(i * 5)).collect();
+        let inter = RingAllReduce.time(&net(), &spread, 36.9 * MB);
+        assert!(inter > intra, "{inter} vs {intra}");
+    }
+
+    #[test]
+    fn ps_worse_than_ring_at_scale() {
+        let ring = RingAllReduce.time(&net(), &socs(32), 36.9 * MB);
+        let ps = ParameterServer::default().time(&net(), &socs(32), 36.9 * MB);
+        assert!(ps > ring * 2.0, "PS {ps} should be >> ring {ring}");
+    }
+
+    #[test]
+    fn tree_beats_ps_at_scale() {
+        let tree = TreeAggregate { fanout: 2 }.time(&net(), &socs(32), 36.9 * MB);
+        let ps = ParameterServer::default().time(&net(), &socs(32), 36.9 * MB);
+        assert!(tree < ps, "tree {tree} should beat PS {ps}");
+    }
+
+    #[test]
+    fn degenerate_cases_cost_nothing() {
+        let n = net();
+        assert_eq!(RingAllReduce.time(&n, &socs(1), MB), 0.0);
+        assert_eq!(RingAllReduce.time(&n, &socs(4), 0.0), 0.0);
+        assert_eq!(ParameterServer::default().time(&n, &socs(1), MB), 0.0);
+        assert_eq!(TreeAggregate::default().time(&n, &socs(1), MB), 0.0);
+    }
+
+    #[test]
+    fn hierarchical_is_no_silver_bullet_per_batch() {
+        // On SoC-Cluster's 1 Gb/s links, the delegate ring carries the FULL
+        // payload and the board broadcast serializes on one tx link, so
+        // per-batch hierarchical all-reduce does NOT beat the flat ring —
+        // the quantitative reason SoCFlow synchronizes across groups per
+        // EPOCH (delayed aggregation) instead of hierarchically per batch.
+        let flat = RingAllReduce.time(&net(), &socs(32), 36.9 * MB);
+        let hier = HierarchicalAllReduce.time(&net(), &socs(32), 36.9 * MB);
+        assert!(
+            hier > flat * 0.8,
+            "hier {hier} should not decisively beat flat {flat} here"
+        );
+        // …but it still crushes the incast-bound parameter server
+        let ps = ParameterServer::default().time(&net(), &socs(32), 36.9 * MB);
+        assert!(hier < ps / 3.0, "hier {hier} vs ps {ps}");
+    }
+
+    #[test]
+    fn hierarchical_single_board_is_ring_plus_broadcast() {
+        let hier = HierarchicalAllReduce.time(&net(), &socs(5), 10.0 * MB);
+        let ring = RingAllReduce.time(&net(), &socs(5), 10.0 * MB);
+        let bcast = broadcast_time(&net(), SocId(0), &socs(5), 10.0 * MB);
+        assert!((hier - (ring + bcast)).abs() < 1e-6, "{hier} vs {} + {}", ring, bcast);
+    }
+
+    #[test]
+    fn hierarchical_degenerate_cases() {
+        let n = net();
+        assert_eq!(HierarchicalAllReduce.time(&n, &socs(1), MB), 0.0);
+        assert_eq!(HierarchicalAllReduce.time(&n, &socs(8), 0.0), 0.0);
+    }
+
+    #[test]
+    fn broadcast_is_one_fanout_step() {
+        let n = net();
+        // intra-board fan-out to 4 receivers through the root's tx link
+        let t = broadcast_time(&n, SocId(0), &socs(5), 12.5 * MB);
+        // 4 x 12.5 MB through one 125 MB/s tx link = 0.4 s + latency
+        assert!((t - 0.409).abs() < 0.01, "{t}");
+        // root-only broadcast costs nothing
+        assert_eq!(broadcast_time(&n, SocId(0), &[SocId(0)], MB), 0.0);
+    }
+
+    #[test]
+    fn payload_scales_transfer_time() {
+        let t1 = RingAllReduce.time(&net(), &socs(4), 10.0 * MB);
+        let t2 = RingAllReduce.time(&net(), &socs(4), 20.0 * MB);
+        assert!(t2 > t1 * 1.4 && t2 < t1 * 2.1);
+    }
+}

@@ -1,0 +1,149 @@
+//! Training checkpoints (paper §3: "SoCFlow includes checkpoints on mobile
+//! SoCs to ensure that a new user-related workload request can preempt
+//! training tasks").
+//!
+//! A checkpoint captures everything needed to resume: the epoch counter,
+//! every group replica's flat weights, and the mixed-precision α. Because
+//! the group-wise structure is flexible, resuming with *fewer* groups is
+//! first-class: [`Checkpoint::redistribute`] merges evicted replicas into
+//! the survivors (weight averaging), which is exactly how the engine
+//! continues after a preemption.
+
+use serde::{Deserialize, Serialize};
+
+/// A resumable snapshot of a group-parallel training job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Epochs completed so far.
+    pub epoch: usize,
+    /// Flat weights of each group replica.
+    pub replicas: Vec<Vec<f32>>,
+    /// Mixed-precision α at snapshot time.
+    pub alpha: f32,
+}
+
+impl Checkpoint {
+    /// Creates a checkpoint.
+    ///
+    /// # Panics
+    /// Panics if `replicas` is empty or replica lengths differ.
+    pub fn new(epoch: usize, replicas: Vec<Vec<f32>>, alpha: f32) -> Self {
+        assert!(!replicas.is_empty(), "checkpoint needs at least one replica");
+        let len = replicas[0].len();
+        assert!(
+            replicas.iter().all(|r| r.len() == len),
+            "replicas must have equal length"
+        );
+        Checkpoint {
+            epoch,
+            replicas,
+            alpha,
+        }
+    }
+
+    /// Number of group replicas.
+    pub fn num_replicas(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Shrinks the checkpoint to `keep` replicas after a preemption: the
+    /// evicted replicas' weights are averaged into the survivors so no
+    /// training signal is lost.
+    ///
+    /// # Panics
+    /// Panics if `keep` is zero or exceeds the replica count.
+    pub fn redistribute(&self, keep: usize) -> Checkpoint {
+        assert!(keep > 0 && keep <= self.replicas.len(), "invalid keep count");
+        if keep == self.replicas.len() {
+            return self.clone();
+        }
+        let len = self.replicas[0].len();
+        // average of the evicted replicas
+        let evicted = &self.replicas[keep..];
+        let mut evicted_mean = vec![0.0f32; len];
+        for r in evicted {
+            for (m, v) in evicted_mean.iter_mut().zip(r) {
+                *m += v / evicted.len() as f32;
+            }
+        }
+        // each survivor absorbs a proportional share of the evicted signal
+        let w_survivor = keep as f32 / self.replicas.len() as f32;
+        let survivors: Vec<Vec<f32>> = self.replicas[..keep]
+            .iter()
+            .map(|r| {
+                r.iter()
+                    .zip(&evicted_mean)
+                    .map(|(a, b)| w_survivor * a + (1.0 - w_survivor) * b)
+                    .collect()
+            })
+            .collect();
+        Checkpoint::new(self.epoch, survivors, self.alpha)
+    }
+
+    /// Serializes to JSON bytes.
+    ///
+    /// # Errors
+    /// Returns an error if serialization fails (practically impossible for
+    /// this type).
+    pub fn to_bytes(&self) -> Result<Vec<u8>, serde_json::Error> {
+        serde_json::to_vec(self)
+    }
+
+    /// Deserializes from JSON bytes.
+    ///
+    /// # Errors
+    /// Returns an error when the bytes are not a valid checkpoint.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, serde_json::Error> {
+        serde_json::from_slice(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_bytes() {
+        let c = Checkpoint::new(3, vec![vec![1.0, 2.0], vec![3.0, 4.0]], 0.8);
+        let bytes = c.to_bytes().unwrap();
+        let back = Checkpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn redistribute_preserves_mean() {
+        let c = Checkpoint::new(
+            0,
+            vec![vec![0.0, 0.0], vec![2.0, 2.0], vec![4.0, 4.0], vec![6.0, 6.0]],
+            1.0,
+        );
+        let total_mean = 3.0f32;
+        let shrunk = c.redistribute(2);
+        assert_eq!(shrunk.num_replicas(), 2);
+        let new_mean: f32 = shrunk
+            .replicas
+            .iter()
+            .map(|r| r[0])
+            .sum::<f32>()
+            / 2.0;
+        assert!((new_mean - total_mean).abs() < 1e-6, "mean preserved");
+    }
+
+    #[test]
+    fn redistribute_noop_when_keeping_all() {
+        let c = Checkpoint::new(1, vec![vec![1.0]], 0.5);
+        assert_eq!(c.redistribute(1), c);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid keep")]
+    fn redistribute_rejects_zero() {
+        Checkpoint::new(0, vec![vec![1.0]], 1.0).redistribute(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn rejects_ragged_replicas() {
+        Checkpoint::new(0, vec![vec![1.0], vec![1.0, 2.0]], 1.0);
+    }
+}

@@ -1,0 +1,828 @@
+//! The distributed training engine.
+//!
+//! The engine plays both roles of the reproduction's two-level fidelity
+//! design (DESIGN.md):
+//!
+//! - **Real learning dynamics.** It maintains one weight replica per
+//!   independent SGD stream — one for fully synchronous methods (per-batch
+//!   all-reduce makes all workers one logical stream), one per logical
+//!   group for SoCFlow (intra-group SSGD ≡ one stream at the group's batch
+//!   size), one per client for federated methods — and really trains them
+//!   with `socflow-nn` on the scaled synthetic dataset. Delayed
+//!   aggregation, INT8 quantization error, group-count/batch-size effects
+//!   and the α/β controller all act on true SGD trajectories.
+//! - **Paper-scale cost.** Each epoch is priced by [`crate::timemodel`] on
+//!   the calibrated cluster simulation (reference dataset and model sizes),
+//!   producing wall-clock time, the Fig. 12 breakdown and energy.
+//!
+//! Federated accuracy streams are capped at [`MAX_FL_REPLICAS`] model
+//! replicas (time/energy still use the full SoC count) so laptop-scale runs
+//! stay tractable; DESIGN.md documents this substitution.
+
+use crate::checkpoint::Checkpoint;
+use crate::config::{MappingMode, MethodSpec, SocFlowConfig, TrainJobSpec};
+use crate::mapping::{self, Mapping};
+use crate::mixed::MixedPrecisionController;
+use crate::planning::{divide_communication_groups, CommunicationGroups};
+use crate::report::{Breakdown, RunResult};
+use crate::timemodel::{SyncCollective, TimeModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use socflow_cluster::faults::{FaultKind, FaultPlan};
+use socflow_cluster::{calibration, ClusterSpec, Processor};
+use socflow_data::{iid_partition, Batch, Dataset};
+use socflow_nn::models::ModelConfig;
+use socflow_nn::{loss, metrics, optim::Sgd, Mode, Network, Precision};
+
+/// Maximum number of model replicas simulated for federated methods.
+pub const MAX_FL_REPLICAS: usize = 8;
+
+/// Default logical-group count when a SoCFlow job leaves it unspecified and
+/// no warm-up profiling runs (the paper's experiments use 8 groups).
+pub const DEFAULT_GROUPS: usize = 8;
+
+/// How many test samples the per-epoch evaluation uses.
+const EVAL_CAP: usize = 512;
+
+/// Per-epoch learning-rate decay factor (step schedule). Applied uniformly
+/// to every method so comparisons stay fair.
+const LR_DECAY: f32 = 0.88;
+
+/// Learning-rate floor as a fraction of the initial rate: methods with few
+/// sequential steps per epoch (group/federated streams) need more epochs to
+/// converge, and unbounded decay would freeze them first.
+const LR_FLOOR: f32 = 0.15;
+
+/// The learnable part of one training job: scaled datasets + model config.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Scaled training dataset (really trained on).
+    pub train: Dataset,
+    /// Scaled held-out dataset for accuracy measurement.
+    pub test: Dataset,
+    /// Probe batch for the α confidence metric.
+    pub probe: Batch,
+    /// Scaled model geometry.
+    pub model_cfg: ModelConfig,
+    /// Optional initial flat weights (transfer learning / fine-tuning —
+    /// the ResNet-50 finetune workload pretrains on a CINIC-10 stand-in).
+    pub init_weights: Option<Vec<f32>>,
+}
+
+impl Workload {
+    /// Builds the standard scaled workload for a job: synthetic datasets at
+    /// the preset's geometry with `samples` training samples, `input_size`
+    /// pixels and `width` channel scaling.
+    pub fn standard(spec: &TrainJobSpec, samples: usize, input_size: usize, width: f32) -> Self {
+        // train and test must come from the same generative process (same
+        // class prototypes), so generate once and split
+        let test_n = (samples / 4).max(64);
+        let all = Dataset::synthetic(spec.preset.synthetic_spec(
+            samples + test_n,
+            input_size,
+            spec.seed,
+        ));
+        let train = all.subset(&(0..samples).collect::<Vec<_>>());
+        let test = all.subset(&(samples..samples + test_n).collect::<Vec<_>>());
+        let probe = test.head_batch(64);
+        let model_cfg = ModelConfig::new(train.channels(), input_size, train.classes(), width);
+        Workload {
+            train,
+            test,
+            probe,
+            model_cfg,
+            init_weights: None,
+        }
+    }
+
+    /// Returns the workload with pretrained initial weights (fine-tuning).
+    pub fn with_init_weights(mut self, weights: Vec<f32>) -> Self {
+        self.init_weights = Some(weights);
+        self
+    }
+}
+
+/// One independent SGD stream (a group replica).
+struct Replica {
+    net: Network,
+    opt: Sgd,
+    /// Scratch copy used as the INT8-side model in mixed precision.
+    int8_net: Network,
+    int8_opt: Sgd,
+}
+
+impl Replica {
+    fn new(net: Network, lr: f32, momentum: f32) -> Self {
+        let int8_net = net.clone();
+        Replica {
+            net,
+            opt: Sgd::new(lr, momentum, 5e-4),
+            int8_net,
+            int8_opt: Sgd::new(lr, momentum, 5e-4),
+        }
+    }
+
+    /// Applies the per-epoch learning-rate decay to both optimizers,
+    /// bounded below by `floor`.
+    fn decay_lr_floored(&mut self, factor: f32, floor: f32) {
+        self.opt.set_lr((self.opt.lr() * factor).max(floor));
+        self.int8_opt.set_lr((self.int8_opt.lr() * factor).max(floor));
+    }
+
+    /// One plain SGD step at a fixed precision.
+    fn step(&mut self, batch: &Batch, precision: Precision) -> f32 {
+        if batch.is_empty() {
+            return 0.0;
+        }
+        let mode = Mode::train(precision);
+        let logits = self.net.forward(&batch.images, mode);
+        let (l, grad) = loss::softmax_cross_entropy(&logits, &batch.labels);
+        self.net.backward(&grad, mode);
+        self.opt.step(&mut self.net);
+        self.net.zero_grad();
+        l
+    }
+
+    /// One mixed-precision step: CPU-FP32 and NPU-INT8 models train on
+    /// disjoint batch parts from the same starting weights, then merge
+    /// (paper Eq. 5).
+    fn mixed_step(&mut self, batch: &Batch, ctrl: &MixedPrecisionController) {
+        if batch.is_empty() {
+            return;
+        }
+        let (cpu_n, _npu_n) = ctrl.split_batch(batch.len());
+        let (cpu_b, npu_b) = batch.split(cpu_n);
+        // both sides start from the merged weights
+        let start = self.net.flat_weights();
+        self.int8_net.set_flat_weights(&start);
+        if !cpu_b.is_empty() {
+            let mode = Mode::train(Precision::Fp32);
+            let logits = self.net.forward(&cpu_b.images, mode);
+            let (_, grad) = loss::softmax_cross_entropy(&logits, &cpu_b.labels);
+            self.net.backward(&grad, mode);
+            self.opt.step(&mut self.net);
+            self.net.zero_grad();
+        }
+        if !npu_b.is_empty() {
+            let mode = Mode::train(Precision::Int8);
+            let logits = self.int8_net.forward(&npu_b.images, mode);
+            let (_, grad) = loss::softmax_cross_entropy(&logits, &npu_b.labels);
+            self.int8_net.backward(&grad, mode);
+            self.int8_opt.step(&mut self.int8_net);
+            self.int8_net.zero_grad();
+        }
+        let merged = ctrl.merge_weights(&self.net.flat_weights(), &self.int8_net.flat_weights());
+        self.net.set_flat_weights(&merged);
+    }
+}
+
+/// The distributed training engine for one job.
+pub struct Engine {
+    spec: TrainJobSpec,
+    workload: Workload,
+    time_model: TimeModel,
+    /// Preempt after this epoch: evict `1` logical group (SoCFlow) or stall
+    /// (baselines).
+    preempt_after: Option<usize>,
+    /// Optional fault timeline: reclaims/crashes are converted into group
+    /// preemptions at the epoch boundary they fall into.
+    fault_plan: Option<FaultPlan>,
+}
+
+impl Engine {
+    /// Creates an engine for a job + workload.
+    pub fn new(spec: TrainJobSpec, workload: Workload) -> Self {
+        let time_model = TimeModel::new(&spec);
+        Engine {
+            spec,
+            workload,
+            time_model,
+            preempt_after: None,
+            fault_plan: None,
+        }
+    }
+
+    /// Schedules a user-workload preemption after `epoch` epochs: SoCFlow
+    /// gives up one logical group and continues; fully synchronous
+    /// baselines must checkpoint and resume on the reduced set too, but
+    /// their single global ring shrinks only marginally.
+    pub fn with_preemption(mut self, epoch: usize) -> Self {
+        self.preempt_after = Some(epoch);
+        self
+    }
+
+    /// Attaches a fault timeline: each epoch whose simulated interval
+    /// contains at least one fault costs SoCFlow one logical group
+    /// (a crash additionally loses that epoch's in-flight contribution —
+    /// approximated by the same group eviction, since the survivors carry
+    /// the aggregated weights forward).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Mutable access to the time model (underclock injection).
+    pub fn time_model_mut(&mut self) -> &mut TimeModel {
+        &mut self.time_model
+    }
+
+    /// Faults (if any) whose time falls inside `[from, to)`.
+    fn faults_between(&self, from: f64, to: f64) -> usize {
+        self.fault_plan
+            .as_ref()
+            .map(|p| {
+                p.between(from, to)
+                    .iter()
+                    .filter(|e| {
+                        matches!(e.kind, FaultKind::Reclaimed | FaultKind::Crashed)
+                    })
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// The resolved logical-group count for SoCFlow methods.
+    pub fn resolved_groups(&self, cfg: &SocFlowConfig) -> usize {
+        cfg.groups.unwrap_or(DEFAULT_GROUPS).clamp(1, self.spec.socs)
+    }
+
+    fn build_replicas(&self, count: usize, rng: &mut StdRng) -> Vec<Replica> {
+        // all replicas start from identical weights, like a real dispatch
+        let mut base = self.spec.model.build(self.workload.model_cfg, rng);
+        if let Some(w) = &self.workload.init_weights {
+            base.set_flat_weights(w);
+        }
+        (0..count)
+            .map(|_| Replica::new(base.clone(), self.spec.lr, self.spec.momentum))
+            .collect()
+    }
+
+    fn evaluate(&self, net: &mut Network, precision: Precision) -> f32 {
+        let batch = self.workload.test.head_batch(EVAL_CAP);
+        let logits = net.forward(&batch.images, Mode::eval(precision));
+        metrics::accuracy(&logits, &batch.labels)
+    }
+
+    /// Average all replicas' weights in place (delayed aggregation /
+    /// FedAvg-style merge) and return the averaged flat weights.
+    fn average_replicas(replicas: &mut [Replica]) -> Vec<f32> {
+        let n = replicas.len();
+        let len = replicas[0].net.param_count();
+        let mut mean = vec![0.0f32; len];
+        for r in replicas.iter() {
+            for (m, v) in mean.iter_mut().zip(r.net.flat_weights()) {
+                *m += v / n as f32;
+            }
+        }
+        for r in replicas.iter_mut() {
+            r.net.set_flat_weights(&mean);
+        }
+        mean
+    }
+
+    /// Runs the job to completion.
+    pub fn run(&mut self) -> RunResult {
+        match self.spec.method {
+            MethodSpec::Local => self.run_single(Precision::Fp32, |tm| {
+                tm.local_epoch(Processor::SocCpuFp32)
+            }),
+            MethodSpec::ParameterServer => self.run_single(Precision::Fp32, |tm| {
+                tm.sync_epoch(SyncCollective::Ps, 1.0, 0.0, None)
+            }),
+            MethodSpec::Ring => self.run_single(Precision::Fp32, |tm| {
+                tm.sync_epoch(SyncCollective::Ring, 1.0, 0.0, None)
+            }),
+            MethodSpec::HiPress => self.run_single(Precision::Fp32, |tm| {
+                tm.sync_epoch(
+                    SyncCollective::Ring,
+                    calibration::DGC_WIRE_FRACTION,
+                    calibration::DGC_OVERHEAD_FLOPS_PER_PARAM,
+                    None,
+                )
+            }),
+            MethodSpec::TwoDParallel { group_size } => self.run_single(Precision::Fp32, move |tm| {
+                tm.sync_epoch(SyncCollective::Ring, 1.0, 0.0, Some(group_size))
+            }),
+            MethodSpec::FedAvg => self.run_federated(None),
+            MethodSpec::TFedAvg { fanout } => self.run_federated(Some(fanout)),
+            MethodSpec::SocFlow(cfg) if cfg.mixed_precision => {
+                self.run_socflow(cfg, MixedMode::Adaptive)
+            }
+            MethodSpec::SocFlow(cfg) => self.run_socflow(cfg, MixedMode::Fp32Only),
+            MethodSpec::SocFlowInt8(cfg) => self.run_socflow(cfg, MixedMode::Int8Only),
+            MethodSpec::SocFlowHalf(cfg) => self.run_socflow(cfg, MixedMode::Half),
+        }
+    }
+
+    /// Single-stream methods (Local + all fully synchronous baselines):
+    /// per-batch all-reduce makes the whole cluster one SGD stream.
+    fn run_single(
+        &mut self,
+        precision: Precision,
+        epoch_cost: impl Fn(&TimeModel) -> crate::timemodel::EpochCost,
+    ) -> RunResult {
+        let mut rng = StdRng::seed_from_u64(self.spec.seed);
+        let mut replicas = self.build_replicas(1, &mut rng);
+        let mut result = self.empty_result();
+        for epoch in 0..self.spec.epochs {
+            let mut erng = StdRng::seed_from_u64(self.spec.seed ^ (epoch as u64 + 1));
+            let batches: Vec<Batch> = self
+                .workload
+                .train
+                .epoch_batches(self.spec.global_batch, &mut erng)
+                .collect();
+            for b in &batches {
+                replicas[0].step(b, precision);
+            }
+            replicas[0].decay_lr_floored(LR_DECAY, self.spec.lr * LR_FLOOR);
+            let acc = self.evaluate(&mut replicas[0].net, precision);
+            let cost = epoch_cost(&self.time_model);
+            self.push_epoch(&mut result, acc, cost);
+            if Some(epoch + 1) == self.preempt_after {
+                // baselines stall for a checkpoint-restore round trip
+                result.epoch_time.push(self.checkpoint_stall_time());
+                result.epoch_accuracy.push(acc);
+                result.alpha_trace.push(f32::NAN);
+            }
+        }
+        result
+    }
+
+    /// Federated methods: fixed IID client shards, per-epoch averaging.
+    fn run_federated(&mut self, tree_fanout: Option<usize>) -> RunResult {
+        let mut rng = StdRng::seed_from_u64(self.spec.seed);
+        let clients = self.spec.socs.min(MAX_FL_REPLICAS);
+        let mut replicas = self.build_replicas(clients, &mut rng);
+        // Federated clients keep FIXED local shards all training (no
+        // cross-client shuffling — the contrast to SoCFlow). Client data is
+        // mildly heterogeneous (Dirichlet α = 0.5): at the reduced accuracy
+        // scale a perfectly IID split hides the client-drift phenomenon the
+        // paper measures, while per-user edge data is non-IID in deployment.
+        let shards = socflow_data::dirichlet_partition(
+            self.workload.train.labels(),
+            self.workload.train.classes(),
+            clients,
+            0.5,
+            self.spec.seed,
+        );
+        let client_data: Vec<Dataset> = shards
+            .iter()
+            .map(|s| self.workload.train.subset(s))
+            .collect();
+        // federated local batch: FedAvg clients run the job's batch size
+        // locally (tiny per-client batches at momentum-amplified rates
+        // diverge before the first aggregation)
+        let local_batch = self.spec.global_batch;
+
+        let mut result = self.empty_result();
+        for epoch in 0..self.spec.epochs {
+            // clients are independent between aggregations: train in parallel
+            std::thread::scope(|scope| {
+                for (c, replica) in replicas.iter_mut().enumerate() {
+                    let data = &client_data[c];
+                    let seed = self.spec.seed ^ ((epoch * 131 + c) as u64 + 7);
+                    scope.spawn(move || {
+                        let mut erng = StdRng::seed_from_u64(seed);
+                        let batches: Vec<Batch> =
+                            data.epoch_batches(local_batch, &mut erng).collect();
+                        for b in &batches {
+                            replica.step(b, Precision::Fp32);
+                        }
+                    });
+                }
+            });
+            Self::average_replicas(&mut replicas);
+            for r in replicas.iter_mut() {
+                r.decay_lr_floored(LR_DECAY, self.spec.lr * LR_FLOOR);
+            }
+            let acc = self.evaluate(&mut replicas[0].net, Precision::Fp32);
+            let cost = self.time_model.federated_epoch(tree_fanout);
+            self.push_epoch(&mut result, acc, cost);
+        }
+        result
+    }
+
+    /// SoCFlow proper: group replicas with per-epoch delayed aggregation,
+    /// cross-group data shuffling, and the mixed-precision controller.
+    fn run_socflow(&mut self, cfg: SocFlowConfig, mixed: MixedMode) -> RunResult {
+        let mut rng = StdRng::seed_from_u64(self.spec.seed);
+        let mut groups = self.resolved_groups(&cfg);
+        let cluster = ClusterSpec::for_socs(self.spec.socs);
+        let mut socs = self.spec.socs;
+        let (mut mapping, mut cgs) = self.build_topology(&cfg, &cluster, socs, groups);
+
+        // accuracy streams may be capped independently of the topology
+        let mut streams = cfg
+            .accuracy_streams
+            .unwrap_or(groups)
+            .clamp(1, groups.max(1));
+        let mut replicas = self.build_replicas(streams, &mut rng);
+        let beta = self.time_model.compute().beta() as f32;
+        let mut ctrl = MixedPrecisionController::new(beta.clamp(0.05, 0.95));
+        if let MixedMode::Half = mixed {
+            ctrl.set_alpha(0.7); // paper: Ours-Half is the fixed α = 0.7 case
+        }
+
+        let mut result = self.empty_result();
+        for epoch in 0..self.spec.epochs {
+            // cross-group reshuffle every epoch (unlike FL)
+            let shards = iid_partition(
+                self.workload.train.len(),
+                replicas.len(),
+                self.spec.seed ^ (epoch as u64 * 97 + 13),
+            );
+            // logical groups run in parallel between delayed aggregations
+            let train = &self.workload.train;
+            let spec = self.spec;
+            let ctrl_ref = &ctrl;
+            std::thread::scope(|scope| {
+                for (g, replica) in replicas.iter_mut().enumerate() {
+                    let shard_idx = &shards[g];
+                    scope.spawn(move || {
+                        let shard = train.subset(shard_idx);
+                        let mut erng =
+                            StdRng::seed_from_u64(spec.seed ^ ((epoch * 61 + g) as u64 + 3));
+                        let batches: Vec<Batch> =
+                            shard.epoch_batches(spec.global_batch, &mut erng).collect();
+                        for b in &batches {
+                            match mixed {
+                                MixedMode::Adaptive | MixedMode::Half => {
+                                    replica.mixed_step(b, ctrl_ref)
+                                }
+                                MixedMode::Int8Only => {
+                                    replica.step(b, Precision::Int8);
+                                }
+                                MixedMode::Fp32Only => {
+                                    replica.step(b, Precision::Fp32);
+                                }
+                            }
+                        }
+                    });
+                }
+            });
+            // delayed aggregation across groups (leader ring at paper scale)
+            Self::average_replicas(&mut replicas);
+            for r in replicas.iter_mut() {
+                r.decay_lr_floored(LR_DECAY, self.spec.lr * LR_FLOOR);
+            }
+
+            // refresh α on the probe set (Eq. 4) with the merged weights
+            if let MixedMode::Adaptive = mixed {
+                let p = &self.workload.probe;
+                let l32 = replicas[0].net.forward(&p.images, Mode::eval(Precision::Fp32));
+                let l8 = replicas[0].net.forward(&p.images, Mode::eval(Precision::Int8));
+                ctrl.update_alpha(&l32, &l8);
+            }
+
+            let eval_precision = match mixed {
+                MixedMode::Int8Only => Precision::Int8,
+                _ => Precision::Fp32,
+            };
+            let acc = self.evaluate(&mut replicas[0].net, eval_precision);
+
+            let cpu_fraction = match mixed {
+                MixedMode::Adaptive | MixedMode::Half => ctrl.cpu_fraction() as f64,
+                MixedMode::Int8Only => 0.0,
+                MixedMode::Fp32Only => 1.0,
+            };
+            let cost =
+                self.time_model
+                    .socflow_epoch(&mapping, &cgs, cfg.planning, cpu_fraction);
+            result.alpha_trace.push(ctrl.alpha());
+            result.epoch_accuracy.push(acc);
+            result.epoch_time.push(cost.time);
+            result.breakdown.add(&cost.breakdown);
+            result.energy_joules += cost.energy;
+
+            // fault-driven preemption: each fault in this epoch's simulated
+            // interval costs one logical group
+            let epoch_start: f64 = result.epoch_time.iter().take(epoch).sum();
+            let epoch_end: f64 = epoch_start + cost.time;
+            let mut evictions = self.faults_between(epoch_start, epoch_end).min(groups.saturating_sub(1));
+            while evictions > 0 && groups > 1 {
+                let keep = (streams - 1).max(1);
+                let ckpt = Checkpoint::new(
+                    epoch + 1,
+                    replicas.iter().map(|r| r.net.flat_weights()).collect(),
+                    ctrl.alpha(),
+                );
+                let shrunk = ckpt.redistribute(keep);
+                groups -= 1;
+                streams = keep.min(groups.max(1)).max(1);
+                socs -= socs / (groups + 1);
+                replicas.truncate(streams);
+                for (r, w) in replicas.iter_mut().zip(&shrunk.replicas) {
+                    r.net.set_flat_weights(w);
+                }
+                let t = self.build_topology(&cfg, &cluster, socs, groups);
+                mapping = t.0;
+                cgs = t.1;
+                evictions -= 1;
+            }
+
+            // preemption: surrender one logical group, keep training
+            if Some(epoch + 1) == self.preempt_after && groups > 1 {
+                let keep = (streams - 1).max(1);
+                let ckpt = Checkpoint::new(
+                    epoch + 1,
+                    replicas.iter().map(|r| r.net.flat_weights()).collect(),
+                    ctrl.alpha(),
+                );
+                let shrunk = ckpt.redistribute(keep);
+                groups -= 1;
+                streams = keep.min(groups);
+                socs -= socs / (groups + 1);
+                replicas.truncate(streams);
+                for (r, w) in replicas.iter_mut().zip(&shrunk.replicas) {
+                    r.net.set_flat_weights(w);
+                }
+                let t = self.build_topology(&cfg, &cluster, socs, groups);
+                mapping = t.0;
+                cgs = t.1;
+            }
+        }
+        result
+    }
+
+    fn build_topology(
+        &self,
+        cfg: &SocFlowConfig,
+        cluster: &ClusterSpec,
+        socs: usize,
+        groups: usize,
+    ) -> (Mapping, CommunicationGroups) {
+        let mapping = match cfg.mapping {
+            MappingMode::IntegrityGreedy => mapping::integrity_greedy(cluster, socs, groups),
+            MappingMode::Sequential => mapping::sequential(cluster, socs, groups),
+        };
+        let cgs = divide_communication_groups(&mapping).unwrap_or_else(|_| {
+            // non-bipartite conflicts (possible for ad-hoc mappings): fall
+            // back to one CG per split group — correct, just slower.
+            CommunicationGroups {
+                cgs: (0..mapping.num_groups())
+                    .map(|g| vec![crate::mapping::GroupId(g)])
+                    .collect(),
+            }
+        });
+        (mapping, cgs)
+    }
+
+    /// Runs this job's training locally (single stream, FP32) and returns
+    /// the final flat weights — the pretraining stage of the transfer-
+    /// learning workload.
+    pub fn pretrain_weights(&mut self) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(self.spec.seed);
+        let mut replicas = self.build_replicas(1, &mut rng);
+        for epoch in 0..self.spec.epochs {
+            let mut erng = StdRng::seed_from_u64(self.spec.seed ^ (epoch as u64 + 1));
+            let batches: Vec<Batch> = self
+                .workload
+                .train
+                .epoch_batches(self.spec.global_batch, &mut erng)
+                .collect();
+            for b in &batches {
+                replicas[0].step(b, Precision::Fp32);
+            }
+            replicas[0].decay_lr_floored(LR_DECAY, self.spec.lr * LR_FLOOR);
+        }
+        replicas[0].net.flat_weights()
+    }
+
+    /// First-epoch accuracy at a candidate group count — the probe the
+    /// group-size heuristic runs during warm-up (FP32 only: the heuristic
+    /// isolates the batch-size effect).
+    pub fn first_epoch_accuracy(&self, n_groups: usize) -> f32 {
+        let mut rng = StdRng::seed_from_u64(self.spec.seed);
+        let mut replicas = self.build_replicas(n_groups, &mut rng);
+        let shards = iid_partition(self.workload.train.len(), n_groups, self.spec.seed);
+        for (g, replica) in replicas.iter_mut().enumerate() {
+            let shard = self.workload.train.subset(&shards[g]);
+            let mut erng = StdRng::seed_from_u64(self.spec.seed ^ (g as u64 + 17));
+            let batches: Vec<Batch> =
+                shard.epoch_batches(self.spec.global_batch, &mut erng).collect();
+            for b in &batches {
+                replica.step(b, Precision::Fp32);
+            }
+        }
+        Self::average_replicas(&mut replicas);
+        let mut net = replicas.remove(0).net;
+        self.evaluate(&mut net, Precision::Fp32)
+    }
+
+    fn empty_result(&self) -> RunResult {
+        RunResult {
+            method: self.spec.method.name().to_string(),
+            epoch_accuracy: Vec::new(),
+            epoch_time: Vec::new(),
+            breakdown: Breakdown::default(),
+            energy_joules: 0.0,
+            alpha_trace: Vec::new(),
+        }
+    }
+
+    fn push_epoch(&self, result: &mut RunResult, acc: f32, cost: crate::timemodel::EpochCost) {
+        result.epoch_accuracy.push(acc);
+        result.epoch_time.push(cost.time);
+        result.breakdown.add(&cost.breakdown);
+        result.energy_joules += cost.energy;
+        result.alpha_trace.push(f32::NAN);
+    }
+
+    fn checkpoint_stall_time(&self) -> f64 {
+        // write + restore a full model snapshot over one SoC link
+        let payload = self.spec.model.payload_bytes_fp32() as f64;
+        2.0 * payload / (1e9 / 8.0) + 1.0
+    }
+}
+
+/// How the SoCFlow run drives its heterogeneous processors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MixedMode {
+    /// Adaptive α/β mixed precision (the paper's full design).
+    Adaptive,
+    /// NPU-only INT8 (Fig. 14 "Ours-INT8").
+    Int8Only,
+    /// Fixed 50/50 split at α = 0.7 (Fig. 14 "Ours-Half").
+    Half,
+    /// CPU-only FP32 (Fig. 14 "Ours-FP32" — used via the ablation bench).
+    #[allow(dead_code)]
+    Fp32Only,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socflow_data::DatasetPreset;
+    use socflow_nn::models::ModelKind;
+
+    fn tiny_spec(method: MethodSpec) -> TrainJobSpec {
+        let mut s = TrainJobSpec::new(ModelKind::LeNet5, DatasetPreset::FashionMnist, method);
+        s.socs = 8;
+        s.epochs = 4;
+        s.global_batch = 32;
+        s.lr = 0.05;
+        s
+    }
+
+    /// An easy, low-noise workload so 4-epoch smoke runs genuinely learn.
+    fn easy_workload(spec: &TrainJobSpec, samples: usize) -> Workload {
+        let test_n = 128;
+        let gen = socflow_data::SyntheticSpec {
+            channels: 1,
+            size: 8,
+            classes: 10,
+            samples: samples + test_n,
+            noise: 0.4,
+            label_noise: 0.0,
+            seed: spec.seed,
+        };
+        let all = Dataset::synthetic(gen);
+        let train = all.subset(&(0..samples).collect::<Vec<_>>());
+        let test = all.subset(&(samples..samples + test_n).collect::<Vec<_>>());
+        let probe = test.head_batch(64);
+        Workload {
+            train,
+            test,
+            probe,
+            model_cfg: ModelConfig::new(1, 8, 10, 0.5),
+            init_weights: None,
+        }
+    }
+
+    fn tiny_engine(method: MethodSpec) -> Engine {
+        let spec = tiny_spec(method);
+        let workload = easy_workload(&spec, 512);
+        Engine::new(spec, workload)
+    }
+
+    #[test]
+    fn local_training_learns() {
+        let mut e = tiny_engine(MethodSpec::Local);
+        let r = e.run();
+        assert_eq!(r.epoch_accuracy.len(), 4);
+        let chance = 1.0 / 10.0;
+        assert!(
+            r.best_accuracy() > chance * 2.0,
+            "accuracy {} should beat chance",
+            r.best_accuracy()
+        );
+        assert!(r.total_time() > 0.0);
+        assert!(r.energy_joules > 0.0);
+    }
+
+    #[test]
+    fn ring_accuracy_matches_local() {
+        // synchronous SGD: identical stream, identical accuracy
+        let a = tiny_engine(MethodSpec::Local).run();
+        let b = tiny_engine(MethodSpec::Ring).run();
+        assert_eq!(a.epoch_accuracy, b.epoch_accuracy);
+        // …but distributed time differs from single-SoC time
+        assert_ne!(a.total_time(), b.total_time());
+    }
+
+    #[test]
+    fn socflow_runs_and_learns() {
+        let mut e = tiny_engine(MethodSpec::SocFlow(SocFlowConfig::with_groups(2)));
+        let r = e.run();
+        assert_eq!(r.epoch_accuracy.len(), 4);
+        assert!(r.best_accuracy() > 0.2, "acc {}", r.best_accuracy());
+        assert_eq!(r.alpha_trace.len(), 4);
+        assert!(r.alpha_trace.iter().all(|a| (0.0..=1.0).contains(a)));
+    }
+
+    #[test]
+    fn socflow_faster_than_ring() {
+        let ours = tiny_engine(MethodSpec::SocFlow(SocFlowConfig::with_groups(4))).run();
+        let ring = tiny_engine(MethodSpec::Ring).run();
+        assert!(
+            ours.total_time() < ring.total_time(),
+            "ours {} ring {}",
+            ours.total_time(),
+            ring.total_time()
+        );
+    }
+
+    #[test]
+    fn fedavg_runs() {
+        // FL clients keep fixed non-IID shards, so they need more data and
+        // rounds than the synchronous smoke tests
+        let mut spec = tiny_spec(MethodSpec::FedAvg);
+        spec.epochs = 8;
+        let workload = easy_workload(&spec, 1024);
+        let r = Engine::new(spec, workload).run();
+        assert_eq!(r.epoch_accuracy.len(), 8);
+        assert!(r.best_accuracy() > 0.15, "acc {}", r.best_accuracy());
+    }
+
+    #[test]
+    fn int8_only_loses_accuracy_vs_fp32() {
+        let mut s32 = tiny_spec(MethodSpec::SocFlow(SocFlowConfig::with_groups(2)));
+        s32.epochs = 5;
+        let w = easy_workload(&s32, 512);
+        let fp = Engine::new(s32, w.clone()).run();
+        let mut s8 = tiny_spec(MethodSpec::SocFlowInt8(SocFlowConfig::with_groups(2)));
+        s8.epochs = 5;
+        let int8 = Engine::new(s8, w).run();
+        // INT8's trajectory must genuinely differ (quantization noise)
+        assert_ne!(fp.epoch_accuracy, int8.epoch_accuracy);
+    }
+
+    #[test]
+    fn preemption_shrinks_but_continues() {
+        let spec = tiny_spec(MethodSpec::SocFlow(SocFlowConfig::with_groups(4)));
+        let workload = easy_workload(&spec, 512);
+        let mut e = Engine::new(spec, workload).with_preemption(1);
+        let r = e.run();
+        assert_eq!(r.epoch_accuracy.len(), 4, "run continues after preemption");
+        assert!(r.best_accuracy() > 0.15, "acc {}", r.best_accuracy());
+    }
+
+    #[test]
+    fn first_epoch_accuracy_degrades_with_group_count() {
+        let e = tiny_engine(MethodSpec::SocFlow(SocFlowConfig::full()));
+        let a1 = e.first_epoch_accuracy(1);
+        let a8 = e.first_epoch_accuracy(8);
+        // 8 groups on 256 samples = 1 aggregate step: near-chance
+        assert!(a1 > a8, "acc(1)={a1} should exceed acc(8)={a8}");
+    }
+
+    #[test]
+    fn pretrain_weights_differ_from_init_and_are_loadable() {
+        let spec = tiny_spec(MethodSpec::Local);
+        let workload = easy_workload(&spec, 256);
+        let mut e = Engine::new(spec, workload.clone());
+        let trained = e.pretrain_weights();
+        // compare against a fresh init with the same seed
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let fresh = spec.model.build(workload.model_cfg, &mut rng);
+        assert_eq!(trained.len(), fresh.param_count());
+        assert_ne!(trained, fresh.flat_weights(), "training must move weights");
+        // and the transfer-learning path accepts them
+        let warm = workload.with_init_weights(trained);
+        let r = Engine::new(spec, warm).run();
+        assert!(r.best_accuracy() > 0.2, "warm start should learn fast");
+    }
+
+    #[test]
+    fn fault_plan_evicts_groups_but_training_survives() {
+        let spec = tiny_spec(MethodSpec::SocFlow(SocFlowConfig::with_groups(4)));
+        let workload = easy_workload(&spec, 512);
+        // a dense fault plan: several reclaims inside the simulated horizon
+        let plan = socflow_cluster::faults::FaultPlan::sample(
+            16, 1e9, // absurd horizon so every SoC faults eventually
+            1e6, 1e7, 7,
+        );
+        let mut e = Engine::new(spec, workload).with_fault_plan(plan);
+        let r = e.run();
+        assert_eq!(r.epoch_accuracy.len(), 4, "run completes despite faults");
+        assert!(r.best_accuracy() > 0.15, "acc {}", r.best_accuracy());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = tiny_engine(MethodSpec::SocFlow(SocFlowConfig::with_groups(2))).run();
+        let b = tiny_engine(MethodSpec::SocFlow(SocFlowConfig::with_groups(2))).run();
+        assert_eq!(a.epoch_accuracy, b.epoch_accuracy);
+        assert_eq!(a.alpha_trace, b.alpha_trace);
+    }
+}

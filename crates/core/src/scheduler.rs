@@ -1,0 +1,179 @@
+//! The global scheduler — the lightweight coordinator that runs on the
+//! SoC-Cluster's control board (paper Fig. 5(a)).
+//!
+//! Ahead of training it (1) picks the logical-group count — empirically or
+//! via the first-epoch accuracy heuristic, (2) maps logical groups onto
+//! PCBs with integrity-greedy mapping, (3) divides the groups into
+//! communication groups, and then (4) dispatches the training job to the
+//! engine. It also owns the preemption policy: when user workload returns
+//! during training, one logical group is surrendered.
+
+use crate::config::{MethodSpec, SocFlowConfig, TrainJobSpec};
+use crate::engine::{Engine, Workload};
+use crate::grouping::{choose_group_count, GroupChoice};
+use crate::mapping::{self, Mapping};
+use crate::planning::{divide_communication_groups, CommunicationGroups};
+use crate::report::RunResult;
+use socflow_cluster::ClusterSpec;
+
+/// The resolved execution plan for a SoCFlow job.
+#[derive(Debug, Clone)]
+pub struct TopologyPlan {
+    /// Chosen logical-group count.
+    pub groups: usize,
+    /// The warm-up profile, if the heuristic ran.
+    pub group_choice: Option<GroupChoice>,
+    /// Logical→physical placement.
+    pub mapping: Mapping,
+    /// Communication groups.
+    pub cgs: CommunicationGroups,
+}
+
+/// The global scheduler.
+#[derive(Debug)]
+pub struct GlobalScheduler {
+    spec: TrainJobSpec,
+    workload: Workload,
+}
+
+impl GlobalScheduler {
+    /// Creates a scheduler for a job.
+    pub fn new(spec: TrainJobSpec, workload: Workload) -> Self {
+        GlobalScheduler { spec, workload }
+    }
+
+    /// Resolves the SoCFlow topology: group count (running the first-epoch
+    /// warm-up profiling when the config leaves `groups` unset), mapping
+    /// and CG division.
+    ///
+    /// # Panics
+    /// Panics if the job's method is not a SoCFlow variant.
+    pub fn plan_topology(&self) -> TopologyPlan {
+        let cfg = match self.spec.method {
+            MethodSpec::SocFlow(c) | MethodSpec::SocFlowInt8(c) | MethodSpec::SocFlowHalf(c) => c,
+            other => panic!("plan_topology on non-SoCFlow method {}", other.name()),
+        };
+        let (groups, group_choice) = match cfg.groups {
+            Some(g) => (g.clamp(1, self.spec.socs), None),
+            None => {
+                let engine = Engine::new(self.spec, self.workload.clone());
+                let choice = choose_group_count(self.spec.socs, 0.15, 0.5, |n| {
+                    engine.first_epoch_accuracy(n)
+                });
+                (choice.groups, Some(choice))
+            }
+        };
+        let cluster = ClusterSpec::for_socs(self.spec.socs);
+        let mapping = match cfg.mapping {
+            crate::config::MappingMode::IntegrityGreedy => {
+                mapping::integrity_greedy(&cluster, self.spec.socs, groups)
+            }
+            crate::config::MappingMode::Sequential => {
+                mapping::sequential(&cluster, self.spec.socs, groups)
+            }
+        };
+        let cgs = divide_communication_groups(&mapping).unwrap_or(CommunicationGroups {
+            cgs: (0..mapping.num_groups())
+                .map(|g| vec![crate::mapping::GroupId(g)])
+                .collect(),
+        });
+        TopologyPlan {
+            groups,
+            group_choice,
+            mapping,
+            cgs,
+        }
+    }
+
+    /// Estimates the per-SoC training memory footprint of this job and
+    /// whether it fits the SoC's budget — checked before dispatch (each
+    /// Snapdragon 865 has 12 GB shared with the OS and user services).
+    pub fn check_memory(&self) -> socflow_nn::memory::MemoryEstimate {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.spec.seed);
+        let net = self.spec.model.build(self.workload.model_cfg, &mut rng);
+        let cfg = self.workload.model_cfg;
+        let input_elems = cfg.in_channels * cfg.input_size * cfg.input_size;
+        // per-SoC batch share: the group batch divides across group members
+        let per_soc_batch = (self.spec.global_batch / 4).max(1);
+        socflow_nn::memory::estimate(&net, per_soc_batch, input_elems, 1, 2.0)
+    }
+
+    /// Plans (for SoCFlow methods) and runs the job.
+    pub fn run(self) -> RunResult {
+        let spec = match self.spec.method {
+            MethodSpec::SocFlow(cfg) if cfg.groups.is_none() => {
+                let plan = self.plan_topology();
+                let mut s = self.spec;
+                s.method = MethodSpec::SocFlow(SocFlowConfig {
+                    groups: Some(plan.groups),
+                    ..cfg
+                });
+                s
+            }
+            _ => self.spec,
+        };
+        Engine::new(spec, self.workload).run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use socflow_data::DatasetPreset;
+    use socflow_nn::models::ModelKind;
+
+    fn spec(method: MethodSpec) -> TrainJobSpec {
+        let mut s = TrainJobSpec::new(ModelKind::LeNet5, DatasetPreset::FashionMnist, method);
+        s.socs = 8;
+        s.epochs = 2;
+        s.global_batch = 32;
+        s
+    }
+
+    #[test]
+    fn plans_fixed_group_count() {
+        let s = spec(MethodSpec::SocFlow(SocFlowConfig::with_groups(4)));
+        let w = Workload::standard(&s, 128, 8, 0.5);
+        let plan = GlobalScheduler::new(s, w).plan_topology();
+        assert_eq!(plan.groups, 4);
+        assert!(plan.group_choice.is_none());
+        assert_eq!(plan.mapping.num_groups(), 4);
+        assert!(plan.cgs.len() <= 2);
+    }
+
+    #[test]
+    fn heuristic_plan_profiles_candidates() {
+        let s = spec(MethodSpec::SocFlow(SocFlowConfig::full()));
+        let w = Workload::standard(&s, 128, 8, 0.5);
+        let plan = GlobalScheduler::new(s, w).plan_topology();
+        let choice = plan.group_choice.expect("heuristic must run");
+        assert!(!choice.profile.is_empty());
+        assert!(plan.groups >= 1 && plan.groups <= 8);
+    }
+
+    #[test]
+    fn scheduler_runs_end_to_end() {
+        let s = spec(MethodSpec::SocFlow(SocFlowConfig::with_groups(2)));
+        let w = Workload::standard(&s, 128, 8, 0.5);
+        let r = GlobalScheduler::new(s, w).run();
+        assert_eq!(r.epoch_accuracy.len(), 2);
+    }
+
+    #[test]
+    fn memory_admission_passes_for_scaled_jobs() {
+        let s = spec(MethodSpec::SocFlow(SocFlowConfig::with_groups(2)));
+        let w = Workload::standard(&s, 128, 8, 0.5);
+        let est = GlobalScheduler::new(s, w).check_memory();
+        assert!(est.fits_soc(), "scaled jobs must fit: {} bytes", est.total());
+        assert!(est.total() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-SoCFlow")]
+    fn plan_rejects_baselines() {
+        let s = spec(MethodSpec::Ring);
+        let w = Workload::standard(&s, 128, 8, 0.5);
+        let _ = GlobalScheduler::new(s, w).plan_topology();
+    }
+}

@@ -1,0 +1,197 @@
+//! Input augmentation for the synthetic vision tasks: random shift (the
+//! translate analogue of random-crop-with-padding), horizontal flip and
+//! cutout. All transforms are deterministic in the supplied RNG and
+//! operate on NCHW batches, matching the standard CIFAR training pipeline
+//! shape.
+
+use crate::Batch;
+use rand::Rng;
+use socflow_tensor::Tensor;
+
+/// Augmentation configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Augment {
+    /// Maximum absolute shift in pixels for both axes (0 disables).
+    pub max_shift: usize,
+    /// Probability of a horizontal flip.
+    pub flip_prob: f32,
+    /// Side length of the cutout square (0 disables).
+    pub cutout: usize,
+}
+
+impl Augment {
+    /// The standard CIFAR-style recipe: ±2 px shift, 50 % flip, 2 px cutout.
+    pub fn standard() -> Self {
+        Augment {
+            max_shift: 2,
+            flip_prob: 0.5,
+            cutout: 2,
+        }
+    }
+
+    /// No-op augmentation.
+    pub fn none() -> Self {
+        Augment {
+            max_shift: 0,
+            flip_prob: 0.0,
+            cutout: 0,
+        }
+    }
+
+    /// Applies the recipe to a batch, returning the augmented copy
+    /// (labels pass through unchanged).
+    pub fn apply(&self, batch: &Batch, rng: &mut impl Rng) -> Batch {
+        let (n, c, h, w) = batch.images.shape().as_nchw();
+        let mut out = batch.images.clone();
+        for ni in 0..n {
+            // per-sample parameters
+            let dx = if self.max_shift > 0 {
+                rng.gen_range(-(self.max_shift as isize)..=self.max_shift as isize)
+            } else {
+                0
+            };
+            let dy = if self.max_shift > 0 {
+                rng.gen_range(-(self.max_shift as isize)..=self.max_shift as isize)
+            } else {
+                0
+            };
+            let flip = rng.gen::<f32>() < self.flip_prob;
+            let (cut_y, cut_x) = if self.cutout > 0 && h > self.cutout && w > self.cutout {
+                (
+                    rng.gen_range(0..h - self.cutout),
+                    rng.gen_range(0..w - self.cutout),
+                )
+            } else {
+                (h, w) // out of range = disabled
+            };
+            for ci in 0..c {
+                let src_base = ((ni * c + ci) * h) * w;
+                let src: Vec<f32> =
+                    batch.images.data()[src_base..src_base + h * w].to_vec();
+                let dst = &mut out.data_mut()[src_base..src_base + h * w];
+                for y in 0..h {
+                    for x in 0..w {
+                        // inverse transform: where does (y, x) come from?
+                        let sx0 = if flip { w - 1 - x } else { x };
+                        let sy = y as isize - dy;
+                        let sx = sx0 as isize - dx;
+                        let v = if sy >= 0 && sy < h as isize && sx >= 0 && sx < w as isize {
+                            src[sy as usize * w + sx as usize]
+                        } else {
+                            0.0 // zero-pad beyond the border
+                        };
+                        let in_cut = y >= cut_y
+                            && y < cut_y + self.cutout
+                            && x >= cut_x
+                            && x < cut_x + self.cutout;
+                        dst[y * w + x] = if in_cut { 0.0 } else { v };
+                    }
+                }
+            }
+        }
+        Batch {
+            images: out,
+            labels: batch.labels.clone(),
+        }
+    }
+}
+
+/// Convenience: identity check helper for tests.
+pub fn images_equal(a: &Tensor, b: &Tensor) -> bool {
+    a == b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dataset, SyntheticSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn batch() -> Batch {
+        let d = Dataset::synthetic(SyntheticSpec {
+            channels: 3,
+            size: 8,
+            classes: 4,
+            samples: 8,
+            noise: 0.2,
+            label_noise: 0.0,
+            seed: 1,
+        });
+        d.head_batch(8)
+    }
+
+    #[test]
+    fn none_is_identity() {
+        let b = batch();
+        let out = Augment::none().apply(&b, &mut StdRng::seed_from_u64(0));
+        assert!(images_equal(&out.images, &b.images));
+        assert_eq!(out.labels, b.labels);
+    }
+
+    #[test]
+    fn standard_changes_pixels_keeps_labels() {
+        let b = batch();
+        let out = Augment::standard().apply(&b, &mut StdRng::seed_from_u64(1));
+        assert!(!images_equal(&out.images, &b.images));
+        assert_eq!(out.labels, b.labels);
+        assert_eq!(out.images.shape(), b.images.shape());
+    }
+
+    #[test]
+    fn deterministic_in_rng() {
+        let b = batch();
+        let a1 = Augment::standard().apply(&b, &mut StdRng::seed_from_u64(7));
+        let a2 = Augment::standard().apply(&b, &mut StdRng::seed_from_u64(7));
+        assert!(images_equal(&a1.images, &a2.images));
+        let a3 = Augment::standard().apply(&b, &mut StdRng::seed_from_u64(8));
+        assert!(!images_equal(&a1.images, &a3.images));
+    }
+
+    #[test]
+    fn pure_flip_is_involutive() {
+        let cfg = Augment {
+            max_shift: 0,
+            flip_prob: 1.0,
+            cutout: 0,
+        };
+        let b = batch();
+        let once = cfg.apply(&b, &mut StdRng::seed_from_u64(2));
+        let twice = cfg.apply(&once, &mut StdRng::seed_from_u64(3));
+        assert!(images_equal(&twice.images, &b.images), "flip ∘ flip = id");
+    }
+
+    #[test]
+    fn cutout_zeroes_a_square() {
+        let cfg = Augment {
+            max_shift: 0,
+            flip_prob: 0.0,
+            cutout: 3,
+        };
+        let mut b = batch();
+        // make all pixels nonzero so zeros must come from the cutout
+        for v in b.images.data_mut() {
+            *v = v.abs() + 1.0;
+        }
+        let out = cfg.apply(&b, &mut StdRng::seed_from_u64(4));
+        let zeros = out.images.data().iter().filter(|v| **v == 0.0).count();
+        // 3x3 square per channel per sample
+        assert_eq!(zeros, 8 * 3 * 9);
+    }
+
+    #[test]
+    fn shift_zero_pads_border() {
+        let cfg = Augment {
+            max_shift: 3,
+            flip_prob: 0.0,
+            cutout: 0,
+        };
+        let mut b = batch();
+        for v in b.images.data_mut() {
+            *v = 1.0;
+        }
+        let out = cfg.apply(&b, &mut StdRng::seed_from_u64(5));
+        // at least one sample got a nonzero shift → zero-padded border rows
+        assert!(out.images.data().iter().any(|v| *v == 0.0));
+    }
+}

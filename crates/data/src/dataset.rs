@@ -1,0 +1,419 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use socflow_tensor::{Shape, Tensor};
+
+/// Generation parameters of a synthetic image-classification dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticSpec {
+    /// Image channels.
+    pub channels: usize,
+    /// Square image size.
+    pub size: usize,
+    /// Number of classes.
+    pub classes: usize,
+    /// Number of samples.
+    pub samples: usize,
+    /// Per-pixel Gaussian noise amplitude added to each sample (task
+    /// difficulty knob; 0.0 makes the task trivially separable).
+    pub noise: f32,
+    /// Fraction of labels flipped uniformly at random (irreducible error).
+    pub label_noise: f32,
+    /// Master seed; two datasets with the same spec are identical.
+    pub seed: u64,
+}
+
+impl SyntheticSpec {
+    /// Flat feature count per sample.
+    pub fn sample_len(&self) -> usize {
+        self.channels * self.size * self.size
+    }
+}
+
+/// An in-memory labelled image dataset (NCHW samples, usize labels).
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    images: Vec<f32>,
+    labels: Vec<usize>,
+    channels: usize,
+    size: usize,
+    classes: usize,
+}
+
+impl Dataset {
+    /// Generates a synthetic dataset from a spec. Deterministic in the spec.
+    pub fn synthetic(spec: SyntheticSpec) -> Self {
+        assert!(spec.classes >= 2, "need at least two classes");
+        assert!(spec.samples > 0, "need at least one sample");
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let pix = spec.sample_len();
+
+        // Smooth class prototypes: low-frequency sinusoid mixtures so that
+        // convolutions have real spatial structure to learn.
+        let mut prototypes = vec![0.0f32; spec.classes * pix];
+        for c in 0..spec.classes {
+            let fx: f32 = rng.gen_range(0.5..3.0);
+            let fy: f32 = rng.gen_range(0.5..3.0);
+            let phase: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
+            let chan_gain: Vec<f32> = (0..spec.channels).map(|_| rng.gen_range(0.5..1.5)).collect();
+            // class-dependent per-channel offset: a linearly separable
+            // component that keeps the task learnable under heavy noise
+            let chan_bias: Vec<f32> = (0..spec.channels).map(|_| rng.gen_range(-0.8..0.8)).collect();
+            for ch in 0..spec.channels {
+                for y in 0..spec.size {
+                    for x in 0..spec.size {
+                        let u = x as f32 / spec.size as f32;
+                        let v = y as f32 / spec.size as f32;
+                        let val = ((u * fx + v * fy) * std::f32::consts::TAU + phase).sin()
+                            * chan_gain[ch]
+                            + ((u - v) * (c as f32 + 1.0) * 2.0).cos() * 0.5
+                            + chan_bias[ch];
+                        prototypes[c * pix + (ch * spec.size + y) * spec.size + x] = val;
+                    }
+                }
+            }
+        }
+
+        let mut images = vec![0.0f32; spec.samples * pix];
+        let mut labels = vec![0usize; spec.samples];
+        for s in 0..spec.samples {
+            let true_class = s % spec.classes;
+            let proto = &prototypes[true_class * pix..(true_class + 1) * pix];
+            // small random circular shift = augmentation-like variation
+            // (bounded so spatial structure stays class-informative)
+            let max_shift = (spec.size / 4).max(1);
+            let dx = rng.gen_range(0..=max_shift);
+            let dy = rng.gen_range(0..=max_shift);
+            let gain: f32 = rng.gen_range(0.8..1.2);
+            let img = &mut images[s * pix..(s + 1) * pix];
+            for ch in 0..spec.channels {
+                for y in 0..spec.size {
+                    for x in 0..spec.size {
+                        let sy = (y + dy) % spec.size;
+                        let sx = (x + dx) % spec.size;
+                        img[(ch * spec.size + y) * spec.size + x] =
+                            proto[(ch * spec.size + sy) * spec.size + sx] * gain;
+                    }
+                }
+            }
+            for p in img.iter_mut() {
+                // Box-Muller Gaussian noise
+                let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+                let u2: f32 = rng.gen_range(0.0..1.0);
+                let n = (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos();
+                *p += n * spec.noise;
+            }
+            labels[s] = if rng.gen::<f32>() < spec.label_noise {
+                rng.gen_range(0..spec.classes)
+            } else {
+                true_class
+            };
+        }
+
+        Dataset {
+            images,
+            labels,
+            channels: spec.channels,
+            size: spec.size,
+            classes: spec.classes,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` if the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Image channels.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Square image size.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// All labels (for partitioners).
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Materializes the samples at `indices` as an NCHW batch.
+    ///
+    /// # Panics
+    /// Panics if any index is out of range.
+    pub fn batch(&self, indices: &[usize]) -> Batch {
+        let pix = self.channels * self.size * self.size;
+        let mut data = Vec::with_capacity(indices.len() * pix);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            assert!(i < self.len(), "sample index {i} out of range");
+            data.extend_from_slice(&self.images[i * pix..(i + 1) * pix]);
+            labels.push(self.labels[i]);
+        }
+        Batch {
+            images: Tensor::from_vec(
+                data,
+                Shape::from([indices.len(), self.channels, self.size, self.size]),
+            ),
+            labels,
+        }
+    }
+
+    /// A view of the first `n` samples as one batch (probe/validation sets).
+    pub fn head_batch(&self, n: usize) -> Batch {
+        let n = n.min(self.len());
+        let idx: Vec<usize> = (0..n).collect();
+        self.batch(&idx)
+    }
+
+    /// Restricts the dataset to a subset of sample indices (cloning them).
+    ///
+    /// # Panics
+    /// Panics if any index is out of range.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let pix = self.channels * self.size * self.size;
+        let mut images = Vec::with_capacity(indices.len() * pix);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            assert!(i < self.len(), "sample index {i} out of range");
+            images.extend_from_slice(&self.images[i * pix..(i + 1) * pix]);
+            labels.push(self.labels[i]);
+        }
+        Dataset {
+            images,
+            labels,
+            channels: self.channels,
+            size: self.size,
+            classes: self.classes,
+        }
+    }
+
+    /// Iterator over shuffled mini-batches for one epoch.
+    pub fn epoch_batches(&self, batch_size: usize, rng: &mut impl Rng) -> BatchIter<'_> {
+        assert!(batch_size > 0, "batch size must be positive");
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        // Fisher-Yates
+        for i in (1..order.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        BatchIter {
+            dataset: self,
+            order,
+            batch_size,
+            cursor: 0,
+        }
+    }
+}
+
+/// One mini-batch: NCHW images and their labels.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// `(n, c, h, w)` image tensor.
+    pub images: Tensor,
+    /// One label per image.
+    pub labels: Vec<usize>,
+}
+
+impl Batch {
+    /// Number of samples in the batch.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` if the batch holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Splits the batch at `left_n` samples into `(left, right)`.
+    ///
+    /// Used by the mixed-precision controller to route one part of a batch
+    /// to the CPU model and the rest to the NPU model.
+    ///
+    /// # Panics
+    /// Panics if `left_n > len()`.
+    pub fn split(&self, left_n: usize) -> (Batch, Batch) {
+        assert!(left_n <= self.len(), "split point beyond batch size");
+        let dims = self.images.shape().dims();
+        let per: usize = dims[1..].iter().product();
+        let data = self.images.data();
+        let left = Batch {
+            images: Tensor::from_vec(
+                data[..left_n * per].to_vec(),
+                Shape::from([left_n, dims[1], dims[2], dims[3]]),
+            ),
+            labels: self.labels[..left_n].to_vec(),
+        };
+        let right_n = self.len() - left_n;
+        let right = Batch {
+            images: Tensor::from_vec(
+                data[left_n * per..].to_vec(),
+                Shape::from([right_n, dims[1], dims[2], dims[3]]),
+            ),
+            labels: self.labels[left_n..].to_vec(),
+        };
+        (left, right)
+    }
+}
+
+/// Iterator of one epoch's shuffled mini-batches. The trailing partial batch
+/// is yielded too.
+#[derive(Debug)]
+pub struct BatchIter<'a> {
+    dataset: &'a Dataset,
+    order: Vec<usize>,
+    batch_size: usize,
+    cursor: usize,
+}
+
+impl Iterator for BatchIter<'_> {
+    type Item = Batch;
+
+    fn next(&mut self) -> Option<Batch> {
+        if self.cursor >= self.order.len() {
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.order.len());
+        let batch = self.dataset.batch(&self.order[self.cursor..end]);
+        self.cursor = end;
+        Some(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> SyntheticSpec {
+        SyntheticSpec {
+            channels: 3,
+            size: 8,
+            classes: 4,
+            samples: 64,
+            noise: 0.3,
+            label_noise: 0.0,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = Dataset::synthetic(spec());
+        let b = Dataset::synthetic(spec());
+        assert_eq!(a.labels(), b.labels());
+        assert_eq!(a.batch(&[0]).images, b.batch(&[0]).images);
+        let mut other = spec();
+        other.seed = 43;
+        let c = Dataset::synthetic(other);
+        assert_ne!(a.batch(&[0]).images, c.batch(&[0]).images);
+    }
+
+    #[test]
+    fn classes_are_balanced() {
+        let d = Dataset::synthetic(spec());
+        let mut counts = vec![0usize; 4];
+        for &l in d.labels() {
+            counts[l] += 1;
+        }
+        assert_eq!(counts, vec![16, 16, 16, 16]);
+    }
+
+    #[test]
+    fn label_noise_flips_some() {
+        let mut s = spec();
+        s.label_noise = 0.5;
+        let noisy = Dataset::synthetic(s);
+        let clean = Dataset::synthetic(spec());
+        let flips = noisy
+            .labels()
+            .iter()
+            .zip(clean.labels())
+            .filter(|(a, b)| a != b)
+            .count();
+        assert!(flips > 10, "expected many flips, got {flips}");
+    }
+
+    #[test]
+    fn batch_shapes() {
+        let d = Dataset::synthetic(spec());
+        let b = d.batch(&[0, 5, 9]);
+        assert_eq!(b.images.shape().dims(), &[3, 3, 8, 8]);
+        assert_eq!(b.labels, vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn epoch_batches_cover_everything() {
+        let d = Dataset::synthetic(spec());
+        let mut rng = StdRng::seed_from_u64(0);
+        let batches: Vec<Batch> = d.epoch_batches(10, &mut rng).collect();
+        assert_eq!(batches.len(), 7); // 6 full + partial of 4
+        let total: usize = batches.iter().map(|b| b.len()).sum();
+        assert_eq!(total, 64);
+        assert_eq!(batches.last().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn shuffle_depends_on_rng() {
+        let d = Dataset::synthetic(spec());
+        let b1: Vec<usize> = d
+            .epoch_batches(64, &mut StdRng::seed_from_u64(1))
+            .next()
+            .unwrap()
+            .labels;
+        let b2: Vec<usize> = d
+            .epoch_batches(64, &mut StdRng::seed_from_u64(2))
+            .next()
+            .unwrap()
+            .labels;
+        assert_ne!(b1, b2);
+    }
+
+    #[test]
+    fn split_batch() {
+        let d = Dataset::synthetic(spec());
+        let b = d.batch(&[0, 1, 2, 3]);
+        let (l, r) = b.split(1);
+        assert_eq!(l.len(), 1);
+        assert_eq!(r.len(), 3);
+        assert_eq!(l.images.shape().dims(), &[1, 3, 8, 8]);
+        assert_eq!(r.labels, b.labels[1..]);
+        // degenerate splits
+        let (l0, r0) = b.split(0);
+        assert!(l0.is_empty());
+        assert_eq!(r0.len(), 4);
+    }
+
+    #[test]
+    fn subset_preserves_content() {
+        let d = Dataset::synthetic(spec());
+        let sub = d.subset(&[3, 7]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.labels()[0], d.labels()[3]);
+        assert_eq!(sub.batch(&[0]).images, d.batch(&[3]).images);
+    }
+
+    #[test]
+    fn classes_are_distinguishable() {
+        // mean distance between class-0 and class-1 samples should exceed
+        // within-class distance: the task must be learnable.
+        let d = Dataset::synthetic(spec());
+        let a0 = d.batch(&[0]).images; // class 0
+        let a0b = d.batch(&[4]).images; // class 0 again
+        let a1 = d.batch(&[1]).images; // class 1
+        let dist = |x: &Tensor, y: &Tensor| x.sub(y).l2_norm();
+        assert!(dist(&a0, &a1) > dist(&a0, &a0b) * 0.8);
+    }
+}

@@ -1,0 +1,908 @@
+//! Transformer building blocks — the paper's §5 "future applicability"
+//! direction: newer NPUs' INT8/FP16 support opens SoCFlow to training
+//! "relatively larger DNNs, including Transformers, on SoC-Cluster".
+//!
+//! This module provides a compact ViT-style stack with full hand-written
+//! backward passes: [`PatchEmbed`] (image → token sequence), [`LayerNorm`],
+//! [`Gelu`], [`SelfAttention`] (multi-head, scaled dot-product),
+//! [`TokenFeedForward`] and [`MeanPoolTokens`]. Sequences are rank-3
+//! `(batch, tokens, dim)` tensors.
+//!
+//! All blocks honour [`Precision::Quant`] by fake-quantizing weights and
+//! inputs exactly like the CNN layers, so the mixed-precision experiments
+//! extend to Transformers unchanged.
+
+use crate::layer::{Layer, Mode, Parameter, Precision};
+use crate::layers::{quant_fake, quant_grad};
+use rand::Rng;
+use socflow_tensor::{init, linalg, Shape, Tensor};
+
+fn as_btd(t: &Tensor) -> (usize, usize, usize) {
+    let d = t.shape().dims();
+    assert_eq!(d.len(), 3, "expected (batch, tokens, dim), got {}", t.shape());
+    (d[0], d[1], d[2])
+}
+
+/// Extracts one `(tokens, dim)` matrix from a `(b, t, d)` tensor.
+fn sample_mat(t: &Tensor, b: usize) -> Tensor {
+    let (_, tok, d) = as_btd(t);
+    let start = b * tok * d;
+    Tensor::from_vec(t.data()[start..start + tok * d].to_vec(), Shape::from([tok, d]))
+}
+
+fn write_sample(dst: &mut Tensor, b: usize, mat: &Tensor) {
+    let (_, tok, d) = as_btd(dst);
+    let start = b * tok * d;
+    dst.data_mut()[start..start + tok * d].copy_from_slice(mat.data());
+}
+
+/// Splits square images into non-overlapping patches and linearly embeds
+/// each: `(n, c, h, w) → (n, (h/p)·(w/p), dim)`.
+#[derive(Debug, Clone)]
+pub struct PatchEmbed {
+    weight: Parameter,
+    bias: Parameter,
+    patch: usize,
+    in_features: usize,
+    dim: usize,
+    cached_patches: Option<Tensor>, // (n·t, c·p·p)
+    cached_shape: Option<Shape>,
+}
+
+impl PatchEmbed {
+    /// Creates a patch embedding.
+    ///
+    /// # Panics
+    /// Panics if `patch == 0`.
+    pub fn new(channels: usize, patch: usize, dim: usize, rng: &mut impl Rng) -> Self {
+        assert!(patch > 0, "patch size must be positive");
+        let in_features = channels * patch * patch;
+        PatchEmbed {
+            weight: Parameter::new(init::xavier_uniform([in_features, dim], in_features, dim, rng)),
+            bias: Parameter::new(Tensor::zeros([dim])),
+            patch,
+            in_features,
+            dim,
+            cached_patches: None,
+            cached_shape: None,
+        }
+    }
+
+    fn patchify(&self, x: &Tensor) -> (Tensor, usize) {
+        let (n, c, h, w) = x.shape().as_nchw();
+        assert_eq!(h % self.patch, 0, "input height not divisible by patch");
+        assert_eq!(w % self.patch, 0, "input width not divisible by patch");
+        let ph = h / self.patch;
+        let pw = w / self.patch;
+        let t = ph * pw;
+        let f = self.in_features;
+        let mut out = vec![0.0f32; n * t * f];
+        let xd = x.data();
+        for ni in 0..n {
+            for py in 0..ph {
+                for px in 0..pw {
+                    let row = ((ni * ph + py) * pw + px) * f;
+                    for ci in 0..c {
+                        for dy in 0..self.patch {
+                            let iy = py * self.patch + dy;
+                            for dx in 0..self.patch {
+                                let ix = px * self.patch + dx;
+                                out[row + (ci * self.patch + dy) * self.patch + dx] =
+                                    xd[((ni * c + ci) * h + iy) * w + ix];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        (Tensor::from_vec(out, Shape::from([n * t, f])), t)
+    }
+}
+
+impl Layer for PatchEmbed {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let (n, _, _, _) = input.shape().as_nchw();
+        let (patches, t) = self.patchify(input);
+        let (p, w) = match mode.precision {
+            Precision::Fp32 => (patches.clone(), self.weight.value.clone()),
+            Precision::Quant(f) => (quant_fake(&patches, f), quant_fake(&self.weight.value, f)),
+        };
+        let y = linalg::matmul(&p, &w).add_row_broadcast(&self.bias.value);
+        if mode.train {
+            self.cached_patches = Some(p);
+            self.cached_shape = Some(input.shape().clone());
+        }
+        y.reshape([n, t, self.dim])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor, mode: Mode) -> Tensor {
+        let (n, t, d) = as_btd(grad_out);
+        let g = grad_out.clone().reshape([n * t, d]);
+        let patches = self
+            .cached_patches
+            .as_ref()
+            .expect("PatchEmbed::backward without training forward");
+        let mut gw = linalg::matmul_at_b(patches, &g);
+        let mut gb = g.sum_rows();
+        if let Precision::Quant(f) = mode.precision {
+            gw = quant_grad(&gw, 0xBEEF, f);
+            gb = quant_grad(&gb, 0xFEED, f);
+        }
+        self.weight.grad.add_inplace(&gw);
+        self.bias.grad.add_inplace(&gb);
+        // image gradient unused by the classifier stack (patches are leaves)
+        Tensor::zeros(self.cached_shape.clone().expect("cached input shape"))
+    }
+
+    fn parameters(&self) -> Vec<&Parameter> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn parameters_mut(&mut self) -> Vec<&mut Parameter> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn describe(&self) -> String {
+        format!("patch_embed(p{}, {}→{})", self.patch, self.in_features, self.dim)
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+/// Layer normalization over the last dimension of a `(b, t, d)` sequence.
+#[derive(Debug, Clone)]
+pub struct LayerNorm {
+    gamma: Parameter,
+    beta: Parameter,
+    dim: usize,
+    eps: f32,
+    cached: Option<(Tensor, Vec<f32>)>, // (xhat, inv_std per row)
+}
+
+impl LayerNorm {
+    /// Creates a layer norm for feature size `dim`.
+    pub fn new(dim: usize) -> Self {
+        LayerNorm {
+            gamma: Parameter::new(Tensor::ones([dim])),
+            beta: Parameter::new(Tensor::zeros([dim])),
+            dim,
+            eps: 1e-5,
+            cached: None,
+        }
+    }
+}
+
+impl Layer for LayerNorm {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let dims = input.shape().dims().to_vec();
+        let d = *dims.last().expect("rank >= 1");
+        assert_eq!(d, self.dim, "LayerNorm dim mismatch");
+        let rows = input.len() / d;
+        let xd = input.data();
+        let mut out = vec![0.0f32; input.len()];
+        let mut xhat = vec![0.0f32; input.len()];
+        let mut inv_stds = vec![0.0f32; rows];
+        for r in 0..rows {
+            let row = &xd[r * d..(r + 1) * d];
+            let mean: f32 = row.iter().sum::<f32>() / d as f32;
+            let var: f32 = row.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / d as f32;
+            let inv = 1.0 / (var + self.eps).sqrt();
+            inv_stds[r] = inv;
+            for i in 0..d {
+                let h = (row[i] - mean) * inv;
+                xhat[r * d + i] = h;
+                out[r * d + i] = self.gamma.value.data()[i] * h + self.beta.value.data()[i];
+            }
+        }
+        if mode.train {
+            self.cached = Some((Tensor::from_vec(xhat, input.shape().clone()), inv_stds));
+        }
+        Tensor::from_vec(out, input.shape().clone())
+    }
+
+    fn backward(&mut self, grad_out: &Tensor, _mode: Mode) -> Tensor {
+        let (xhat, inv_stds) = self
+            .cached
+            .as_ref()
+            .expect("LayerNorm::backward without training forward");
+        let d = self.dim;
+        let rows = grad_out.len() / d;
+        let gd = grad_out.data();
+        let xh = xhat.data();
+        let mut gx = vec![0.0f32; grad_out.len()];
+        for r in 0..rows {
+            let mut sum_g = 0.0f32;
+            let mut sum_gx = 0.0f32;
+            for i in 0..d {
+                let gy = gd[r * d + i] * self.gamma.value.data()[i];
+                sum_g += gy;
+                sum_gx += gy * xh[r * d + i];
+            }
+            for i in 0..d {
+                let gy = gd[r * d + i] * self.gamma.value.data()[i];
+                gx[r * d + i] =
+                    inv_stds[r] / d as f32 * (d as f32 * gy - sum_g - xh[r * d + i] * sum_gx);
+                self.gamma.grad.data_mut()[i] += gd[r * d + i] * xh[r * d + i];
+                self.beta.grad.data_mut()[i] += gd[r * d + i];
+            }
+        }
+        Tensor::from_vec(gx, grad_out.shape().clone())
+    }
+
+    fn parameters(&self) -> Vec<&Parameter> {
+        vec![&self.gamma, &self.beta]
+    }
+
+    fn parameters_mut(&mut self) -> Vec<&mut Parameter> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+
+    fn describe(&self) -> String {
+        format!("layernorm({})", self.dim)
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+/// GELU activation (tanh approximation).
+#[derive(Debug, Clone, Default)]
+pub struct Gelu {
+    cached_input: Option<Tensor>,
+}
+
+impl Gelu {
+    /// Creates a GELU activation.
+    pub fn new() -> Self {
+        Gelu { cached_input: None }
+    }
+
+    fn value(v: f32) -> f32 {
+        const C: f32 = 0.797_884_6; // sqrt(2/π)
+        0.5 * v * (1.0 + (C * (v + 0.044715 * v * v * v)).tanh())
+    }
+
+    fn derivative(v: f32) -> f32 {
+        const C: f32 = 0.797_884_6;
+        let inner = C * (v + 0.044715 * v * v * v);
+        let t = inner.tanh();
+        let sech2 = 1.0 - t * t;
+        0.5 * (1.0 + t) + 0.5 * v * sech2 * C * (1.0 + 3.0 * 0.044715 * v * v)
+    }
+}
+
+impl Layer for Gelu {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        if mode.train {
+            self.cached_input = Some(input.clone());
+        }
+        input.map(Self::value)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor, _mode: Mode) -> Tensor {
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("Gelu::backward without training forward");
+        let deriv = x.map(Self::derivative);
+        grad_out.mul(&deriv)
+    }
+
+    fn parameters(&self) -> Vec<&Parameter> {
+        Vec::new()
+    }
+
+    fn parameters_mut(&mut self) -> Vec<&mut Parameter> {
+        Vec::new()
+    }
+
+    fn describe(&self) -> String {
+        "gelu".to_string()
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+/// Multi-head scaled-dot-product self-attention over `(b, t, d)` sequences,
+/// with residual connection built in: `y = x + Attn(x)·Wo`.
+#[derive(Debug, Clone)]
+pub struct SelfAttention {
+    wq: Parameter,
+    wk: Parameter,
+    wv: Parameter,
+    wo: Parameter,
+    dim: usize,
+    heads: usize,
+    cache: Option<AttnCache>,
+}
+
+#[derive(Debug, Clone)]
+struct AttnCache {
+    x: Tensor,               // (b, t, d) input (possibly fake-quantized)
+    q: Tensor,               // (b, t, d)
+    k: Tensor,
+    v: Tensor,
+    attn: Tensor,            // (b, heads, t, t) softmax weights
+    concat: Tensor,          // (b, t, d) pre-Wo
+}
+
+impl SelfAttention {
+    /// Creates an attention block.
+    ///
+    /// # Panics
+    /// Panics if `dim` is not divisible by `heads`.
+    pub fn new(dim: usize, heads: usize, rng: &mut impl Rng) -> Self {
+        assert!(heads > 0 && dim % heads == 0, "dim must divide by heads");
+        let w = |rng: &mut _| Parameter::new(init::xavier_uniform([dim, dim], dim, dim, rng));
+        SelfAttention {
+            wq: w(rng),
+            wk: w(rng),
+            wv: w(rng),
+            wo: w(rng),
+            dim,
+            heads,
+            cache: None,
+        }
+    }
+
+    fn project(x: &Tensor, w: &Tensor) -> Tensor {
+        let (b, t, d) = as_btd(x);
+        let flat = x.clone().reshape([b * t, d]);
+        linalg::matmul(&flat, w).reshape([b, t, d])
+    }
+}
+
+impl Layer for SelfAttention {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let (b, t, d) = as_btd(input);
+        assert_eq!(d, self.dim, "SelfAttention dim mismatch");
+        let (x, wq, wk, wv, wo) = match mode.precision {
+            Precision::Fp32 => (
+                input.clone(),
+                self.wq.value.clone(),
+                self.wk.value.clone(),
+                self.wv.value.clone(),
+                self.wo.value.clone(),
+            ),
+            Precision::Quant(f) => (
+                quant_fake(input, f),
+                quant_fake(&self.wq.value, f),
+                quant_fake(&self.wk.value, f),
+                quant_fake(&self.wv.value, f),
+                quant_fake(&self.wo.value, f),
+            ),
+        };
+        let q = Self::project(&x, &wq);
+        let k = Self::project(&x, &wk);
+        let v = Self::project(&x, &wv);
+        let dh = d / self.heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+
+        let mut attn = Tensor::zeros([b, self.heads, t, t]);
+        let mut concat = Tensor::zeros([b, t, d]);
+        for bi in 0..b {
+            let qm = sample_mat(&q, bi);
+            let km = sample_mat(&k, bi);
+            let vm = sample_mat(&v, bi);
+            let mut out_m = Tensor::zeros([t, d]);
+            for h in 0..self.heads {
+                // slice head columns
+                let slice = |m: &Tensor| -> Tensor {
+                    let mut out = vec![0.0f32; t * dh];
+                    for r in 0..t {
+                        out[r * dh..(r + 1) * dh]
+                            .copy_from_slice(&m.data()[r * d + h * dh..r * d + (h + 1) * dh]);
+                    }
+                    Tensor::from_vec(out, Shape::from([t, dh]))
+                };
+                let qh = slice(&qm);
+                let kh = slice(&km);
+                let vh = slice(&vm);
+                let scores = linalg::matmul_a_bt(&qh, &kh).scale(scale);
+                let a = crate::loss::softmax(&scores);
+                let yh = linalg::matmul(&a, &vh);
+                // write attention weights + output slice
+                let base = ((bi * self.heads) + h) * t * t;
+                attn.data_mut()[base..base + t * t].copy_from_slice(a.data());
+                for r in 0..t {
+                    out_m.data_mut()[r * d + h * dh..r * d + (h + 1) * dh]
+                        .copy_from_slice(&yh.data()[r * dh..(r + 1) * dh]);
+                }
+            }
+            write_sample(&mut concat, bi, &out_m);
+        }
+        let proj = Self::project(&concat, &wo);
+        let y = input.add(&proj); // residual
+        if mode.train {
+            self.cache = Some(AttnCache {
+                x,
+                q,
+                k,
+                v,
+                attn,
+                concat,
+            });
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor, mode: Mode) -> Tensor {
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("SelfAttention::backward without training forward");
+        let (b, t, d) = as_btd(grad_out);
+        let dh = d / self.heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+
+        // y = x + concat·Wo  →  d_concat = g·Woᵀ ; dWo = concatᵀ·g ; dx += g
+        let gflat = grad_out.clone().reshape([b * t, d]);
+        let concat_flat = cache.concat.clone().reshape([b * t, d]);
+        let mut gwo = linalg::matmul_at_b(&concat_flat, &gflat);
+        let gconcat = linalg::matmul_a_bt(&gflat, &self.wo.value).reshape([b, t, d]);
+
+        let mut gq = Tensor::zeros([b, t, d]);
+        let mut gk = Tensor::zeros([b, t, d]);
+        let mut gv = Tensor::zeros([b, t, d]);
+        for bi in 0..b {
+            let gcm = sample_mat(&gconcat, bi);
+            let qm = sample_mat(&cache.q, bi);
+            let km = sample_mat(&cache.k, bi);
+            let vm = sample_mat(&cache.v, bi);
+            let mut gqm = Tensor::zeros([t, d]);
+            let mut gkm = Tensor::zeros([t, d]);
+            let mut gvm = Tensor::zeros([t, d]);
+            for h in 0..self.heads {
+                let slice = |m: &Tensor| -> Tensor {
+                    let mut out = vec![0.0f32; t * dh];
+                    for r in 0..t {
+                        out[r * dh..(r + 1) * dh]
+                            .copy_from_slice(&m.data()[r * d + h * dh..r * d + (h + 1) * dh]);
+                    }
+                    Tensor::from_vec(out, Shape::from([t, dh]))
+                };
+                let gyh = slice(&gcm);
+                let qh = slice(&qm);
+                let kh = slice(&km);
+                let vh = slice(&vm);
+                let base = ((bi * self.heads) + h) * t * t;
+                let a = Tensor::from_vec(
+                    cache.attn.data()[base..base + t * t].to_vec(),
+                    Shape::from([t, t]),
+                );
+                // dV = Aᵀ·gY ; dA = gY·Vᵀ
+                let gvh = linalg::matmul_at_b(&a, &gyh);
+                let ga = linalg::matmul_a_bt(&gyh, &vh);
+                // softmax backward per row: dS = A ⊙ (dA − rowdot(dA, A))
+                let mut gs = vec![0.0f32; t * t];
+                for r in 0..t {
+                    let arow = &a.data()[r * t..(r + 1) * t];
+                    let garow = &ga.data()[r * t..(r + 1) * t];
+                    let dot: f32 = arow.iter().zip(garow).map(|(x, y)| x * y).sum();
+                    for c in 0..t {
+                        gs[r * t + c] = arow[c] * (garow[c] - dot);
+                    }
+                }
+                let gs = Tensor::from_vec(gs, Shape::from([t, t])).scale(scale);
+                // dQ = dS·K ; dK = dSᵀ·Q
+                let gqh = linalg::matmul(&gs, &kh);
+                let gkh = linalg::matmul_at_b(&gs, &qh);
+                let unslice = |dst: &mut Tensor, src: &Tensor| {
+                    for r in 0..t {
+                        dst.data_mut()[r * d + h * dh..r * d + (h + 1) * dh]
+                            .copy_from_slice(&src.data()[r * dh..(r + 1) * dh]);
+                    }
+                };
+                unslice(&mut gqm, &gqh);
+                unslice(&mut gkm, &gkh);
+                unslice(&mut gvm, &gvh);
+            }
+            write_sample(&mut gq, bi, &gqm);
+            write_sample(&mut gk, bi, &gkm);
+            write_sample(&mut gv, bi, &gvm);
+        }
+
+        // projections: P = X·W → dW = Xᵀ·dP ; dX += dP·Wᵀ
+        let xflat = cache.x.clone().reshape([b * t, d]);
+        let gq_flat = gq.reshape([b * t, d]);
+        let gk_flat = gk.reshape([b * t, d]);
+        let gv_flat = gv.reshape([b * t, d]);
+        let mut gwq = linalg::matmul_at_b(&xflat, &gq_flat);
+        let mut gwk = linalg::matmul_at_b(&xflat, &gk_flat);
+        let mut gwv = linalg::matmul_at_b(&xflat, &gv_flat);
+        let mut gx = linalg::matmul_a_bt(&gq_flat, &self.wq.value);
+        gx.add_inplace(&linalg::matmul_a_bt(&gk_flat, &self.wk.value));
+        gx.add_inplace(&linalg::matmul_a_bt(&gv_flat, &self.wv.value));
+        let mut gx = gx.reshape([b, t, d]);
+        gx.add_inplace(grad_out); // residual path
+
+        if let Precision::Quant(f) = mode.precision {
+            gwq = quant_grad(&gwq, 0x0071, f);
+            gwk = quant_grad(&gwk, 0x0072, f);
+            gwv = quant_grad(&gwv, 0x0073, f);
+            gwo = quant_grad(&gwo, 0x0074, f);
+        }
+        self.wq.grad.add_inplace(&gwq);
+        self.wk.grad.add_inplace(&gwk);
+        self.wv.grad.add_inplace(&gwv);
+        self.wo.grad.add_inplace(&gwo);
+        gx
+    }
+
+    fn parameters(&self) -> Vec<&Parameter> {
+        vec![&self.wq, &self.wk, &self.wv, &self.wo]
+    }
+
+    fn parameters_mut(&mut self) -> Vec<&mut Parameter> {
+        vec![&mut self.wq, &mut self.wk, &mut self.wv, &mut self.wo]
+    }
+
+    fn describe(&self) -> String {
+        format!("self_attention(d{}, {}h)", self.dim, self.heads)
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+/// Position-wise feed-forward with residual: `y = x + W2·gelu(W1·x)`,
+/// applied per token.
+#[derive(Debug, Clone)]
+pub struct TokenFeedForward {
+    w1: Parameter,
+    b1: Parameter,
+    w2: Parameter,
+    b2: Parameter,
+    dim: usize,
+    hidden: usize,
+    cache: Option<(Tensor, Tensor, Tensor)>, // (x flat, pre-gelu, post-gelu)
+}
+
+impl TokenFeedForward {
+    /// Creates a feed-forward block with the given hidden width.
+    pub fn new(dim: usize, hidden: usize, rng: &mut impl Rng) -> Self {
+        TokenFeedForward {
+            w1: Parameter::new(init::xavier_uniform([dim, hidden], dim, hidden, rng)),
+            b1: Parameter::new(Tensor::zeros([hidden])),
+            w2: Parameter::new(init::xavier_uniform([hidden, dim], hidden, dim, rng)),
+            b2: Parameter::new(Tensor::zeros([dim])),
+            dim,
+            hidden,
+            cache: None,
+        }
+    }
+}
+
+impl Layer for TokenFeedForward {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let (b, t, d) = as_btd(input);
+        assert_eq!(d, self.dim, "TokenFeedForward dim mismatch");
+        let (x, w1, w2) = match mode.precision {
+            Precision::Fp32 => (input.clone(), self.w1.value.clone(), self.w2.value.clone()),
+            Precision::Quant(f) => (
+                quant_fake(input, f),
+                quant_fake(&self.w1.value, f),
+                quant_fake(&self.w2.value, f),
+            ),
+        };
+        let flat = x.clone().reshape([b * t, d]);
+        let pre = linalg::matmul(&flat, &w1).add_row_broadcast(&self.b1.value);
+        let post = pre.map(Gelu::value);
+        let out = linalg::matmul(&post, &w2).add_row_broadcast(&self.b2.value);
+        let y = input.add(&out.reshape([b, t, d]));
+        if mode.train {
+            self.cache = Some((flat, pre, post));
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor, mode: Mode) -> Tensor {
+        let (b, t, d) = as_btd(grad_out);
+        let (flat, pre, post) = self
+            .cache
+            .as_ref()
+            .expect("TokenFeedForward::backward without training forward");
+        let g = grad_out.clone().reshape([b * t, d]);
+        let mut gw2 = linalg::matmul_at_b(post, &g);
+        let mut gb2 = g.sum_rows();
+        let gpost = linalg::matmul_a_bt(&g, &self.w2.value);
+        let gpre = gpost.mul(&pre.map(Gelu::derivative));
+        let mut gw1 = linalg::matmul_at_b(flat, &gpre);
+        let mut gb1 = gpre.sum_rows();
+        let mut gx = linalg::matmul_a_bt(&gpre, &self.w1.value).reshape([b, t, d]);
+        gx.add_inplace(grad_out); // residual
+        if let Precision::Quant(f) = mode.precision {
+            gw1 = quant_grad(&gw1, 0x0081, f);
+            gb1 = quant_grad(&gb1, 0x0082, f);
+            gw2 = quant_grad(&gw2, 0x0083, f);
+            gb2 = quant_grad(&gb2, 0x0084, f);
+        }
+        self.w1.grad.add_inplace(&gw1);
+        self.b1.grad.add_inplace(&gb1);
+        self.w2.grad.add_inplace(&gw2);
+        self.b2.grad.add_inplace(&gb2);
+        gx
+    }
+
+    fn parameters(&self) -> Vec<&Parameter> {
+        vec![&self.w1, &self.b1, &self.w2, &self.b2]
+    }
+
+    fn parameters_mut(&mut self) -> Vec<&mut Parameter> {
+        vec![&mut self.w1, &mut self.b1, &mut self.w2, &mut self.b2]
+    }
+
+    fn describe(&self) -> String {
+        format!("ffn({}→{}→{})", self.dim, self.hidden, self.dim)
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+/// Mean-pools tokens: `(b, t, d) → (b, d)` for the classifier head.
+#[derive(Debug, Clone, Default)]
+pub struct MeanPoolTokens {
+    cached_tokens: Option<usize>,
+}
+
+impl MeanPoolTokens {
+    /// Creates a token mean-pool.
+    pub fn new() -> Self {
+        MeanPoolTokens { cached_tokens: None }
+    }
+}
+
+impl Layer for MeanPoolTokens {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let (b, t, d) = as_btd(input);
+        let xd = input.data();
+        let mut out = vec![0.0f32; b * d];
+        for bi in 0..b {
+            for ti in 0..t {
+                for di in 0..d {
+                    out[bi * d + di] += xd[(bi * t + ti) * d + di] / t as f32;
+                }
+            }
+        }
+        if mode.train {
+            self.cached_tokens = Some(t);
+        }
+        Tensor::from_vec(out, Shape::from([b, d]))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor, _mode: Mode) -> Tensor {
+        let t = self
+            .cached_tokens
+            .expect("MeanPoolTokens::backward without training forward");
+        let (b, d) = grad_out.shape().as_matrix();
+        let gd = grad_out.data();
+        let mut gx = vec![0.0f32; b * t * d];
+        for bi in 0..b {
+            for ti in 0..t {
+                for di in 0..d {
+                    gx[(bi * t + ti) * d + di] = gd[bi * d + di] / t as f32;
+                }
+            }
+        }
+        Tensor::from_vec(gx, Shape::from([b, t, d]))
+    }
+
+    fn parameters(&self) -> Vec<&Parameter> {
+        Vec::new()
+    }
+
+    fn parameters_mut(&mut self) -> Vec<&mut Parameter> {
+        Vec::new()
+    }
+
+    fn describe(&self) -> String {
+        "mean_pool_tokens".to_string()
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn btd(b: usize, t: usize, d: usize, seed: u64) -> Tensor {
+        init::normal([b, t, d], 1.0, &mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn patch_embed_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut pe = PatchEmbed::new(3, 4, 16, &mut rng);
+        let x = Tensor::ones([2, 3, 8, 8]);
+        let y = pe.forward(&x, Mode::train(Precision::Fp32));
+        assert_eq!(y.shape().dims(), &[2, 4, 16]); // 2x2 patches of 4x4
+        let gx = pe.backward(&y, Mode::train(Precision::Fp32));
+        assert_eq!(gx.shape(), x.shape());
+        assert!(pe.parameters().iter().any(|p| p.grad.l2_norm() > 0.0));
+    }
+
+    #[test]
+    fn layernorm_normalizes_rows() {
+        let mut ln = LayerNorm::new(8);
+        let x = btd(2, 3, 8, 1).map(|v| v * 4.0 + 2.0);
+        let y = ln.forward(&x, Mode::train(Precision::Fp32));
+        for r in 0..6 {
+            let row = &y.data()[r * 8..(r + 1) * 8];
+            let mean: f32 = row.iter().sum::<f32>() / 8.0;
+            let var: f32 = row.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / 8.0;
+            assert!(mean.abs() < 1e-4);
+            assert!((var - 1.0).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn layernorm_gradcheck() {
+        let mut ln = LayerNorm::new(4);
+        let x = btd(1, 2, 4, 2);
+        let mode = Mode::train(Precision::Fp32);
+        let y = ln.forward(&x, mode);
+        let gy = y.scale(2.0);
+        let gx = ln.backward(&gy, mode);
+        let eps = 1e-3;
+        for idx in [0usize, 3, 6] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let f = |x: &Tensor| -> f32 {
+                LayerNorm::new(4)
+                    .forward(x, Mode::train(Precision::Fp32))
+                    .data()
+                    .iter()
+                    .map(|v| v * v)
+                    .sum()
+            };
+            let num = (f(&xp) - f(&xm)) / (2.0 * eps);
+            assert!((num - gx.data()[idx]).abs() < 5e-2, "dx[{idx}]");
+        }
+    }
+
+    #[test]
+    fn gelu_matches_reference_points() {
+        assert!((Gelu::value(0.0)).abs() < 1e-6);
+        assert!((Gelu::value(1.0) - 0.8412).abs() < 1e-3);
+        assert!((Gelu::value(-1.0) + 0.1588).abs() < 1e-3);
+        // derivative via finite difference
+        for v in [-2.0f32, -0.5, 0.3, 1.7] {
+            let eps = 1e-3;
+            let num = (Gelu::value(v + eps) - Gelu::value(v - eps)) / (2.0 * eps);
+            assert!((num - Gelu::derivative(v)).abs() < 1e-3, "{v}");
+        }
+    }
+
+    #[test]
+    fn attention_rows_are_convex_combinations() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut attn = SelfAttention::new(8, 2, &mut rng);
+        let x = btd(2, 5, 8, 4);
+        let y = attn.forward(&x, Mode::train(Precision::Fp32));
+        assert_eq!(y.shape().dims(), &[2, 5, 8]);
+        // attention weights per row sum to 1
+        let a = &attn.cache.as_ref().unwrap().attn;
+        let (b, h, t) = (2, 2, 5);
+        for r in 0..b * h * t {
+            let s: f32 = a.data()[r * t..(r + 1) * t].iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn attention_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut attn = SelfAttention::new(4, 1, &mut rng);
+        let x = btd(1, 3, 4, 6);
+        let mode = Mode::train(Precision::Fp32);
+        let y = attn.forward(&x, mode);
+        let gy = y.scale(2.0);
+        let gx = attn.backward(&gy, mode);
+
+        let eps = 1e-3;
+        let mut fresh = attn.clone();
+        let f = |a: &mut SelfAttention, x: &Tensor| -> f32 {
+            a.forward(x, Mode::eval(Precision::Fp32))
+                .data()
+                .iter()
+                .map(|v| v * v)
+                .sum()
+        };
+        for idx in [0usize, 5, 11] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let num = (f(&mut fresh, &xp) - f(&mut fresh, &xm)) / (2.0 * eps);
+            assert!(
+                (num - gx.data()[idx]).abs() < 0.15 * (1.0 + num.abs()),
+                "dx[{idx}]: {num} vs {}",
+                gx.data()[idx]
+            );
+        }
+        // weight gradcheck on Wq
+        for idx in [0usize, 7] {
+            let orig = attn.wq.value.data()[idx];
+            attn.wq.value.data_mut()[idx] = orig + eps;
+            let lp = f(&mut attn.clone(), &x);
+            attn.wq.value.data_mut()[idx] = orig - eps;
+            let lm = f(&mut attn.clone(), &x);
+            attn.wq.value.data_mut()[idx] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - attn.wq.grad.data()[idx]).abs() < 0.15 * (1.0 + num.abs()),
+                "dWq[{idx}]: {num} vs {}",
+                attn.wq.grad.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn ffn_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut ffn = TokenFeedForward::new(4, 8, &mut rng);
+        let x = btd(1, 3, 4, 8);
+        let mode = Mode::train(Precision::Fp32);
+        let y = ffn.forward(&x, mode);
+        let gy = y.scale(2.0);
+        let gx = ffn.backward(&gy, mode);
+        let eps = 1e-3;
+        let f = |f_: &mut TokenFeedForward, x: &Tensor| -> f32 {
+            f_.forward(x, Mode::eval(Precision::Fp32))
+                .data()
+                .iter()
+                .map(|v| v * v)
+                .sum()
+        };
+        for idx in [0usize, 6, 11] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let num = (f(&mut ffn.clone(), &xp) - f(&mut ffn.clone(), &xm)) / (2.0 * eps);
+            assert!(
+                (num - gx.data()[idx]).abs() < 0.1 * (1.0 + num.abs()),
+                "dx[{idx}]: {num} vs {}",
+                gx.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn mean_pool_roundtrip() {
+        let mut mp = MeanPoolTokens::new();
+        let x = Tensor::from_vec((0..24).map(|i| i as f32).collect::<Vec<_>>(), [2, 3, 4]);
+        let y = mp.forward(&x, Mode::train(Precision::Fp32));
+        assert_eq!(y.shape().dims(), &[2, 4]);
+        assert_eq!(y.at(&[0, 0]), 4.0); // mean(0, 4, 8)
+        let gx = mp.backward(&Tensor::ones([2, 4]), Mode::train(Precision::Fp32));
+        assert_eq!(gx.shape().dims(), &[2, 3, 4]);
+        assert!((gx.sum() - 8.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn int8_attention_is_lossy_but_close() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut attn = SelfAttention::new(8, 2, &mut rng);
+        let x = btd(1, 4, 8, 10);
+        let y32 = attn.forward(&x, Mode::eval(Precision::Fp32));
+        let y8 = attn.forward(&x, Mode::eval(Precision::Int8));
+        assert_ne!(y32, y8);
+        assert!(y32.cosine_similarity(&y8) > 0.97);
+    }
+}

@@ -1,0 +1,137 @@
+use serde::{Deserialize, Serialize};
+use socflow_tensor::Tensor;
+
+/// Numeric precision a forward/backward pass executes in.
+///
+/// `Fp32` models the mobile CPU training path; `Int8` models the mobile NPU
+/// path: weights and input activations are fake-quantized (symmetric
+/// per-tensor INT8) before each matmul/conv, and parameter gradients receive
+/// bounded quantization noise — the numeric behaviour of NiTi-style integer
+/// training that causes the accuracy degradation SoCFlow's mixed-precision
+/// controller manages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Precision {
+    /// Full 32-bit floating point (mobile CPU).
+    Fp32,
+    /// Quantization-aware training at a low-precision NPU format.
+    /// [`Precision::Int8`] is the format the paper's Snapdragon 865 NPU
+    /// uses; newer NPUs add INT4/INT16/FP16 (paper §5).
+    Quant(socflow_tensor::quant::QuantFormat),
+}
+
+impl Precision {
+    /// The paper's NPU format: 8-bit integer QAT.
+    #[allow(non_upper_case_globals)]
+    pub const Int8: Precision = Precision::Quant(socflow_tensor::quant::QuantFormat::Int8);
+
+    /// `true` for any low-precision (non-FP32) mode.
+    pub fn is_quantized(self) -> bool {
+        matches!(self, Precision::Quant(_))
+    }
+}
+
+/// Execution mode of one pass: train vs. eval, and the numeric precision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mode {
+    /// `true` for training passes (batch statistics, gradient caching).
+    pub train: bool,
+    /// Numeric precision of the pass.
+    pub precision: Precision,
+}
+
+impl Mode {
+    /// A training-mode pass at the given precision.
+    pub fn train(precision: Precision) -> Self {
+        Mode { train: true, precision }
+    }
+
+    /// An inference-mode pass at the given precision.
+    pub fn eval(precision: Precision) -> Self {
+        Mode { train: false, precision }
+    }
+}
+
+/// A learnable tensor together with its accumulated gradient.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Parameter {
+    /// Current value.
+    pub value: Tensor,
+    /// Gradient accumulated by the most recent backward pass(es).
+    pub grad: Tensor,
+}
+
+impl Parameter {
+    /// Wraps an initialized value with a zeroed gradient of the same shape.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape().clone());
+        Parameter { value, grad }
+    }
+
+    /// Number of scalar elements in the parameter.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// `true` if the parameter holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+}
+
+/// The contract every network layer fulfils.
+///
+/// Layers are stateful: `forward` caches whatever the matching `backward`
+/// needs (inputs, masks, intermediate activations), and `backward` both
+/// accumulates parameter gradients and returns the gradient w.r.t. its
+/// input. A layer must tolerate `forward` in eval mode without a following
+/// `backward`.
+pub trait Layer: Send {
+    /// Runs the layer on `input`, caching state when `mode.train`.
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor;
+
+    /// Propagates `grad_out` backwards, accumulating parameter gradients
+    /// (into [`Parameter::grad`]) and returning the input gradient.
+    ///
+    /// # Panics
+    /// May panic if called without a preceding training-mode `forward`.
+    fn backward(&mut self, grad_out: &Tensor, mode: Mode) -> Tensor;
+
+    /// Immutable access to this layer's parameters (possibly empty).
+    fn parameters(&self) -> Vec<&Parameter>;
+
+    /// Mutable access to this layer's parameters (possibly empty).
+    fn parameters_mut(&mut self) -> Vec<&mut Parameter>;
+
+    /// A short human-readable layer descriptor, e.g. `conv2d(3->16, k3)`.
+    fn describe(&self) -> String;
+
+    /// Clones the layer into a box — enables `Clone` for layer stacks.
+    fn clone_box(&self) -> Box<dyn Layer>;
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_tracks_shapes() {
+        let p = Parameter::new(Tensor::ones([2, 3]));
+        assert_eq!(p.len(), 6);
+        assert!(!p.is_empty());
+        assert_eq!(p.grad.shape(), p.value.shape());
+        assert_eq!(p.grad.sum(), 0.0);
+    }
+
+    #[test]
+    fn mode_constructors() {
+        assert!(Mode::train(Precision::Fp32).train);
+        assert!(!Mode::eval(Precision::Int8).train);
+        assert_eq!(Mode::eval(Precision::Int8).precision, Precision::Int8);
+    }
+}

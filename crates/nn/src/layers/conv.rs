@@ -1,0 +1,170 @@
+use crate::layer::{Layer, Mode, Parameter, Precision};
+use crate::layers::{quant_fake, quant_grad};
+use rand::Rng;
+use socflow_tensor::conv::{conv2d, conv2d_backward, ConvParams};
+use socflow_tensor::{init, Shape, Tensor};
+
+/// 2-D convolution layer (no bias — models here always follow a conv with
+/// batch-norm or include bias via the linear head, matching the reference
+/// architectures).
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    weight: Parameter,
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    params: ConvParams,
+    cached: Option<(Tensor, Shape)>, // (patches, input shape)
+    step: u64,
+}
+
+impl Conv2d {
+    /// Creates a `kernel×kernel` convolution with Kaiming-uniform weights.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let fan_in = in_channels * kernel * kernel;
+        let weight = init::kaiming_uniform(
+            [out_channels, in_channels, kernel, kernel],
+            fan_in,
+            rng,
+        );
+        Conv2d {
+            weight: Parameter::new(weight),
+            in_channels,
+            out_channels,
+            kernel,
+            params: ConvParams::new(stride, padding),
+            cached: None,
+            step: 0,
+        }
+    }
+
+    /// The convolution geometry (stride/padding).
+    pub fn conv_params(&self) -> ConvParams {
+        self.params
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let (x, w) = match mode.precision {
+            Precision::Fp32 => (input.clone(), self.weight.value.clone()),
+            Precision::Quant(f) => (quant_fake(input, f), quant_fake(&self.weight.value, f)),
+        };
+        let (y, patches) = conv2d(&x, &w, self.params);
+        if mode.train {
+            self.cached = Some((patches, input.shape().clone()));
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor, mode: Mode) -> Tensor {
+        let (patches, input_shape) = self
+            .cached
+            .as_ref()
+            .expect("Conv2d::backward without training forward");
+        let (gx, mut gw) =
+            conv2d_backward(grad_out, patches, &self.weight.value, input_shape, self.params);
+        if let Precision::Quant(f) = mode.precision {
+            self.step += 1;
+            gw = quant_grad(&gw, self.step.wrapping_mul(0xC2B2), f);
+        }
+        self.weight.grad.add_inplace(&gw);
+        gx
+    }
+
+    fn parameters(&self) -> Vec<&Parameter> {
+        vec![&self.weight]
+    }
+
+    fn parameters_mut(&mut self) -> Vec<&mut Parameter> {
+        vec![&mut self.weight]
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "conv2d({}→{}, k{}, s{}, p{})",
+            self.in_channels, self.out_channels, self.kernel, self.params.stride, self.params.padding
+        )
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_geometry() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut c = Conv2d::new(3, 8, 3, 1, 1, &mut rng);
+        let x = Tensor::ones([2, 3, 8, 8]);
+        let y = c.forward(&x, Mode::eval(Precision::Fp32));
+        assert_eq!(y.shape().dims(), &[2, 8, 8, 8]);
+        let mut c2 = Conv2d::new(3, 4, 3, 2, 1, &mut rng);
+        let y2 = c2.forward(&x, Mode::eval(Precision::Fp32));
+        assert_eq!(y2.shape().dims(), &[2, 4, 4, 4]);
+    }
+
+    #[test]
+    fn gradcheck_weight() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut c = Conv2d::new(2, 3, 3, 1, 1, &mut rng);
+        let x = init::normal([1, 2, 4, 4], 1.0, &mut rng);
+        let mode = Mode::train(Precision::Fp32);
+        let y = c.forward(&x, mode);
+        let gy = y.scale(2.0);
+        let gx = c.backward(&gy, mode);
+        assert_eq!(gx.shape(), x.shape());
+
+        let eps = 1e-3;
+        let loss = |c: &mut Conv2d| -> f32 {
+            c.forward(&x, Mode::eval(Precision::Fp32))
+                .data()
+                .iter()
+                .map(|v| v * v)
+                .sum()
+        };
+        for idx in [0usize, 10, 33] {
+            let orig = c.weight.value.data()[idx];
+            c.weight.value.data_mut()[idx] = orig + eps;
+            let lp = loss(&mut c);
+            c.weight.value.data_mut()[idx] = orig - eps;
+            let lm = loss(&mut c);
+            c.weight.value.data_mut()[idx] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - c.weight.grad.data()[idx]).abs() < 3e-2,
+                "dW[{idx}]: {num} vs {}",
+                c.weight.grad.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn int8_is_lossy_but_correlated() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut c = Conv2d::new(3, 4, 3, 1, 1, &mut rng);
+        let x = init::normal([1, 3, 6, 6], 1.0, &mut rng);
+        let y32 = c.forward(&x, Mode::eval(Precision::Fp32));
+        let y8 = c.forward(&x, Mode::eval(Precision::Int8));
+        assert_ne!(y32, y8);
+        assert!(y32.cosine_similarity(&y8) > 0.98);
+    }
+}

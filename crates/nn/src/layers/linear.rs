@@ -1,0 +1,174 @@
+use crate::layer::{Layer, Mode, Parameter, Precision};
+use crate::layers::{quant_fake, quant_grad};
+use rand::Rng;
+use socflow_tensor::{init, linalg, Tensor};
+
+/// Fully connected layer: `y = x·W + b` with `x: (n, in)`, `W: (in, out)`.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    weight: Parameter,
+    bias: Parameter,
+    in_features: usize,
+    out_features: usize,
+    cached_input: Option<Tensor>,
+    step: u64,
+}
+
+impl Linear {
+    /// Creates a layer with Kaiming-uniform weights and zero bias.
+    pub fn new(in_features: usize, out_features: usize, rng: &mut impl Rng) -> Self {
+        let weight = init::kaiming_uniform([in_features, out_features], in_features, rng);
+        Linear {
+            weight: Parameter::new(weight),
+            bias: Parameter::new(Tensor::zeros([out_features])),
+            in_features,
+            out_features,
+            cached_input: None,
+            step: 0,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let (x, w) = match mode.precision {
+            Precision::Fp32 => (input.clone(), self.weight.value.clone()),
+            Precision::Quant(f) => (quant_fake(input, f), quant_fake(&self.weight.value, f)),
+        };
+        if mode.train {
+            self.cached_input = Some(x.clone());
+        }
+        linalg::matmul(&x, &w).add_row_broadcast(&self.bias.value)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor, mode: Mode) -> Tensor {
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("Linear::backward without training forward");
+        // dW = xᵀ·gy ; db = Σrows gy ; dx = gy·Wᵀ
+        let mut gw = linalg::matmul_at_b(x, grad_out);
+        let mut gb = grad_out.sum_rows();
+        if let Precision::Quant(f) = mode.precision {
+            self.step += 1;
+            gw = quant_grad(&gw, self.step.wrapping_mul(0x9E37), f);
+            gb = quant_grad(&gb, self.step.wrapping_mul(0x79B9), f);
+        }
+        self.weight.grad.add_inplace(&gw);
+        self.bias.grad.add_inplace(&gb);
+        linalg::matmul_a_bt(grad_out, &self.weight.value)
+    }
+
+    fn parameters(&self) -> Vec<&Parameter> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn parameters_mut(&mut self) -> Vec<&mut Parameter> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn describe(&self) -> String {
+        format!("linear({}→{})", self.in_features, self.out_features)
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut l = Linear::new(3, 2, &mut rng);
+        // zero the weights; output should be exactly the bias
+        l.weight.value.fill_zero();
+        l.bias.value = Tensor::from_vec(vec![1.0, -1.0], [2]);
+        let y = l.forward(&Tensor::ones([4, 3]), Mode::eval(Precision::Fp32));
+        assert_eq!(y.shape().dims(), &[4, 2]);
+        assert_eq!(&y.data()[0..2], &[1.0, -1.0]);
+    }
+
+    #[test]
+    fn gradcheck_fp32() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut l = Linear::new(4, 3, &mut rng);
+        let x = init::normal([2, 4], 1.0, &mut rng);
+        let mode = Mode::train(Precision::Fp32);
+
+        let y = l.forward(&x, mode);
+        let gy = y.scale(2.0); // loss = sum(y^2)
+        let gx = l.backward(&gy, mode);
+
+        let eps = 1e-3;
+        let loss = |l: &mut Linear, x: &Tensor| -> f32 {
+            l.forward(x, Mode::eval(Precision::Fp32))
+                .data()
+                .iter()
+                .map(|v| v * v)
+                .sum()
+        };
+        // check dx
+        for idx in [0usize, 3, 7] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let num = (loss(&mut l, &xp) - loss(&mut l, &xm)) / (2.0 * eps);
+            assert!((num - gx.data()[idx]).abs() < 1e-2, "dx[{idx}]");
+        }
+        // check dW
+        for idx in [0usize, 5, 11] {
+            let orig = l.weight.value.data()[idx];
+            l.weight.value.data_mut()[idx] = orig + eps;
+            let lp = loss(&mut l, &x);
+            l.weight.value.data_mut()[idx] = orig - eps;
+            let lm = loss(&mut l, &x);
+            l.weight.value.data_mut()[idx] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - l.weight.grad.data()[idx]).abs() < 1e-2, "dW[{idx}]");
+        }
+    }
+
+    #[test]
+    fn int8_forward_differs_but_close() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut l = Linear::new(16, 8, &mut rng);
+        let x = init::normal([4, 16], 1.0, &mut rng);
+        let y32 = l.forward(&x, Mode::eval(Precision::Fp32));
+        let y8 = l.forward(&x, Mode::eval(Precision::Int8));
+        assert_ne!(y32, y8, "INT8 must be lossy");
+        let cos = y32.cosine_similarity(&y8);
+        assert!(cos > 0.99, "INT8 output should stay close (cos={cos})");
+    }
+
+    #[test]
+    fn grads_accumulate_until_zeroed() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut l = Linear::new(2, 2, &mut rng);
+        let x = Tensor::ones([1, 2]);
+        let mode = Mode::train(Precision::Fp32);
+        let y = l.forward(&x, mode);
+        let g = Tensor::ones(y.shape().clone());
+        l.backward(&g, mode);
+        let g1 = l.weight.grad.clone();
+        l.forward(&x, mode);
+        l.backward(&g, mode);
+        assert_eq!(l.weight.grad, g1.scale(2.0));
+    }
+}

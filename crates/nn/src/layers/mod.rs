@@ -1,0 +1,52 @@
+//! The layer zoo: everything needed to assemble LeNet/VGG/ResNet/MobileNet
+//! style CNNs with explicit backward passes.
+
+mod activation;
+mod conv;
+mod depthwise;
+mod dropout;
+mod linear;
+mod norm;
+mod pool;
+mod reshape;
+mod residual;
+
+pub use activation::Relu;
+pub use conv::Conv2d;
+pub use depthwise::DepthwiseConv2d;
+pub use dropout::Dropout;
+pub use linear::Linear;
+pub use norm::BatchNorm2d;
+pub use pool::{GlobalAvgPool, MaxPool2d};
+pub use reshape::Flatten;
+pub use residual::Residual;
+
+use socflow_tensor::quant::{self, QuantFormat};
+use socflow_tensor::Tensor;
+
+/// Fake-quantizes `t` to the given NPU format (quantize–dequantize in f32)
+/// using a scale derived from its own max-|x|. Shared by the quantized
+/// paths of [`Conv2d`] and [`Linear`].
+pub(crate) fn quant_fake(t: &Tensor, format: QuantFormat) -> Tensor {
+    format.fake_quant(t)
+}
+
+/// Applies gradient quantization noise with a deterministic per-step seed,
+/// modelling low-precision gradient storage on the NPU. Noise amplitude
+/// scales with the format's grid coarseness relative to INT8 (FP16's
+/// 10-bit mantissa is ~8x finer than INT8's grid).
+pub(crate) fn quant_grad(grad: &Tensor, seed: u64, format: QuantFormat) -> Tensor {
+    let rel = match format {
+        QuantFormat::Fp16 => 0.125,
+        _ => 127.0 / format.grid_max(),
+    };
+    let noisy = quant::gradient_quant_noise(grad, seed);
+    if (rel - 1.0).abs() < 1e-9 {
+        return noisy;
+    }
+    // re-scale the injected noise component
+    let mut out = grad.clone();
+    let delta = noisy.sub(grad);
+    out.add_scaled_inplace(&delta, rel);
+    out
+}

@@ -1,0 +1,47 @@
+//! Evaluation metrics, including the α confidence metric of SoCFlow's
+//! mixed-precision controller.
+
+use socflow_tensor::Tensor;
+
+/// Top-1 accuracy of a `(n, classes)` logits matrix against labels, in
+/// `[0, 1]`.
+///
+/// # Panics
+/// Panics if `labels.len()` differs from the batch size.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
+    let preds = logits.argmax_rows();
+    assert_eq!(preds.len(), labels.len(), "one label per row required");
+    if preds.is_empty() {
+        return 0.0;
+    }
+    let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
+    correct as f32 / labels.len() as f32
+}
+
+/// The α metric of SoCFlow (paper Eq. 4): cosine similarity between the
+/// flattened logits of the FP32 model and the INT8 model on the same probe
+/// batch, clamped to `[0, 1]` (a negative correlation means the INT8 model
+/// is useless, which the controller treats like zero confidence).
+pub fn logits_confidence(logits_fp32: &Tensor, logits_int8: &Tensor) -> f32 {
+    logits_fp32.cosine_similarity(logits_int8).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let l = Tensor::from_vec(vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4], [3, 2]);
+        assert!((accuracy(&l, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(accuracy(&l, &[0, 1, 0]), 1.0);
+    }
+
+    #[test]
+    fn confidence_clamped() {
+        let a = Tensor::from_vec(vec![1.0, 0.0], [1, 2]);
+        let b = a.scale(-1.0);
+        assert_eq!(logits_confidence(&a, &b), 0.0);
+        assert!((logits_confidence(&a, &a) - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,239 @@
+use crate::layer::{Layer, Mode, Parameter};
+use socflow_tensor::Tensor;
+
+/// A sequential stack of layers — the model replica each SoC worker owns.
+///
+/// Besides forward/backward, `Network` exposes the *flat views* distributed
+/// training needs: the concatenation of all parameter values (for weight
+/// aggregation) or gradients (for gradient all-reduce), and their inverse
+/// setters.
+pub struct Network {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Network {
+    /// Builds a network from a layer stack.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        Network { layers }
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Runs the full forward pass.
+    pub fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let mut cur = input.clone();
+        for l in &mut self.layers {
+            cur = l.forward(&cur, mode);
+        }
+        cur
+    }
+
+    /// Runs the full backward pass, accumulating parameter gradients.
+    pub fn backward(&mut self, grad_out: &Tensor, mode: Mode) -> Tensor {
+        let mut cur = grad_out.clone();
+        for l in self.layers.iter_mut().rev() {
+            cur = l.backward(&cur, mode);
+        }
+        cur
+    }
+
+    /// All parameters, in layer order.
+    pub fn parameters(&self) -> Vec<&Parameter> {
+        self.layers.iter().flat_map(|l| l.parameters()).collect()
+    }
+
+    /// All parameters, mutably, in layer order.
+    pub fn parameters_mut(&mut self) -> Vec<&mut Parameter> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.parameters_mut())
+            .collect()
+    }
+
+    /// Total number of learnable scalars.
+    pub fn param_count(&self) -> usize {
+        self.parameters().iter().map(|p| p.len()).sum()
+    }
+
+    /// Zeroes all accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        for p in self.parameters_mut() {
+            p.grad.fill_zero();
+        }
+    }
+
+    /// Concatenates all parameter values into one flat vector.
+    pub fn flat_weights(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.param_count());
+        for p in self.parameters() {
+            out.extend_from_slice(p.value.data());
+        }
+        out
+    }
+
+    /// Concatenates all gradients into one flat vector.
+    pub fn flat_grads(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.param_count());
+        for p in self.parameters() {
+            out.extend_from_slice(p.grad.data());
+        }
+        out
+    }
+
+    /// Overwrites all parameter values from a flat vector.
+    ///
+    /// # Panics
+    /// Panics if `flat.len() != param_count()`.
+    pub fn set_flat_weights(&mut self, flat: &[f32]) {
+        let expected = self.param_count();
+        assert_eq!(flat.len(), expected, "flat weight length mismatch");
+        let mut offset = 0;
+        for p in self.parameters_mut() {
+            let n = p.len();
+            p.value.data_mut().copy_from_slice(&flat[offset..offset + n]);
+            offset += n;
+        }
+    }
+
+    /// Overwrites all gradients from a flat vector.
+    ///
+    /// # Panics
+    /// Panics if `flat.len() != param_count()`.
+    pub fn set_flat_grads(&mut self, flat: &[f32]) {
+        let expected = self.param_count();
+        assert_eq!(flat.len(), expected, "flat grad length mismatch");
+        let mut offset = 0;
+        for p in self.parameters_mut() {
+            let n = p.len();
+            p.grad.data_mut().copy_from_slice(&flat[offset..offset + n]);
+            offset += n;
+        }
+    }
+
+    /// Serializes the flat weights to JSON bytes (checkpoint payload).
+    ///
+    /// # Errors
+    /// Returns an error if serialization fails (practically impossible).
+    pub fn save_weights(&self) -> Result<Vec<u8>, serde_json::Error> {
+        serde_json::to_vec(&self.flat_weights())
+    }
+
+    /// Restores weights from [`Network::save_weights`] bytes.
+    ///
+    /// # Errors
+    /// Returns an error when the bytes are not valid JSON.
+    ///
+    /// # Panics
+    /// Panics if the decoded weight count mismatches this network.
+    pub fn load_weights(&mut self, bytes: &[u8]) -> Result<(), serde_json::Error> {
+        let flat: Vec<f32> = serde_json::from_slice(bytes)?;
+        self.set_flat_weights(&flat);
+        Ok(())
+    }
+
+    /// One-line architecture summary.
+    pub fn describe(&self) -> String {
+        self.layers
+            .iter()
+            .map(|l| l.describe())
+            .collect::<Vec<_>>()
+            .join(" → ")
+    }
+}
+
+impl Clone for Network {
+    fn clone(&self) -> Self {
+        Network {
+            layers: self.layers.clone(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Network[{}]", self.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Precision;
+    use crate::layers::{Linear, Relu};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_net(seed: u64) -> Network {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Network::new(vec![
+            Box::new(Linear::new(4, 8, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(Linear::new(8, 3, &mut rng)),
+        ])
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut n = tiny_net(0);
+        let y = n.forward(&Tensor::ones([5, 4]), Mode::eval(Precision::Fp32));
+        assert_eq!(y.shape().dims(), &[5, 3]);
+    }
+
+    #[test]
+    fn flat_roundtrip() {
+        let mut n = tiny_net(1);
+        let w = n.flat_weights();
+        assert_eq!(w.len(), n.param_count());
+        assert_eq!(n.param_count(), 4 * 8 + 8 + 8 * 3 + 3);
+        let doubled: Vec<f32> = w.iter().map(|v| v * 2.0).collect();
+        n.set_flat_weights(&doubled);
+        assert_eq!(n.flat_weights(), doubled);
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut a = tiny_net(2);
+        let mut b = a.clone();
+        let x = Tensor::ones([1, 4]);
+        let mode = Mode::train(Precision::Fp32);
+        let y = a.forward(&x, mode);
+        a.backward(&Tensor::ones(y.shape().clone()), mode);
+        assert!(a.flat_grads().iter().any(|g| *g != 0.0));
+        assert!(b.flat_grads().iter().all(|g| *g == 0.0));
+        // weights identical until someone steps
+        assert_eq!(a.flat_weights(), b.flat_weights());
+        let _ = b.forward(&x, mode);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut n = tiny_net(3);
+        let x = Tensor::ones([2, 4]);
+        let mode = Mode::train(Precision::Fp32);
+        let y = n.forward(&x, mode);
+        n.backward(&Tensor::ones(y.shape().clone()), mode);
+        n.zero_grad();
+        assert!(n.flat_grads().iter().all(|g| *g == 0.0));
+    }
+
+    #[test]
+    fn save_load_weights_roundtrip() {
+        let a = tiny_net(9);
+        let bytes = a.save_weights().unwrap();
+        let mut b = tiny_net(10);
+        assert_ne!(a.flat_weights(), b.flat_weights());
+        b.load_weights(&bytes).unwrap();
+        assert_eq!(a.flat_weights(), b.flat_weights());
+        assert!(b.load_weights(b"not json").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn set_flat_weights_checks_length() {
+        let mut n = tiny_net(4);
+        n.set_flat_weights(&[0.0; 3]);
+    }
+}

@@ -1,0 +1,146 @@
+//! Learning-rate schedules.
+//!
+//! The engine's default is a floored step decay; these schedules make the
+//! policy explicit and reusable: [`StepDecay`] (classic), [`CosineDecay`]
+//! (smooth annealing) and [`WarmupWrap`] (linear warm-up, the standard
+//! companion of large effective batches — exactly the regime group-wise
+//! parallelism creates).
+
+use serde::{Deserialize, Serialize};
+
+/// A learning-rate schedule: maps an epoch index to a rate.
+pub trait LrSchedule {
+    /// Learning rate to use *during* `epoch` (0-based).
+    fn lr_at(&self, epoch: usize) -> f32;
+}
+
+/// Multiplicative decay every epoch with a floor:
+/// `lr(e) = max(lr0 · γ^e, floor)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StepDecay {
+    /// Initial rate.
+    pub lr0: f32,
+    /// Per-epoch decay factor in `(0, 1]`.
+    pub gamma: f32,
+    /// Lower bound.
+    pub floor: f32,
+}
+
+impl StepDecay {
+    /// Creates a step schedule.
+    ///
+    /// # Panics
+    /// Panics if `lr0 <= 0`, `gamma` outside `(0, 1]`, or `floor < 0`.
+    pub fn new(lr0: f32, gamma: f32, floor: f32) -> Self {
+        assert!(lr0 > 0.0, "lr0 must be positive");
+        assert!(gamma > 0.0 && gamma <= 1.0, "gamma must be in (0,1]");
+        assert!(floor >= 0.0, "floor must be non-negative");
+        StepDecay { lr0, gamma, floor }
+    }
+}
+
+impl LrSchedule for StepDecay {
+    fn lr_at(&self, epoch: usize) -> f32 {
+        (self.lr0 * self.gamma.powi(epoch as i32)).max(self.floor)
+    }
+}
+
+/// Cosine annealing from `lr0` to `lr_min` over `total_epochs`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CosineDecay {
+    /// Initial rate.
+    pub lr0: f32,
+    /// Final rate.
+    pub lr_min: f32,
+    /// Schedule horizon.
+    pub total_epochs: usize,
+}
+
+impl CosineDecay {
+    /// Creates a cosine schedule.
+    ///
+    /// # Panics
+    /// Panics if `lr0 <= 0`, `lr_min < 0`, `lr_min > lr0`, or the horizon
+    /// is zero.
+    pub fn new(lr0: f32, lr_min: f32, total_epochs: usize) -> Self {
+        assert!(lr0 > 0.0 && lr_min >= 0.0 && lr_min <= lr0, "invalid rates");
+        assert!(total_epochs > 0, "horizon must be positive");
+        CosineDecay {
+            lr0,
+            lr_min,
+            total_epochs,
+        }
+    }
+}
+
+impl LrSchedule for CosineDecay {
+    fn lr_at(&self, epoch: usize) -> f32 {
+        let t = (epoch.min(self.total_epochs) as f32) / self.total_epochs as f32;
+        let cos = 0.5 * (1.0 + (std::f32::consts::PI * t).cos());
+        self.lr_min + (self.lr0 - self.lr_min) * cos
+    }
+}
+
+/// Wraps any schedule with linear warm-up over the first `warmup_epochs`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WarmupWrap<S> {
+    /// The schedule that takes over after warm-up.
+    pub inner: S,
+    /// Warm-up length in epochs.
+    pub warmup_epochs: usize,
+}
+
+impl<S: LrSchedule> LrSchedule for WarmupWrap<S> {
+    fn lr_at(&self, epoch: usize) -> f32 {
+        if self.warmup_epochs == 0 || epoch >= self.warmup_epochs {
+            return self.inner.lr_at(epoch);
+        }
+        let target = self.inner.lr_at(self.warmup_epochs);
+        target * (epoch + 1) as f32 / (self.warmup_epochs + 1) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_decay_floors() {
+        let s = StepDecay::new(0.1, 0.5, 0.02);
+        assert_eq!(s.lr_at(0), 0.1);
+        assert_eq!(s.lr_at(1), 0.05);
+        assert_eq!(s.lr_at(10), 0.02, "floor binds");
+    }
+
+    #[test]
+    fn cosine_endpoints() {
+        let s = CosineDecay::new(0.1, 0.001, 10);
+        assert!((s.lr_at(0) - 0.1).abs() < 1e-6);
+        assert!((s.lr_at(10) - 0.001).abs() < 1e-6);
+        // midpoint halfway-ish
+        let mid = s.lr_at(5);
+        assert!(mid < 0.1 && mid > 0.001);
+        // monotone decreasing
+        for e in 0..10 {
+            assert!(s.lr_at(e + 1) <= s.lr_at(e) + 1e-7);
+        }
+    }
+
+    #[test]
+    fn warmup_ramps_then_delegates() {
+        let s = WarmupWrap {
+            inner: StepDecay::new(0.1, 1.0, 0.0),
+            warmup_epochs: 4,
+        };
+        assert!(s.lr_at(0) < s.lr_at(1));
+        assert!(s.lr_at(3) < 0.1);
+        assert_eq!(s.lr_at(4), 0.1);
+        assert_eq!(s.lr_at(9), 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma")]
+    fn rejects_bad_gamma() {
+        StepDecay::new(0.1, 1.5, 0.0);
+    }
+}

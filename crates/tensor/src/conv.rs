@@ -1,0 +1,452 @@
+//! 2-D convolution and pooling kernels with hand-written backward passes.
+//!
+//! Convolution is implemented with the classic im2col lowering: each input
+//! window becomes a row of a patch matrix, the convolution becomes one
+//! [`matmul`](crate::linalg::matmul), and the backward pass reuses the same
+//! patch matrix (`dW = dYᵀ·patches`) plus a `col2im` scatter (`dX`).
+//!
+//! All image tensors are NCHW.
+
+use crate::{linalg, Shape, Tensor};
+
+/// Stride and zero-padding of a convolution or pooling window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvParams {
+    /// Window step in both spatial dimensions.
+    pub stride: usize,
+    /// Zero padding applied on every spatial border.
+    pub padding: usize,
+}
+
+impl ConvParams {
+    /// Convenience constructor.
+    ///
+    /// # Panics
+    /// Panics if `stride == 0`.
+    pub fn new(stride: usize, padding: usize) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        ConvParams { stride, padding }
+    }
+
+    /// Output spatial size for an input extent `in_size` and window `k`.
+    ///
+    /// # Panics
+    /// Panics if the window does not fit the padded input.
+    pub fn out_size(&self, in_size: usize, k: usize) -> usize {
+        let padded = in_size + 2 * self.padding;
+        assert!(padded >= k, "window {k} larger than padded input {padded}");
+        (padded - k) / self.stride + 1
+    }
+}
+
+impl Default for ConvParams {
+    fn default() -> Self {
+        ConvParams { stride: 1, padding: 0 }
+    }
+}
+
+/// Lowers NCHW `input` into a patch matrix of shape
+/// `(n·oh·ow, c·kh·kw)`; returns `(patches, oh, ow)`.
+///
+/// # Panics
+/// Panics if `input` is not rank-4 or the window does not fit.
+pub fn im2col(input: &Tensor, kh: usize, kw: usize, p: ConvParams) -> (Tensor, usize, usize) {
+    let (n, c, h, w) = input.shape().as_nchw();
+    let oh = p.out_size(h, kh);
+    let ow = p.out_size(w, kw);
+    let rows = n * oh * ow;
+    let cols = c * kh * kw;
+    let mut out = vec![0.0f32; rows * cols];
+    let data = input.data();
+    let pad = p.padding as isize;
+    for ni in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = ((ni * oh + oy) * ow + ox) * cols;
+                for ci in 0..c {
+                    let chan = (ni * c + ci) * h * w;
+                    for ky in 0..kh {
+                        let iy = (oy * p.stride + ky) as isize - pad;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let src_row = chan + iy as usize * w;
+                        let dst = row + (ci * kh + ky) * kw;
+                        for kx in 0..kw {
+                            let ix = (ox * p.stride + kx) as isize - pad;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            out[dst + kx] = data[src_row + ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (Tensor::from_vec(out, Shape::from([rows, cols])), oh, ow)
+}
+
+/// Inverse of [`im2col`]: scatters (accumulates) a patch-matrix gradient back
+/// into an NCHW gradient of shape `(n, c, h, w)`.
+///
+/// # Panics
+/// Panics if the patch matrix shape is inconsistent with the arguments.
+#[allow(clippy::too_many_arguments)]
+pub fn col2im(
+    patches: &Tensor,
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    p: ConvParams,
+) -> Tensor {
+    let oh = p.out_size(h, kh);
+    let ow = p.out_size(w, kw);
+    let cols = c * kh * kw;
+    assert_eq!(
+        patches.shape().dims(),
+        &[n * oh * ow, cols],
+        "patch matrix shape mismatch"
+    );
+    let mut out = vec![0.0f32; n * c * h * w];
+    let data = patches.data();
+    let pad = p.padding as isize;
+    for ni in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = ((ni * oh + oy) * ow + ox) * cols;
+                for ci in 0..c {
+                    let chan = (ni * c + ci) * h * w;
+                    for ky in 0..kh {
+                        let iy = (oy * p.stride + ky) as isize - pad;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let dst_row = chan + iy as usize * w;
+                        let src = row + (ci * kh + ky) * kw;
+                        for kx in 0..kw {
+                            let ix = (ox * p.stride + kx) as isize - pad;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            out[dst_row + ix as usize] += data[src + kx];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, Shape::from([n, c, h, w]))
+}
+
+/// Forward 2-D convolution.
+///
+/// `input: (n, ic, h, w)`, `weight: (oc, ic, kh, kw)` → `(n, oc, oh, ow)`.
+/// Also returns the im2col patch matrix so the backward pass can reuse it.
+///
+/// # Panics
+/// Panics if channel counts disagree or the window does not fit.
+pub fn conv2d(input: &Tensor, weight: &Tensor, p: ConvParams) -> (Tensor, Tensor) {
+    let (n, ic, _h, _w) = input.shape().as_nchw();
+    let (oc, ic2, kh, kw) = weight.shape().as_nchw();
+    assert_eq!(ic, ic2, "conv2d channel mismatch: input {ic}, weight {ic2}");
+    let (patches, oh, ow) = im2col(input, kh, kw, p);
+    let wmat = weight.clone().reshape([oc, ic * kh * kw]);
+    // (n·oh·ow, cols) × (oc, cols)ᵀ = (n·oh·ow, oc)
+    let out_mat = linalg::matmul_a_bt(&patches, &wmat);
+    let out = nhwc_rows_to_nchw(&out_mat, n, oc, oh, ow);
+    (out, patches)
+}
+
+/// Backward 2-D convolution.
+///
+/// Given `grad_out: (n, oc, oh, ow)`, the forward `patches` matrix, the
+/// `weight: (oc, ic, kh, kw)` and the input geometry, returns
+/// `(grad_input, grad_weight)`.
+///
+/// # Panics
+/// Panics on any geometry inconsistency.
+pub fn conv2d_backward(
+    grad_out: &Tensor,
+    patches: &Tensor,
+    weight: &Tensor,
+    input_shape: &Shape,
+    p: ConvParams,
+) -> (Tensor, Tensor) {
+    let (n, ic, h, w) = input_shape.as_nchw();
+    let (oc, _ic, kh, kw) = weight.shape().as_nchw();
+    let (gn, goc, oh, ow) = grad_out.shape().as_nchw();
+    assert_eq!((gn, goc), (n, oc), "grad_out batch/channel mismatch");
+    // (n·oh·ow, oc)
+    let gmat = nchw_to_nhwc_rows(grad_out);
+    // dW = gmatᵀ × patches  →  (oc, ic·kh·kw)
+    let gw = linalg::matmul_at_b(&gmat, patches).reshape([oc, ic, kh, kw]);
+    // dPatches = gmat × Wmat  →  (n·oh·ow, ic·kh·kw)
+    let wmat = weight.clone().reshape([oc, ic * kh * kw]);
+    let gpatches = linalg::matmul(&gmat, &wmat);
+    let _ = (oh, ow);
+    let gx = col2im(&gpatches, n, ic, h, w, kh, kw, p);
+    (gx, gw)
+}
+
+/// Reorders a `(n·oh·ow, c)` matrix (rows in NHWC order) into NCHW.
+fn nhwc_rows_to_nchw(mat: &Tensor, n: usize, c: usize, oh: usize, ow: usize) -> Tensor {
+    let mut out = vec![0.0f32; n * c * oh * ow];
+    let data = mat.data();
+    for ni in 0..n {
+        for y in 0..oh {
+            for x in 0..ow {
+                let row = ((ni * oh + y) * ow + x) * c;
+                for ci in 0..c {
+                    out[((ni * c + ci) * oh + y) * ow + x] = data[row + ci];
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, Shape::from([n, c, oh, ow]))
+}
+
+/// Reorders an NCHW tensor into a `(n·h·w, c)` matrix (rows in NHWC order).
+fn nchw_to_nhwc_rows(t: &Tensor) -> Tensor {
+    let (n, c, h, w) = t.shape().as_nchw();
+    let mut out = vec![0.0f32; n * c * h * w];
+    let data = t.data();
+    for ni in 0..n {
+        for ci in 0..c {
+            for y in 0..h {
+                for x in 0..w {
+                    out[((ni * h + y) * w + x) * c + ci] = data[((ni * c + ci) * h + y) * w + x];
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, Shape::from([n * h * w, c]))
+}
+
+/// Forward max pooling. Returns the pooled output and the flat argmax index
+/// of each output element (for the backward scatter).
+///
+/// # Panics
+/// Panics if `input` is not rank-4 or the window does not fit.
+pub fn max_pool2d(input: &Tensor, k: usize, p: ConvParams) -> (Tensor, Vec<usize>) {
+    let (n, c, h, w) = input.shape().as_nchw();
+    let oh = p.out_size(h, k);
+    let ow = p.out_size(w, k);
+    let mut out = vec![f32::NEG_INFINITY; n * c * oh * ow];
+    let mut arg = vec![0usize; n * c * oh * ow];
+    let data = input.data();
+    let pad = p.padding as isize;
+    for ni in 0..n {
+        for ci in 0..c {
+            let chan = (ni * c + ci) * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let o = ((ni * c + ci) * oh + oy) * ow + ox;
+                    for ky in 0..k {
+                        let iy = (oy * p.stride + ky) as isize - pad;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..k {
+                            let ix = (ox * p.stride + kx) as isize - pad;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let idx = chan + iy as usize * w + ix as usize;
+                            if data[idx] > out[o] {
+                                out[o] = data[idx];
+                                arg[o] = idx;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (Tensor::from_vec(out, Shape::from([n, c, oh, ow])), arg)
+}
+
+/// Backward max pooling: routes each output gradient to its argmax input.
+pub fn max_pool2d_backward(grad_out: &Tensor, argmax: &[usize], input_shape: &Shape) -> Tensor {
+    let mut gx = vec![0.0f32; input_shape.len()];
+    for (g, &idx) in grad_out.data().iter().zip(argmax.iter()) {
+        gx[idx] += g;
+    }
+    Tensor::from_vec(gx, input_shape.clone())
+}
+
+/// Global average pooling over the spatial dimensions: `(n,c,h,w) → (n,c)`.
+///
+/// # Panics
+/// Panics if `input` is not rank-4.
+pub fn global_avg_pool(input: &Tensor) -> Tensor {
+    let (n, c, h, w) = input.shape().as_nchw();
+    let hw = (h * w) as f32;
+    let mut out = vec![0.0f32; n * c];
+    let data = input.data();
+    for i in 0..n * c {
+        let s: f32 = data[i * h * w..(i + 1) * h * w].iter().sum();
+        out[i] = s / hw;
+    }
+    Tensor::from_vec(out, Shape::from([n, c]))
+}
+
+/// Backward of [`global_avg_pool`]: spreads each `(n,c)` gradient uniformly
+/// over the `(h, w)` window.
+pub fn global_avg_pool_backward(grad_out: &Tensor, input_shape: &Shape) -> Tensor {
+    let (n, c, h, w) = input_shape.as_nchw();
+    let hw = (h * w) as f32;
+    let mut gx = vec![0.0f32; input_shape.len()];
+    let g = grad_out.data();
+    for i in 0..n * c {
+        let v = g[i] / hw;
+        for e in &mut gx[i * h * w..(i + 1) * h * w] {
+            *e = v;
+        }
+    }
+    Tensor::from_vec(gx, input_shape.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq_tensor(shape: impl Into<Shape>) -> Tensor {
+        let shape = shape.into();
+        let data = (0..shape.len()).map(|i| i as f32).collect();
+        Tensor::from_vec(data, shape)
+    }
+
+    #[test]
+    fn out_size_formula() {
+        let p = ConvParams::new(1, 0);
+        assert_eq!(p.out_size(5, 3), 3);
+        let p = ConvParams::new(2, 1);
+        assert_eq!(p.out_size(4, 3), 2);
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1x1 kernel, stride 1: patches == input reordered (n*h*w, c)
+        let x = seq_tensor([1, 2, 2, 2]);
+        let (p, oh, ow) = im2col(&x, 1, 1, ConvParams::default());
+        assert_eq!((oh, ow), (2, 2));
+        assert_eq!(p.shape().dims(), &[4, 2]);
+        // row (y=0,x=0) should be [x[0,0,0,0], x[0,1,0,0]] = [0, 4]
+        assert_eq!(&p.data()[0..2], &[0.0, 4.0]);
+    }
+
+    #[test]
+    fn conv2d_known_values() {
+        // 3x3 input, 2x2 kernel of ones => each output = window sum
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0],
+            [1, 1, 3, 3],
+        );
+        let w = Tensor::ones([1, 1, 2, 2]);
+        let (y, _) = conv2d(&x, &w, ConvParams::default());
+        assert_eq!(y.shape().dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[12.0, 16.0, 24.0, 28.0]);
+    }
+
+    #[test]
+    fn conv2d_padding_keeps_size() {
+        let x = Tensor::ones([2, 3, 4, 4]);
+        let w = Tensor::ones([5, 3, 3, 3]);
+        let (y, _) = conv2d(&x, &w, ConvParams::new(1, 1));
+        assert_eq!(y.shape().dims(), &[2, 5, 4, 4]);
+        // center outputs see all 27 ones
+        assert_eq!(y.at(&[0, 0, 1, 1]), 27.0);
+        // corner outputs see 2x2x3 = 12 ones
+        assert_eq!(y.at(&[0, 0, 0, 0]), 12.0);
+    }
+
+    /// Finite-difference gradient check for conv2d.
+    #[test]
+    fn conv2d_gradcheck() {
+        let p = ConvParams::new(1, 1);
+        let x = Tensor::from_vec(
+            (0..2 * 2 * 3 * 3).map(|i| (i as f32 * 0.7).sin()).collect(),
+            [2, 2, 3, 3],
+        );
+        let w = Tensor::from_vec(
+            (0..3 * 2 * 3 * 3).map(|i| (i as f32 * 0.3).cos() * 0.5).collect(),
+            [3, 2, 3, 3],
+        );
+        let loss = |x: &Tensor, w: &Tensor| conv2d(x, w, p).0.data().iter().map(|v| v * v).sum::<f32>();
+        let (y, patches) = conv2d(&x, &w, p);
+        let grad_y = y.scale(2.0); // d(sum y^2)/dy
+        let (gx, gw) = conv2d_backward(&grad_y, &patches, &w, x.shape(), p);
+
+        let eps = 1e-3;
+        for idx in [0usize, 5, 17, 30] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let num = (loss(&xp, &w) - loss(&xm, &w)) / (2.0 * eps);
+            assert!(
+                (num - gx.data()[idx]).abs() < 2e-2,
+                "dx[{idx}]: numeric {num} vs analytic {}",
+                gx.data()[idx]
+            );
+        }
+        for idx in [0usize, 9, 25, 53] {
+            let mut wp = w.clone();
+            wp.data_mut()[idx] += eps;
+            let mut wm = w.clone();
+            wm.data_mut()[idx] -= eps;
+            let num = (loss(&x, &wp) - loss(&x, &wm)) / (2.0 * eps);
+            assert!(
+                (num - gw.data()[idx]).abs() < 2e-2,
+                "dw[{idx}]: numeric {num} vs analytic {}",
+                gw.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn col2im_adjoint_of_im2col() {
+        // <im2col(x), p> == <x, col2im(p)> for all x, p (adjoint property).
+        let p = ConvParams::new(2, 1);
+        let x = seq_tensor([1, 2, 4, 4]);
+        let (patches, _, _) = im2col(&x, 3, 3, p);
+        let probe = Tensor::from_vec(
+            (0..patches.len()).map(|i| ((i * 7 % 13) as f32) - 6.0).collect(),
+            patches.shape().clone(),
+        );
+        let lhs = patches.dot(&probe);
+        let back = col2im(&probe, 1, 2, 4, 4, 3, 3, p);
+        let rhs = x.dot(&back);
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn max_pool_forward_and_backward() {
+        let x = Tensor::from_vec(
+            vec![1.0, 3.0, 2.0, 4.0, 5.0, 6.0, 8.0, 7.0, 9.0, 0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+            [1, 1, 4, 4],
+        );
+        let (y, arg) = max_pool2d(&x, 2, ConvParams::new(2, 0));
+        assert_eq!(y.data(), &[6.0, 8.0, 9.0, 6.0]);
+        let g = Tensor::ones([1, 1, 2, 2]);
+        let gx = max_pool2d_backward(&g, &arg, x.shape());
+        assert_eq!(gx.sum(), 4.0);
+        assert_eq!(gx.data()[5], 1.0); // the 6.0 in the top-left window
+    }
+
+    #[test]
+    fn global_avg_pool_roundtrip() {
+        let x = seq_tensor([2, 3, 2, 2]);
+        let y = global_avg_pool(&x);
+        assert_eq!(y.shape().dims(), &[2, 3]);
+        assert_eq!(y.at(&[0, 0]), 1.5); // mean(0,1,2,3)
+        let g = Tensor::ones([2, 3]);
+        let gx = global_avg_pool_backward(&g, x.shape());
+        assert!((gx.sum() - 6.0).abs() < 1e-6);
+        assert!((gx.data()[0] - 0.25).abs() < 1e-6);
+    }
+}

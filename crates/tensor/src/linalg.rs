@@ -1,0 +1,207 @@
+//! Dense linear algebra: blocked matrix multiply and transposes.
+//!
+//! These routines are the compute kernels behind [`socflow_nn`]'s linear and
+//! (via im2col) convolution layers. They are written for cache-friendly
+//! access patterns rather than raw SIMD throughput: all experiment harnesses
+//! use scaled-down models, and absolute wall-clock speed is supplied by the
+//! calibrated cluster simulator, not this kernel.
+//!
+//! [`socflow_nn`]: https://docs.rs/socflow-nn
+
+use crate::{Shape, Tensor};
+
+/// `C = A × B` for row-major matrices `A: (m, k)`, `B: (k, n)`.
+///
+/// Uses an ikj loop order so the innermost loop streams contiguously over a
+/// row of `B` and a row of `C`.
+///
+/// # Panics
+/// Panics if the operands are not rank-2 or the inner dimensions disagree.
+///
+/// ```
+/// use socflow_tensor::{Tensor, linalg};
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
+/// let i = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], [2, 2]);
+/// assert_eq!(linalg::matmul(&a, &i), a);
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = a.shape().as_matrix();
+    let (k2, n) = b.shape().as_matrix();
+    assert_eq!(k, k2, "matmul inner dims: ({m},{k}) x ({k2},{n})");
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        for p in 0..k {
+            let aip = ad[i * k + p];
+            if aip == 0.0 {
+                continue;
+            }
+            let brow = &bd[p * n..(p + 1) * n];
+            let crow = &mut out[i * n..(i + 1) * n];
+            for (c, &bv) in crow.iter_mut().zip(brow.iter()) {
+                *c += aip * bv;
+            }
+        }
+    }
+    Tensor::from_vec(out, Shape::from([m, n]))
+}
+
+/// `C = Aᵀ × B` for `A: (k, m)`, `B: (k, n)` without materializing `Aᵀ`.
+///
+/// # Panics
+/// Panics if the operands are not rank-2 or the shared dimension disagrees.
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = a.shape().as_matrix();
+    let (k2, n) = b.shape().as_matrix();
+    assert_eq!(k, k2, "matmul_at_b shared dims: ({k},{m})ᵀ x ({k2},{n})");
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for p in 0..k {
+        let arow = &ad[p * m..(p + 1) * m];
+        let brow = &bd[p * n..(p + 1) * n];
+        for (i, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let crow = &mut out[i * n..(i + 1) * n];
+            for (c, &bv) in crow.iter_mut().zip(brow.iter()) {
+                *c += av * bv;
+            }
+        }
+    }
+    Tensor::from_vec(out, Shape::from([m, n]))
+}
+
+/// `C = A × Bᵀ` for `A: (m, k)`, `B: (n, k)` without materializing `Bᵀ`.
+///
+/// # Panics
+/// Panics if the operands are not rank-2 or the shared dimension disagrees.
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = a.shape().as_matrix();
+    let (n, k2) = b.shape().as_matrix();
+    assert_eq!(k, k2, "matmul_a_bt shared dims: ({m},{k}) x ({n},{k2})ᵀ");
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &bd[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in arow.iter().zip(brow.iter()) {
+                acc += av * bv;
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    Tensor::from_vec(out, Shape::from([m, n]))
+}
+
+/// Transpose of a rank-2 tensor.
+///
+/// # Panics
+/// Panics if the operand is not rank-2.
+pub fn transpose(a: &Tensor) -> Tensor {
+    let (m, n) = a.shape().as_matrix();
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    for i in 0..m {
+        for j in 0..n {
+            out[j * m + i] = ad[i * n + j];
+        }
+    }
+    Tensor::from_vec(out, Shape::from([n, m]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = a.shape().as_matrix();
+        let (_, n) = b.shape().as_matrix();
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for p in 0..k {
+                    out[i * n + j] += a.data()[i * k + p] * b.data()[p * n + j];
+                }
+            }
+        }
+        Tensor::from_vec(out, Shape::from([m, n]))
+    }
+
+    fn rand_matrix(m: usize, n: usize, seed: u64) -> Tensor {
+        // Simple LCG so this test has no RNG dependency.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let data = (0..m * n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+            })
+            .collect();
+        Tensor::from_vec(data, Shape::from([m, n]))
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let a = rand_matrix(7, 5, 1);
+        let b = rand_matrix(5, 9, 2);
+        assert_close(&matmul(&a, &b), &naive_matmul(&a, &b));
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = rand_matrix(4, 4, 3);
+        let mut id = Tensor::zeros([4, 4]);
+        for i in 0..4 {
+            id.set(&[i, i], 1.0);
+        }
+        assert_close(&matmul(&a, &id), &a);
+        assert_close(&matmul(&id, &a), &a);
+    }
+
+    #[test]
+    fn at_b_equals_explicit_transpose() {
+        let a = rand_matrix(6, 3, 4);
+        let b = rand_matrix(6, 5, 5);
+        assert_close(&matmul_at_b(&a, &b), &matmul(&transpose(&a), &b));
+    }
+
+    #[test]
+    fn a_bt_equals_explicit_transpose() {
+        let a = rand_matrix(3, 6, 6);
+        let b = rand_matrix(5, 6, 7);
+        assert_close(&matmul_a_bt(&a, &b), &matmul(&a, &transpose(&b)));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = rand_matrix(4, 7, 8);
+        assert_eq!(transpose(&transpose(&a)), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims")]
+    fn matmul_dim_mismatch_panics() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([4, 2]);
+        let _ = matmul(&a, &b);
+    }
+
+    #[test]
+    fn one_by_one() {
+        let a = Tensor::from_vec(vec![3.0], [1, 1]);
+        let b = Tensor::from_vec(vec![4.0], [1, 1]);
+        assert_eq!(matmul(&a, &b).data(), &[12.0]);
+    }
+}

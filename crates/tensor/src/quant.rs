@@ -1,0 +1,387 @@
+//! Symmetric per-tensor INT8 quantization.
+//!
+//! This module provides the numeric substrate for SoCFlow's NPU training
+//! path. Mobile NPUs (Hexagon DSP and friends) execute INT8 multiply-
+//! accumulate with i32 accumulators; training on them requires quantizing
+//! weights, activations and gradients. We implement:
+//!
+//! - [`QuantParams`]: a symmetric scale chosen from the tensor's max-|x|;
+//! - [`quantize`] / [`dequantize`] round-trips;
+//! - [`fake_quant`]: quantize-dequantize in f32, the standard
+//!   quantization-aware-training forward transform whose backward is the
+//!   straight-through estimator (identity inside the clip range);
+//! - [`quantized_matmul`]: an actual INT8×INT8→i32 GEMM, used by tests to
+//!   validate that fake-quant f32 arithmetic matches integer arithmetic.
+//!
+//! The NiTi-style integer optimizer in `socflow-nn` builds on these
+//! primitives.
+
+use crate::{Shape, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// Quantization range of signed INT8 (symmetric; -128 is unused so the range
+/// is symmetric around zero, as in most NPU kernels).
+pub const INT8_MAX: f32 = 127.0;
+
+/// A low-precision number format supported by mobile NPUs.
+///
+/// The SoCFlow paper's §5 notes that newer NPUs (Snapdragon 8gen1/8gen2)
+/// support INT4/INT8/INT16/FP16 concurrently; this enum parameterizes the
+/// fake-quantization transform so training can run in any of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QuantFormat {
+    /// 4-bit signed integer, symmetric (±7).
+    Int4,
+    /// 8-bit signed integer, symmetric (±127).
+    Int8,
+    /// 16-bit signed integer, symmetric (±32767).
+    Int16,
+    /// IEEE 754 half precision (10-bit mantissa).
+    Fp16,
+}
+
+impl QuantFormat {
+    /// Maximum representable integer magnitude of the symmetric grid
+    /// (unused for [`QuantFormat::Fp16`]).
+    pub fn grid_max(self) -> f32 {
+        match self {
+            QuantFormat::Int4 => 7.0,
+            QuantFormat::Int8 => 127.0,
+            QuantFormat::Int16 => 32767.0,
+            QuantFormat::Fp16 => f32::NAN, // not a fixed grid
+        }
+    }
+
+    /// Bytes per value on the wire.
+    pub fn wire_bytes(self) -> f64 {
+        match self {
+            QuantFormat::Int4 => 0.5,
+            QuantFormat::Int8 => 1.0,
+            QuantFormat::Int16 | QuantFormat::Fp16 => 2.0,
+        }
+    }
+
+    /// Fake-quantizes a tensor to this format: integer formats quantize to
+    /// the symmetric grid scaled by max-|x|; FP16 rounds the mantissa to
+    /// 10 bits (flushing below-half-min-normal values to zero).
+    pub fn fake_quant(self, t: &Tensor) -> Tensor {
+        match self {
+            QuantFormat::Fp16 => t.map(fp16_round),
+            _ => {
+                let m = t.abs_max();
+                let gm = self.grid_max();
+                let scale = if m == 0.0 { 1.0 } else { m / gm };
+                t.map(|v| (v / scale).round().clamp(-gm, gm) * scale)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for QuantFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            QuantFormat::Int4 => "INT4",
+            QuantFormat::Int8 => "INT8",
+            QuantFormat::Int16 => "INT16",
+            QuantFormat::Fp16 => "FP16",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Rounds an f32 to the nearest representable IEEE half-precision value
+/// (returned as f32).
+pub fn fp16_round(v: f32) -> f32 {
+    if !v.is_finite() {
+        return v;
+    }
+    // clamp to f16 range
+    const F16_MAX: f32 = 65504.0;
+    if v > F16_MAX {
+        return F16_MAX;
+    }
+    if v < -F16_MAX {
+        return -F16_MAX;
+    }
+    if v.abs() < 6.1e-5 {
+        // subnormal range: quantize to multiples of the smallest subnormal
+        const SUB: f32 = 5.960_464_5e-8;
+        return (v / SUB).round() * SUB;
+    }
+    // keep 10 mantissa bits: round in the scaled-integer domain
+    let bits = v.to_bits();
+    let shift = 13u32; // 23 - 10 mantissa bits
+    let mask = (1u32 << shift) - 1;
+    let rounded = bits.wrapping_add(1 << (shift - 1)) & !mask;
+    f32::from_bits(rounded)
+}
+
+/// Symmetric per-tensor quantization parameters: `real = scale * int`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantParams {
+    /// Real-value magnitude represented by one integer step.
+    pub scale: f32,
+}
+
+impl QuantParams {
+    /// Chooses a scale so that the tensor's maximum magnitude maps to ±127.
+    ///
+    /// An all-zero tensor gets a scale of 1.0 (any scale round-trips zeros).
+    pub fn from_tensor(t: &Tensor) -> Self {
+        let m = t.abs_max();
+        QuantParams {
+            scale: if m == 0.0 { 1.0 } else { m / INT8_MAX },
+        }
+    }
+
+    /// Quantizes one value to the clipped INT8 grid.
+    pub fn quantize_value(&self, v: f32) -> i8 {
+        let q = (v / self.scale).round();
+        q.clamp(-INT8_MAX, INT8_MAX) as i8
+    }
+
+    /// Recovers the real value of one quantized step.
+    pub fn dequantize_value(&self, q: i8) -> f32 {
+        q as f32 * self.scale
+    }
+}
+
+/// Quantizes an f32 tensor to INT8 with the given parameters.
+pub fn quantize(t: &Tensor, p: QuantParams) -> Vec<i8> {
+    t.data().iter().map(|&v| p.quantize_value(v)).collect()
+}
+
+/// Dequantizes an INT8 buffer back to an f32 tensor of the given shape.
+///
+/// # Panics
+/// Panics if `q.len() != shape.len()`.
+pub fn dequantize(q: &[i8], shape: impl Into<Shape>, p: QuantParams) -> Tensor {
+    let data = q.iter().map(|&v| p.dequantize_value(v)).collect();
+    Tensor::from_vec(data, shape)
+}
+
+/// Quantize-dequantize in f32 (the QAT "fake quantization" transform).
+///
+/// Forward: `round(clamp(x/s)) * s`. The corresponding backward pass is the
+/// straight-through estimator: gradients flow unchanged for values inside the
+/// representable range and are zeroed outside; [`ste_mask`] computes that
+/// mask.
+pub fn fake_quant(t: &Tensor, p: QuantParams) -> Tensor {
+    t.map(|v| {
+        let q = (v / p.scale).round().clamp(-INT8_MAX, INT8_MAX);
+        q * p.scale
+    })
+}
+
+/// Straight-through-estimator mask: 1.0 where the value is inside the
+/// representable range `±127·scale`, else 0.0.
+pub fn ste_mask(t: &Tensor, p: QuantParams) -> Tensor {
+    let lim = INT8_MAX * p.scale;
+    t.map(|v| if v.abs() <= lim { 1.0 } else { 0.0 })
+}
+
+/// Worst-case absolute rounding error of [`fake_quant`] for in-range values:
+/// half a quantization step.
+pub fn max_rounding_error(p: QuantParams) -> f32 {
+    p.scale * 0.5
+}
+
+/// INT8×INT8→i32 matrix multiply, dequantized to f32 at the end.
+///
+/// `a: (m, k)` with params `pa`; `b: (k, n)` with params `pb`. The result
+/// equals `dequant(int_gemm(quant(a), quant(b)))`, exactly what an NPU kernel
+/// would produce.
+///
+/// # Panics
+/// Panics if the inner dimensions disagree or buffer lengths are wrong.
+pub fn quantized_matmul(
+    a: &[i8],
+    pa: QuantParams,
+    b: &[i8],
+    pb: QuantParams,
+    m: usize,
+    k: usize,
+    n: usize,
+) -> Tensor {
+    assert_eq!(a.len(), m * k, "lhs buffer length");
+    assert_eq!(b.len(), k * n, "rhs buffer length");
+    let mut out = vec![0i32; m * n];
+    for i in 0..m {
+        for p in 0..k {
+            let av = a[i * k + p] as i32;
+            if av == 0 {
+                continue;
+            }
+            let brow = &b[p * n..(p + 1) * n];
+            let crow = &mut out[i * n..(i + 1) * n];
+            for (c, &bv) in crow.iter_mut().zip(brow.iter()) {
+                *c += av * bv as i32;
+            }
+        }
+    }
+    let s = pa.scale * pb.scale;
+    Tensor::from_vec(
+        out.into_iter().map(|v| v as f32 * s).collect(),
+        Shape::from([m, n]),
+    )
+}
+
+/// Adds simulated quantization noise to a gradient tensor, as integer
+/// training does when gradients themselves are kept in INT8.
+///
+/// The noise is deterministic (hash of the index and `seed`), uniform in
+/// ±half a quantization step of the gradient's own scale — the worst-case
+/// rounding error model used in integer-training analyses.
+pub fn gradient_quant_noise(grad: &Tensor, seed: u64) -> Tensor {
+    let p = QuantParams::from_tensor(grad);
+    let half = max_rounding_error(p);
+    let data = grad
+        .data()
+        .iter()
+        .enumerate()
+        .map(|(i, &g)| {
+            let mut h = seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+            h ^= h >> 33;
+            h = h.wrapping_mul(0xFF51AFD7ED558CCD);
+            h ^= h >> 33;
+            let u = (h >> 11) as f32 / (1u64 << 53) as f32; // [0,1)
+            g + (2.0 * u - 1.0) * half
+        })
+        .collect();
+    Tensor::from_vec(data, grad.shape().clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_roundtrip_within_half_step() {
+        let t = Tensor::from_vec(vec![-1.0, -0.33, 0.0, 0.5, 0.99, 1.27], [6]);
+        let p = QuantParams::from_tensor(&t);
+        let q = quantize(&t, p);
+        let back = dequantize(&q, [6], p);
+        for (orig, rec) in t.data().iter().zip(back.data()) {
+            assert!((orig - rec).abs() <= max_rounding_error(p) + 1e-6);
+        }
+    }
+
+    #[test]
+    fn extremes_map_to_127() {
+        let t = Tensor::from_vec(vec![-2.0, 2.0], [2]);
+        let p = QuantParams::from_tensor(&t);
+        let q = quantize(&t, p);
+        assert_eq!(q, vec![-127, 127]);
+    }
+
+    #[test]
+    fn zero_tensor_roundtrips() {
+        let t = Tensor::zeros([4]);
+        let p = QuantParams::from_tensor(&t);
+        assert_eq!(p.scale, 1.0);
+        let q = quantize(&t, p);
+        assert_eq!(dequantize(&q, [4], p), t);
+    }
+
+    #[test]
+    fn fake_quant_equals_quant_dequant() {
+        let t = Tensor::from_vec((0..64).map(|i| (i as f32 * 0.37).sin()).collect(), [64]);
+        let p = QuantParams::from_tensor(&t);
+        let fq = fake_quant(&t, p);
+        let qd = dequantize(&quantize(&t, p), [64], p);
+        for (a, b) in fq.data().iter().zip(qd.data()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn ste_mask_zeroes_out_of_range() {
+        let p = QuantParams { scale: 0.01 }; // range ±1.27
+        let t = Tensor::from_vec(vec![0.5, -1.2, 2.0, -3.0], [4]);
+        assert_eq!(ste_mask(&t, p).data(), &[1.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn quantized_matmul_close_to_f32() {
+        let m = 4;
+        let k = 6;
+        let n = 5;
+        let a = Tensor::from_vec((0..m * k).map(|i| (i as f32 * 0.13).sin()).collect(), [m, k]);
+        let b = Tensor::from_vec((0..k * n).map(|i| (i as f32 * 0.29).cos()).collect(), [k, n]);
+        let pa = QuantParams::from_tensor(&a);
+        let pb = QuantParams::from_tensor(&b);
+        let qa = quantize(&a, pa);
+        let qb = quantize(&b, pb);
+        let qres = quantized_matmul(&qa, pa, &qb, pb, m, k, n);
+        let fres = crate::linalg::matmul(&a, &b);
+        // Error per output element is bounded by k * (sa*|b| + sb*|a| + sa*sb) / 2-ish;
+        // for unit-magnitude inputs a loose bound of k * 2.5 * max_step suffices.
+        let tol = k as f32 * 1.5 * (pa.scale + pb.scale);
+        for (qv, fv) in qres.data().iter().zip(fres.data()) {
+            assert!((qv - fv).abs() <= tol, "{qv} vs {fv} (tol {tol})");
+        }
+    }
+
+    #[test]
+    fn formats_rank_by_fidelity() {
+        // finer formats must reconstruct with smaller error
+        let t = Tensor::from_vec((0..256).map(|i| ((i as f32) * 0.41).sin() * 3.0).collect(), [256]);
+        let err = |f: QuantFormat| f.fake_quant(&t).sub(&t).l2_norm();
+        let (e4, e8, e16) = (err(QuantFormat::Int4), err(QuantFormat::Int8), err(QuantFormat::Int16));
+        let ef16 = err(QuantFormat::Fp16);
+        assert!(e4 > e8, "INT4 {e4} must be coarser than INT8 {e8}");
+        assert!(e8 > e16, "INT8 {e8} must be coarser than INT16 {e16}");
+        assert!(ef16 < e8, "FP16 {ef16} should beat INT8 {e8} on this range");
+    }
+
+    #[test]
+    fn format_fake_quant_matches_int8_path() {
+        let t = Tensor::from_vec((0..64).map(|i| (i as f32 * 0.37).sin()).collect(), [64]);
+        let via_format = QuantFormat::Int8.fake_quant(&t);
+        let via_params = fake_quant(&t, QuantParams::from_tensor(&t));
+        for (a, b) in via_format.data().iter().zip(via_params.data()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn fp16_round_properties() {
+        // exactly representable values survive
+        for v in [0.0f32, 1.0, -2.5, 0.125, 65504.0] {
+            assert_eq!(fp16_round(v), v, "{v}");
+        }
+        // overflow clamps
+        assert_eq!(fp16_round(1e6), 65504.0);
+        assert_eq!(fp16_round(-1e6), -65504.0);
+        // relative error below 2^-10 for normal values
+        for v in [std::f32::consts::PI, 1234.567, -0.003_456_7] {
+            let r = fp16_round(v);
+            assert!(((r - v) / v).abs() < 1.0 / 1024.0, "{v} → {r}");
+        }
+        // idempotent
+        let r = fp16_round(std::f32::consts::E);
+        assert_eq!(fp16_round(r), r);
+    }
+
+    #[test]
+    fn wire_bytes_per_format() {
+        assert_eq!(QuantFormat::Int4.wire_bytes(), 0.5);
+        assert_eq!(QuantFormat::Int8.wire_bytes(), 1.0);
+        assert_eq!(QuantFormat::Fp16.wire_bytes(), 2.0);
+    }
+
+    #[test]
+    fn gradient_noise_bounded_and_deterministic() {
+        let g = Tensor::from_vec((0..32).map(|i| (i as f32 - 16.0) * 0.1).collect(), [32]);
+        let p = QuantParams::from_tensor(&g);
+        let n1 = gradient_quant_noise(&g, 42);
+        let n2 = gradient_quant_noise(&g, 42);
+        assert_eq!(n1, n2, "same seed must give identical noise");
+        let n3 = gradient_quant_noise(&g, 43);
+        assert_ne!(n1, n3, "different seeds should differ");
+        let half = max_rounding_error(p);
+        for (orig, noisy) in g.data().iter().zip(n1.data()) {
+            assert!((orig - noisy).abs() <= half + 1e-6);
+        }
+    }
+}

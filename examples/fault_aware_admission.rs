@@ -1,0 +1,80 @@
+//! Fault-aware job admission: before harvesting begins, the control board
+//! must decide how many SoCs to enlist so that — despite user-session
+//! reclaims and the odd crash — enough logical groups survive the job.
+//!
+//! ```sh
+//! cargo run --release --example fault_aware_admission
+//! ```
+//!
+//! Combines the tidal trace (who is idle tonight), the fault model (who
+//! will stay idle) and the group-wise topology (how much headroom a group
+//! costs) into an admission decision.
+
+use socflow::grouping::{epoch_time_model, EpochTimeInputs};
+use socflow::mapping::integrity_greedy;
+use socflow_cluster::faults::FaultPlan;
+use socflow_cluster::tidal::TidalTrace;
+use socflow_cluster::ClusterSpec;
+
+fn main() {
+    let trace = TidalTrace::generate(60, 11);
+    let (start, len) = trace.best_idle_window(24);
+    let idle = trace.idle_through(start, len);
+    // the job itself targets the paper's ~4 h daily budget, inside the window
+    let horizon = 4.0 * 3600.0_f64.min(len as f64 * 3600.0);
+    println!(
+        "window {start:02}:00 (+{len} h): {} idle SoCs available; job budget {:.0} h",
+        idle.len(),
+        horizon / 3600.0
+    );
+
+    // during the trough, reclaims are rare (12 h mean) and crashes rarer
+    let mean_reclaim = 12.0 * 3600.0;
+    let mean_crash = 100.0 * 3600.0;
+    let survival = FaultPlan::expected_survival(horizon, mean_reclaim, mean_crash);
+    println!("expected per-SoC survival over the window: {:.0}%", survival * 100.0);
+
+    // want 16 SoCs (4 groups of 4) alive at the end → enlist with headroom
+    let want = 16usize;
+    let enlist = ((want as f64 / survival).ceil() as usize).min(idle.len());
+    println!("enlisting {enlist} SoCs to expect >= {want} survivors");
+
+    // Monte-Carlo check over 200 fault timelines
+    let mut ok = 0;
+    for seed in 0..200u64 {
+        let plan = FaultPlan::sample(enlist, horizon, mean_reclaim, mean_crash, seed);
+        if plan.survivors(enlist, horizon).len() >= want {
+            ok += 1;
+        }
+    }
+    println!("Monte-Carlo: {:.0}% of timelines keep >= {want} SoCs", ok as f64 / 2.0);
+
+    // what the group topology looks like at enlistment scale
+    let cluster = ClusterSpec::for_socs(enlist);
+    let groups = enlist / 4;
+    let mapping = integrity_greedy(&cluster, enlist, groups);
+    println!(
+        "{groups} logical groups, conflict count C = {} — each reclaim costs one group of 4",
+        mapping.conflict_count()
+    );
+
+    // Eq. 1: how much slower the job gets if preemption shrinks it to `want`
+    let t = |socs: usize, n: usize| {
+        epoch_time_model(
+            EpochTimeInputs {
+                samples: 50_000,
+                group_batch: 64,
+                socs,
+                train_bsg: 64.0 * 0.0105,
+                sync: 0.3,
+            },
+            n,
+        )
+    };
+    println!(
+        "epoch time: {:.0} s enlisted vs {:.0} s if shrunk to {want} SoCs ({:.0}% slower)",
+        t(enlist, groups),
+        t(want, want / 4),
+        (t(want, want / 4) / t(enlist, groups) - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,65 @@
+//! Inspecting SoCFlow's topology pipeline without training anything:
+//! group sizing (Eq. 1), integrity-greedy mapping (Theorems 1–2) and
+//! communication-group planning, for a configurable cluster.
+//!
+//! ```sh
+//! cargo run --release --example topology_planner -- [socs] [groups]
+//! ```
+
+use socflow::grouping::{epoch_time_model, EpochTimeInputs};
+use socflow::mapping::{integrity_greedy, sequential, GroupId};
+use socflow::planning::divide_communication_groups;
+use socflow_cluster::ClusterSpec;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let socs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(32);
+    let groups: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+    let cluster = ClusterSpec::for_socs(socs);
+    println!(
+        "cluster: {} boards x {} SoCs, using {socs} SoCs in {groups} logical groups\n",
+        cluster.boards, cluster.socs_per_board
+    );
+
+    // Eq. 1: why more groups are faster (VGG-11 numbers)
+    println!("Eq. 1 epoch-time model (VGG-11 on CIFAR-10):");
+    let inputs = EpochTimeInputs {
+        samples: 50_000,
+        group_batch: 64,
+        socs,
+        train_bsg: 64.0 * 0.0105,
+        sync: 0.3,
+    };
+    for n in [1usize, 2, 4, 8, 16] {
+        if n <= socs {
+            println!("  N = {n:<2} → T_epoch = {:.0} s", epoch_time_model(inputs, n));
+        }
+    }
+
+    for (label, mapping) in [
+        ("integrity-greedy", integrity_greedy(&cluster, socs, groups)),
+        ("naive sequential", sequential(&cluster, socs, groups)),
+    ] {
+        println!("\n{label} mapping:");
+        for g in 0..mapping.num_groups() {
+            let gid = GroupId(g);
+            let members: Vec<String> =
+                mapping.group(gid).iter().map(|s| s.to_string()).collect();
+            println!(
+                "  {gid}: [{}]{}",
+                members.join(", "),
+                if mapping.is_split(gid) { "  ← split across PCBs" } else { "" }
+            );
+        }
+        println!("  conflict count C = {}", mapping.conflict_count());
+        match divide_communication_groups(&mapping) {
+            Ok(cgs) => {
+                for (i, cg) in cgs.cgs.iter().enumerate() {
+                    let names: Vec<String> = cg.iter().map(|g| g.to_string()).collect();
+                    println!("  CG{}: {}", i + 1, names.join(", "));
+                }
+            }
+            Err(e) => println!("  CG planning failed: {e}"),
+        }
+    }
+}

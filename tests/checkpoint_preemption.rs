@@ -1,0 +1,85 @@
+//! Integration tests of the checkpoint / preemption machinery: SoCFlow's
+//! claim that a user-workload burst only costs one logical group, not the
+//! training job.
+
+use socflow::checkpoint::Checkpoint;
+use socflow::config::{MethodSpec, SocFlowConfig, TrainJobSpec};
+use socflow::engine::{Engine, Workload};
+use socflow_data::DatasetPreset;
+use socflow_nn::models::ModelKind;
+
+fn spec(groups: usize) -> TrainJobSpec {
+    let mut s = TrainJobSpec::new(
+        ModelKind::LeNet5,
+        DatasetPreset::FashionMnist,
+        MethodSpec::SocFlow(SocFlowConfig::with_groups(groups)),
+    );
+    s.socs = 16;
+    s.epochs = 8;
+    s.global_batch = 64;
+    s.lr = 0.05;
+    s
+}
+
+#[test]
+fn preempted_run_still_converges() {
+    let s = spec(4);
+    let workload = Workload::standard(&s, 1024, 8, 0.5);
+    let calm = Engine::new(s, workload.clone()).run();
+    let preempted = Engine::new(s, workload).with_preemption(3).run();
+
+    assert_eq!(
+        preempted.epoch_accuracy.len(),
+        calm.epoch_accuracy.len(),
+        "preemption must not shorten the run"
+    );
+    // losing one of four groups costs a few points at most
+    assert!(
+        preempted.best_accuracy() > calm.best_accuracy() - 0.10,
+        "preempted {:.3} vs calm {:.3}",
+        preempted.best_accuracy(),
+        calm.best_accuracy()
+    );
+    // and reduces per-epoch time after the eviction (fewer SoCs => fewer
+    // groups running in parallel, but the epoch must remain bounded)
+    assert!(preempted.total_time() > 0.0);
+}
+
+#[test]
+fn checkpoint_roundtrip_and_redistribute() {
+    let replicas: Vec<Vec<f32>> = (0..4).map(|g| vec![g as f32; 16]).collect();
+    let ckpt = Checkpoint::new(5, replicas, 0.8);
+    let bytes = ckpt.to_bytes().unwrap();
+    let restored = Checkpoint::from_bytes(&bytes).unwrap();
+    assert_eq!(restored, ckpt);
+
+    // global weight mass is preserved when groups are evicted
+    let before: f32 = ckpt.replicas.iter().map(|r| r[0]).sum::<f32>() / 4.0;
+    for keep in [3usize, 2, 1] {
+        let shrunk = restored.redistribute(keep);
+        assert_eq!(shrunk.num_replicas(), keep);
+        let after: f32 = shrunk.replicas.iter().map(|r| r[0]).sum::<f32>() / keep as f32;
+        assert!(
+            (before - after).abs() < 1e-5,
+            "keep={keep}: mean weight drifted {before} → {after}"
+        );
+    }
+}
+
+#[test]
+fn baseline_preemption_costs_a_stall() {
+    let mut s = spec(4);
+    s.method = MethodSpec::Ring;
+    let workload = Workload::standard(&s, 512, 8, 0.5);
+    let calm = Engine::new(s, workload.clone()).run();
+    let stalled = Engine::new(s, workload).with_preemption(2).run();
+    assert!(
+        stalled.total_time() > calm.total_time(),
+        "the checkpoint-restore stall must show up in the total time"
+    );
+    assert_eq!(
+        stalled.epoch_accuracy.len(),
+        calm.epoch_accuracy.len() + 1,
+        "the stall appears as an extra timeline entry"
+    );
+}

@@ -1,0 +1,310 @@
+//! Property-based tests (proptest) over the core invariants:
+//! mapping optimality and the contention bound, CG coloring validity,
+//! max-min fairness of the flow network, all-reduce semantics,
+//! quantization error bounds, and partitioner correctness.
+
+use proptest::prelude::*;
+use socflow::mapping::{
+    brute_force_min_conflicts, group_sizes, integrity_greedy, GroupId,
+};
+use socflow::planning::divide_communication_groups;
+use socflow_cluster::{ClusterNet, ClusterSpec, Flow, SocId};
+use socflow_collectives::{allreduce_sum, ring_allreduce_sum};
+use socflow_data::{dirichlet_partition, iid_partition, label_shard_partition};
+use socflow_tensor::quant::{self, QuantFormat, QuantParams};
+use socflow_tensor::Tensor;
+
+fn cluster(boards: usize, per: usize) -> ClusterSpec {
+    let mut s = ClusterSpec::paper_server();
+    s.boards = boards;
+    s.socs_per_board = per;
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 1: integrity-greedy minimizes the conflict count C —
+    /// verified against brute force on random small instances.
+    #[test]
+    fn mapping_is_optimal(boards in 2usize..4, per in 2usize..5, groups in 2usize..5) {
+        let socs = boards * per;
+        prop_assume!(groups <= socs);
+        let spec = cluster(boards, per);
+        let mapping = integrity_greedy(&spec, socs, groups);
+        let caps = vec![per; boards];
+        let optimal = brute_force_min_conflicts(&caps, &group_sizes(socs, groups));
+        prop_assert_eq!(mapping.conflict_count(), optimal);
+    }
+
+    /// Theorem 2: every logical group contends with at most two others.
+    #[test]
+    fn at_most_two_contenders(boards in 2usize..8, per in 2usize..6, groups in 2usize..10) {
+        let socs = boards * per;
+        prop_assume!(groups <= socs);
+        let spec = cluster(boards, per);
+        let mapping = integrity_greedy(&spec, socs, groups);
+        let edges = mapping.conflict_edges();
+        for g in 0..groups {
+            let deg = edges.iter().filter(|(a, b)| a.0 == g || b.0 == g).count();
+            prop_assert!(deg <= 2, "LG{} has {} contenders", g, deg);
+        }
+    }
+
+    /// CG division always succeeds on integrity-greedy mappings, yields at
+    /// most two CGs, separates every conflicting pair, and covers every
+    /// group exactly once.
+    #[test]
+    fn cg_coloring_valid(boards in 2usize..8, per in 2usize..6, groups in 2usize..10) {
+        let socs = boards * per;
+        prop_assume!(groups <= socs);
+        let spec = cluster(boards, per);
+        let mapping = integrity_greedy(&spec, socs, groups);
+        let cgs = divide_communication_groups(&mapping).unwrap();
+        prop_assert!(cgs.len() <= 2);
+        let mut seen = vec![0usize; groups];
+        for cg in &cgs.cgs {
+            for g in cg {
+                seen[g.0] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1), "every group in exactly one CG");
+        for (a, b) in mapping.conflict_edges() {
+            prop_assert_ne!(cgs.cg_of(a), cgs.cg_of(b));
+        }
+    }
+
+    /// Mapping partitions the SoCs: every SoC in exactly one group.
+    #[test]
+    fn mapping_partitions_socs(boards in 1usize..8, per in 2usize..6, groups in 1usize..10) {
+        let socs = boards * per;
+        prop_assume!(groups <= socs);
+        let spec = cluster(boards, per);
+        let mapping = integrity_greedy(&spec, socs, groups);
+        let mut all: Vec<usize> = (0..groups)
+            .flat_map(|g| mapping.group(GroupId(g)).iter().map(|s| s.0))
+            .collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..socs).collect::<Vec<_>>());
+    }
+
+    /// Max-min flow simulation: no flow beats its line rate, the makespan
+    /// is at least the most-loaded link's serialization time, and adding a
+    /// flow never finishes the whole set sooner.
+    #[test]
+    fn flow_network_sane(
+        n_flows in 1usize..10,
+        seed in 0u64..1000,
+    ) {
+        let spec = ClusterSpec::paper_server();
+        let net = ClusterNet::new(spec);
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let flows: Vec<Flow> = (0..n_flows)
+            .map(|_| {
+                let src = SocId(next() % 60);
+                let mut dst = SocId(next() % 60);
+                if dst == src {
+                    dst = SocId((dst.0 + 1) % 60);
+                }
+                Flow::new(src, dst, (next() % 50_000_000 + 1_000_000) as f64)
+            })
+            .collect();
+        let stats = net.transfer(&flows);
+        let line = 1e9 / 8.0;
+        for (f, &t) in flows.iter().zip(&stats.flow_times) {
+            prop_assert!(t >= f.bytes / line - 1e-6, "flow beat line rate");
+            prop_assert!(t <= stats.makespan + 1e-9);
+        }
+        // per-source-link load lower-bounds the makespan
+        let mut src_load = std::collections::HashMap::new();
+        for f in &flows {
+            *src_load.entry(f.src).or_insert(0.0) += f.bytes;
+        }
+        let min_possible = src_load.values().fold(0.0f64, |m, &b| m.max(b / line));
+        prop_assert!(stats.makespan >= min_possible - 1e-6);
+
+        // monotonicity: removing the last flow cannot make things slower
+        if flows.len() > 1 {
+            let fewer = net.transfer(&flows[..flows.len() - 1]);
+            prop_assert!(fewer.makespan <= stats.makespan + 1e-9);
+        }
+    }
+
+    /// Ring all-reduce computes the same sums as the direct reduction for
+    /// arbitrary worker counts and vector lengths.
+    #[test]
+    fn ring_allreduce_equals_direct(
+        workers in 1usize..9,
+        len in 1usize..40,
+        seed in 0u64..500,
+    ) {
+        let mut state = seed;
+        let mut buffers: Vec<Vec<f32>> = (0..workers)
+            .map(|_| {
+                (0..len)
+                    .map(|_| {
+                        state = state.wrapping_mul(6364136223846793005).wrapping_add(99991);
+                        ((state >> 40) % 2000) as f32 / 100.0 - 10.0
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut direct = buffers.clone();
+        ring_allreduce_sum(&mut buffers);
+        allreduce_sum(&mut direct);
+        for (r, d) in buffers.iter().flatten().zip(direct.iter().flatten()) {
+            prop_assert!((r - d).abs() < 1e-3 * (1.0 + d.abs()), "{} vs {}", r, d);
+        }
+    }
+
+    /// Quantize–dequantize round trips within half a step, and fake-quant
+    /// is idempotent.
+    #[test]
+    fn quantization_error_bounded(vals in proptest::collection::vec(-100.0f32..100.0, 1..64)) {
+        let n = vals.len();
+        let t = Tensor::from_vec(vals, [n]);
+        let p = QuantParams::from_tensor(&t);
+        let fq = quant::fake_quant(&t, p);
+        let half = quant::max_rounding_error(p);
+        for (orig, rec) in t.data().iter().zip(fq.data()) {
+            prop_assert!((orig - rec).abs() <= half + 1e-5);
+        }
+        let fq2 = quant::fake_quant(&fq, p);
+        for (a, b) in fq.data().iter().zip(fq2.data()) {
+            prop_assert!((a - b).abs() < 1e-6, "fake-quant must be idempotent");
+        }
+    }
+
+    /// All three partitioners produce disjoint shards covering the dataset.
+    #[test]
+    fn partitioners_cover(n in 10usize..200, workers in 1usize..12, seed in 0u64..100) {
+        prop_assume!(workers <= n);
+        let labels: Vec<usize> = (0..n).map(|i| i % 7).collect();
+        for shards in [
+            iid_partition(n, workers, seed),
+            label_shard_partition(&labels, workers, seed),
+            dirichlet_partition(&labels, 7, workers, 0.5, seed),
+        ] {
+            let mut seen = vec![false; n];
+            for shard in &shards {
+                for &i in shard {
+                    prop_assert!(!seen[i], "duplicate index {}", i);
+                    seen[i] = true;
+                }
+            }
+            prop_assert!(seen.iter().all(|&b| b), "incomplete cover");
+        }
+    }
+
+    /// Finer NPU formats never reconstruct worse than coarser ones, for
+    /// any input tensor (the premise of the §5 format-sweep extension).
+    #[test]
+    fn format_fidelity_monotone(vals in proptest::collection::vec(-50.0f32..50.0, 2..64)) {
+        let n = vals.len();
+        let t = Tensor::from_vec(vals, [n]);
+        let err = |f: QuantFormat| f.fake_quant(&t).sub(&t).l2_norm();
+        prop_assert!(err(QuantFormat::Int4) >= err(QuantFormat::Int8) - 1e-5);
+        prop_assert!(err(QuantFormat::Int8) >= err(QuantFormat::Int16) - 1e-5);
+        // all formats are idempotent
+        for f in [QuantFormat::Int4, QuantFormat::Int8, QuantFormat::Int16, QuantFormat::Fp16] {
+            let once = f.fake_quant(&t);
+            let twice = f.fake_quant(&once);
+            for (a, b) in once.data().iter().zip(twice.data()) {
+                prop_assert!((a - b).abs() < 1e-6, "{:?} not idempotent", f);
+            }
+        }
+    }
+
+    /// Fault plans are consistent: survivors + faulted = all SoCs, events
+    /// time-sorted, and the survivor count is non-increasing in time.
+    #[test]
+    fn fault_plans_consistent(socs in 1usize..64, seed in 0u64..200) {
+        use socflow_cluster::faults::FaultPlan;
+        let p = FaultPlan::sample(socs, 3600.0, 1800.0, 36_000.0, seed);
+        prop_assert!(p.events().windows(2).all(|w| w[0].at <= w[1].at));
+        let mut last = socs + 1;
+        for t in [0.0, 600.0, 1800.0, 3600.0] {
+            let s = p.survivors(socs, t).len();
+            let faulted = p.between(0.0, t + 1e-9).len();
+            prop_assert_eq!(s + faulted, socs);
+            prop_assert!(s <= last);
+            last = s;
+        }
+    }
+
+    /// LR schedules are positive and (warm-up aside) non-increasing.
+    #[test]
+    fn schedules_well_behaved(lr0 in 0.001f32..1.0, epochs in 2usize..50) {
+        use socflow_nn::schedule::{CosineDecay, LrSchedule, StepDecay};
+        let step = StepDecay::new(lr0, 0.9, lr0 * 0.05);
+        let cos = CosineDecay::new(lr0, lr0 * 0.01, epochs);
+        for e in 0..epochs {
+            prop_assert!(step.lr_at(e) > 0.0);
+            prop_assert!(cos.lr_at(e) > 0.0);
+            if e > 0 {
+                prop_assert!(step.lr_at(e) <= step.lr_at(e - 1) + 1e-7);
+                prop_assert!(cos.lr_at(e) <= cos.lr_at(e - 1) + 1e-6);
+            }
+        }
+    }
+
+    /// DGC conserves gradient mass: transmitted + residual = accumulated
+    /// input, for random gradients and sparsity levels.
+    #[test]
+    fn dgc_conserves_mass(
+        len in 4usize..128,
+        keep_pct in 1u32..100,
+        rounds in 1usize..6,
+        seed in 0u64..100,
+    ) {
+        use socflow_baselines::dgc::DgcCompressor;
+        let mut c = DgcCompressor::new(len, keep_pct as f32 / 100.0);
+        let mut transmitted = vec![0.0f32; len];
+        let mut total = vec![0.0f32; len];
+        let mut state = seed;
+        for _ in 0..rounds {
+            let g: Vec<f32> = (0..len)
+                .map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(12345);
+                    ((state >> 40) % 1000) as f32 / 250.0 - 2.0
+                })
+                .collect();
+            for (t, v) in total.iter_mut().zip(&g) {
+                *t += v;
+            }
+            let s = c.compress(&g);
+            for (&i, &v) in s.indices.iter().zip(&s.values) {
+                transmitted[i as usize] += v;
+            }
+        }
+        for i in 0..len {
+            let rec = transmitted[i] + c.residual()[i];
+            prop_assert!((rec - total[i]).abs() < 1e-3, "idx {}: {} vs {}", i, rec, total[i]);
+        }
+    }
+
+    /// The cosine-similarity α metric is symmetric, bounded and scale
+    /// invariant — the properties Eq. 4 relies on.
+    #[test]
+    fn alpha_metric_properties(
+        a in proptest::collection::vec(-10.0f32..10.0, 4..32),
+        scale in 0.1f32..10.0,
+    ) {
+        let n = a.len();
+        let t = Tensor::from_vec(a.clone(), [n]);
+        let scaled = t.scale(scale);
+        let cos = t.cosine_similarity(&scaled);
+        if t.l2_norm() > 1e-3 {
+            prop_assert!((cos - 1.0).abs() < 1e-3, "scale invariance: {}", cos);
+        }
+        let u = Tensor::from_vec(a.iter().rev().copied().collect::<Vec<_>>(), [n]);
+        let c1 = t.cosine_similarity(&u);
+        let c2 = u.cosine_similarity(&t);
+        prop_assert!((c1 - c2).abs() < 1e-6, "symmetry");
+        prop_assert!((-1.0001..=1.0001).contains(&c1), "bounded");
+    }
+}
