@@ -151,7 +151,11 @@ mod tests {
         let s = c.compress(&g);
         assert_eq!(s.indices.len(), 10);
         // transmitted values are the largest magnitudes
-        let min_sent = s.values.iter().map(|v| v.abs()).fold(f32::INFINITY, f32::min);
+        let min_sent = s
+            .values
+            .iter()
+            .map(|v| v.abs())
+            .fold(f32::INFINITY, f32::min);
         let max_kept = c.residual().iter().map(|v| v.abs()).fold(0.0, f32::max);
         assert!(min_sent >= max_kept - 1e-6, "{min_sent} vs {max_kept}");
     }
@@ -160,8 +164,8 @@ mod tests {
     fn nothing_is_lost() {
         // sum of transmitted + residual over many rounds == sum of gradients
         let mut c = DgcCompressor::new(50, 0.05);
-        let mut transmitted = vec![0.0f32; 50];
-        let mut total = vec![0.0f32; 50];
+        let mut transmitted = [0.0f32; 50];
+        let mut total = [0.0f32; 50];
         for round in 0..20 {
             let g = grad(50, round + 1);
             for (t, v) in total.iter_mut().zip(&g) {

@@ -55,7 +55,13 @@ fn main() {
     }
     print_table(
         "Extension: epoch time under co-located user traffic — VGG-11, 32 SoCs",
-        &["bg load", "Ours min/epoch", "slowdown", "RING min/epoch", "slowdown"],
+        &[
+            "bg load",
+            "Ours min/epoch",
+            "slowdown",
+            "RING min/epoch",
+            "slowdown",
+        ],
         &rows,
     );
     // which hours of the tidal day keep SoCFlow within 1.5x of its best?

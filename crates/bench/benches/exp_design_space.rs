@@ -45,7 +45,9 @@ fn main() {
             rows.push(row);
         }
         print_table(
-            &format!("Extension: epoch time (s) across the (groups × batch) space — {name}, 32 SoCs"),
+            &format!(
+                "Extension: epoch time (s) across the (groups × batch) space — {name}, 32 SoCs"
+            ),
             &["", "BS=32", "BS=64", "BS=128", "BS=256"],
             &rows,
         );

@@ -46,8 +46,7 @@ fn main() {
             QuantFormat::Fp16,
         ] {
             let mut rng = StdRng::seed_from_u64(7);
-            let acc =
-                train_with_format(model, cfg, &train, &test, Some(format), epochs, &mut rng);
+            let acc = train_with_format(model, cfg, &train, &test, Some(format), epochs, &mut rng);
             rows.push(vec![
                 format.to_string(),
                 format!("{:.1}", acc * 100.0),
@@ -60,5 +59,7 @@ fn main() {
             &rows,
         );
     }
-    println!("\npaper §5: INT4/INT8/INT16/FP16 NPUs open SoCFlow to larger DNNs incl. Transformers");
+    println!(
+        "\npaper §5: INT4/INT8/INT16/FP16 NPUs open SoCFlow to larger DNNs incl. Transformers"
+    );
 }

@@ -47,7 +47,9 @@ fn main() {
         }
         print_table(
             &format!("Figure 10: time to target accuracy (hours) — {}", def.name),
-            &["SoCs", "PS", "RING", "HiPress", "2D-Paral", "FedAvg", "T-FedAvg", "Ours"],
+            &[
+                "SoCs", "PS", "RING", "HiPress", "2D-Paral", "FedAvg", "T-FedAvg", "Ours",
+            ],
             &rows,
         );
         for (socs, s) in &speedup_vs_ring {

@@ -69,7 +69,15 @@ fn main() {
         }
         print_table(
             &format!("Figure 11: SoCFlow ({soc_name}) vs {gpu_name} — time (h) and energy (kJ)"),
-            &["model", "ours h", "gpu h", "speedup", "ours kJ", "gpu kJ", "energy saving"],
+            &[
+                "model",
+                "ours h",
+                "gpu h",
+                "speedup",
+                "ours kJ",
+                "gpu kJ",
+                "energy saving",
+            ],
             &rows,
         );
     }

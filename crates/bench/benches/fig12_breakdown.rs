@@ -33,7 +33,15 @@ fn main() {
         }
         print_table(
             &format!("Figure 12: training-time breakdown — {name} (hours over {n_epochs} epochs)"),
-            &["method", "compute h", "sync h", "update h", "compute", "sync", "update"],
+            &[
+                "method",
+                "compute h",
+                "sync h",
+                "update h",
+                "compute",
+                "sync",
+                "update",
+            ],
             &rows,
         );
     }

@@ -64,7 +64,8 @@ fn main() {
         let mut prev: Option<f64> = None;
         for (label, method) in arms {
             let spec = build_spec(def, method, 32, n_epochs);
-            let workload = Workload::standard(&spec, samples(), socflow_bench::INPUT_SIZE, def.width);
+            let workload =
+                Workload::standard(&spec, samples(), socflow_bench::INPUT_SIZE, def.width);
             let r = Engine::new(spec, workload).run();
             let t = r.total_time();
             let gain = prev.map(|p| format!("{:.2}x", p / t)).unwrap_or_default();
@@ -82,5 +83,7 @@ fn main() {
             &rows,
         );
     }
-    println!("\npaper step gains: Group 8–57%, Mapping 1.05–1.10x, Plan 1.69–1.78x, Mixed 3.53–5.78x");
+    println!(
+        "\npaper step gains: Group 8–57%, Mapping 1.05–1.10x, Plan 1.69–1.78x, Mixed 3.53–5.78x"
+    );
 }

@@ -30,7 +30,8 @@ fn main() {
         let mut rows = Vec::new();
         for (label, method) in arms {
             let spec = build_spec(def, method, 32, n_epochs);
-            let workload = Workload::standard(&spec, samples(), socflow_bench::INPUT_SIZE, def.width);
+            let workload =
+                Workload::standard(&spec, samples(), socflow_bench::INPUT_SIZE, def.width);
             let r = Engine::new(spec, workload).run();
             // cumulative (time h, accuracy %) pairs per epoch
             let mut t = 0.0;

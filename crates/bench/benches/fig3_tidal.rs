@@ -28,7 +28,12 @@ fn main() {
 
     let trough: f64 = (3..8).map(|h| trace.busy_fraction(h)).sum::<f64>() / 5.0;
     let peak: f64 = (11..17).map(|h| trace.busy_fraction(h)).sum::<f64>() / 6.0;
-    println!("\npeak/trough ratio: {:.1}x (paper: >10x)", peak / trough.max(1e-9));
+    println!(
+        "\npeak/trough ratio: {:.1}x (paper: >10x)",
+        peak / trough.max(1e-9)
+    );
     let (start, len) = trace.best_idle_window(32);
-    println!("longest window with >=32 idle SoCs: {len} h starting {start:02}:00 (paper assumes ~4 h)");
+    println!(
+        "longest window with >=32 idle SoCs: {len} h starting {start:02}:00 (paper assumes ~4 h)"
+    );
 }

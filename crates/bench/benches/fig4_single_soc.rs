@@ -82,7 +82,12 @@ fn fig4c() {
         // FP32 reference: the pure synchronous FP32 stream (Ring)
         let fp_run = Engine::new(fp_spec, workload.clone()).run();
         let int8_run = Engine::new(
-            build_spec(def, MethodSpec::SocFlowInt8(SocFlowConfig::with_groups(8)), 32, epochs),
+            build_spec(
+                def,
+                MethodSpec::SocFlowInt8(SocFlowConfig::with_groups(8)),
+                32,
+                epochs,
+            ),
             workload,
         )
         .run();
@@ -90,7 +95,10 @@ fn fig4c() {
             def.name.to_string(),
             format!("{:.1}", fp_run.best_accuracy() * 100.0),
             format!("{:.1}", int8_run.best_accuracy() * 100.0),
-            format!("{:.1}", (fp_run.best_accuracy() - int8_run.best_accuracy()) * 100.0),
+            format!(
+                "{:.1}",
+                (fp_run.best_accuracy() - int8_run.best_accuracy()) * 100.0
+            ),
         ]);
     }
     print_table(

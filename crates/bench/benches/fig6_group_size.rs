@@ -28,7 +28,8 @@ fn main() {
                 32,
                 epochs,
             );
-            let workload = Workload::standard(&spec, samples(), socflow_bench::INPUT_SIZE, def.width);
+            let workload =
+                Workload::standard(&spec, samples(), socflow_bench::INPUT_SIZE, def.width);
             let engine = Engine::new(spec, workload.clone());
             let first = engine.first_epoch_accuracy(groups);
             let run = Engine::new(spec, workload).run();
@@ -47,6 +48,9 @@ fn main() {
         // what would the heuristic choose from this profile?
         let mut iter = profile.iter();
         let choice = choose_group_count(32, 0.15, 0.5, |_| iter.next().map(|p| p.1).unwrap_or(0.0));
-        println!("heuristic choice for {name}: {} groups (paper picked 4/8)", choice.groups);
+        println!(
+            "heuristic choice for {name}: {} groups (paper picked 4/8)",
+            choice.groups
+        );
     }
 }

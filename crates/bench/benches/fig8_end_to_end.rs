@@ -51,12 +51,24 @@ fn main() {
 
     print_table(
         "Figure 8: time to convergence (hours, 32 SoCs; target = 95% of best accuracy)",
-        &["workload", "PS", "RING", "HiPress", "2D-Paral", "FedAvg", "T-FedAvg", "Ours", "fits 4h idle?"],
+        &[
+            "workload",
+            "PS",
+            "RING",
+            "HiPress",
+            "2D-Paral",
+            "FedAvg",
+            "T-FedAvg",
+            "Ours",
+            "fits 4h idle?",
+        ],
         &time_rows,
     );
     print_table(
         "Figure 9: energy to convergence (kJ, 32 SoCs)",
-        &["workload", "PS", "RING", "HiPress", "2D-Paral", "FedAvg", "T-FedAvg", "Ours"],
+        &[
+            "workload", "PS", "RING", "HiPress", "2D-Paral", "FedAvg", "T-FedAvg", "Ours",
+        ],
         &energy_rows,
     );
     println!("\npaper: Ours speedup 94.4–740.7x vs PS, 14.8–143.7x vs RING, 7.4–98.2x vs HiPress,");

@@ -16,7 +16,9 @@ fn rand_tensor(shape: impl Into<Shape>, seed: u64) -> Tensor {
     let mut state = seed;
     let data = (0..shape.len())
         .map(|_| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
         })
         .collect();
@@ -35,7 +37,13 @@ fn bench_conv2d(c: &mut Criterion) {
     let x = rand_tensor([8, 16, 16, 16], 3);
     let w = rand_tensor([32, 16, 3, 3], 4);
     c.bench_function("conv2d_16x16x16_to_32", |bench| {
-        bench.iter(|| conv2d(std::hint::black_box(&x), std::hint::black_box(&w), ConvParams::new(1, 1)))
+        bench.iter(|| {
+            conv2d(
+                std::hint::black_box(&x),
+                std::hint::black_box(&w),
+                ConvParams::new(1, 1),
+            )
+        })
     });
 }
 

@@ -8,13 +8,15 @@
 
 use socflow::config::MethodSpec;
 use socflow::engine::Engine;
-use socflow_bench::{build_spec, build_workload, epochs, paper_workloads, print_table, run_comparison};
+use socflow_bench::{
+    build_spec, build_workload, epochs, paper_workloads, print_table, run_comparison,
+};
 
 fn main() {
     let socs = 32;
     let n_epochs = epochs();
     let mut rows = Vec::new();
-    let mut sums = vec![0.0f32; 7];
+    let mut sums = [0.0f32; 7];
     let mut counts = vec![0usize; 7];
 
     for def in paper_workloads() {
@@ -43,7 +45,9 @@ fn main() {
 
     print_table(
         "Table 3: convergence accuracy (%) and degradation vs Local",
-        &["workload", "Local", "PS", "RING", "HiPress", "2D-Paral", "FedAvg", "T-FedAvg", "Ours"],
+        &[
+            "workload", "Local", "PS", "RING", "HiPress", "2D-Paral", "FedAvg", "T-FedAvg", "Ours",
+        ],
         &rows,
     );
     println!("\npaper averages: sync methods −0.16, FedAvg/T-FedAvg −2.23, Ours −0.81");

@@ -21,6 +21,8 @@ use socflow::timemodel::{SyncCollective, TimeModel};
 use socflow_cluster::calibration;
 use socflow_data::DatasetPreset;
 use socflow_nn::models::ModelKind;
+use socflow_telemetry::{Event, MemorySink, Summary};
+use std::sync::Arc;
 
 /// One of the paper's eight evaluation workloads (Table 3 rows).
 #[derive(Debug, Clone, Copy)]
@@ -139,7 +141,12 @@ pub fn samples() -> usize {
 pub const INPUT_SIZE: usize = 8;
 
 /// Builds the job spec for a workload × method.
-pub fn build_spec(def: &WorkloadDef, method: MethodSpec, socs: usize, n_epochs: usize) -> TrainJobSpec {
+pub fn build_spec(
+    def: &WorkloadDef,
+    method: MethodSpec,
+    socs: usize,
+    n_epochs: usize,
+) -> TrainJobSpec {
     let mut s = TrainJobSpec::new(def.model, def.preset, method);
     s.socs = socs;
     s.global_batch = def.batch;
@@ -186,7 +193,12 @@ pub struct MethodRun {
 ///   once (via RING), then re-priced;
 /// - FedAvg / T-FedAvg share the federated stream;
 /// - Ours is trained with its α/β controller.
-pub fn run_comparison(def: &WorkloadDef, socs: usize, n_epochs: usize, groups: usize) -> Vec<MethodRun> {
+pub fn run_comparison(
+    def: &WorkloadDef,
+    socs: usize,
+    n_epochs: usize,
+    groups: usize,
+) -> Vec<MethodRun> {
     let ring_spec = build_spec(def, MethodSpec::Ring, socs, n_epochs);
     let workload = build_workload(&ring_spec, def);
 
@@ -225,7 +237,11 @@ pub fn run_comparison(def: &WorkloadDef, socs: usize, n_epochs: usize, groups: u
     vec![
         MethodRun {
             name: "PS",
-            result: reprice(&ring, "PS", tm.sync_epoch(SyncCollective::Ps, 1.0, 0.0, None)),
+            result: reprice(
+                &ring,
+                "PS",
+                tm.sync_epoch(SyncCollective::Ps, 1.0, 0.0, None),
+            ),
         },
         MethodRun {
             name: "RING",
@@ -265,6 +281,23 @@ pub fn run_comparison(def: &WorkloadDef, socs: usize, n_epochs: usize, groups: u
             result: ours,
         },
     ]
+}
+
+/// Runs one job with an in-memory telemetry sink attached and returns the
+/// result together with the recorded event stream — the bench-side hook for
+/// asserting on sync-time fractions, α trajectories or per-transfer network
+/// behaviour without re-deriving them from [`RunResult`].
+pub fn run_traced(spec: TrainJobSpec, workload: Workload) -> (RunResult, Vec<Event>) {
+    let sink = Arc::new(MemorySink::new());
+    let mut engine = Engine::new(spec, workload).with_sink(sink.clone());
+    let result = engine.run();
+    (result, sink.take())
+}
+
+/// Fraction of visible epoch time spent synchronizing, computed from a
+/// recorded event stream (Fig. 12's y-axis).
+pub fn sync_fraction(events: &[Event]) -> f64 {
+    Summary::from_events(events).sync_fraction()
 }
 
 /// Seconds → hours.
@@ -309,52 +342,6 @@ pub fn fmt_hours(t: Option<f64>) -> String {
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn eight_workloads_in_table3_order() {
-        let w = paper_workloads();
-        assert_eq!(w.len(), 8);
-        assert_eq!(w[0].name, "MobileNet");
-        assert_eq!(w[0].batch, 256, "paper: MobileNet uses batch 256");
-        assert!(w[1..].iter().all(|d| d.batch == 64));
-        assert!(w[7].transfer);
-    }
-
-    #[test]
-    fn comparison_produces_seven_methods() {
-        std::env::set_var("SOCFLOW_EPOCHS", "2");
-        std::env::set_var("SOCFLOW_SAMPLES", "256");
-        let defs = paper_workloads();
-        let lenet = defs.iter().find(|d| d.name == "LeNet5-FMNIST").unwrap();
-        let runs = run_comparison(lenet, 8, 2, 4);
-        assert_eq!(runs.len(), 7);
-        let names: Vec<&str> = runs.iter().map(|r| r.name).collect();
-        assert_eq!(
-            names,
-            vec!["PS", "RING", "HiPress", "2D-Paral", "FedAvg", "T-FedAvg", "Ours"]
-        );
-        // sync methods share RING's accuracy
-        assert_eq!(runs[0].result.epoch_accuracy, runs[1].result.epoch_accuracy);
-        assert_eq!(runs[2].result.epoch_accuracy, runs[1].result.epoch_accuracy);
-        // but not its timing
-        assert_ne!(runs[0].result.total_time(), runs[1].result.total_time());
-    }
-
-    #[test]
-    fn table_printer_does_not_panic() {
-        print_table(
-            "demo",
-            &["a", "bb"],
-            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
-        );
-        assert_eq!(fmt_hours(None), "x");
-        assert_eq!(fmt_hours(Some(7200.0)), "2.00");
-    }
-}
-
 /// Trains `model` on `train` for `epochs` epochs at the given NPU format
 /// (`None` = FP32) and returns the best test accuracy — the primitive of
 /// the §5 format-sweep extension experiment.
@@ -391,4 +378,75 @@ pub fn train_with_format(
         let _ = epoch;
     }
     best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_workloads_in_table3_order() {
+        let w = paper_workloads();
+        assert_eq!(w.len(), 8);
+        assert_eq!(w[0].name, "MobileNet");
+        assert_eq!(w[0].batch, 256, "paper: MobileNet uses batch 256");
+        assert!(w[1..].iter().all(|d| d.batch == 64));
+        assert!(w[7].transfer);
+    }
+
+    #[test]
+    fn comparison_produces_seven_methods() {
+        std::env::set_var("SOCFLOW_EPOCHS", "2");
+        std::env::set_var("SOCFLOW_SAMPLES", "256");
+        let defs = paper_workloads();
+        let lenet = defs.iter().find(|d| d.name == "LeNet5-FMNIST").unwrap();
+        let runs = run_comparison(lenet, 8, 2, 4);
+        assert_eq!(runs.len(), 7);
+        let names: Vec<&str> = runs.iter().map(|r| r.name).collect();
+        assert_eq!(
+            names,
+            vec!["PS", "RING", "HiPress", "2D-Paral", "FedAvg", "T-FedAvg", "Ours"]
+        );
+        // sync methods share RING's accuracy
+        assert_eq!(runs[0].result.epoch_accuracy, runs[1].result.epoch_accuracy);
+        assert_eq!(runs[2].result.epoch_accuracy, runs[1].result.epoch_accuracy);
+        // but not its timing
+        assert_ne!(runs[0].result.total_time(), runs[1].result.total_time());
+    }
+
+    #[test]
+    fn traced_run_reproduces_breakdown() {
+        let defs = paper_workloads();
+        let lenet = defs.iter().find(|d| d.name == "LeNet5-FMNIST").unwrap();
+        let cfg = SocFlowConfig {
+            accuracy_streams: Some(2),
+            ..SocFlowConfig::with_groups(2)
+        };
+        let spec = build_spec(lenet, MethodSpec::SocFlow(cfg), 8, 2);
+        let workload = Workload::standard(&spec, 256, INPUT_SIZE, lenet.width);
+        let (result, events) = run_traced(spec, workload);
+        assert!(!events.is_empty());
+        // the trace alone must reproduce the run's Breakdown exactly
+        let summary = Summary::from_events(&events);
+        assert!((summary.compute - result.breakdown.compute).abs() < 1e-6);
+        assert!((summary.sync - result.breakdown.sync).abs() < 1e-6);
+        assert!((summary.update - result.breakdown.update).abs() < 1e-6);
+        assert!((summary.total_time - result.total_time()).abs() < 1e-6);
+        assert!((summary.energy - result.energy_joules).abs() < 1e-6);
+        let f = sync_fraction(&events);
+        assert!(f > 0.0 && f < 1.0);
+        // network events rode along in the same stream
+        assert!(events.iter().any(|e| matches!(e, Event::Transfer { .. })));
+    }
+
+    #[test]
+    fn table_printer_does_not_panic() {
+        print_table(
+            "demo",
+            &["a", "bb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        assert_eq!(fmt_hours(None), "x");
+        assert_eq!(fmt_hours(Some(7200.0)), "2.00");
+    }
 }

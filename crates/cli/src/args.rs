@@ -12,6 +12,8 @@ pub struct Options {
     pub samples: usize,
     pub seed: u64,
     pub json: bool,
+    /// Write a JSONL telemetry trace of the run to this path.
+    pub trace: Option<String>,
 }
 
 impl Default for Options {
@@ -26,6 +28,7 @@ impl Default for Options {
             samples: 2048,
             seed: 42,
             json: false,
+            trace: None,
         }
     }
 }
@@ -55,6 +58,7 @@ impl Options {
                 "--epochs" => o.epochs = parse_num(flag, value)?,
                 "--samples" => o.samples = parse_num(flag, value)?,
                 "--seed" => o.seed = parse_num(flag, value)? as u64,
+                "--trace" => o.trace = Some(value.clone()),
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -90,11 +94,21 @@ mod tests {
 
     #[test]
     fn flags_override() {
-        let o = parse(&["--socs", "16", "--model", "vgg11", "--json", "--groups", "4"]).unwrap();
+        let o = parse(&[
+            "--socs", "16", "--model", "vgg11", "--json", "--groups", "4",
+        ])
+        .unwrap();
         assert_eq!(o.socs, 16);
         assert_eq!(o.model, "vgg11");
         assert_eq!(o.groups, Some(4));
         assert!(o.json);
+    }
+
+    #[test]
+    fn trace_flag_takes_a_path() {
+        let o = parse(&["--trace", "run.jsonl"]).unwrap();
+        assert_eq!(o.trace.as_deref(), Some("run.jsonl"));
+        assert!(parse(&["--trace"]).is_err());
     }
 
     #[test]

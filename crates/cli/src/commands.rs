@@ -8,6 +8,8 @@ use socflow_cluster::tidal::TidalTrace;
 use socflow_cluster::ClusterSpec;
 use socflow_data::DatasetPreset;
 use socflow_nn::models::ModelKind;
+use socflow_telemetry::{read_trace, Summary, TraceWriter};
+use std::sync::Arc;
 
 /// Prints the usage banner.
 pub fn print_usage() {
@@ -20,7 +22,10 @@ USAGE:
                 [--groups G] [--epochs E] [--samples S] [--seed S] [--json]
   socflow-cli compare [--model M] [--dataset D] [--socs N] [--epochs E]
   socflow-cli tidal [--socs N] [--seed S]
+  socflow-cli trace summarize <run.jsonl>
   socflow-cli info
+
+  --trace <path> (train): write a JSONL telemetry trace of the run
 
   models:   lenet5 | vgg11 | resnet18 | resnet50 | mobilenet | tinyvit
   datasets: cifar10 | emnist | fmnist | celeba | cinic10
@@ -98,7 +103,11 @@ pub fn plan(opts: &Options) -> Result<(), String> {
         println!(
             "  {gid}: [{}]{}",
             members.join(", "),
-            if mapping.is_split(gid) { "  (split)" } else { "" }
+            if mapping.is_split(gid) {
+                "  (split)"
+            } else {
+                ""
+            }
         );
     }
     println!("conflict count C = {}", mapping.conflict_count());
@@ -125,7 +134,13 @@ pub fn train(opts: &Options) -> Result<(), String> {
     spec.seed = opts.seed;
     spec.lr = 0.05;
     let workload = Workload::standard(&spec, opts.samples, 8, default_width(model));
-    let result = GlobalScheduler::new(spec, workload).run();
+    let mut sched = GlobalScheduler::new(spec, workload);
+    if let Some(path) = &opts.trace {
+        let writer = TraceWriter::create(path)
+            .map_err(|e| format!("cannot create trace file `{path}`: {e}"))?;
+        sched = sched.with_sink(Arc::new(writer));
+    }
+    let result = sched.run();
 
     if opts.json {
         println!(
@@ -170,7 +185,10 @@ pub fn compare(opts: &Options) -> Result<(), String> {
         "{} on {} — {} SoCs, {} epochs, {} samples",
         model, preset, opts.socs, opts.epochs, opts.samples
     );
-    println!("{:<10} {:>9} {:>11} {:>10}", "method", "best acc", "sim time h", "energy kJ");
+    println!(
+        "{:<10} {:>9} {:>11} {:>10}",
+        "method", "best acc", "sim time h", "energy kJ"
+    );
     for (name, method) in methods {
         let mut spec = TrainJobSpec::new(model, preset, method);
         spec.socs = opts.socs;
@@ -206,6 +224,29 @@ pub fn tidal(opts: &Options) -> Result<(), String> {
         "\nbest window with >={} idle SoCs: {len} h starting {start:02}:00",
         opts.socs / 2
     );
+    Ok(())
+}
+
+/// `socflow-cli trace <action> <path>`: inspect a recorded telemetry trace.
+///
+/// `summarize` replays the JSONL events and prints the aggregate report —
+/// the same per-run Breakdown the engine computed, reproduced from the
+/// trace alone (Fig. 12-style compute/sync/update shares plus network and
+/// scheduler counters).
+pub fn trace(argv: &[String]) -> Result<(), String> {
+    match argv {
+        [action, path] if action == "summarize" => trace_summarize(path),
+        _ => Err("usage: socflow-cli trace summarize <run.jsonl>".into()),
+    }
+}
+
+fn trace_summarize(path: &str) -> Result<(), String> {
+    let events = read_trace(path)?;
+    if events.is_empty() {
+        return Err(format!("trace `{path}` contains no events"));
+    }
+    let summary = Summary::from_events(&events);
+    println!("{}", summary.render());
     Ok(())
 }
 

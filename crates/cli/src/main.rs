@@ -6,6 +6,7 @@
 //!               [--groups G] [--epochs E] [--samples S] [--json]
 //! socflow-cli compare [--model M] [--dataset D] [--socs N] [--epochs E]
 //! socflow-cli tidal [--socs N] [--seed S]
+//! socflow-cli trace summarize <run.jsonl>
 //! socflow-cli info
 //! ```
 
@@ -19,6 +20,14 @@ fn main() {
         std::process::exit(2);
     }
     let cmd = argv.remove(0);
+    // `trace` takes positional operands, not `--flag value` pairs
+    if cmd == "trace" {
+        if let Err(e) = commands::trace(&argv) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
     let opts = match args::Options::parse(&argv) {
         Ok(o) => o,
         Err(e) => {

@@ -155,7 +155,10 @@ mod tests {
     fn beta_balances_finish_times() {
         let m = ComputeModel::new("ResNet-18", 1);
         let beta = m.beta();
-        assert!(beta > 0.5 && beta < 1.0, "NPU faster → beta > 0.5, got {beta}");
+        assert!(
+            beta > 0.5 && beta < 1.0,
+            "NPU faster → beta > 0.5, got {beta}"
+        );
         // feeding a beta share to the NPU equalizes times
         let npu_n = (1000.0 * beta) as usize;
         let cpu_n = 1000 - npu_n;

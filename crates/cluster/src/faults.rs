@@ -53,7 +53,10 @@ impl FaultPlan {
         mean_crash_s: Seconds,
         seed: u64,
     ) -> Self {
-        assert!(mean_reclaim_s > 0.0 && mean_crash_s > 0.0, "means must be positive");
+        assert!(
+            mean_reclaim_s > 0.0 && mean_crash_s > 0.0,
+            "means must be positive"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let mut events = Vec::new();
         for s in 0..socs {
@@ -106,7 +109,11 @@ impl FaultPlan {
     /// The expected fraction of a job horizon a SoC survives, given the
     /// combined hazard of reclaim and crash — a quick feasibility check for
     /// the scheduler ("can a 4 h job expect to keep 32 of 40 SoCs?").
-    pub fn expected_survival(horizon_s: Seconds, mean_reclaim_s: Seconds, mean_crash_s: Seconds) -> f64 {
+    pub fn expected_survival(
+        horizon_s: Seconds,
+        mean_reclaim_s: Seconds,
+        mean_crash_s: Seconds,
+    ) -> f64 {
         let hazard = 1.0 / mean_reclaim_s + 1.0 / mean_crash_s;
         (-horizon_s * hazard).exp()
     }
@@ -138,7 +145,11 @@ mod tests {
     #[test]
     fn reclaims_dominate_crashes_with_these_means() {
         let p = FaultPlan::sample(500, 3600.0, 3600.0, 360_000.0, 2);
-        let reclaims = p.events().iter().filter(|e| e.kind == FaultKind::Reclaimed).count();
+        let reclaims = p
+            .events()
+            .iter()
+            .filter(|e| e.kind == FaultKind::Reclaimed)
+            .count();
         let crashes = p.events().len() - reclaims;
         assert!(reclaims > crashes * 10, "{reclaims} vs {crashes}");
     }

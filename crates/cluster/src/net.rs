@@ -14,9 +14,12 @@
 //! share, and the residual capacity is redistributed. Completion times come
 //! from fluid integration between freeze events.
 
+use std::sync::Arc;
+
 use crate::topology::{ClusterSpec, SocId};
 use crate::{calibration, Seconds};
 use serde::{Deserialize, Serialize};
+use socflow_telemetry::{Event, EventSink};
 
 /// One point-to-point transfer within a collective step.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -54,12 +57,24 @@ pub struct TransferStats {
 }
 
 /// The simulated cluster network.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ClusterNet {
     spec: ClusterSpec,
     /// Fraction of every link's capacity consumed by co-located user
     /// workloads (cloud-gaming streams), in `[0, 1)`.
     background: f64,
+    /// Telemetry sink; `None` (the default) skips all event construction.
+    sink: Option<Arc<dyn EventSink>>,
+}
+
+impl std::fmt::Debug for ClusterNet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterNet")
+            .field("spec", &self.spec)
+            .field("background", &self.background)
+            .field("sink", &self.sink.as_ref().map(|_| "EventSink"))
+            .finish()
+    }
 }
 
 // Links are full-duplex: every SoC link and board uplink is modelled as a
@@ -73,7 +88,14 @@ impl ClusterNet {
         ClusterNet {
             spec,
             background: 0.0,
+            sink: None,
         }
+    }
+
+    /// Attaches a telemetry sink: every simulated transfer emits one
+    /// [`Event::Transfer`] with bytes moved and peak link utilization.
+    pub fn set_sink(&mut self, sink: Arc<dyn EventSink>) {
+        self.sink = Some(sink);
     }
 
     /// Returns the network with co-located user workloads consuming a
@@ -110,10 +132,14 @@ impl ClusterNet {
         let socs = self.spec.total_socs();
         let avail = 1.0 - self.background;
         let mut caps = Vec::with_capacity(self.num_links());
-        caps.extend(std::iter::repeat(self.spec.soc_link_bps / 8.0 * avail).take(2 * socs));
-        caps.extend(
-            std::iter::repeat(self.spec.board_uplink_bps / 8.0 * avail).take(2 * self.spec.boards),
-        );
+        caps.extend(std::iter::repeat_n(
+            self.spec.soc_link_bps / 8.0 * avail,
+            2 * socs,
+        ));
+        caps.extend(std::iter::repeat_n(
+            self.spec.board_uplink_bps / 8.0 * avail,
+            2 * self.spec.boards,
+        ));
         caps.push(self.spec.switch_bps / 8.0 * avail);
         caps
     }
@@ -132,9 +158,9 @@ impl ClusterNet {
         } else {
             vec![
                 soc_tx(f.src),
-                2 * socs + 2 * a.0,     // uplink tx of board A
+                2 * socs + 2 * a.0,              // uplink tx of board A
                 2 * socs + 2 * self.spec.boards, // switch
-                2 * socs + 2 * b.0 + 1, // uplink rx of board B
+                2 * socs + 2 * b.0 + 1,          // uplink rx of board B
                 soc_rx(f.dst),
             ]
         }
@@ -206,12 +232,42 @@ impl ClusterNet {
             }
             active = still;
         }
+        if let Some(sink) = &self.sink {
+            sink.emit(&Event::Transfer {
+                flows: n,
+                total_bytes,
+                makespan: now,
+                crossed_boards: crossed,
+                link_utilization: self.peak_utilization(&paths, &bytes, now),
+            });
+        }
         TransferStats {
             makespan: now,
             flow_times: done,
             total_bytes,
             crossed_boards: crossed,
         }
+    }
+
+    /// Utilization of the busiest link over a finished transfer: bytes the
+    /// link carried divided by what it could have carried in `makespan`
+    /// seconds. Only computed when a telemetry sink is attached.
+    fn peak_utilization(&self, paths: &[Vec<usize>], bytes: &[f64], makespan: Seconds) -> f64 {
+        if makespan <= 0.0 {
+            return 0.0;
+        }
+        let caps = self.link_caps();
+        let mut carried = vec![0.0f64; self.num_links()];
+        for (path, b) in paths.iter().zip(bytes) {
+            for &l in path {
+                carried[l] += b;
+            }
+        }
+        carried
+            .iter()
+            .zip(&caps)
+            .map(|(c, cap)| c / (cap * makespan))
+            .fold(0.0, f64::max)
     }
 
     /// Max-min fair rates (bytes/s) for the active flows, in `active` order.
@@ -300,6 +356,62 @@ mod tests {
     const SOC_RATE: f64 = 1e9 / 8.0; // bytes/s of one SoC link
 
     #[test]
+    fn transfers_emit_telemetry_with_link_utilization() {
+        let sink = Arc::new(socflow_telemetry::MemorySink::new());
+        let mut n = net();
+        n.set_sink(sink.clone());
+        // a lone flow saturates its SoC link end to end: utilization 1.0
+        n.transfer(&[Flow::new(SocId(0), SocId(1), 125.0 * MB)]);
+        // two flows through the shared board NIC: the NIC is the busiest
+        // link and is saturated for the whole (stretched) makespan
+        n.transfer(&[
+            Flow::new(SocId(0), SocId(5), 125.0 * MB),
+            Flow::new(SocId(1), SocId(6), 125.0 * MB),
+        ]);
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        match &events[0] {
+            Event::Transfer {
+                flows,
+                total_bytes,
+                crossed_boards,
+                link_utilization,
+                ..
+            } => {
+                assert_eq!(*flows, 1);
+                assert_eq!(*total_bytes, 125.0 * MB);
+                assert!(!crossed_boards);
+                assert!((link_utilization - 1.0).abs() < 1e-6, "{link_utilization}");
+            }
+            other => panic!("expected Transfer, got {other:?}"),
+        }
+        match &events[1] {
+            Event::Transfer {
+                flows,
+                crossed_boards,
+                link_utilization,
+                ..
+            } => {
+                assert_eq!(*flows, 2);
+                assert!(crossed_boards);
+                assert!((link_utilization - 1.0).abs() < 1e-3, "{link_utilization}");
+            }
+            other => panic!("expected Transfer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_sink_means_no_emission_and_same_results() {
+        let plain = net().transfer(&[Flow::new(SocId(0), SocId(5), 125.0 * MB)]);
+        let sink = Arc::new(socflow_telemetry::MemorySink::new());
+        let mut instrumented = net();
+        instrumented.set_sink(sink.clone());
+        let traced = instrumented.transfer(&[Flow::new(SocId(0), SocId(5), 125.0 * MB)]);
+        assert_eq!(plain, traced, "telemetry must not perturb the simulation");
+        assert_eq!(sink.len(), 1);
+    }
+
+    #[test]
     fn single_intra_board_flow_at_line_rate() {
         let n = net();
         let stats = n.transfer(&[Flow::new(SocId(0), SocId(1), 125.0 * MB)]);
@@ -374,7 +486,11 @@ mod tests {
         // Phase 1: both at rate/2 until short drains (1.0 s).
         // Long has 62.5 MB left, then runs at full rate: +0.5 s.
         assert!((stats.flow_times[0] - 1.0).abs() < 1e-3);
-        assert!((stats.flow_times[1] - 1.5).abs() < 1e-3, "{}", stats.flow_times[1]);
+        assert!(
+            (stats.flow_times[1] - 1.5).abs() < 1e-3,
+            "{}",
+            stats.flow_times[1]
+        );
     }
 
     #[test]

@@ -187,7 +187,10 @@ mod tests {
             ReplayTrace::parse_csv("0,2\n").unwrap_err(),
             TraceError::BadCell { row: 0, col: 1 }
         );
-        assert_eq!(ReplayTrace::parse_csv("\n\n").unwrap_err(), TraceError::Empty);
+        assert_eq!(
+            ReplayTrace::parse_csv("\n\n").unwrap_err(),
+            TraceError::Empty
+        );
     }
 
     #[test]

@@ -9,7 +9,12 @@ use socflow_cluster::Seconds;
 ///
 /// # Panics
 /// Panics if `bandwidth <= 0`.
-pub fn ring_time(n: usize, bytes: f64, bandwidth_bytes_per_s: f64, step_latency: Seconds) -> Seconds {
+pub fn ring_time(
+    n: usize,
+    bytes: f64,
+    bandwidth_bytes_per_s: f64,
+    step_latency: Seconds,
+) -> Seconds {
     assert!(bandwidth_bytes_per_s > 0.0, "bandwidth must be positive");
     if n < 2 || bytes == 0.0 {
         return 0.0;

@@ -75,10 +75,7 @@ pub fn ring_allreduce_sum(buffers: &mut [Vec<f32>]) {
             .collect();
         for w in 0..n {
             let (c, chunk) = &outgoing[(w + n - 1) % n]; // from predecessor
-            for (dst, v) in buffers[w][starts[*c]..starts[c + 1]]
-                .iter_mut()
-                .zip(chunk)
-            {
+            for (dst, v) in buffers[w][starts[*c]..starts[c + 1]].iter_mut().zip(chunk) {
                 *dst += v;
             }
         }

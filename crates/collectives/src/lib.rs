@@ -35,4 +35,7 @@ mod functional;
 mod patterns;
 
 pub use functional::{allreduce_mean, allreduce_sum, ring_allreduce_sum};
-pub use patterns::{broadcast_time, Collective, HierarchicalAllReduce, ParameterServer, RingAllReduce, TreeAggregate};
+pub use patterns::{
+    broadcast_time, Collective, HierarchicalAllReduce, ParameterServer, RingAllReduce,
+    TreeAggregate,
+};

@@ -47,16 +47,10 @@ impl Collective for RingAllReduce {
 /// Classic parameter server: all workers push `bytes` to one server SoC,
 /// which pushes the aggregate back. The server's single 1 Gb/s link is the
 /// incast bottleneck.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct ParameterServer {
     /// Index *into the member slice* of the SoC acting as the server.
     pub server_index: usize,
-}
-
-impl Default for ParameterServer {
-    fn default() -> Self {
-        ParameterServer { server_index: 0 }
-    }
 }
 
 impl Collective for ParameterServer {
@@ -135,7 +129,10 @@ impl Collective for TreeAggregate {
         }
         // Broadcast: same levels reversed, directions flipped.
         for flows in levels.iter().rev() {
-            let down: Vec<Flow> = flows.iter().map(|f| Flow::new(f.dst, f.src, f.bytes)).collect();
+            let down: Vec<Flow> = flows
+                .iter()
+                .map(|f| Flow::new(f.dst, f.src, f.bytes))
+                .collect();
             total += net.collective_step_time(&down);
         }
         total
@@ -239,7 +236,10 @@ mod tests {
     fn ring_latency_grows_linearly_with_members() {
         let t8 = RingAllReduce.time(&net(), &socs(8), 36.9 * MB);
         let t32 = RingAllReduce.time(&net(), &socs(32), 36.9 * MB);
-        assert!(t32 > t8 * 2.0, "32-SoC ring must be much slower: {t8} vs {t32}");
+        assert!(
+            t32 > t8 * 2.0,
+            "32-SoC ring must be much slower: {t8} vs {t32}"
+        );
     }
 
     #[test]
@@ -297,7 +297,12 @@ mod tests {
         let hier = HierarchicalAllReduce.time(&net(), &socs(5), 10.0 * MB);
         let ring = RingAllReduce.time(&net(), &socs(5), 10.0 * MB);
         let bcast = broadcast_time(&net(), SocId(0), &socs(5), 10.0 * MB);
-        assert!((hier - (ring + bcast)).abs() < 1e-6, "{hier} vs {} + {}", ring, bcast);
+        assert!(
+            (hier - (ring + bcast)).abs() < 1e-6,
+            "{hier} vs {} + {}",
+            ring,
+            bcast
+        );
     }
 
     #[test]

@@ -28,7 +28,10 @@ impl Checkpoint {
     /// # Panics
     /// Panics if `replicas` is empty or replica lengths differ.
     pub fn new(epoch: usize, replicas: Vec<Vec<f32>>, alpha: f32) -> Self {
-        assert!(!replicas.is_empty(), "checkpoint needs at least one replica");
+        assert!(
+            !replicas.is_empty(),
+            "checkpoint needs at least one replica"
+        );
         let len = replicas[0].len();
         assert!(
             replicas.iter().all(|r| r.len() == len),
@@ -53,7 +56,10 @@ impl Checkpoint {
     /// # Panics
     /// Panics if `keep` is zero or exceeds the replica count.
     pub fn redistribute(&self, keep: usize) -> Checkpoint {
-        assert!(keep > 0 && keep <= self.replicas.len(), "invalid keep count");
+        assert!(
+            keep > 0 && keep <= self.replicas.len(),
+            "invalid keep count"
+        );
         if keep == self.replicas.len() {
             return self.clone();
         }
@@ -114,18 +120,18 @@ mod tests {
     fn redistribute_preserves_mean() {
         let c = Checkpoint::new(
             0,
-            vec![vec![0.0, 0.0], vec![2.0, 2.0], vec![4.0, 4.0], vec![6.0, 6.0]],
+            vec![
+                vec![0.0, 0.0],
+                vec![2.0, 2.0],
+                vec![4.0, 4.0],
+                vec![6.0, 6.0],
+            ],
             1.0,
         );
         let total_mean = 3.0f32;
         let shrunk = c.redistribute(2);
         assert_eq!(shrunk.num_replicas(), 2);
-        let new_mean: f32 = shrunk
-            .replicas
-            .iter()
-            .map(|r| r[0])
-            .sum::<f32>()
-            / 2.0;
+        let new_mean: f32 = shrunk.replicas.iter().map(|r| r[0]).sum::<f32>() / 2.0;
         assert!((new_mean - total_mean).abs() < 1e-6, "mean preserved");
     }
 

@@ -37,10 +37,12 @@ pub struct EpochTimeInputs {
 /// # Panics
 /// Panics if `n_groups` is zero or exceeds `socs`.
 pub fn epoch_time_model(inputs: EpochTimeInputs, n_groups: usize) -> Seconds {
-    assert!(n_groups > 0 && n_groups <= inputs.socs, "invalid group count");
+    assert!(
+        n_groups > 0 && n_groups <= inputs.socs,
+        "invalid group count"
+    );
     let iters = inputs.samples as f64 / (n_groups as f64 * inputs.group_batch as f64);
-    let per_iter =
-        inputs.train_bsg * n_groups as f64 / inputs.socs as f64 + inputs.sync;
+    let per_iter = inputs.train_bsg * n_groups as f64 / inputs.socs as f64 + inputs.sync;
     iters * per_iter
 }
 
@@ -84,7 +86,13 @@ pub fn choose_group_count(
             break; // this candidate collapsed; keep the previous one
         }
         best = candidate;
-        candidate *= 2;
+        if candidate == max_groups {
+            break;
+        }
+        // clamp the last probe to `max_groups` so non-power-of-two budgets
+        // (e.g. 12 SoCs) get profiled at their actual ceiling instead of
+        // stopping at the largest power of two below it
+        candidate = (candidate * 2).min(max_groups);
     }
     GroupChoice {
         groups: best,
@@ -203,6 +211,20 @@ mod tests {
     }
 
     #[test]
+    fn heuristic_probes_non_power_of_two_ceiling() {
+        // max_groups = 12: the probe sequence must be 1, 2, 4, 8, 12 — the
+        // final candidate clamps to the budget instead of stopping at 8
+        let mut probed = Vec::new();
+        let choice = choose_group_count(12, 0.15, 0.5, |n| {
+            probed.push(n);
+            0.7
+        });
+        assert_eq!(probed, vec![1, 2, 4, 8, 12]);
+        assert_eq!(choice.groups, 12);
+        assert_eq!(choice.profile.len(), 5);
+    }
+
+    #[test]
     fn heuristic_keeps_one_group_for_hard_tasks() {
         // accuracy collapses immediately at 2 groups
         let choice = choose_group_count(32, 0.15, 0.5, |n| if n == 1 { 0.5 } else { 0.1 });
@@ -231,15 +253,8 @@ mod tests {
     #[test]
     fn joint_suggestion_prefers_big_batch_when_sync_dominates() {
         // huge sync per iteration → fewer iterations (big batch) wins
-        let (_, bs, _) = choose_group_and_batch(
-            10_000,
-            16,
-            0.001,
-            &[4],
-            &[16, 64, 256],
-            2048,
-            |_| 5.0,
-        );
+        let (_, bs, _) =
+            choose_group_and_batch(10_000, 16, 0.001, &[4], &[16, 64, 256], 2048, |_| 5.0);
         assert_eq!(bs, 256);
     }
 
@@ -252,8 +267,7 @@ mod tests {
     #[test]
     fn relative_floor_matters_for_strong_baselines() {
         // base accuracy 0.9; 0.4 is above abs floor but below 0.5·0.9
-        let choice =
-            choose_group_count(8, 0.15, 0.5, |n| if n <= 2 { 0.9 } else { 0.4 });
+        let choice = choose_group_count(8, 0.15, 0.5, |n| if n <= 2 { 0.9 } else { 0.4 });
         assert_eq!(choice.groups, 2);
     }
 }

@@ -81,7 +81,9 @@ impl Mapping {
 
     /// All leaders, in group order.
     pub fn leaders(&self) -> Vec<SocId> {
-        (0..self.num_groups()).map(|g| self.leader(GroupId(g))).collect()
+        (0..self.num_groups())
+            .map(|g| self.leader(GroupId(g)))
+            .collect()
     }
 
     fn board_of(&self, s: SocId) -> usize {
@@ -97,7 +99,10 @@ impl Mapping {
 
     /// The set of boards a group touches.
     pub fn boards_of(&self, g: GroupId) -> Vec<usize> {
-        let mut b: Vec<usize> = self.members[g.0].iter().map(|&s| self.board_of(s)).collect();
+        let mut b: Vec<usize> = self.members[g.0]
+            .iter()
+            .map(|&s| self.board_of(s))
+            .collect();
         b.sort_unstable();
         b.dedup();
         b
@@ -217,7 +222,10 @@ pub fn integrity_greedy(spec: &ClusterSpec, socs: usize, n_groups: usize) -> Map
     debug_assert_eq!(cursor, rest.len());
 
     Mapping::from_members(
-        members.into_iter().map(|m| m.expect("all groups placed")).collect(),
+        members
+            .into_iter()
+            .map(|m| m.expect("all groups placed"))
+            .collect(),
         spec,
     )
 }
@@ -242,10 +250,7 @@ pub fn sequential(spec: &ClusterSpec, socs: usize, n_groups: usize) -> Mapping {
 
 /// Exhaustive minimum conflict count for small instances (test oracle for
 /// Theorem 1). Searches over per-board member-count matrices.
-pub fn brute_force_min_conflicts(
-    board_caps: &[usize],
-    group_sizes_in: &[usize],
-) -> usize {
+pub fn brute_force_min_conflicts(board_caps: &[usize], group_sizes_in: &[usize]) -> usize {
     // state: per-board remaining capacity; recurse over groups, distributing
     // each group's size across boards in all ways.
     fn distribute(
@@ -288,8 +293,7 @@ pub fn brute_force_min_conflicts(
         let mut options = Vec::new();
         comps(0, sizes[g], remaining, &mut Vec::new(), &mut options);
         for opt in options {
-            let boards_touched: Vec<usize> =
-                (0..opt.len()).filter(|&b| opt[b] > 0).collect();
+            let boards_touched: Vec<usize> = (0..opt.len()).filter(|&b| opt[b] > 0).collect();
             let is_split = boards_touched.len() > 1;
             for (b, &take) in opt.iter().enumerate() {
                 remaining[b] -= take;
@@ -391,10 +395,7 @@ mod tests {
             let m = integrity_greedy(&s, socs, groups);
             let edges = m.conflict_edges();
             for g in 0..groups {
-                let deg = edges
-                    .iter()
-                    .filter(|(a, b)| a.0 == g || b.0 == g)
-                    .count();
+                let deg = edges.iter().filter(|(a, b)| a.0 == g || b.0 == g).count();
                 assert!(
                     deg <= 2,
                     "LG{g} has {deg} contenders in ({boards},{per},{socs},{groups})"

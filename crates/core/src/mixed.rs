@@ -75,14 +75,28 @@ impl MixedPrecisionController {
         1.0 - self.cpu_fraction()
     }
 
-    /// Splits a batch of `n` samples into `(cpu_n, npu_n)`. Rounds toward
-    /// the CPU and guarantees the CPU side is non-empty for `n > 0` (the
-    /// FP32 stream anchors convergence).
+    /// Splits a batch of `n` samples into `(cpu_n, npu_n)`.
+    ///
+    /// Invariants:
+    ///
+    /// - `cpu + npu == n`;
+    /// - the CPU side is non-empty for `n > 0` (the FP32 stream anchors
+    ///   convergence);
+    /// - the NPU side is non-empty whenever `n >= 2` and
+    ///   [`Self::npu_fraction`] is positive: rounding toward the CPU must
+    ///   not starve the NPU stream, or on tiny per-SoC batches the INT8
+    ///   model would never train and α would silently pin the split at
+    ///   whatever the stale confidence says. `npu_fraction() == 0` only
+    ///   when α = 0 exactly (`cpu_fraction` saturates at 1), and there the
+    ///   all-CPU split is intended.
     pub fn split_batch(&self, n: usize) -> (usize, usize) {
         if n == 0 {
             return (0, 0);
         }
-        let cpu = ((self.cpu_fraction() * n as f32).round() as usize).clamp(1, n);
+        let mut cpu = ((self.cpu_fraction() * n as f32).round() as usize).clamp(1, n);
+        if n >= 2 && self.npu_fraction() > 0.0 && cpu == n {
+            cpu = n - 1;
+        }
         (cpu, n - cpu)
     }
 
@@ -109,7 +123,7 @@ mod tests {
     #[test]
     fn fresh_controller_favours_npu() {
         let c = MixedPrecisionController::new(0.75); // NPU 3x CPU power
-        // α = 1 → e^{-1} ≈ 0.368 > 1-β = 0.25 → CPU gets ~37%
+                                                     // α = 1 → e^{-1} ≈ 0.368 > 1-β = 0.25 → CPU gets ~37%
         assert!((c.cpu_fraction() - (-1.0f32).exp()).abs() < 1e-6);
         assert!(c.npu_fraction() > 0.6);
     }
@@ -148,6 +162,21 @@ mod tests {
         assert_eq!(c.split_batch(0), (0, 0));
         // single sample goes to CPU
         assert_eq!(c.split_batch(1), (1, 0));
+    }
+
+    #[test]
+    fn split_batch_never_starves_the_npu() {
+        // weak NPU (β = 0.1): cpu_fraction = 0.9, and round(0.9·n) == n for
+        // tiny n — without the guard the NPU stream would get zero samples
+        let c = MixedPrecisionController::new(0.1);
+        assert!(c.npu_fraction() > 0.0);
+        assert_eq!(c.split_batch(1), (1, 0)); // n = 1: CPU anchor wins
+        assert_eq!(c.split_batch(2), (1, 1));
+        assert_eq!(c.split_batch(3), (2, 1));
+        // α = 0 saturates cpu_fraction at 1.0: all-CPU is intended there
+        let mut c0 = MixedPrecisionController::new(0.1);
+        c0.set_alpha(0.0);
+        assert_eq!(c0.split_batch(3), (3, 0));
     }
 
     #[test]

@@ -63,7 +63,10 @@ impl std::fmt::Display for PlanError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PlanError::NotBipartite { witness } => {
-                write!(f, "conflict graph is not bipartite (odd cycle through {witness})")
+                write!(
+                    f,
+                    "conflict graph is not bipartite (odd cycle through {witness})"
+                )
             }
         }
     }
@@ -101,16 +104,18 @@ pub fn divide_communication_groups(mapping: &Mapping) -> Result<CommunicationGro
                     color[v] = 3 - color[u]; // alternate 1 <-> 2
                     stack.push(v);
                 } else if color[v] == color[u] {
-                    return Err(PlanError::NotBipartite { witness: GroupId(v) });
+                    return Err(PlanError::NotBipartite {
+                        witness: GroupId(v),
+                    });
                 }
             }
         }
     }
     // isolated (conflict-free) groups: CG 0 == color 1
-    let uses_two = color.iter().any(|&c| c == 2);
+    let uses_two = color.contains(&2);
     let mut cgs = vec![Vec::new(); if uses_two { 2 } else { 1 }];
-    for g in 0..n {
-        let c = if color[g] == usize::MAX { 1 } else { color[g] };
+    for (g, &col) in color.iter().enumerate() {
+        let c = if col == usize::MAX { 1 } else { col };
         cgs[c - 1].push(GroupId(g));
     }
     Ok(CommunicationGroups { cgs })

@@ -15,6 +15,8 @@ use crate::mapping::{self, Mapping};
 use crate::planning::{divide_communication_groups, CommunicationGroups};
 use crate::report::RunResult;
 use socflow_cluster::ClusterSpec;
+use socflow_telemetry::{Event, EventSink};
+use std::sync::Arc;
 
 /// The resolved execution plan for a SoCFlow job.
 #[derive(Debug, Clone)]
@@ -30,16 +32,43 @@ pub struct TopologyPlan {
 }
 
 /// The global scheduler.
-#[derive(Debug)]
 pub struct GlobalScheduler {
     spec: TrainJobSpec,
     workload: Workload,
+    sink: Option<Arc<dyn EventSink>>,
+}
+
+impl std::fmt::Debug for GlobalScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GlobalScheduler")
+            .field("spec", &self.spec)
+            .field("workload", &self.workload)
+            .field("sink", &self.sink.as_ref().map(|_| "EventSink"))
+            .finish()
+    }
 }
 
 impl GlobalScheduler {
     /// Creates a scheduler for a job.
     pub fn new(spec: TrainJobSpec, workload: Workload) -> Self {
-        GlobalScheduler { spec, workload }
+        GlobalScheduler {
+            spec,
+            workload,
+            sink: None,
+        }
+    }
+
+    /// Attaches a telemetry sink. Planning and admission decisions are
+    /// emitted here; the sink is forwarded to the [`Engine`] at dispatch.
+    pub fn with_sink(mut self, sink: Arc<dyn EventSink>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    fn emit(&self, event: Event) {
+        if let Some(sink) = &self.sink {
+            sink.emit(&event);
+        }
     }
 
     /// Resolves the SoCFlow topology: group count (running the first-epoch
@@ -77,6 +106,11 @@ impl GlobalScheduler {
                 .map(|g| vec![crate::mapping::GroupId(g)])
                 .collect(),
         });
+        self.emit(Event::PlanComputed {
+            groups,
+            probes: group_choice.as_ref().map(|c| c.profile.len()).unwrap_or(0),
+            cgs: cgs.len(),
+        });
         TopologyPlan {
             groups,
             group_choice,
@@ -96,7 +130,12 @@ impl GlobalScheduler {
         let input_elems = cfg.in_channels * cfg.input_size * cfg.input_size;
         // per-SoC batch share: the group batch divides across group members
         let per_soc_batch = (self.spec.global_batch / 4).max(1);
-        socflow_nn::memory::estimate(&net, per_soc_batch, input_elems, 1, 2.0)
+        let est = socflow_nn::memory::estimate(&net, per_soc_batch, input_elems, 1, 2.0);
+        self.emit(Event::MemoryChecked {
+            bytes: est.total(),
+            fits: est.fits_soc(),
+        });
+        est
     }
 
     /// Plans (for SoCFlow methods) and runs the job.
@@ -113,7 +152,11 @@ impl GlobalScheduler {
             }
             _ => self.spec,
         };
-        Engine::new(spec, self.workload).run()
+        let mut engine = Engine::new(spec, self.workload);
+        if let Some(sink) = self.sink {
+            engine = engine.with_sink(sink);
+        }
+        engine.run()
     }
 }
 
@@ -165,7 +208,11 @@ mod tests {
         let s = spec(MethodSpec::SocFlow(SocFlowConfig::with_groups(2)));
         let w = Workload::standard(&s, 128, 8, 0.5);
         let est = GlobalScheduler::new(s, w).check_memory();
-        assert!(est.fits_soc(), "scaled jobs must fit: {} bytes", est.total());
+        assert!(
+            est.fits_soc(),
+            "scaled jobs must fit: {} bytes",
+            est.total()
+        );
         assert!(est.total() > 0);
     }
 

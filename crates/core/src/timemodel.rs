@@ -31,6 +31,11 @@ pub struct EpochCost {
     pub breakdown: Breakdown,
     /// Energy across all participating devices, joules.
     pub energy: f64,
+    /// Share of `breakdown.sync` spent on the epoch-boundary (delayed)
+    /// aggregation: leader ring + broadcast + shuffle for SoCFlow, the
+    /// end-of-epoch aggregation for federated methods. 0 for purely
+    /// synchronous methods (their sync is all per-batch).
+    pub aggregation: Seconds,
 }
 
 /// The per-method time/energy model for one job.
@@ -77,6 +82,12 @@ impl TimeModel {
         &mut self.net
     }
 
+    /// Attaches a telemetry sink to the underlying network simulation so
+    /// every flow-level transfer is traced.
+    pub fn set_sink(&mut self, sink: std::sync::Arc<dyn socflow_telemetry::EventSink>) {
+        self.net.set_sink(sink);
+    }
+
     /// The underlying compute model (mutable for underclock injection).
     pub fn compute_mut(&mut self) -> &mut ComputeModel {
         &mut self.compute
@@ -106,7 +117,10 @@ impl TimeModel {
         let mut m = EnergyMeter::new();
         let busy = (compute_s + sync_s).min(wall);
         m.charge(state, compute_s.min(wall));
-        m.charge(PowerState::SocNetwork, sync_s.min(wall - compute_s.min(wall)));
+        m.charge(
+            PowerState::SocNetwork,
+            sync_s.min(wall - compute_s.min(wall)),
+        );
         m.charge(PowerState::SocIdle, (wall - busy).max(0.0));
         m.joules()
     }
@@ -136,6 +150,7 @@ impl TimeModel {
                 update,
             },
             energy,
+            aggregation: 0.0,
         }
     }
 
@@ -172,8 +187,7 @@ impl TimeModel {
                 let t = self.compute.per_sample(Processor::SocCpuFp32) * per_soc;
                 (t, all)
             };
-        let compute = compute
-            + extra_flops_per_param * self.params / calibration::SOC_CPU_FLOPS;
+        let compute = compute + extra_flops_per_param * self.params / calibration::SOC_CPU_FLOPS;
 
         let wire = self.payload * wire_fraction;
         let sync = match collective {
@@ -197,6 +211,7 @@ impl TimeModel {
             time,
             breakdown: bd.scaled(iters),
             energy,
+            aggregation: 0.0,
         }
     }
 
@@ -215,12 +230,15 @@ impl TimeModel {
             None => {
                 2.0 * calibration::STEP_LATENCY_INTER
                     + self.net.control_transfer(&all, self.payload, true).makespan
-                    + self.net.control_transfer(&all, self.payload, false).makespan
+                    + self
+                        .net
+                        .control_transfer(&all, self.payload, false)
+                        .makespan
             }
         };
         let time = compute + update + sync;
-        let energy = self.socs as f64
-            * self.soc_epoch_energy(time, compute, sync, PowerState::SocCpuTrain);
+        let energy =
+            self.socs as f64 * self.soc_epoch_energy(time, compute, sync, PowerState::SocCpuTrain);
         EpochCost {
             time,
             breakdown: Breakdown {
@@ -229,6 +247,8 @@ impl TimeModel {
                 update,
             },
             energy,
+            // federated sync *is* the end-of-epoch aggregation
+            aggregation: sync,
         }
     }
 
@@ -250,8 +270,7 @@ impl TimeModel {
         cpu_fraction: f64,
     ) -> EpochCost {
         let n_groups = mapping.num_groups();
-        let iters =
-            (self.ref_samples as f64 / (n_groups as f64 * self.batch as f64)).ceil();
+        let iters = (self.ref_samples as f64 / (n_groups as f64 * self.batch as f64)).ceil();
 
         // compute: slowest group (groups run in parallel). Within a group,
         // underclocking-aware re-balancing gives each SoC a share
@@ -331,13 +350,15 @@ impl TimeModel {
             PowerState::SocMixedTrain
         };
         let sync_per_soc = cg_syncs.iter().sum::<f64>() * iters + epoch_sync;
-        let energy = self.socs as f64
-            * self.soc_epoch_energy(time, compute * iters, sync_per_soc, state);
+        let energy =
+            self.socs as f64 * self.soc_epoch_energy(time, compute * iters, sync_per_soc, state);
 
         EpochCost {
             time,
             breakdown,
             energy,
+            // delayed aggregation: leader ring + broadcast + shuffle
+            aggregation: epoch_sync,
         }
     }
 
@@ -367,9 +388,9 @@ impl TimeModel {
                 let members = mapping.group(g);
                 let n = members.len();
                 let chunk = if n >= 2 { wire_bytes / n as f64 } else { 0.0 };
-                (0..n).filter(move |_| n >= 2).map(move |i| {
-                    Flow::new(members[i], members[(i + 1) % n], chunk)
-                })
+                (0..n)
+                    .filter(move |_| n >= 2)
+                    .map(move |i| Flow::new(members[i], members[(i + 1) % n], chunk))
             })
             .collect();
         self.net.collective_step_time(&flows) * steps as f64
@@ -478,8 +499,18 @@ mod tests {
         let ours = m.socflow_epoch(&mapping, &cgs, true, 0.3);
         let ring = m.sync_epoch(SyncCollective::Ring, 1.0, 0.0, None);
         let two_d = m.sync_epoch(SyncCollective::Ring, 1.0, 0.0, Some(4));
-        assert!(ours.time < ring.time / 5.0, "ours {} ring {}", ours.time, ring.time);
-        assert!(ours.time < two_d.time, "ours {} 2d {}", ours.time, two_d.time);
+        assert!(
+            ours.time < ring.time / 5.0,
+            "ours {} ring {}",
+            ours.time,
+            ring.time
+        );
+        assert!(
+            ours.time < two_d.time,
+            "ours {} 2d {}",
+            ours.time,
+            two_d.time
+        );
     }
 
     #[test]
@@ -506,7 +537,10 @@ mod tests {
             mixed.time,
             fp32.time
         );
-        assert!(mixed.energy < fp32.energy, "NPU + less tx time = less energy");
+        assert!(
+            mixed.energy < fp32.energy,
+            "NPU + less tx time = less energy"
+        );
     }
 
     #[test]

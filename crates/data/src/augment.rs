@@ -66,8 +66,7 @@ impl Augment {
             };
             for ci in 0..c {
                 let src_base = ((ni * c + ci) * h) * w;
-                let src: Vec<f32> =
-                    batch.images.data()[src_base..src_base + h * w].to_vec();
+                let src: Vec<f32> = batch.images.data()[src_base..src_base + h * w].to_vec();
                 let dst = &mut out.data_mut()[src_base..src_base + h * w];
                 for y in 0..h {
                     for x in 0..w {
@@ -192,6 +191,6 @@ mod tests {
         }
         let out = cfg.apply(&b, &mut StdRng::seed_from_u64(5));
         // at least one sample got a nonzero shift → zero-padded border rows
-        assert!(out.images.data().iter().any(|v| *v == 0.0));
+        assert!(out.images.data().contains(&0.0));
     }
 }

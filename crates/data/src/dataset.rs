@@ -55,10 +55,14 @@ impl Dataset {
             let fx: f32 = rng.gen_range(0.5..3.0);
             let fy: f32 = rng.gen_range(0.5..3.0);
             let phase: f32 = rng.gen_range(0.0..std::f32::consts::TAU);
-            let chan_gain: Vec<f32> = (0..spec.channels).map(|_| rng.gen_range(0.5..1.5)).collect();
+            let chan_gain: Vec<f32> = (0..spec.channels)
+                .map(|_| rng.gen_range(0.5..1.5))
+                .collect();
             // class-dependent per-channel offset: a linearly separable
             // component that keeps the task learnable under heavy noise
-            let chan_bias: Vec<f32> = (0..spec.channels).map(|_| rng.gen_range(-0.8..0.8)).collect();
+            let chan_bias: Vec<f32> = (0..spec.channels)
+                .map(|_| rng.gen_range(-0.8..0.8))
+                .collect();
             for ch in 0..spec.channels {
                 for y in 0..spec.size {
                     for x in 0..spec.size {

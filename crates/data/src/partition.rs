@@ -112,7 +112,9 @@ pub fn dirichlet_partition(
     for c in 0..classes {
         let members: Vec<usize> = (0..labels.len()).filter(|&i| labels[i] == c).collect();
         // Gamma(α,1) draws via Marsaglia-Tsang for α>=1; boost trick below 1.
-        let mut props: Vec<f32> = (0..workers).map(|_| gamma_sample(alpha, &mut rng)).collect();
+        let mut props: Vec<f32> = (0..workers)
+            .map(|_| gamma_sample(alpha, &mut rng))
+            .collect();
         let total: f32 = props.iter().sum::<f32>().max(f32::EPSILON);
         for p in &mut props {
             *p /= total;
@@ -229,8 +231,7 @@ mod tests {
     fn dirichlet_small_alpha_more_skewed_than_large() {
         let d = dataset();
         let skew = |alpha: f32| -> f32 {
-            let shards =
-                Partitioner::Dirichlet { alpha }.split(&d, 5, 9);
+            let shards = Partitioner::Dirichlet { alpha }.split(&d, 5, 9);
             // mean, over workers, of the max class share in the worker's shard
             let mut total = 0.0;
             let mut counted = 0;

@@ -19,7 +19,12 @@ use socflow_tensor::{init, linalg, Shape, Tensor};
 
 fn as_btd(t: &Tensor) -> (usize, usize, usize) {
     let d = t.shape().dims();
-    assert_eq!(d.len(), 3, "expected (batch, tokens, dim), got {}", t.shape());
+    assert_eq!(
+        d.len(),
+        3,
+        "expected (batch, tokens, dim), got {}",
+        t.shape()
+    );
     (d[0], d[1], d[2])
 }
 
@@ -27,7 +32,10 @@ fn as_btd(t: &Tensor) -> (usize, usize, usize) {
 fn sample_mat(t: &Tensor, b: usize) -> Tensor {
     let (_, tok, d) = as_btd(t);
     let start = b * tok * d;
-    Tensor::from_vec(t.data()[start..start + tok * d].to_vec(), Shape::from([tok, d]))
+    Tensor::from_vec(
+        t.data()[start..start + tok * d].to_vec(),
+        Shape::from([tok, d]),
+    )
 }
 
 fn write_sample(dst: &mut Tensor, b: usize, mat: &Tensor) {
@@ -58,7 +66,12 @@ impl PatchEmbed {
         assert!(patch > 0, "patch size must be positive");
         let in_features = channels * patch * patch;
         PatchEmbed {
-            weight: Parameter::new(init::xavier_uniform([in_features, dim], in_features, dim, rng)),
+            weight: Parameter::new(init::xavier_uniform(
+                [in_features, dim],
+                in_features,
+                dim,
+                rng,
+            )),
             bias: Parameter::new(Tensor::zeros([dim])),
             patch,
             in_features,
@@ -143,7 +156,10 @@ impl Layer for PatchEmbed {
     }
 
     fn describe(&self) -> String {
-        format!("patch_embed(p{}, {}→{})", self.patch, self.in_features, self.dim)
+        format!(
+            "patch_embed(p{}, {}→{})",
+            self.patch, self.in_features, self.dim
+        )
     }
 
     fn clone_box(&self) -> Box<dyn Layer> {
@@ -323,12 +339,12 @@ pub struct SelfAttention {
 
 #[derive(Debug, Clone)]
 struct AttnCache {
-    x: Tensor,               // (b, t, d) input (possibly fake-quantized)
-    q: Tensor,               // (b, t, d)
+    x: Tensor, // (b, t, d) input (possibly fake-quantized)
+    q: Tensor, // (b, t, d)
     k: Tensor,
     v: Tensor,
-    attn: Tensor,            // (b, heads, t, t) softmax weights
-    concat: Tensor,          // (b, t, d) pre-Wo
+    attn: Tensor,   // (b, heads, t, t) softmax weights
+    concat: Tensor, // (b, t, d) pre-Wo
 }
 
 impl SelfAttention {
@@ -337,7 +353,10 @@ impl SelfAttention {
     /// # Panics
     /// Panics if `dim` is not divisible by `heads`.
     pub fn new(dim: usize, heads: usize, rng: &mut impl Rng) -> Self {
-        assert!(heads > 0 && dim % heads == 0, "dim must divide by heads");
+        assert!(
+            heads > 0 && dim.is_multiple_of(heads),
+            "dim must divide by heads"
+        );
         let w = |rng: &mut _| Parameter::new(init::xavier_uniform([dim, dim], dim, dim, rng));
         SelfAttention {
             wq: w(rng),
@@ -656,7 +675,9 @@ pub struct MeanPoolTokens {
 impl MeanPoolTokens {
     /// Creates a token mean-pool.
     pub fn new() -> Self {
-        MeanPoolTokens { cached_tokens: None }
+        MeanPoolTokens {
+            cached_tokens: None,
+        }
     }
 }
 

@@ -42,12 +42,18 @@ pub struct Mode {
 impl Mode {
     /// A training-mode pass at the given precision.
     pub fn train(precision: Precision) -> Self {
-        Mode { train: true, precision }
+        Mode {
+            train: true,
+            precision,
+        }
     }
 
     /// An inference-mode pass at the given precision.
     pub fn eval(precision: Precision) -> Self {
-        Mode { train: false, precision }
+        Mode {
+            train: false,
+            precision,
+        }
     }
 }
 

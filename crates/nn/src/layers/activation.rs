@@ -62,7 +62,10 @@ mod tests {
         let mut r = Relu::new();
         let x = Tensor::from_vec(vec![-1.0, 3.0], [2]);
         r.forward(&x, Mode::train(Precision::Fp32));
-        let gx = r.backward(&Tensor::from_vec(vec![5.0, 7.0], [2]), Mode::train(Precision::Fp32));
+        let gx = r.backward(
+            &Tensor::from_vec(vec![5.0, 7.0], [2]),
+            Mode::train(Precision::Fp32),
+        );
         assert_eq!(gx.data(), &[0.0, 7.0]);
     }
 }

@@ -29,11 +29,8 @@ impl Conv2d {
         rng: &mut impl Rng,
     ) -> Self {
         let fan_in = in_channels * kernel * kernel;
-        let weight = init::kaiming_uniform(
-            [out_channels, in_channels, kernel, kernel],
-            fan_in,
-            rng,
-        );
+        let weight =
+            init::kaiming_uniform([out_channels, in_channels, kernel, kernel], fan_in, rng);
         Conv2d {
             weight: Parameter::new(weight),
             in_channels,
@@ -74,8 +71,13 @@ impl Layer for Conv2d {
             .cached
             .as_ref()
             .expect("Conv2d::backward without training forward");
-        let (gx, mut gw) =
-            conv2d_backward(grad_out, patches, &self.weight.value, input_shape, self.params);
+        let (gx, mut gw) = conv2d_backward(
+            grad_out,
+            patches,
+            &self.weight.value,
+            input_shape,
+            self.params,
+        );
         if let Precision::Quant(f) = mode.precision {
             self.step += 1;
             gw = quant_grad(&gw, self.step.wrapping_mul(0xC2B2), f);
@@ -95,7 +97,11 @@ impl Layer for Conv2d {
     fn describe(&self) -> String {
         format!(
             "conv2d({}→{}, k{}, s{}, p{})",
-            self.in_channels, self.out_channels, self.kernel, self.params.stride, self.params.padding
+            self.in_channels,
+            self.out_channels,
+            self.kernel,
+            self.params.stride,
+            self.params.padding
         )
     }
 

@@ -18,7 +18,13 @@ pub struct DepthwiseConv2d {
 
 impl DepthwiseConv2d {
     /// Creates a depthwise convolution with Kaiming-uniform filters.
-    pub fn new(channels: usize, kernel: usize, stride: usize, padding: usize, rng: &mut impl Rng) -> Self {
+    pub fn new(
+        channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
         let fan_in = kernel * kernel;
         let weight = init::kaiming_uniform([channels, kernel, kernel], fan_in, rng);
         DepthwiseConv2d {

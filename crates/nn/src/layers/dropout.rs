@@ -48,7 +48,13 @@ impl Layer for Dropout {
         self.calls += 1;
         let keep = 1.0 - self.p;
         let mask_data: Vec<f32> = (0..input.len())
-            .map(|i| if self.hash_unit(i) < self.p { 0.0 } else { 1.0 / keep })
+            .map(|i| {
+                if self.hash_unit(i) < self.p {
+                    0.0
+                } else {
+                    1.0 / keep
+                }
+            })
             .collect();
         let mask = Tensor::from_vec(mask_data, input.shape().clone());
         let out = input.mul(&mask);
@@ -57,7 +63,10 @@ impl Layer for Dropout {
     }
 
     fn backward(&mut self, grad_out: &Tensor, _mode: Mode) -> Tensor {
-        let mask = self.mask.as_ref().expect("Dropout::backward without forward");
+        let mask = self
+            .mask
+            .as_ref()
+            .expect("Dropout::backward without forward");
         grad_out.mul(mask)
     }
 

@@ -37,7 +37,7 @@ impl BatchNorm2d {
             channels,
             eps: 1e-5,
             momentum: 0.1,
-        cached: None,
+            cached: None,
         }
     }
 
@@ -62,7 +62,7 @@ impl Layer for BatchNorm2d {
         let mut xhat = vec![0.0f32; data.len()];
         let mut inv_stds = vec![0.0f32; c];
 
-        for ci in 0..c {
+        for (ci, inv_std_slot) in inv_stds.iter_mut().enumerate() {
             let (mean, var) = if mode.train {
                 let mut sum = 0.0f64;
                 let mut sum_sq = 0.0f64;
@@ -84,7 +84,7 @@ impl Layer for BatchNorm2d {
                 (self.running_mean[ci], self.running_var[ci])
             };
             let inv_std = 1.0 / (var + self.eps).sqrt();
-            inv_stds[ci] = inv_std;
+            *inv_std_slot = inv_std;
             let g = self.gamma.value.data()[ci];
             let b = self.beta.value.data()[ci];
             for ni in 0..n {

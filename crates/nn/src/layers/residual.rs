@@ -16,7 +16,10 @@ pub struct Residual {
 impl Residual {
     /// Creates a residual block with an identity shortcut.
     pub fn identity(body: Vec<Box<dyn Layer>>) -> Self {
-        Residual { body, shortcut: None }
+        Residual {
+            body,
+            shortcut: None,
+        }
     }
 
     /// Creates a residual block with a projection shortcut.
@@ -105,7 +108,11 @@ impl Layer for Residual {
         format!(
             "residual({} body layers{})",
             self.body.len(),
-            if self.shortcut.is_some() { ", projected" } else { "" }
+            if self.shortcut.is_some() {
+                ", projected"
+            } else {
+                ""
+            }
         )
     }
 

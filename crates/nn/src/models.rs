@@ -10,8 +10,7 @@
 
 use crate::attention::{LayerNorm, MeanPoolTokens, PatchEmbed, SelfAttention, TokenFeedForward};
 use crate::layers::{
-    BatchNorm2d, Conv2d, DepthwiseConv2d, Flatten, GlobalAvgPool, Linear, MaxPool2d, Relu,
-    Residual,
+    BatchNorm2d, Conv2d, DepthwiseConv2d, Flatten, GlobalAvgPool, Linear, MaxPool2d, Relu, Residual,
 };
 use crate::{Layer, Network};
 use rand::Rng;
@@ -213,12 +212,7 @@ pub fn vgg11(cfg: ModelConfig, rng: &mut impl Rng) -> Network {
     Network::new(layers)
 }
 
-fn basic_block(
-    in_c: usize,
-    out_c: usize,
-    stride: usize,
-    rng: &mut impl Rng,
-) -> Residual {
+fn basic_block(in_c: usize, out_c: usize, stride: usize, rng: &mut impl Rng) -> Residual {
     let body: Vec<Box<dyn Layer>> = vec![
         Box::new(Conv2d::new(in_c, out_c, 3, stride, 1, rng)),
         Box::new(BatchNorm2d::new(out_c)),
@@ -413,13 +407,14 @@ pub fn tiny_vit(cfg: ModelConfig, rng: &mut impl Rng) -> Network {
     let heads = 2usize;
     // embedding dim: 64·width rounded to a multiple of the head count
     let dim = (((64.0 * cfg.width).round() as usize).max(heads * 4) / heads) * heads;
-    let patch = if cfg.input_size % 4 == 0 { cfg.input_size / 4 } else { 1 }.max(1);
-    let mut layers: Vec<Box<dyn Layer>> = vec![Box::new(PatchEmbed::new(
-        cfg.in_channels,
-        patch,
-        dim,
-        rng,
-    ))];
+    let patch = if cfg.input_size.is_multiple_of(4) {
+        cfg.input_size / 4
+    } else {
+        1
+    }
+    .max(1);
+    let mut layers: Vec<Box<dyn Layer>> =
+        vec![Box::new(PatchEmbed::new(cfg.in_channels, patch, dim, rng))];
     for _ in 0..2 {
         layers.push(Box::new(LayerNorm::new(dim)));
         layers.push(Box::new(SelfAttention::new(dim, heads, rng)));
@@ -534,7 +529,12 @@ mod tests {
         assert!(net.flat_grads().iter().any(|v| *v != 0.0));
         // depthwise variant has far fewer parameters than the dense stand-in
         let dense = mobilenet_v1(cfg, &mut rng).param_count();
-        assert!(net.param_count() < dense, "{} vs {}", net.param_count(), dense);
+        assert!(
+            net.param_count() < dense,
+            "{} vs {}",
+            net.param_count(),
+            dense
+        );
     }
 
     #[test]

@@ -93,7 +93,9 @@ impl Network {
         let mut offset = 0;
         for p in self.parameters_mut() {
             let n = p.len();
-            p.value.data_mut().copy_from_slice(&flat[offset..offset + n]);
+            p.value
+                .data_mut()
+                .copy_from_slice(&flat[offset..offset + n]);
             offset += n;
         }
     }

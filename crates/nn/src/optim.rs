@@ -58,6 +58,36 @@ impl Sgd {
         }
     }
 
+    /// The momentum buffers flattened into one vector, in parameter order
+    /// (empty before the first step).
+    pub fn flat_velocity(&self) -> Vec<f32> {
+        self.velocity
+            .iter()
+            .flat_map(|v| v.data().iter().copied())
+            .collect()
+    }
+
+    /// Overwrites the momentum buffers from a flat vector (the inverse of
+    /// [`Sgd::flat_velocity`]). A no-op for an empty `flat` (so states
+    /// captured before the first step restore cleanly).
+    ///
+    /// # Panics
+    /// Panics if `flat` is non-empty and its length does not match the
+    /// allocated buffers.
+    pub fn set_flat_velocity(&mut self, flat: &[f32]) {
+        if flat.is_empty() {
+            return;
+        }
+        let total: usize = self.velocity.iter().map(|v| v.len()).sum();
+        assert_eq!(flat.len(), total, "velocity length mismatch");
+        let mut off = 0;
+        for v in &mut self.velocity {
+            let n = v.len();
+            v.data_mut().copy_from_slice(&flat[off..off + n]);
+            off += n;
+        }
+    }
+
     /// Applies one update step using the gradients accumulated in `net`.
     ///
     /// The first call lazily allocates one velocity buffer per parameter;
@@ -255,7 +285,10 @@ mod tests {
             let w0 = quadratic_net().flat_weights();
             w.iter().zip(&w0).map(|(a, b)| (a - b).powi(2)).sum()
         };
-        assert!(dist(&w_mom) > dist(&w_plain), "momentum should move farther");
+        assert!(
+            dist(&w_mom) > dist(&w_plain),
+            "momentum should move farther"
+        );
     }
 
     #[test]

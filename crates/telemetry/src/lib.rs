@@ -1,0 +1,561 @@
+//! # socflow-telemetry
+//!
+//! Structured run telemetry for the SoCFlow reproduction.
+//!
+//! Training runs are opaque without a way to see *where* the modelled time
+//! goes: the paper's own evaluation leans on exactly this kind of
+//! instrumentation (Fig. 12 breaks an epoch into compute / sync / update,
+//! Fig. 7 tracks the α trajectory of the mixed-precision controller,
+//! §6.3 reports link utilization under the data-shuffling plan). This
+//! crate defines the event vocabulary for those observations plus the
+//! sinks that record them:
+//!
+//! - [`Event`] — one structured observation (epoch finished, transfer
+//!   simulated, group evicted, …), serializable as one JSON object;
+//! - [`EventSink`] — where events go. Instrumented components hold an
+//!   `Option<Arc<dyn EventSink>>` and skip all event construction when it
+//!   is `None`, so a run without a sink pays one branch per would-be
+//!   event and allocates nothing;
+//! - [`NullSink`] — swallows events (useful to exercise emission paths);
+//! - [`MemorySink`] — collects events in memory, for tests and benches;
+//! - [`TraceWriter`] — appends one compact JSON line per event to a file
+//!   (the `--trace run.jsonl` CLI flag);
+//! - [`Summary`] — aggregates a recorded stream back into Fig. 12-style
+//!   totals, the inverse of emission. `socflow trace summarize` is a thin
+//!   wrapper over it.
+//!
+//! Events are only ever emitted from the coordinating thread of a run
+//! (worker training threads report through return values, never through
+//! sinks), so a trace is an ordered, deterministic record: two runs from
+//! the same seed produce byte-identical trace files. The determinism
+//! property test in `tests/properties.rs` pins this down.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+/// Why a SoC group left the cluster mid-run (SoCFlow fault/preemption
+/// handling, paper §5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EvictionCause {
+    /// The fault plan killed the group's board.
+    Fault,
+    /// A tidal-traffic preemption reclaimed the SoCs for serving.
+    Preemption,
+}
+
+/// One structured observation from a training run.
+///
+/// Serialized as an externally tagged JSON object, one line per event in
+/// a trace file, e.g.
+/// `{"EpochCompleted":{"epoch":0,"accuracy":0.31,...}}`.
+///
+/// Times are modelled seconds, byte counts are modelled bytes, `epoch` is
+/// zero-based throughout.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// A run began: which method, over how many SoCs, for how many epochs.
+    RunStarted {
+        method: String,
+        socs: usize,
+        epochs: usize,
+        seed: u64,
+    },
+    /// The scheduler chose a group topology (paper §5.1): the accepted
+    /// group count, how many candidate counts were probed, and the
+    /// resulting number of compute groups.
+    PlanComputed {
+        groups: usize,
+        probes: usize,
+        cgs: usize,
+    },
+    /// The scheduler checked the per-SoC memory plan.
+    MemoryChecked { bytes: u64, fits: bool },
+    /// One epoch finished. `compute`/`sync`/`update` are the Fig. 12
+    /// breakdown; `aggregation` is the delayed-aggregation share of
+    /// `sync` (inter-group sync + broadcast + shuffle for SoCFlow, the
+    /// whole sync term for federated rounds, 0 for purely synchronous
+    /// methods). `alpha` is the mixed-precision confidence (NaN → null
+    /// for methods without a controller); `cpu_fraction` the resulting
+    /// CPU share of each batch.
+    EpochCompleted {
+        epoch: usize,
+        accuracy: f32,
+        time: f64,
+        compute: f64,
+        sync: f64,
+        update: f64,
+        aggregation: f64,
+        alpha: f32,
+        cpu_fraction: f64,
+        energy: f64,
+        groups: usize,
+    },
+    /// The cluster network simulated one transfer: flow count, bytes
+    /// moved, modelled makespan, whether any flow crossed a board
+    /// boundary, and the utilization of the busiest link
+    /// (bytes carried / capacity × makespan; 1.0 = bottleneck saturated
+    /// for the whole transfer).
+    Transfer {
+        flows: usize,
+        total_bytes: f64,
+        makespan: f64,
+        crossed_boards: bool,
+        link_utilization: f64,
+    },
+    /// SoCFlow checkpointed group states before a topology change.
+    CheckpointTaken { epoch: usize, groups: usize },
+    /// A group left the cluster; the survivors continue.
+    GroupEvicted {
+        epoch: usize,
+        cause: EvictionCause,
+        groups_left: usize,
+        socs_left: usize,
+    },
+    /// A gang-scheduled baseline stalled on a preempted member and paid a
+    /// checkpoint/restore penalty (Fig. 3's tidal argument).
+    BaselineStalled { epoch: usize, stall: f64 },
+    /// The run finished; totals over all epochs.
+    RunCompleted {
+        epochs: usize,
+        total_time: f64,
+        compute: f64,
+        sync: f64,
+        update: f64,
+        energy: f64,
+        best_accuracy: f32,
+    },
+}
+
+/// A destination for [`Event`]s.
+///
+/// Sinks must be shareable across the components of one run (engine,
+/// time model, network), hence `Send + Sync`; emission takes `&self`.
+pub trait EventSink: Send + Sync {
+    fn emit(&self, event: &Event);
+}
+
+/// Swallows every event.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn emit(&self, _event: &Event) {}
+}
+
+/// Records events in memory; the test/bench sink.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clones the events recorded so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().unwrap().clone()
+    }
+
+    /// Drains and returns the recorded events.
+    pub fn take(&self) -> Vec<Event> {
+        std::mem::take(&mut self.events.lock().unwrap())
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl EventSink for MemorySink {
+    fn emit(&self, event: &Event) {
+        self.events.lock().unwrap().push(event.clone());
+    }
+}
+
+/// Writes one compact JSON line per event (JSONL), flushing after each
+/// event so a trace survives an aborted run.
+pub struct TraceWriter {
+    out: Mutex<BufWriter<File>>,
+}
+
+impl TraceWriter {
+    /// Creates (truncates) the trace file at `path`.
+    pub fn create<P: AsRef<Path>>(path: P) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(TraceWriter {
+            out: Mutex::new(BufWriter::new(file)),
+        })
+    }
+}
+
+impl EventSink for TraceWriter {
+    fn emit(&self, event: &Event) {
+        let mut out = self.out.lock().unwrap();
+        // Trace I/O errors must not kill a training run; drop the event.
+        let _ = writeln!(out, "{}", serde_json::to_string(event).unwrap());
+        let _ = out.flush();
+    }
+}
+
+/// Parses a JSONL trace back into events. Blank lines are skipped;
+/// malformed lines are errors (a trace is machine-written).
+pub fn parse_trace(text: &str) -> Result<Vec<Event>, serde_json::Error> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .map(serde_json::from_str)
+        .collect()
+}
+
+/// Reads and parses a JSONL trace file.
+pub fn read_trace<P: AsRef<Path>>(path: P) -> Result<Vec<Event>, String> {
+    let text =
+        std::fs::read_to_string(&path).map_err(|e| format!("cannot read trace file: {e}"))?;
+    parse_trace(&text).map_err(|e| format!("malformed trace: {e}"))
+}
+
+/// Fig. 12-style aggregate of one trace: per-phase time totals plus
+/// network and resilience counters.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct Summary {
+    /// Completed epochs (count of `EpochCompleted` events).
+    pub epochs: usize,
+    /// Sum of per-epoch wall time, seconds.
+    pub total_time: f64,
+    /// Compute share of `total_time`.
+    pub compute: f64,
+    /// Synchronization share of `total_time`.
+    pub sync: f64,
+    /// Weight-update share of `total_time`.
+    pub update: f64,
+    /// Delayed-aggregation share of `sync`.
+    pub aggregation: f64,
+    /// Total modelled energy, joules.
+    pub energy: f64,
+    /// Best epoch accuracy seen.
+    pub best_accuracy: f32,
+    /// α at the first and last epoch that reported a finite value.
+    pub first_alpha: Option<f32>,
+    pub last_alpha: Option<f32>,
+    /// Simulated network transfers.
+    pub transfers: usize,
+    /// Bytes moved across all transfers.
+    pub bytes_moved: f64,
+    /// Transfers with at least one inter-board flow.
+    pub cross_board_transfers: usize,
+    /// Peak per-link utilization over all transfers (0..=1).
+    pub max_link_utilization: f64,
+    /// Checkpoints taken / groups evicted / baseline stalls.
+    pub checkpoints: usize,
+    pub evictions: usize,
+    pub stalls: usize,
+}
+
+impl Summary {
+    /// Folds an event stream into totals. Works on any slice of events —
+    /// a full trace or a window of it.
+    pub fn from_events(events: &[Event]) -> Self {
+        let mut s = Summary::default();
+        for event in events {
+            match event {
+                Event::EpochCompleted {
+                    accuracy,
+                    time,
+                    compute,
+                    sync,
+                    update,
+                    aggregation,
+                    alpha,
+                    energy,
+                    ..
+                } => {
+                    s.epochs += 1;
+                    s.total_time += time;
+                    s.compute += compute;
+                    s.sync += sync;
+                    s.update += update;
+                    s.aggregation += aggregation;
+                    s.energy += energy;
+                    s.best_accuracy = s.best_accuracy.max(*accuracy);
+                    if alpha.is_finite() {
+                        if s.first_alpha.is_none() {
+                            s.first_alpha = Some(*alpha);
+                        }
+                        s.last_alpha = Some(*alpha);
+                    }
+                }
+                Event::Transfer {
+                    total_bytes,
+                    crossed_boards,
+                    link_utilization,
+                    ..
+                } => {
+                    s.transfers += 1;
+                    s.bytes_moved += total_bytes;
+                    if *crossed_boards {
+                        s.cross_board_transfers += 1;
+                    }
+                    s.max_link_utilization = s.max_link_utilization.max(*link_utilization);
+                }
+                Event::CheckpointTaken { .. } => s.checkpoints += 1,
+                Event::GroupEvicted { .. } => s.evictions += 1,
+                Event::BaselineStalled { .. } => s.stalls += 1,
+                Event::RunStarted { .. }
+                | Event::PlanComputed { .. }
+                | Event::MemoryChecked { .. }
+                | Event::RunCompleted { .. } => {}
+            }
+        }
+        s
+    }
+
+    /// Fraction of epoch time spent synchronizing — the headline number
+    /// SoCFlow's delayed aggregation drives down.
+    pub fn sync_fraction(&self) -> f64 {
+        if self.total_time > 0.0 {
+            self.sync / self.total_time
+        } else {
+            0.0
+        }
+    }
+
+    /// Human-readable multi-line report (what `socflow trace summarize`
+    /// prints).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let pct = |part: f64| {
+            if self.total_time > 0.0 {
+                100.0 * part / self.total_time
+            } else {
+                0.0
+            }
+        };
+        out.push_str(&format!("epochs           {}\n", self.epochs));
+        out.push_str(&format!("total time       {:.3} s\n", self.total_time));
+        out.push_str(&format!(
+            "  compute        {:.3} s ({:.1}%)\n",
+            self.compute,
+            pct(self.compute)
+        ));
+        out.push_str(&format!(
+            "  sync           {:.3} s ({:.1}%)\n",
+            self.sync,
+            pct(self.sync)
+        ));
+        out.push_str(&format!("    aggregation  {:.3} s\n", self.aggregation));
+        out.push_str(&format!(
+            "  update         {:.3} s ({:.1}%)\n",
+            self.update,
+            pct(self.update)
+        ));
+        out.push_str(&format!("energy           {:.1} J\n", self.energy));
+        out.push_str(&format!("best accuracy    {:.4}\n", self.best_accuracy));
+        match (self.first_alpha, self.last_alpha) {
+            (Some(a0), Some(a1)) => {
+                out.push_str(&format!("alpha            {a0:.4} -> {a1:.4}\n"));
+            }
+            _ => out.push_str("alpha            n/a\n"),
+        }
+        out.push_str(&format!(
+            "transfers        {} ({:.1} MB moved, {} cross-board)\n",
+            self.transfers,
+            self.bytes_moved / 1e6,
+            self.cross_board_transfers
+        ));
+        out.push_str(&format!(
+            "peak link util   {:.1}%\n",
+            100.0 * self.max_link_utilization
+        ));
+        out.push_str(&format!(
+            "resilience       {} checkpoints, {} evictions, {} stalls\n",
+            self.checkpoints, self.evictions, self.stalls
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn epoch_event(epoch: usize, compute: f64, sync: f64, update: f64) -> Event {
+        Event::EpochCompleted {
+            epoch,
+            accuracy: 0.5 + epoch as f32 * 0.01,
+            time: compute + sync + update,
+            compute,
+            sync,
+            update,
+            aggregation: sync * 0.5,
+            alpha: 0.2 + epoch as f32 * 0.1,
+            cpu_fraction: 0.8,
+            energy: 10.0,
+            groups: 4,
+        }
+    }
+
+    #[test]
+    fn events_round_trip_through_json_lines() {
+        let events = vec![
+            Event::RunStarted {
+                method: "socflow".into(),
+                socs: 32,
+                epochs: 2,
+                seed: 7,
+            },
+            epoch_event(0, 3.0, 1.0, 0.5),
+            Event::Transfer {
+                flows: 8,
+                total_bytes: 1.5e6,
+                makespan: 0.25,
+                crossed_boards: true,
+                link_utilization: 0.9,
+            },
+            Event::GroupEvicted {
+                epoch: 1,
+                cause: EvictionCause::Preemption,
+                groups_left: 3,
+                socs_left: 24,
+            },
+        ];
+        let text: String = events
+            .iter()
+            .map(|e| serde_json::to_string(e).unwrap() + "\n")
+            .collect();
+        let parsed = parse_trace(&text).unwrap();
+        assert_eq!(parsed, events);
+    }
+
+    #[test]
+    fn nan_alpha_round_trips_as_null() {
+        let e = Event::EpochCompleted {
+            epoch: 0,
+            accuracy: 0.1,
+            time: 1.0,
+            compute: 1.0,
+            sync: 0.0,
+            update: 0.0,
+            aggregation: 0.0,
+            alpha: f32::NAN,
+            cpu_fraction: 1.0,
+            energy: 0.0,
+            groups: 1,
+        };
+        let line = serde_json::to_string(&e).unwrap();
+        assert!(line.contains("\"alpha\":null"), "{line}");
+        let back: Event = serde_json::from_str(&line).unwrap();
+        match back {
+            Event::EpochCompleted { alpha, .. } => assert!(alpha.is_nan()),
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn memory_sink_records_in_order() {
+        let sink = MemorySink::new();
+        assert!(sink.is_empty());
+        sink.emit(&epoch_event(0, 1.0, 0.5, 0.1));
+        sink.emit(&epoch_event(1, 1.0, 0.4, 0.1));
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(sink.len(), 2);
+        let drained = sink.take();
+        assert_eq!(drained, events);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn trace_writer_produces_parseable_jsonl() {
+        let path = std::env::temp_dir().join("socflow_telemetry_writer_test.jsonl");
+        {
+            let writer = TraceWriter::create(&path).unwrap();
+            writer.emit(&epoch_event(0, 2.0, 1.0, 0.25));
+            writer.emit(&Event::RunCompleted {
+                epochs: 1,
+                total_time: 3.25,
+                compute: 2.0,
+                sync: 1.0,
+                update: 0.25,
+                energy: 5.0,
+                best_accuracy: 0.5,
+            });
+        }
+        let events = read_trace(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(events[1], Event::RunCompleted { .. }));
+    }
+
+    #[test]
+    fn summary_aggregates_breakdown_exactly() {
+        let events = vec![
+            epoch_event(0, 3.0, 1.0, 0.5),
+            epoch_event(1, 3.0, 0.75, 0.5),
+            Event::Transfer {
+                flows: 4,
+                total_bytes: 2e6,
+                makespan: 0.5,
+                crossed_boards: false,
+                link_utilization: 0.4,
+            },
+            Event::Transfer {
+                flows: 4,
+                total_bytes: 1e6,
+                makespan: 0.5,
+                crossed_boards: true,
+                link_utilization: 0.7,
+            },
+            Event::CheckpointTaken {
+                epoch: 1,
+                groups: 4,
+            },
+            Event::GroupEvicted {
+                epoch: 1,
+                cause: EvictionCause::Fault,
+                groups_left: 3,
+                socs_left: 24,
+            },
+        ];
+        let s = Summary::from_events(&events);
+        assert_eq!(s.epochs, 2);
+        assert_eq!(s.compute, 6.0);
+        assert_eq!(s.sync, 1.75);
+        assert_eq!(s.update, 1.0);
+        assert_eq!(s.aggregation, 0.875);
+        assert_eq!(s.total_time, 8.75);
+        assert_eq!(s.transfers, 2);
+        assert_eq!(s.bytes_moved, 3e6);
+        assert_eq!(s.cross_board_transfers, 1);
+        assert_eq!(s.max_link_utilization, 0.7);
+        assert_eq!(s.checkpoints, 1);
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.first_alpha, Some(0.2));
+        assert_eq!(s.last_alpha, Some(0.3));
+        assert!((s.sync_fraction() - 1.75 / 8.75).abs() < 1e-12);
+        let report = s.render();
+        assert!(report.contains("epochs           2"));
+        assert!(report.contains("alpha            0.2000 -> 0.3000"));
+    }
+
+    #[test]
+    fn summary_ignores_nan_alpha_epochs() {
+        let mut e = epoch_event(0, 1.0, 0.0, 0.0);
+        if let Event::EpochCompleted { alpha, .. } = &mut e {
+            *alpha = f32::NAN;
+        }
+        let s = Summary::from_events(&[e]);
+        assert_eq!(s.first_alpha, None);
+        assert_eq!(s.last_alpha, None);
+        assert!(s.render().contains("alpha            n/a"));
+    }
+}

@@ -41,7 +41,10 @@ impl ConvParams {
 
 impl Default for ConvParams {
     fn default() -> Self {
-        ConvParams { stride: 1, padding: 0 }
+        ConvParams {
+            stride: 1,
+            padding: 0,
+        }
     }
 }
 
@@ -373,10 +376,13 @@ mod tests {
             [2, 2, 3, 3],
         );
         let w = Tensor::from_vec(
-            (0..3 * 2 * 3 * 3).map(|i| (i as f32 * 0.3).cos() * 0.5).collect(),
+            (0..3 * 2 * 3 * 3)
+                .map(|i| (i as f32 * 0.3).cos() * 0.5)
+                .collect(),
             [3, 2, 3, 3],
         );
-        let loss = |x: &Tensor, w: &Tensor| conv2d(x, w, p).0.data().iter().map(|v| v * v).sum::<f32>();
+        let loss =
+            |x: &Tensor, w: &Tensor| conv2d(x, w, p).0.data().iter().map(|v| v * v).sum::<f32>();
         let (y, patches) = conv2d(&x, &w, p);
         let grad_y = y.scale(2.0); // d(sum y^2)/dy
         let (gx, gw) = conv2d_backward(&grad_y, &patches, &w, x.shape(), p);
@@ -415,7 +421,9 @@ mod tests {
         let x = seq_tensor([1, 2, 4, 4]);
         let (patches, _, _) = im2col(&x, 3, 3, p);
         let probe = Tensor::from_vec(
-            (0..patches.len()).map(|i| ((i * 7 % 13) as f32) - 6.0).collect(),
+            (0..patches.len())
+                .map(|i| ((i * 7 % 13) as f32) - 6.0)
+                .collect(),
             patches.shape().clone(),
         );
         let lhs = patches.dot(&probe);
@@ -427,7 +435,9 @@ mod tests {
     #[test]
     fn max_pool_forward_and_backward() {
         let x = Tensor::from_vec(
-            vec![1.0, 3.0, 2.0, 4.0, 5.0, 6.0, 8.0, 7.0, 9.0, 0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+            vec![
+                1.0, 3.0, 2.0, 4.0, 5.0, 6.0, 8.0, 7.0, 9.0, 0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0,
+            ],
             [1, 1, 4, 4],
         );
         let (y, arg) = max_pool2d(&x, 2, ConvParams::new(2, 0));

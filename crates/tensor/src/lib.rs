@@ -65,7 +65,10 @@ impl std::fmt::Display for TensorError {
                 write!(f, "shape mismatch in `{op}`: {left} vs {right}")
             }
             TensorError::LengthMismatch { expected, actual } => {
-                write!(f, "length mismatch: shape implies {expected} elements, got {actual}")
+                write!(
+                    f,
+                    "length mismatch: shape implies {expected} elements, got {actual}"
+                )
             }
         }
     }

@@ -306,8 +306,14 @@ mod tests {
         let m = 4;
         let k = 6;
         let n = 5;
-        let a = Tensor::from_vec((0..m * k).map(|i| (i as f32 * 0.13).sin()).collect(), [m, k]);
-        let b = Tensor::from_vec((0..k * n).map(|i| (i as f32 * 0.29).cos()).collect(), [k, n]);
+        let a = Tensor::from_vec(
+            (0..m * k).map(|i| (i as f32 * 0.13).sin()).collect(),
+            [m, k],
+        );
+        let b = Tensor::from_vec(
+            (0..k * n).map(|i| (i as f32 * 0.29).cos()).collect(),
+            [k, n],
+        );
         let pa = QuantParams::from_tensor(&a);
         let pb = QuantParams::from_tensor(&b);
         let qa = quantize(&a, pa);
@@ -325,9 +331,16 @@ mod tests {
     #[test]
     fn formats_rank_by_fidelity() {
         // finer formats must reconstruct with smaller error
-        let t = Tensor::from_vec((0..256).map(|i| ((i as f32) * 0.41).sin() * 3.0).collect(), [256]);
+        let t = Tensor::from_vec(
+            (0..256).map(|i| ((i as f32) * 0.41).sin() * 3.0).collect(),
+            [256],
+        );
         let err = |f: QuantFormat| f.fake_quant(&t).sub(&t).l2_norm();
-        let (e4, e8, e16) = (err(QuantFormat::Int4), err(QuantFormat::Int8), err(QuantFormat::Int16));
+        let (e4, e8, e16) = (
+            err(QuantFormat::Int4),
+            err(QuantFormat::Int8),
+            err(QuantFormat::Int16),
+        );
         let ef16 = err(QuantFormat::Fp16);
         assert!(e4 > e8, "INT4 {e4} must be coarser than INT8 {e8}");
         assert!(e8 > e16, "INT8 {e8} must be coarser than INT16 {e16}");

@@ -152,7 +152,10 @@ impl Tensor {
         let strides = self.shape.strides();
         let mut flat = 0;
         for (i, (&ix, &stride)) in index.iter().zip(strides.iter()).enumerate() {
-            assert!(ix < self.shape.dim(i), "index {ix} out of bounds in dim {i}");
+            assert!(
+                ix < self.shape.dim(i),
+                "index {ix} out of bounds in dim {i}"
+            );
             flat += ix * stride;
         }
         flat
@@ -315,8 +318,8 @@ impl Tensor {
         let (rows, cols) = self.shape.as_matrix();
         let mut out = vec![0.0f32; cols];
         for r in 0..rows {
-            for c in 0..cols {
-                out[c] += self.data[r * cols + c];
+            for (c, o) in out.iter_mut().enumerate() {
+                *o += self.data[r * cols + c];
             }
         }
         Tensor::from_vec(out, Shape::from([cols]))
@@ -393,7 +396,12 @@ impl Default for Tensor {
 
 impl std::fmt::Display for Tensor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Tensor{} {:?}", self.shape, &self.data[..self.data.len().min(8)])?;
+        write!(
+            f,
+            "Tensor{} {:?}",
+            self.shape,
+            &self.data[..self.data.len().min(8)]
+        )?;
         if self.data.len() > 8 {
             write!(f, "…")?;
         }
@@ -421,7 +429,10 @@ mod tests {
         let err = Tensor::try_from_vec(vec![1.0; 5], [2, 3]).unwrap_err();
         assert_eq!(
             err,
-            TensorError::LengthMismatch { expected: 6, actual: 5 }
+            TensorError::LengthMismatch {
+                expected: 6,
+                actual: 5
+            }
         );
     }
 

@@ -25,7 +25,10 @@ fn main() {
     let want_socs = 32;
     let (start, len) = trace.best_idle_window(want_socs);
     let idle = trace.idle_through(start, len);
-    println!("tonight's window: {start:02}:00 for {len} h with {} idle SoCs", idle.len());
+    println!(
+        "tonight's window: {start:02}:00 for {len} h with {} idle SoCs",
+        idle.len()
+    );
 
     // --- 2. define the nightly personalization job -------------------
     let cfg = SocFlowConfig {
@@ -63,7 +66,11 @@ fn main() {
                     "{:>8}: converges in {:.2} h (projected) → {}",
                     r.method,
                     projected / 3600.0,
-                    if fits { "ships before the morning peak ✔" } else { "MISSES the window ✘" }
+                    if fits {
+                        "ships before the morning peak ✔"
+                    } else {
+                        "MISSES the window ✘"
+                    }
                 );
             }
             None => println!("{:>8}: did not reach the target tonight", r.method),

@@ -32,7 +32,10 @@ fn main() {
     let mean_reclaim = 12.0 * 3600.0;
     let mean_crash = 100.0 * 3600.0;
     let survival = FaultPlan::expected_survival(horizon, mean_reclaim, mean_crash);
-    println!("expected per-SoC survival over the window: {:.0}%", survival * 100.0);
+    println!(
+        "expected per-SoC survival over the window: {:.0}%",
+        survival * 100.0
+    );
 
     // want 16 SoCs (4 groups of 4) alive at the end → enlist with headroom
     let want = 16usize;
@@ -47,7 +50,10 @@ fn main() {
             ok += 1;
         }
     }
-    println!("Monte-Carlo: {:.0}% of timelines keep >= {want} SoCs", ok as f64 / 2.0);
+    println!(
+        "Monte-Carlo: {:.0}% of timelines keep >= {want} SoCs",
+        ok as f64 / 2.0
+    );
 
     // what the group topology looks like at enlistment scale
     let cluster = ClusterSpec::for_socs(enlist);

@@ -27,21 +27,14 @@ fn main() {
     // undisturbed run
     let calm = Engine::new(spec, workload.clone()).run();
     // user burst after epoch 3: one logical group is preempted
-    let preempted = Engine::new(spec, workload.clone())
-        .with_preemption(3)
-        .run();
+    let preempted = Engine::new(spec, workload.clone()).with_preemption(3).run();
     // the same event under RING: the whole job checkpoints and stalls
     let mut ring_spec = spec;
     ring_spec.method = MethodSpec::Ring;
-    let ring_preempted = Engine::new(ring_spec, workload)
-        .with_preemption(3)
-        .run();
+    let ring_preempted = Engine::new(ring_spec, workload).with_preemption(3).run();
 
     println!("scenario: user burst preempts training after epoch 3\n");
-    println!(
-        "{:<28} {:>10} {:>12}",
-        "run", "best acc", "total time"
-    );
+    println!("{:<28} {:>10} {:>12}", "run", "best acc", "total time");
     for (label, r) in [
         ("SoCFlow, undisturbed", &calm),
         ("SoCFlow, group preempted", &preempted),

@@ -56,7 +56,10 @@ fn main() {
             t / 60.0
         );
     }
-    println!("\nbest accuracy      : {:.1}%", result.best_accuracy() * 100.0);
+    println!(
+        "\nbest accuracy      : {:.1}%",
+        result.best_accuracy() * 100.0
+    );
     println!("simulated time     : {:.2} h", result.total_time() / 3600.0);
     println!("simulated energy   : {:.0} kJ", result.energy_joules / 1e3);
     println!(

@@ -32,7 +32,10 @@ fn main() {
     };
     for n in [1usize, 2, 4, 8, 16] {
         if n <= socs {
-            println!("  N = {n:<2} → T_epoch = {:.0} s", epoch_time_model(inputs, n));
+            println!(
+                "  N = {n:<2} → T_epoch = {:.0} s",
+                epoch_time_model(inputs, n)
+            );
         }
     }
 
@@ -43,12 +46,15 @@ fn main() {
         println!("\n{label} mapping:");
         for g in 0..mapping.num_groups() {
             let gid = GroupId(g);
-            let members: Vec<String> =
-                mapping.group(gid).iter().map(|s| s.to_string()).collect();
+            let members: Vec<String> = mapping.group(gid).iter().map(|s| s.to_string()).collect();
             println!(
                 "  {gid}: [{}]{}",
                 members.join(", "),
-                if mapping.is_split(gid) { "  ← split across PCBs" } else { "" }
+                if mapping.is_split(gid) {
+                    "  ← split across PCBs"
+                } else {
+                    ""
+                }
             );
         }
         println!("  conflict count C = {}", mapping.conflict_count());

@@ -23,7 +23,10 @@ fn main() {
     let cfg = ModelConfig::new(3, 8, 10, 0.5);
 
     println!("TinyViT on synthetic CIFAR-10 — Adam, grad-clip 1.0, 8 epochs\n");
-    println!("{:<12} {:>10} {:>14}", "precision", "accuracy", "sync payload");
+    println!(
+        "{:<12} {:>10} {:>14}",
+        "precision", "accuracy", "sync payload"
+    );
     for (label, precision) in [
         ("FP32", Precision::Fp32),
         ("FP16", Precision::Quant(QuantFormat::Fp16)),

@@ -1,0 +1,181 @@
+//! Offline stand-in for `criterion`.
+//!
+//! This workspace builds without crates.io access, so the external
+//! `criterion` dev-dependency is replaced by this path crate. It keeps the
+//! harness API the benches use — `Criterion::bench_function`,
+//! `Bencher::iter`/`iter_batched`, `BatchSize`, `black_box` and the
+//! `criterion_group!`/`criterion_main!` macros — over a plain
+//! `Instant`-based timer: a short warm-up, then a fixed number of timed
+//! batches, reporting min/median/mean per iteration. No statistical
+//! analysis, plots or saved baselines; good enough to run the benches and
+//! eyeball regressions.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, re-exported from `std::hint`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost. The shim runs every size with
+/// one setup per measured routine call, so the variants only document
+/// intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target_samples: usize,
+}
+
+impl Bencher {
+    fn new(target_samples: usize) -> Self {
+        Bencher {
+            samples: Vec::with_capacity(target_samples),
+            target_samples,
+        }
+    }
+
+    /// Times `routine` over repeated calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // warm-up (untimed)
+        for _ in 0..2 {
+            black_box(routine());
+        }
+        for _ in 0..self.target_samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh input from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..2 {
+            black_box(routine(setup()));
+        }
+        for _ in 0..self.target_samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_count: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let sample_count = std::env::var("SOCFLOW_BENCH_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(30);
+        Criterion { sample_count }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark and prints a one-line summary.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::new(self.sample_count);
+        f(&mut bencher);
+        let mut samples = bencher.samples;
+        if samples.is_empty() {
+            println!("{name:<40} (no samples)");
+            return self;
+        }
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        println!(
+            "{name:<40} min {:>12} median {:>12} mean {:>12} ({} samples)",
+            fmt_duration(min),
+            fmt_duration(median),
+            fmt_duration(mean),
+            samples.len()
+        );
+        self
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn work(c: &mut Criterion) {
+        c.bench_function("sum_1k", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        c.bench_function("vec_rev", |b| {
+            b.iter_batched(
+                || (0..256u32).collect::<Vec<_>>(),
+                |mut v| {
+                    v.reverse();
+                    v
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    criterion_group!(benches, work);
+
+    #[test]
+    fn harness_runs_end_to_end() {
+        std::env::set_var("SOCFLOW_BENCH_SAMPLES", "3");
+        benches();
+    }
+
+    #[test]
+    fn durations_format_by_magnitude() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert!(fmt_duration(Duration::from_micros(3)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(3)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with('s'));
+    }
+}

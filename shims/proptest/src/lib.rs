@@ -1,0 +1,312 @@
+//! Offline stand-in for `proptest`.
+//!
+//! This workspace builds without crates.io access, so the external
+//! `proptest` dependency is replaced by this path crate. It keeps the
+//! surface the test suite uses — the `proptest!` macro with an optional
+//! `#![proptest_config(..)]` header, `prop_assert!`/`prop_assert_eq!`/
+//! `prop_assert_ne!`/`prop_assume!`, range strategies and
+//! `collection::vec` — on top of a much simpler runner: each property
+//! draws `cases` random inputs from a per-test deterministic seed and
+//! panics on the first failing case. There is no shrinking and no
+//! persisted failure file; a failing case reports the assertion message
+//! only. Determinism is what the repository's reproducibility tests rely
+//! on: the seed is derived from the test name, so reruns draw identical
+//! inputs.
+
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Runner configuration; only the case count is tunable.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single drawn case did not pass.
+#[derive(Debug)]
+pub enum CaseError {
+    /// `prop_assume!` rejected the inputs; the case is redrawn, not counted.
+    Reject,
+    /// A `prop_assert*!` failed; the property is falsified.
+    Fail(String),
+}
+
+/// Types that can draw a value for one test case.
+pub trait Strategy {
+    type Value;
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with a length drawn from `size` and
+    /// elements drawn from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.size.clone());
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// FNV-1a, used to derive a per-test deterministic seed from its name.
+fn seed_for(name: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Draws and checks cases until `config.cases` accepted inputs pass.
+///
+/// # Panics
+/// Panics on the first falsified case, or when `prop_assume!` rejects an
+/// excessive share of the drawn inputs.
+pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), CaseError>,
+{
+    let mut rng = StdRng::seed_from_u64(seed_for(name));
+    let mut accepted = 0u32;
+    let mut rejected = 0u64;
+    while accepted < config.cases {
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(CaseError::Reject) => {
+                rejected += 1;
+                if rejected > config.cases as u64 * 256 {
+                    panic!(
+                        "property {name}: prop_assume! rejected {rejected} inputs \
+                         before reaching {} accepted cases",
+                        config.cases
+                    );
+                }
+            }
+            Err(CaseError::Fail(msg)) => {
+                panic!("property {name} falsified after {accepted} passing cases: {msg}")
+            }
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = $cfg:expr; $(
+        $(#[$attr:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$attr])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            $crate::run_cases(&__config, stringify!($name), |__rng| {
+                $(let $arg = $crate::Strategy::sample(&($strat), __rng);)+
+                $body
+                Ok(())
+            });
+        }
+    )*};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::CaseError::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::CaseError::Reject);
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::CaseError::Fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::CaseError::Fail(format!(
+                "assertion failed: {} ({})",
+                stringify!($cond),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return Err($crate::CaseError::Fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return Err($crate::CaseError::Fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?}): {}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if __l == __r {
+            return Err($crate::CaseError::Fail(format!(
+                "assertion failed: {} != {} (both: {:?})",
+                stringify!($left),
+                stringify!($right),
+                __l
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if __l == __r {
+            return Err($crate::CaseError::Fail(format!(
+                "assertion failed: {} != {} (both: {:?}): {}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(n in 3usize..17, f in -2.0f32..2.0) {
+            prop_assert!((3..17).contains(&n));
+            prop_assert!((-2.0..2.0).contains(&f));
+        }
+
+        #[test]
+        fn assume_filters_cases(a in 0usize..100, b in 0usize..100) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+        }
+
+        #[test]
+        fn vecs_match_requested_sizes(xs in crate::collection::vec(-1.0f32..1.0, 2..9)) {
+            prop_assert!((2..9).contains(&xs.len()), "len {}", xs.len());
+            for x in &xs {
+                prop_assert!((-1.0..1.0).contains(x));
+            }
+        }
+    }
+
+    #[test]
+    fn same_name_draws_same_inputs() {
+        let cfg = crate::ProptestConfig::with_cases(16);
+        let mut first = Vec::new();
+        crate::run_cases(&cfg, "stable", |rng| {
+            first.push(crate::Strategy::sample(&(0u64..1000), rng));
+            Ok(())
+        });
+        let mut second = Vec::new();
+        crate::run_cases(&cfg, "stable", |rng| {
+            second.push(crate::Strategy::sample(&(0u64..1000), rng));
+            Ok(())
+        });
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    #[should_panic(expected = "falsified")]
+    fn failing_property_panics() {
+        let cfg = crate::ProptestConfig::with_cases(8);
+        crate::run_cases(&cfg, "always_fails", |_| {
+            Err(crate::CaseError::Fail("nope".to_string()))
+        });
+    }
+}

@@ -1,0 +1,305 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! This workspace builds in environments with no crates.io access, so the
+//! external `rand` dependency is replaced by this path crate. It implements
+//! exactly the API subset the workspace uses — `rngs::StdRng`,
+//! `SeedableRng::seed_from_u64`, `Rng::gen`, `Rng::gen_range` and
+//! `Rng::gen_bool` — with the same trait shapes, so callers compile
+//! unchanged against either implementation.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64: a different,
+//! but equally deterministic, stream than upstream `rand`'s ChaCha-based
+//! `StdRng`. All reproducibility guarantees in this repository are
+//! *self-consistency* guarantees (same seed ⇒ same run), never guarantees
+//! about matching upstream `rand` byte-for-byte.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level generator interface: a source of uniform `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 uniform random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniform random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Deterministic construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// High-level sampling methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value from the type's standard distribution
+    /// (`f32`/`f64` in `[0, 1)`, full range for integers, fair `bool`).
+    fn gen<T: SampleStandard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Samples uniformly from a range (`a..b` or `a..=b`).
+    ///
+    /// Generic over the element type `T` (like upstream `rand`), so an
+    /// expected type propagates into untyped range literals:
+    /// `let x: f32 = rng.gen_range(0.0..1.0)` samples an `f32` range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "p={p} outside [0, 1]");
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types samplable by [`Rng::gen`].
+pub trait SampleStandard {
+    /// Draws one value from the standard distribution.
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl SampleStandard for f32 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        // 24 high bits → [0, 1) with full f32 mantissa coverage
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl SampleStandard for f64 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        // 53 high bits → [0, 1)
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl SampleStandard for bool {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl SampleStandard for $t {
+            fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges samplable by [`Rng::gen_range`], generic over the element type
+/// so type inference flows from the call site into range literals.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// Maps `next_u64` to `[0, span)` without modulo bias (widening multiply).
+fn bounded(rng: &mut impl RngCore, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    if span <= u64::MAX as u128 {
+        (rng.next_u64() as u128 * span) >> 64
+    } else {
+        // spans above 2^64 (inclusive full-width ranges): take 128 bits
+        let hi = rng.next_u64() as u128;
+        let lo = rng.next_u64() as u128;
+        ((hi << 64) | lo) % span
+    }
+}
+
+macro_rules! impl_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + bounded(rng, span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                (start as i128 + bounded(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let unit = <$t as SampleStandard>::sample_standard(rng);
+                let v = self.start + (self.end - self.start) * unit;
+                // guard the half-open contract against rounding at the top
+                if v >= self.end { self.start } else { v }
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let unit = <$t as SampleStandard>::sample_standard(rng);
+                start + (end - start) * unit
+            }
+        }
+    )*};
+}
+impl_range_float!(f32, f64);
+
+/// The concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard RNG: xoshiro256++ (not upstream `rand`'s
+    /// ChaCha12 — see the crate docs on self-consistent determinism).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion, the reference seeding for xoshiro
+            let mut sm = state;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    /// Alias kept for API compatibility with `rand::rngs::SmallRng`.
+    pub type SmallRng = StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<f64>().to_bits(), b.gen::<f64>().to_bits());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        let same: Vec<u64> = (0..8).map(|_| a.gen::<u64>()).collect();
+        let diff: Vec<u64> = (0..8).map(|_| c.gen::<u64>()).collect();
+        assert_ne!(same, diff);
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let f: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+            let d: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&d));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let u = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&u));
+            let i = rng.gen_range(-5isize..=5);
+            assert!((-5..=5).contains(&i));
+            let f = rng.gen_range(0.25f32..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let g = rng.gen_range(f64::EPSILON..1.0);
+            assert!(g > 0.0 && g < 1.0);
+        }
+    }
+
+    #[test]
+    fn ranges_cover_endpoints() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..=3)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "inclusive range must cover all");
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits {hits}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn works_through_mut_references() {
+        fn takes_impl(rng: &mut impl Rng) -> f32 {
+            helper(rng)
+        }
+        fn helper(rng: &mut impl Rng) -> f32 {
+            rng.gen_range(0.0f32..1.0)
+        }
+        let mut rng = StdRng::seed_from_u64(5);
+        let v = takes_impl(&mut rng);
+        assert!((0.0..1.0).contains(&v));
+    }
+}

@@ -1,0 +1,331 @@
+//! Offline stand-in for `serde` (+ the `Serialize`/`Deserialize` derives).
+//!
+//! This workspace builds in environments with no crates.io access, so the
+//! external `serde` dependency is replaced by this path crate. The public
+//! surface the workspace relies on is preserved — `use serde::{Serialize,
+//! Deserialize}` and `#[derive(Serialize, Deserialize)]` compile unchanged —
+//! but the machinery underneath is a small JSON-only data model rather than
+//! serde's generic `Serializer`/`Deserializer` architecture:
+//!
+//! - [`Serialize`] renders a value into a [`json::Value`] tree;
+//! - [`Deserialize`] rebuilds a value from a [`json::Value`] tree;
+//! - the companion `serde_json` shim provides `to_string` / `from_str` /
+//!   `to_vec` / `from_slice` over those trees.
+//!
+//! Representation choices mirror serde's defaults so traces and configs
+//! look familiar: structs are objects in declaration order, newtype structs
+//! are transparent, unit enum variants are strings, and data-carrying
+//! variants are externally tagged (`{"Variant": ...}`). Non-finite floats
+//! serialize as `null` (as `serde_json` does) and deserialize back as NaN.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod json;
+
+use json::{Error, Value};
+
+/// Types renderable as JSON. `#[derive(Serialize)]` implements this.
+pub trait Serialize {
+    /// Renders `self` as a JSON value tree.
+    fn to_json(&self) -> Value;
+}
+
+/// Types rebuildable from JSON. `#[derive(Deserialize)]` implements this.
+pub trait Deserialize: Sized {
+    /// Rebuilds a value from a JSON tree.
+    ///
+    /// # Errors
+    /// Returns an error when the tree's shape does not match `Self`.
+    fn from_json(v: &Value) -> Result<Self, Error>;
+}
+
+impl Serialize for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        v.as_bool()
+            .ok_or_else(|| Error::msg(format!("expected bool, got {}", v.kind())))
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json(v: &Value) -> Result<Self, Error> {
+                let n = v.as_u64().ok_or_else(|| {
+                    Error::msg(format!("expected unsigned integer, got {}", v.kind()))
+                })?;
+                <$t>::try_from(n)
+                    .map_err(|_| Error::msg(format!("integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json(v: &Value) -> Result<Self, Error> {
+                let n = v.as_i64().ok_or_else(|| {
+                    Error::msg(format!("expected integer, got {}", v.kind()))
+                })?;
+                <$t>::try_from(n)
+                    .map_err(|_| Error::msg(format!("integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn to_json(&self) -> Value {
+        if self.is_finite() {
+            Value::F64(*self as f64)
+        } else {
+            Value::Null
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        if v.is_null() {
+            return Ok(f32::NAN); // non-finite round-trip (serde_json: NaN → null)
+        }
+        v.as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| Error::msg(format!("expected number, got {}", v.kind())))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_json(&self) -> Value {
+        if self.is_finite() {
+            Value::F64(*self)
+        } else {
+            Value::Null
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        if v.is_null() {
+            return Ok(f64::NAN);
+        }
+        v.as_f64()
+            .ok_or_else(|| Error::msg(format!("expected number, got {}", v.kind())))
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::msg(format!("expected string, got {}", v.kind())))
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_json(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| Error::msg(format!("expected string, got {}", v.kind())))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::msg(format!("expected one char, got {s:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        if v.is_null() {
+            Ok(None)
+        } else {
+            T::from_json(v).map(Some)
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::msg(format!("expected array, got {}", v.kind())))?
+            .iter()
+            .map(T::from_json)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        let vec: Vec<T> = Deserialize::from_json(v)?;
+        let len = vec.len();
+        vec.try_into()
+            .map_err(|_| Error::msg(format!("expected array of {N}, got {len}")))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_json()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_json(v: &Value) -> Result<Self, Error> {
+                let items = v.as_array().ok_or_else(|| {
+                    Error::msg(format!("expected tuple array, got {}", v.kind()))
+                })?;
+                let want = [$($idx),+].len();
+                if items.len() != want {
+                    return Err(Error::msg(format!(
+                        "expected {want}-tuple, got {} items",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_json(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<K: Serialize + ToString, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_json(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_json()))
+                .collect(),
+        )
+    }
+}
+
+impl Serialize for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::json::Value;
+    use super::{Deserialize, Serialize};
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_json(&42u64.to_json()).unwrap(), 42);
+        assert_eq!(i32::from_json(&(-7i32).to_json()).unwrap(), -7);
+        assert_eq!(f32::from_json(&0.3f32.to_json()).unwrap(), 0.3);
+        assert!(bool::from_json(&true.to_json()).unwrap());
+        assert_eq!(
+            String::from_json(&"hi".to_string().to_json()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn nan_round_trips_as_null() {
+        let v = f32::NAN.to_json();
+        assert!(matches!(v, Value::Null));
+        assert!(f32::from_json(&v).unwrap().is_nan());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let xs = vec![1.5f64, -2.0, 0.0];
+        assert_eq!(Vec::<f64>::from_json(&xs.to_json()).unwrap(), xs);
+        let opt: Option<u32> = None;
+        assert_eq!(Option::<u32>::from_json(&opt.to_json()).unwrap(), None);
+        let pair = (3usize, 0.25f32);
+        assert_eq!(<(usize, f32)>::from_json(&pair.to_json()).unwrap(), pair);
+    }
+
+    #[test]
+    fn out_of_range_integers_error() {
+        let big = 300u64.to_json();
+        assert!(u8::from_json(&big).is_err());
+        let neg = (-1i64).to_json();
+        assert!(u32::from_json(&neg).is_err());
+    }
+}

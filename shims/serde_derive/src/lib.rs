@@ -1,0 +1,359 @@
+//! Offline stand-in for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` for the JSON-tree model in the `serde` shim.
+//!
+//! Real `serde_derive` builds on `syn`/`quote`; neither is available in an
+//! offline build, so this macro walks the raw [`proc_macro::TokenTree`]s of
+//! the item (attributes and visibility skipped, no generics support — the
+//! workspace derives only on concrete types) and emits the impl as source
+//! text parsed back into a `TokenStream`.
+//!
+//! Representation follows serde's defaults: named structs become objects in
+//! field order, newtype structs are transparent, tuple structs are arrays,
+//! unit structs are `null`, and enums are externally tagged.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let mut pairs = String::new();
+            for f in fields {
+                pairs.push_str(&format!(
+                    "(\"{f}\".to_string(), ::serde::Serialize::to_json(&self.{f})),"
+                ));
+            }
+            format!("::serde::json::Value::Object(vec![{pairs}])")
+        }
+        ItemKind::TupleStruct(1) => "::serde::Serialize::to_json(&self.0)".to_string(),
+        ItemKind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_json(&self.{i})"))
+                .collect();
+            format!("::serde::json::Value::Array(vec![{}])", items.join(","))
+        }
+        ItemKind::UnitStruct => "::serde::json::Value::Null".to_string(),
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "Self::{vname} => ::serde::json::Value::Str(\"{vname}\".to_string()),"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "Self::{vname}(f0) => ::serde::json::Value::Object(vec![\
+                         (\"{vname}\".to_string(), ::serde::Serialize::to_json(f0))]),"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_json({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "Self::{vname}({}) => ::serde::json::Value::Object(vec![\
+                             (\"{vname}\".to_string(), ::serde::json::Value::Array(vec![{}]))]),",
+                            binds.join(","),
+                            items.join(",")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let binds = fields.join(",");
+                        let pairs: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("(\"{f}\".to_string(), ::serde::Serialize::to_json({f}))")
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "Self::{vname} {{ {binds} }} => ::serde::json::Value::Object(vec![\
+                             (\"{vname}\".to_string(), ::serde::json::Value::Object(vec![{}]))]),",
+                            pairs.join(",")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {} {{\n\
+         fn to_json(&self) -> ::serde::json::Value {{ {body} }}\n\
+         }}",
+        item.name
+    );
+    out.parse().expect("derived Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_json(v.get(\"{f}\"))?,"
+                ));
+            }
+            format!("Ok(Self {{ {inits} }})")
+        }
+        ItemKind::TupleStruct(1) => {
+            "Ok(Self(::serde::Deserialize::from_json(v)?))".to_string()
+        }
+        ItemKind::TupleStruct(n) => format!(
+            "{{ let items = v.as_array().ok_or_else(|| \
+             ::serde::json::Error::msg(format!(\"expected array for {name}, got {{}}\", v.kind())))?;\n\
+             if items.len() != {n} {{ return Err(::serde::json::Error::msg(format!(\
+             \"expected {n} elements for {name}, got {{}}\", items.len()))); }}\n\
+             Ok(Self({})) }}",
+            (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_json(&items[{i}])?"))
+                .collect::<Vec<_>>()
+                .join(",")
+        ),
+        ItemKind::UnitStruct => "Ok(Self)".to_string(),
+        ItemKind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!("\"{vname}\" => Ok(Self::{vname}),"));
+                    }
+                    VariantKind::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vname}\" => Ok(Self::{vname}(::serde::Deserialize::from_json(inner)?)),"
+                    )),
+                    VariantKind::Tuple(n) => data_arms.push_str(&format!(
+                        "\"{vname}\" => {{ let items = inner.as_array().ok_or_else(|| \
+                         ::serde::json::Error::msg(\"expected array for variant {vname}\"))?;\n\
+                         if items.len() != {n} {{ return Err(::serde::json::Error::msg(format!(\
+                         \"expected {n} elements for {name}::{vname}, got {{}}\", items.len()))); }}\n\
+                         Ok(Self::{vname}({})) }},",
+                        (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_json(&items[{i}])?"))
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    )),
+                    VariantKind::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_json(inner.get(\"{f}\"))?"
+                                )
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => Ok(Self::{vname} {{ {} }}),",
+                            inits.join(",")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let Some(tag) = v.as_str() {{\n\
+                 return match tag {{ {unit_arms} other => Err(::serde::json::Error::msg(\
+                 format!(\"unknown variant {{other:?}} for {name}\"))) }};\n\
+                 }}\n\
+                 if let Some(fields) = v.as_object() {{\n\
+                 if fields.len() == 1 {{\n\
+                 let (tag, inner) = &fields[0];\n\
+                 let _ = inner;\n\
+                 return match tag.as_str() {{ {data_arms} other => Err(::serde::json::Error::msg(\
+                 format!(\"unknown variant {{other:?}} for {name}\"))) }};\n\
+                 }}\n\
+                 }}\n\
+                 Err(::serde::json::Error::msg(format!(\
+                 \"expected variant tag for {name}, got {{}}\", v.kind())))"
+            )
+        }
+    };
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_json(v: &::serde::json::Value) -> \
+         ::std::result::Result<Self, ::serde::json::Error> {{\n{body}\n}}\n\
+         }}"
+    );
+    out.parse().expect("derived Deserialize impl must parse")
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+    let keyword = match &toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match &toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, found {other:?}"),
+    };
+    i += 1;
+    if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive(Serialize/Deserialize) shim does not support generic types");
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match &toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::NamedStruct(parse_field_names(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::TupleStruct(count_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => ItemKind::UnitStruct,
+            other => panic!("unsupported struct body: {other:?}"),
+        },
+        "enum" => match &toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body, found {other:?}"),
+        },
+        kw => panic!("cannot derive Serialize/Deserialize for `{kw}` items"),
+    };
+    Item { name, kind }
+}
+
+/// Advances past any `#[...]` attributes and a `pub` / `pub(...)` qualifier.
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match (toks.get(*i), toks.get(*i + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                *i += 2;
+            }
+            (Some(TokenTree::Ident(id)), next) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(next, Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Extracts field names from a named-struct / struct-variant body.
+fn parse_field_names(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        let Some(TokenTree::Ident(id)) = toks.get(i) else {
+            break;
+        };
+        names.push(id.to_string());
+        i += 1;
+        // skip `:` then the type, up to the next top-level comma
+        // (commas inside generic arguments sit at angle depth > 0)
+        let mut angle_depth = 0i32;
+        while let Some(tt) = toks.get(i) {
+            if let TokenTree::Punct(p) = tt {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    names
+}
+
+/// Counts fields in a tuple-struct / tuple-variant body.
+fn count_fields(stream: TokenStream) -> usize {
+    let mut fields = 0;
+    let mut pending = false;
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    fields += 1;
+                    pending = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        pending = true;
+    }
+    if pending {
+        fields += 1;
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        let Some(TokenTree::Ident(id)) = toks.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_field_names(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        // skip an explicit discriminant (`= expr`) and the trailing comma
+        while let Some(tt) = toks.get(i) {
+            i += 1;
+            if matches!(tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+    }
+    variants
+}

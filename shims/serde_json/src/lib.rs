@@ -1,0 +1,156 @@
+//! Offline stand-in for `serde_json`, layered on the `serde` shim's JSON
+//! data model. Provides the entry points the workspace uses:
+//! [`to_string`], [`to_string_pretty`], [`to_vec`], [`from_str`],
+//! [`from_slice`] and the [`Value`]/[`Error`] types.
+
+pub use serde::json::{Error, Value};
+
+use serde::{Deserialize, Serialize};
+
+/// Serializes a value to compact JSON.
+///
+/// # Errors
+/// Never fails for types produced by the shim derives; the `Result` is kept
+/// for call-site compatibility with real `serde_json`.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json().to_compact())
+}
+
+/// Serializes a value to two-space-indented JSON.
+///
+/// # Errors
+/// Never fails for types produced by the shim derives.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json().to_pretty())
+}
+
+/// Serializes a value to compact JSON bytes.
+///
+/// # Errors
+/// Never fails for types produced by the shim derives.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Parses a value from a JSON string.
+///
+/// # Errors
+/// Fails on malformed JSON or a shape mismatch with `T`.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    T::from_json(&serde::json::parse(s)?)
+}
+
+/// Parses a value from JSON bytes.
+///
+/// # Errors
+/// Fails on invalid UTF-8, malformed JSON, or a shape mismatch with `T`.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::msg(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Point {
+        x: f64,
+        y: f64,
+        label: String,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Wrapper(usize);
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Pair(f32, f32);
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Marker;
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Shape {
+        Dot,
+        Circle(f64),
+        Segment(f64, f64),
+        Rect { w: f64, h: f64 },
+    }
+
+    #[test]
+    fn named_struct_round_trips() {
+        let p = Point {
+            x: 1.5,
+            y: -0.25,
+            label: "origin-ish".to_string(),
+        };
+        let s = super::to_string(&p).unwrap();
+        assert_eq!(s, r#"{"x":1.5,"y":-0.25,"label":"origin-ish"}"#);
+        assert_eq!(super::from_str::<Point>(&s).unwrap(), p);
+    }
+
+    #[test]
+    fn newtype_is_transparent() {
+        let w = Wrapper(42);
+        let s = super::to_string(&w).unwrap();
+        assert_eq!(s, "42");
+        assert_eq!(super::from_str::<Wrapper>(&s).unwrap(), w);
+    }
+
+    #[test]
+    fn tuple_struct_is_array() {
+        let p = Pair(0.5, 2.0);
+        let s = super::to_string(&p).unwrap();
+        assert_eq!(s, "[0.5,2.0]");
+        assert_eq!(super::from_str::<Pair>(&s).unwrap(), p);
+    }
+
+    #[test]
+    fn unit_struct_is_null() {
+        assert_eq!(super::to_string(&Marker).unwrap(), "null");
+        assert_eq!(super::from_str::<Marker>("null").unwrap(), Marker);
+    }
+
+    #[test]
+    fn enums_are_externally_tagged() {
+        let cases = [
+            (Shape::Dot, r#""Dot""#),
+            (Shape::Circle(2.0), r#"{"Circle":2.0}"#),
+            (Shape::Segment(0.0, 1.0), r#"{"Segment":[0.0,1.0]}"#),
+            (
+                Shape::Rect { w: 3.0, h: 4.0 },
+                r#"{"Rect":{"w":3.0,"h":4.0}}"#,
+            ),
+        ];
+        for (shape, expected) in cases {
+            let s = super::to_string(&shape).unwrap();
+            assert_eq!(s, expected);
+            assert_eq!(super::from_str::<Shape>(&s).unwrap(), shape);
+        }
+    }
+
+    #[test]
+    fn unknown_variant_errors() {
+        assert!(super::from_str::<Shape>(r#""Blob""#).is_err());
+        assert!(super::from_str::<Shape>(r#"{"Blob":1}"#).is_err());
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let p = Point {
+            x: 0.0,
+            y: 9.0,
+            label: String::new(),
+        };
+        let s = super::to_string_pretty(&p).unwrap();
+        assert!(s.contains("\n  \"x\": 0.0"));
+        assert_eq!(super::from_str::<Point>(&s).unwrap(), p);
+    }
+
+    #[test]
+    fn slice_round_trip() {
+        let w = Wrapper(7);
+        let bytes = super::to_vec(&w).unwrap();
+        assert_eq!(super::from_slice::<Wrapper>(&bytes).unwrap(), w);
+    }
+}

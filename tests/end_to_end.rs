@@ -5,8 +5,8 @@
 //! in what order, and by roughly what kind of factor.
 
 use socflow::config::{MethodSpec, SocFlowConfig, TrainJobSpec};
-use socflow::report::REFERENCE_CONVERGENCE_SCALE;
 use socflow::engine::{Engine, Workload};
+use socflow::report::REFERENCE_CONVERGENCE_SCALE;
 use socflow_baselines::suite::{run_methods, SuiteScale};
 use socflow_data::DatasetPreset;
 use socflow_nn::models::ModelKind;

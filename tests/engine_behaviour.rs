@@ -25,10 +25,7 @@ fn alpha_trace_semantics() {
     let w = Workload::standard(&s, 1024, 8, 0.5);
     let adaptive = Engine::new(s, w.clone()).run();
     assert_eq!(adaptive.alpha_trace.len(), 6);
-    assert!(adaptive
-        .alpha_trace
-        .iter()
-        .all(|a| (0.0..=1.0).contains(a)));
+    assert!(adaptive.alpha_trace.iter().all(|a| (0.0..=1.0).contains(a)));
 
     let mut fp_cfg = SocFlowConfig::with_groups(4);
     fp_cfg.mixed_precision = false;
@@ -41,7 +38,10 @@ fn alpha_trace_semantics() {
     let mut rs = s;
     rs.method = MethodSpec::Ring;
     let ring = Engine::new(rs, w).run();
-    assert!(ring.alpha_trace.iter().all(|a| a.is_nan()), "baselines record no α");
+    assert!(
+        ring.alpha_trace.iter().all(|a| a.is_nan()),
+        "baselines record no α"
+    );
 }
 
 /// Capping accuracy streams must not change the simulated time/energy —
@@ -74,9 +74,7 @@ fn fault_plan_edge_cases() {
     let calm_plan = FaultPlan::sample(16, 1e-9, 3600.0, 3600.0, 1);
     assert!(calm_plan.events().is_empty());
     let base = Engine::new(s, w.clone()).run();
-    let calm = Engine::new(s, w.clone())
-        .with_fault_plan(calm_plan)
-        .run();
+    let calm = Engine::new(s, w.clone()).with_fault_plan(calm_plan).run();
     assert_eq!(base.epoch_accuracy, calm.epoch_accuracy);
 
     // fault storm: every SoC faults almost immediately

@@ -4,9 +4,7 @@
 //! quantization error bounds, and partitioner correctness.
 
 use proptest::prelude::*;
-use socflow::mapping::{
-    brute_force_min_conflicts, group_sizes, integrity_greedy, GroupId,
-};
+use socflow::mapping::{brute_force_min_conflicts, group_sizes, integrity_greedy, GroupId};
 use socflow::planning::divide_communication_groups;
 use socflow_cluster::{ClusterNet, ClusterSpec, Flow, SocId};
 use socflow_collectives::{allreduce_sum, ring_allreduce_sum};
@@ -306,5 +304,58 @@ proptest! {
         let c2 = u.cosine_similarity(&t);
         prop_assert!((c1 - c2).abs() < 1e-6, "symmetry");
         prop_assert!((-1.0001..=1.0001).contains(&c1), "bounded");
+    }
+}
+
+// Determinism properties run full (tiny) training jobs, so they get far
+// fewer cases than the algebraic invariants above.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Same seed ⇒ byte-identical run results AND byte-identical telemetry
+    /// traces. Everything downstream (run reports, trace files, the
+    /// summarizer) relies on runs being exactly reproducible; events are
+    /// emitted from the coordinating thread only, so the group threads'
+    /// scheduling must not leak into the stream.
+    #[test]
+    fn runs_and_traces_are_deterministic(
+        seed in 0u64..1000,
+        groups in 1usize..4,
+        epochs in 1usize..3,
+    ) {
+        use socflow::config::{MethodSpec, SocFlowConfig, TrainJobSpec};
+        use socflow::engine::{Engine, Workload};
+        use socflow_nn::models::ModelKind;
+        use socflow_data::DatasetPreset;
+        use socflow_telemetry::MemorySink;
+        use std::sync::Arc;
+
+        let run = || {
+            let cfg = SocFlowConfig::with_groups(groups);
+            let mut spec = TrainJobSpec::new(
+                ModelKind::LeNet5,
+                DatasetPreset::FashionMnist,
+                MethodSpec::SocFlow(cfg),
+            );
+            spec.socs = 8;
+            spec.epochs = epochs;
+            spec.global_batch = 32;
+            spec.seed = seed;
+            let workload = Workload::standard(&spec, 96, 8, 0.5);
+            let sink = Arc::new(MemorySink::new());
+            let result = Engine::new(spec, workload).with_sink(sink.clone()).run();
+            let result_json = serde_json::to_string(&result).unwrap();
+            let trace: Vec<String> = sink
+                .take()
+                .iter()
+                .map(|e| serde_json::to_string(e).unwrap())
+                .collect();
+            (result_json, trace)
+        };
+        let (r1, t1) = run();
+        let (r2, t2) = run();
+        prop_assert_eq!(r1, r2, "RunResult must be byte-identical");
+        prop_assert!(!t1.is_empty(), "trace must not be empty");
+        prop_assert_eq!(t1, t2, "telemetry traces must be byte-identical");
     }
 }
