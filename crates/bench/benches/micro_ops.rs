@@ -7,8 +7,8 @@ use socflow::mapping::integrity_greedy;
 use socflow::planning::divide_communication_groups;
 use socflow_cluster::{ClusterNet, ClusterSpec, Flow, SocId};
 use socflow_collectives::{Collective, RingAllReduce};
-use socflow_tensor::conv::{conv2d, ConvParams};
-use socflow_tensor::quant::{self, QuantParams};
+use socflow_tensor::conv::{conv2d, conv2d_scratch, ConvParams, ConvScratch};
+use socflow_tensor::quant::{self, QuantFormat, QuantParams};
 use socflow_tensor::{linalg, Shape, Tensor};
 
 fn rand_tensor(shape: impl Into<Shape>, seed: u64) -> Tensor {
@@ -31,6 +31,25 @@ fn bench_matmul(c: &mut Criterion) {
     c.bench_function("matmul_128", |bench| {
         bench.iter(|| linalg::matmul(std::hint::black_box(&a), std::hint::black_box(&b)))
     });
+    // transposed-operand GEMMs: the backward pass runs almost entirely on
+    // these two, so they deserve their own baselines
+    c.bench_function("matmul_at_b_128", |bench| {
+        bench.iter(|| linalg::matmul_at_b(std::hint::black_box(&a), std::hint::black_box(&b)))
+    });
+    c.bench_function("matmul_a_bt_128", |bench| {
+        bench.iter(|| linalg::matmul_a_bt(std::hint::black_box(&a), std::hint::black_box(&b)))
+    });
+    // preallocated-output path: isolates kernel time from allocation
+    let mut out = Tensor::zeros([128, 128]);
+    c.bench_function("matmul_128_into", |bench| {
+        bench.iter(|| {
+            linalg::matmul_into(std::hint::black_box(&a), std::hint::black_box(&b), &mut out)
+        })
+    });
+    let t = rand_tensor([256, 256], 6);
+    c.bench_function("transpose_256", |bench| {
+        bench.iter(|| linalg::transpose(std::hint::black_box(&t)))
+    });
 }
 
 fn bench_conv2d(c: &mut Criterion) {
@@ -45,6 +64,20 @@ fn bench_conv2d(c: &mut Criterion) {
             )
         })
     });
+    // pooled-scratch path — what the conv layers actually run per batch
+    let mut scratch = ConvScratch::default();
+    let mut y = Tensor::default();
+    c.bench_function("conv2d_16x16x16_to_32_pooled", |bench| {
+        bench.iter(|| {
+            conv2d_scratch(
+                std::hint::black_box(&x),
+                std::hint::black_box(&w),
+                ConvParams::new(1, 1),
+                &mut scratch,
+                &mut y,
+            )
+        })
+    });
 }
 
 fn bench_quantization(c: &mut Criterion) {
@@ -52,6 +85,11 @@ fn bench_quantization(c: &mut Criterion) {
     let p = QuantParams::from_tensor(&t);
     c.bench_function("fake_quant_64k", |bench| {
         bench.iter(|| quant::fake_quant(std::hint::black_box(&t), p))
+    });
+    // fused quantize→dequantize into a pooled buffer (the layers' path)
+    let mut out = Tensor::default();
+    c.bench_function("fake_quant_64k_fused", |bench| {
+        bench.iter(|| QuantFormat::Int8.fake_quant_into(std::hint::black_box(&t), &mut out))
     });
 }
 

@@ -14,6 +14,9 @@ pub struct Options {
     pub json: bool,
     /// Write a JSONL telemetry trace of the run to this path.
     pub trace: Option<String>,
+    /// Enable the host kernel profiler for the run: KernelTotals events
+    /// land in the trace, and a host-time attribution table is printed.
+    pub profile_kernels: bool,
 }
 
 impl Default for Options {
@@ -29,6 +32,7 @@ impl Default for Options {
             seed: 42,
             json: false,
             trace: None,
+            profile_kernels: false,
         }
     }
 }
@@ -44,6 +48,10 @@ impl Options {
         while let Some(flag) = it.next() {
             if flag == "--json" {
                 o.json = true;
+                continue;
+            }
+            if flag == "--profile-kernels" {
+                o.profile_kernels = true;
                 continue;
             }
             let value = it
@@ -109,6 +117,14 @@ mod tests {
         let o = parse(&["--trace", "run.jsonl"]).unwrap();
         assert_eq!(o.trace.as_deref(), Some("run.jsonl"));
         assert!(parse(&["--trace"]).is_err());
+    }
+
+    #[test]
+    fn profile_kernels_is_a_bare_switch() {
+        let o = parse(&["--profile-kernels", "--epochs", "2"]).unwrap();
+        assert!(o.profile_kernels);
+        assert_eq!(o.epochs, 2);
+        assert!(!parse(&[]).unwrap().profile_kernels);
     }
 
     #[test]

@@ -1,0 +1,313 @@
+//! `socflow-cli bench kernels` — the reproducible kernel benchmark
+//! baseline.
+//!
+//! Runs the tensor micro-kernels the training hot path lives in (tiled
+//! GEMM variants, transpose, the pooled conv2d forward/backward, the fused
+//! fake-quantize pass) on fixed shapes with deterministic inputs, and
+//! reports minimum wall time per iteration plus achieved GFLOP/s. With
+//! `--json <path>` the numbers are also written as a machine-readable
+//! baseline file (`BENCH_kernels.json` in the repo root records one
+//! reference machine); CI's bench-smoke job runs `--fast` to keep the
+//! harness itself from rotting.
+//!
+//! Minimum-of-N timing is used instead of the mean: the minimum estimates
+//! the noise-free cost of the kernel, which is the number optimization
+//! work should be judged against.
+
+use socflow_tensor::conv::{self, ConvParams, ConvScratch};
+use socflow_tensor::quant::QuantFormat;
+use socflow_tensor::{linalg, Tensor};
+use std::time::Instant;
+
+/// One benchmark measurement.
+struct Measurement {
+    op: &'static str,
+    shape: String,
+    iters: u32,
+    ns_per_iter: f64,
+    /// Floating-point (or element, for data-movement ops) operations per
+    /// iteration — the numerator of the GFLOP/s column.
+    flops: f64,
+}
+
+impl Measurement {
+    fn gflops(&self) -> f64 {
+        if self.ns_per_iter > 0.0 {
+            self.flops / self.ns_per_iter
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Deterministic pseudo-random fill (splitmix-style), so every run of the
+/// suite — on any machine — benches identical inputs.
+fn fill(data: &mut [f32], mut seed: u64) {
+    for v in data.iter_mut() {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *v = ((seed >> 33) as u32 as f64 / u32::MAX as f64 - 0.5) as f32;
+    }
+}
+
+fn tensor(shape: impl Into<socflow_tensor::Shape>, seed: u64) -> Tensor {
+    let mut t = Tensor::zeros(shape);
+    fill(t.data_mut(), seed);
+    t
+}
+
+/// Minimum wall time of `iters` timed runs after `warmup` untimed ones.
+fn time_min(iters: u32, warmup: u32, mut f: impl FnMut()) -> f64 {
+    for _ in 0..warmup {
+        f();
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
+/// Runs the full suite. `fast` trims iteration counts to smoke-test level.
+fn run_suite(fast: bool) -> Vec<Measurement> {
+    let (iters, warmup) = if fast { (3, 1) } else { (20, 3) };
+    let mut out = Vec::new();
+
+    // --- GEMM family at the transformer/classifier-head scale -----------
+    let (m, k, n) = (128, 128, 128);
+    let a = tensor([m, k], 0x5eed_0001);
+    let b = tensor([k, n], 0x5eed_0002);
+    let mut c = Tensor::zeros([m, n]);
+    let gemm_flops = 2.0 * (m * k * n) as f64;
+    let ns = time_min(iters, warmup, || {
+        linalg::matmul_slices(a.data(), b.data(), c.data_mut(), m, k, n);
+    });
+    out.push(Measurement {
+        op: "matmul",
+        shape: format!("{m}x{k}x{n}"),
+        iters,
+        ns_per_iter: ns,
+        flops: gemm_flops,
+    });
+
+    let at = tensor([k, m], 0x5eed_0003); // Aᵀ stored (k, m)
+    let ns = time_min(iters, warmup, || {
+        linalg::matmul_at_b_slices(at.data(), b.data(), c.data_mut(), m, k, n);
+    });
+    out.push(Measurement {
+        op: "matmul_at_b",
+        shape: format!("{m}x{k}x{n}"),
+        iters,
+        ns_per_iter: ns,
+        flops: gemm_flops,
+    });
+
+    let bt = tensor([n, k], 0x5eed_0004); // Bᵀ stored (n, k)
+    let ns = time_min(iters, warmup, || {
+        linalg::matmul_a_bt_slices(a.data(), bt.data(), c.data_mut(), m, k, n);
+    });
+    out.push(Measurement {
+        op: "matmul_a_bt",
+        shape: format!("{m}x{k}x{n}"),
+        iters,
+        ns_per_iter: ns,
+        flops: gemm_flops,
+    });
+
+    // Awkward edge-tail shape: exercises the partial-tile paths.
+    let (m2, k2, n2) = (96, 33, 65);
+    let a2 = tensor([m2, k2], 0x5eed_0005);
+    let b2 = tensor([k2, n2], 0x5eed_0006);
+    let mut c2 = Tensor::zeros([m2, n2]);
+    let ns = time_min(iters, warmup, || {
+        linalg::matmul_slices(a2.data(), b2.data(), c2.data_mut(), m2, k2, n2);
+    });
+    out.push(Measurement {
+        op: "matmul",
+        shape: format!("{m2}x{k2}x{n2}"),
+        iters,
+        ns_per_iter: ns,
+        flops: 2.0 * (m2 * k2 * n2) as f64,
+    });
+
+    // --- Transpose (data movement; "flops" = elements moved) ------------
+    let (tm, tn) = (256, 256);
+    let src = tensor([tm, tn], 0x5eed_0007);
+    let mut dst = Tensor::zeros([tn, tm]);
+    let ns = time_min(iters, warmup, || {
+        linalg::transpose_slices(src.data(), dst.data_mut(), tm, tn);
+    });
+    out.push(Measurement {
+        op: "transpose",
+        shape: format!("{tm}x{tn}"),
+        iters,
+        ns_per_iter: ns,
+        flops: (tm * tn) as f64,
+    });
+
+    // --- Conv2d through the pooled scratch path --------------------------
+    let (cn, ic, hw, oc, kk) = (4, 16, 16, 32, 3);
+    let p = ConvParams::new(1, 1);
+    let x = tensor([cn, ic, hw, hw], 0x5eed_0008);
+    let w = tensor([oc, ic, kk, kk], 0x5eed_0009);
+    let mut scratch = ConvScratch::default();
+    let mut y = Tensor::default();
+    let oh = p.out_size(hw, kk);
+    let conv_flops = 2.0 * (cn * oh * oh * oc * ic * kk * kk) as f64;
+    let ns = time_min(iters, warmup, || {
+        conv::conv2d_scratch(&x, &w, p, &mut scratch, &mut y);
+    });
+    out.push(Measurement {
+        op: "conv2d",
+        shape: format!("{cn}x{ic}x{hw}x{hw}->{oc}"),
+        iters,
+        ns_per_iter: ns,
+        flops: conv_flops,
+    });
+
+    let gy = tensor(y.shape().clone(), 0x5eed_000a);
+    let patches = scratch.patches.clone();
+    let mut back = ConvScratch::default();
+    let (mut gx, mut gw) = (Tensor::default(), Tensor::default());
+    let ns = time_min(iters, warmup, || {
+        conv::conv2d_backward_scratch(&gy, &patches, &w, x.shape(), p, &mut back, &mut gx, &mut gw);
+    });
+    out.push(Measurement {
+        op: "conv2d_backward",
+        shape: format!("{cn}x{ic}x{hw}x{hw}->{oc}"),
+        iters,
+        ns_per_iter: ns,
+        flops: 2.0 * conv_flops, // two GEMMs of the forward's size
+    });
+
+    // --- Fused quantize→dequantize ---------------------------------------
+    let q_in = tensor([256, 256], 0x5eed_000b);
+    let mut q_out = Tensor::default();
+    let ns = time_min(iters, warmup, || {
+        QuantFormat::Int8.fake_quant_into(&q_in, &mut q_out);
+    });
+    out.push(Measurement {
+        op: "fake_quant_int8",
+        shape: "65536".into(),
+        iters,
+        ns_per_iter: ns,
+        flops: (256 * 256) as f64,
+    });
+
+    out
+}
+
+fn to_json(results: &[Measurement], fast: bool) -> serde_json::Value {
+    use serde_json::Value;
+    let rows = results
+        .iter()
+        .map(|r| {
+            Value::Object(vec![
+                ("op".into(), Value::Str(r.op.into())),
+                ("shape".into(), Value::Str(r.shape.clone())),
+                ("iters".into(), Value::U64(u64::from(r.iters))),
+                ("ns_per_iter".into(), Value::F64(r.ns_per_iter)),
+                ("gflops".into(), Value::F64(r.gflops())),
+            ])
+        })
+        .collect();
+    Value::Object(vec![
+        (
+            "schema".into(),
+            Value::Str("socflow-kernel-bench/v1".into()),
+        ),
+        (
+            "mode".into(),
+            Value::Str(if fast { "fast" } else { "full" }.into()),
+        ),
+        ("results".into(), Value::Array(rows)),
+    ])
+}
+
+/// `socflow-cli bench kernels [--fast] [--json <path>]`.
+///
+/// # Errors
+/// Returns a message on unknown operands or an unwritable `--json` path.
+pub fn bench(argv: &[String]) -> Result<(), String> {
+    let usage = "usage: socflow-cli bench kernels [--fast] [--json <path>]";
+    let mut it = argv.iter();
+    match it.next().map(String::as_str) {
+        Some("kernels") => {}
+        _ => return Err(usage.into()),
+    }
+    let mut fast = false;
+    let mut json_path: Option<String> = None;
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--fast" => fast = true,
+            "--json" => {
+                json_path = Some(it.next().cloned().ok_or("`--json` needs a path")?);
+            }
+            other => return Err(format!("unknown bench flag `{other}`\n{usage}")),
+        }
+    }
+
+    let results = run_suite(fast);
+    println!(
+        "{:<16} {:<18} {:>6} {:>12} {:>9}",
+        "op", "shape", "iters", "ns/iter", "GFLOP/s"
+    );
+    for r in &results {
+        println!(
+            "{:<16} {:<18} {:>6} {:>12.0} {:>9.3}",
+            r.op,
+            r.shape,
+            r.iters,
+            r.ns_per_iter,
+            r.gflops()
+        );
+    }
+    if let Some(path) = json_path {
+        let doc = to_json(&results, fast);
+        let text = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
+        std::fs::write(&path, text + "\n")
+            .map_err(|e| format!("cannot write bench file `{path}`: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_suite_runs_and_serializes() {
+        let results = run_suite(true);
+        assert!(results.len() >= 7, "suite covers every kernel family");
+        for r in &results {
+            assert!(r.ns_per_iter.is_finite() && r.ns_per_iter > 0.0, "{}", r.op);
+            assert!(r.gflops() > 0.0, "{}", r.op);
+        }
+        let doc = to_json(&results, true);
+        assert_eq!(doc.get("schema").as_str(), Some("socflow-kernel-bench/v1"));
+        assert_eq!(doc.get("mode").as_str(), Some("fast"));
+        assert_eq!(doc.get("results").as_array().unwrap().len(), results.len());
+    }
+
+    #[test]
+    fn bench_rejects_bad_operands() {
+        let args = |s: &[&str]| s.iter().map(|x| x.to_string()).collect::<Vec<_>>();
+        assert!(bench(&args(&[])).is_err());
+        assert!(bench(&args(&["cache"])).is_err());
+        assert!(bench(&args(&["kernels", "--json"])).is_err());
+        assert!(bench(&args(&["kernels", "--turbo"])).is_err());
+    }
+
+    #[test]
+    fn deterministic_fill_is_seed_stable() {
+        let a = tensor([4, 4], 7);
+        let b = tensor([4, 4], 7);
+        let c = tensor([4, 4], 8);
+        assert_eq!(a.data(), b.data());
+        assert_ne!(a.data(), c.data());
+    }
+}

@@ -23,9 +23,13 @@ USAGE:
   socflow-cli compare [--model M] [--dataset D] [--socs N] [--epochs E]
   socflow-cli tidal [--socs N] [--seed S]
   socflow-cli trace summarize <run.jsonl>
+  socflow-cli bench kernels [--fast] [--json <path>]
   socflow-cli info
 
   --trace <path> (train): write a JSONL telemetry trace of the run
+  --profile-kernels (train): attribute host compute time to tensor
+      kernels (matmul/conv/quant) — printed after the run and recorded
+      in the trace as KernelTotals events
 
   models:   lenet5 | vgg11 | resnet18 | resnet50 | mobilenet | tinyvit
   datasets: cifar10 | emnist | fmnist | celeba | cinic10
@@ -140,7 +144,27 @@ pub fn train(opts: &Options) -> Result<(), String> {
             .map_err(|e| format!("cannot create trace file `{path}`: {e}"))?;
         sched = sched.with_sink(Arc::new(writer));
     }
+    let profile_base = opts.profile_kernels.then(|| {
+        socflow_tensor::profile::set_enabled(true);
+        socflow_tensor::profile::snapshot()
+    });
     let result = sched.run();
+    if let Some(base) = profile_base {
+        socflow_tensor::profile::set_enabled(false);
+        // stderr keeps `--json` stdout machine-readable
+        eprintln!("\nhost kernel time:");
+        for (b, n) in base.iter().zip(socflow_tensor::profile::snapshot()) {
+            let calls = n.calls.saturating_sub(b.calls);
+            if calls > 0 {
+                eprintln!(
+                    "  {:<14} {:>10.3} ms  {:>8} calls",
+                    n.op,
+                    n.nanos.saturating_sub(b.nanos) as f64 / 1e6,
+                    calls
+                );
+            }
+        }
+    }
 
     if opts.json {
         println!(

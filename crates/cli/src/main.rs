@@ -7,10 +7,12 @@
 //! socflow-cli compare [--model M] [--dataset D] [--socs N] [--epochs E]
 //! socflow-cli tidal [--socs N] [--seed S]
 //! socflow-cli trace summarize <run.jsonl>
+//! socflow-cli bench kernels [--fast] [--json <path>]
 //! socflow-cli info
 //! ```
 
 mod args;
+mod bench;
 mod commands;
 
 fn main() {
@@ -20,9 +22,14 @@ fn main() {
         std::process::exit(2);
     }
     let cmd = argv.remove(0);
-    // `trace` takes positional operands, not `--flag value` pairs
-    if cmd == "trace" {
-        if let Err(e) = commands::trace(&argv) {
+    // `trace` and `bench` take positional operands, not `--flag value` pairs
+    if cmd == "trace" || cmd == "bench" {
+        let outcome = if cmd == "trace" {
+            commands::trace(&argv)
+        } else {
+            bench::bench(&argv)
+        };
+        if let Err(e) = outcome {
             eprintln!("error: {e}");
             std::process::exit(1);
         }

@@ -104,23 +104,40 @@ impl Workload {
     }
 }
 
+/// The NPU-side half of a mixed-precision replica.
+struct Int8Arm {
+    net: Network,
+    opt: Sgd,
+}
+
 /// One independent SGD stream (a group replica).
 struct Replica {
     net: Network,
     opt: Sgd,
-    /// Scratch copy used as the INT8-side model in mixed precision.
-    int8_net: Network,
-    int8_opt: Sgd,
+    /// INT8-side model + optimizer, built only for methods that run mixed
+    /// steps — every other method is spared a full `Network` clone per
+    /// replica.
+    int8: Option<Box<Int8Arm>>,
+    /// Flat-weight staging reused across mixed steps (FP32 side / merge).
+    stage_fp32: Vec<f32>,
+    /// Flat-weight staging reused across mixed steps (INT8 side).
+    stage_int8: Vec<f32>,
 }
 
 impl Replica {
-    fn new(net: Network, lr: f32, momentum: f32) -> Self {
-        let int8_net = net.clone();
+    fn new(net: Network, lr: f32, momentum: f32, with_int8: bool) -> Self {
+        let int8 = with_int8.then(|| {
+            Box::new(Int8Arm {
+                net: net.clone(),
+                opt: Sgd::new(lr, momentum, 5e-4),
+            })
+        });
         Replica {
             net,
             opt: Sgd::new(lr, momentum, 5e-4),
-            int8_net,
-            int8_opt: Sgd::new(lr, momentum, 5e-4),
+            int8,
+            stage_fp32: Vec::new(),
+            stage_int8: Vec::new(),
         }
     }
 
@@ -128,8 +145,9 @@ impl Replica {
     /// bounded below by `floor`.
     fn decay_lr_floored(&mut self, factor: f32, floor: f32) {
         self.opt.set_lr((self.opt.lr() * factor).max(floor));
-        self.int8_opt
-            .set_lr((self.int8_opt.lr() * factor).max(floor));
+        if let Some(arm) = &mut self.int8 {
+            arm.opt.set_lr((arm.opt.lr() * factor).max(floor));
+        }
     }
 
     /// One plain SGD step at a fixed precision.
@@ -148,16 +166,21 @@ impl Replica {
 
     /// One mixed-precision step: CPU-FP32 and NPU-INT8 models train on
     /// disjoint batch parts from the same starting weights, then merge
-    /// (paper Eq. 5).
+    /// (paper Eq. 5). Weight staging goes through the replica's scratch
+    /// vectors, so steady-state steps allocate nothing.
     fn mixed_step(&mut self, batch: &Batch, ctrl: &MixedPrecisionController) {
         if batch.is_empty() {
             return;
         }
+        let arm = self
+            .int8
+            .as_mut()
+            .expect("mixed_step on a replica built without the INT8 arm");
         let (cpu_n, _npu_n) = ctrl.split_batch(batch.len());
         let (cpu_b, npu_b) = batch.split(cpu_n);
         // both sides start from the merged weights
-        let start = self.net.flat_weights();
-        self.int8_net.set_flat_weights(&start);
+        self.net.flat_weights_into(&mut self.stage_fp32);
+        arm.net.set_flat_weights(&self.stage_fp32);
         if !cpu_b.is_empty() {
             let mode = Mode::train(Precision::Fp32);
             let logits = self.net.forward(&cpu_b.images, mode);
@@ -168,14 +191,16 @@ impl Replica {
         }
         if !npu_b.is_empty() {
             let mode = Mode::train(Precision::Int8);
-            let logits = self.int8_net.forward(&npu_b.images, mode);
+            let logits = arm.net.forward(&npu_b.images, mode);
             let (_, grad) = loss::softmax_cross_entropy(&logits, &npu_b.labels);
-            self.int8_net.backward(&grad, mode);
-            self.int8_opt.step(&mut self.int8_net);
-            self.int8_net.zero_grad();
+            arm.net.backward(&grad, mode);
+            arm.opt.step(&mut arm.net);
+            arm.net.zero_grad();
         }
-        let merged = ctrl.merge_weights(&self.net.flat_weights(), &self.int8_net.flat_weights());
-        self.net.set_flat_weights(&merged);
+        self.net.flat_weights_into(&mut self.stage_fp32);
+        arm.net.flat_weights_into(&mut self.stage_int8);
+        ctrl.merge_weights_inplace(&mut self.stage_fp32, &self.stage_int8);
+        self.net.set_flat_weights(&self.stage_fp32);
     }
 }
 
@@ -269,14 +294,14 @@ impl Engine {
             .clamp(1, self.spec.socs)
     }
 
-    fn build_replicas(&self, count: usize, rng: &mut StdRng) -> Vec<Replica> {
+    fn build_replicas(&self, count: usize, rng: &mut StdRng, with_int8: bool) -> Vec<Replica> {
         // all replicas start from identical weights, like a real dispatch
         let mut base = self.spec.model.build(self.workload.model_cfg, rng);
         if let Some(w) = &self.workload.init_weights {
             base.set_flat_weights(w);
         }
         (0..count)
-            .map(|_| Replica::new(base.clone(), self.spec.lr, self.spec.momentum))
+            .map(|_| Replica::new(base.clone(), self.spec.lr, self.spec.momentum, with_int8))
             .collect()
     }
 
@@ -299,26 +324,46 @@ impl Engine {
     fn average_replicas(replicas: &mut [Replica]) -> Vec<f32> {
         let n = replicas.len();
         let len = replicas[0].net.param_count();
+        let has_int8 = replicas[0].int8.is_some();
         let mut mean = vec![0.0f32; len];
+        let mut scratch = Vec::new();
         for r in replicas.iter() {
-            for (m, v) in mean.iter_mut().zip(r.net.flat_weights()) {
+            r.net.flat_weights_into(&mut scratch);
+            for (m, &v) in mean.iter_mut().zip(&scratch) {
                 *m += v / n as f32;
             }
         }
-        let mut mean_vel = vec![0.0f32; replicas[0].opt.flat_velocity().len()];
-        let mut mean_vel8 = vec![0.0f32; replicas[0].int8_opt.flat_velocity().len()];
+        replicas[0].opt.flat_velocity_into(&mut scratch);
+        let mut mean_vel = vec![0.0f32; scratch.len()];
+        let mut mean_vel8 = Vec::new();
         for r in replicas.iter() {
-            for (m, v) in mean_vel.iter_mut().zip(r.opt.flat_velocity()) {
+            r.opt.flat_velocity_into(&mut scratch);
+            for (m, &v) in mean_vel.iter_mut().zip(&scratch) {
                 *m += v / n as f32;
             }
-            for (m, v) in mean_vel8.iter_mut().zip(r.int8_opt.flat_velocity()) {
-                *m += v / n as f32;
+        }
+        if has_int8 {
+            replicas[0]
+                .int8
+                .as_ref()
+                .expect("checked above")
+                .opt
+                .flat_velocity_into(&mut scratch);
+            mean_vel8.resize(scratch.len(), 0.0);
+            for r in replicas.iter() {
+                let arm = r.int8.as_ref().expect("uniform INT8 arms across replicas");
+                arm.opt.flat_velocity_into(&mut scratch);
+                for (m, &v) in mean_vel8.iter_mut().zip(&scratch) {
+                    *m += v / n as f32;
+                }
             }
         }
         for r in replicas.iter_mut() {
             r.net.set_flat_weights(&mean);
             r.opt.set_flat_velocity(&mean_vel);
-            r.int8_opt.set_flat_velocity(&mean_vel8);
+            if let Some(arm) = &mut r.int8 {
+                arm.opt.set_flat_velocity(&mean_vel8);
+            }
         }
         mean
     }
@@ -331,6 +376,10 @@ impl Engine {
             epochs: self.spec.epochs,
             seed: self.spec.seed,
         });
+        // Snapshot the host kernel profiler (when on) so the run can be
+        // attributed to matmul/conv/quant time by diffing at the end.
+        let kernel_base =
+            socflow_tensor::profile::enabled().then(socflow_tensor::profile::snapshot);
         let result = match self.spec.method {
             MethodSpec::Local => {
                 self.run_single(Precision::Fp32, |tm| tm.local_epoch(Processor::SocCpuFp32))
@@ -362,6 +411,19 @@ impl Engine {
             MethodSpec::SocFlowInt8(cfg) => self.run_socflow(cfg, MixedMode::Int8Only),
             MethodSpec::SocFlowHalf(cfg) => self.run_socflow(cfg, MixedMode::Half),
         };
+        if let Some(base) = kernel_base {
+            let now = socflow_tensor::profile::snapshot();
+            for (b, n) in base.iter().zip(&now) {
+                let calls = n.calls.saturating_sub(b.calls);
+                if calls > 0 {
+                    self.emit(Event::KernelTotals {
+                        op: n.op.to_string(),
+                        calls,
+                        nanos: n.nanos.saturating_sub(b.nanos),
+                    });
+                }
+            }
+        }
         self.emit(Event::RunCompleted {
             epochs: result.epoch_accuracy.len(),
             total_time: result.total_time(),
@@ -382,7 +444,7 @@ impl Engine {
         epoch_cost: impl Fn(&TimeModel) -> crate::timemodel::EpochCost,
     ) -> RunResult {
         let mut rng = StdRng::seed_from_u64(self.spec.seed);
-        let mut replicas = self.build_replicas(1, &mut rng);
+        let mut replicas = self.build_replicas(1, &mut rng, false);
         let mut result = self.empty_result();
         for epoch in 0..self.spec.epochs {
             let mut erng = StdRng::seed_from_u64(self.spec.seed ^ (epoch as u64 + 1));
@@ -417,7 +479,7 @@ impl Engine {
     fn run_federated(&mut self, tree_fanout: Option<usize>) -> RunResult {
         let mut rng = StdRng::seed_from_u64(self.spec.seed);
         let clients = self.spec.socs.min(MAX_FL_REPLICAS);
-        let mut replicas = self.build_replicas(clients, &mut rng);
+        let mut replicas = self.build_replicas(clients, &mut rng, false);
         // Federated clients keep FIXED local shards all training (no
         // cross-client shuffling — the contrast to SoCFlow). Client data is
         // mildly heterogeneous (Dirichlet α = 0.5): at the reduced accuracy
@@ -481,7 +543,8 @@ impl Engine {
             .accuracy_streams
             .unwrap_or(groups)
             .clamp(1, groups.max(1));
-        let mut replicas = self.build_replicas(streams, &mut rng);
+        let with_int8 = matches!(mixed, MixedMode::Adaptive | MixedMode::Half);
+        let mut replicas = self.build_replicas(streams, &mut rng, with_int8);
         let beta = self.time_model.compute().beta() as f32;
         let mut ctrl = MixedPrecisionController::new(beta.clamp(0.05, 0.95));
         if let MixedMode::Half = mixed {
@@ -681,7 +744,7 @@ impl Engine {
     /// learning workload.
     pub fn pretrain_weights(&mut self) -> Vec<f32> {
         let mut rng = StdRng::seed_from_u64(self.spec.seed);
-        let mut replicas = self.build_replicas(1, &mut rng);
+        let mut replicas = self.build_replicas(1, &mut rng, false);
         for epoch in 0..self.spec.epochs {
             let mut erng = StdRng::seed_from_u64(self.spec.seed ^ (epoch as u64 + 1));
             let batches: Vec<Batch> = self
@@ -702,7 +765,7 @@ impl Engine {
     /// isolates the batch-size effect).
     pub fn first_epoch_accuracy(&self, n_groups: usize) -> f32 {
         let mut rng = StdRng::seed_from_u64(self.spec.seed);
-        let mut replicas = self.build_replicas(n_groups, &mut rng);
+        let mut replicas = self.build_replicas(n_groups, &mut rng, false);
         let shards = iid_partition(self.workload.train.len(), n_groups, self.spec.seed);
         for (g, replica) in replicas.iter_mut().enumerate() {
             let shard = self.workload.train.subset(&shards[g]);
@@ -963,5 +1026,35 @@ mod tests {
         let b = tiny_engine(MethodSpec::SocFlow(SocFlowConfig::with_groups(2))).run();
         assert_eq!(a.epoch_accuracy, b.epoch_accuracy);
         assert_eq!(a.alpha_trace, b.alpha_trace);
+    }
+
+    #[test]
+    fn kernel_profiling_attributes_run_compute() {
+        let sink = Arc::new(socflow_telemetry::MemorySink::new());
+        let spec = tiny_spec(MethodSpec::Local);
+        let workload = easy_workload(&spec, 128);
+        let mut e = Engine::new(spec, workload).with_sink(sink.clone());
+        socflow_tensor::profile::set_enabled(true);
+        let _ = e.run();
+        socflow_tensor::profile::set_enabled(false);
+        let events = sink.events();
+        let totals: Vec<_> = events
+            .iter()
+            .filter_map(|ev| match ev {
+                Event::KernelTotals { op, calls, .. } => Some((op.as_str(), *calls)),
+                _ => None,
+            })
+            .collect();
+        assert!(!totals.is_empty(), "profiled run must emit kernel totals");
+        assert!(
+            totals
+                .iter()
+                .any(|(op, calls)| *op == "matmul" && *calls > 0),
+            "matmul time must be attributed, got {totals:?}"
+        );
+        assert!(
+            matches!(events.last(), Some(Event::RunCompleted { .. })),
+            "kernel totals precede RunCompleted"
+        );
     }
 }

@@ -106,13 +106,22 @@ impl MixedPrecisionController {
     /// # Panics
     /// Panics if the slices differ in length.
     pub fn merge_weights(&self, w_fp32: &[f32], w_int8: &[f32]) -> Vec<f32> {
+        let mut out = w_fp32.to_vec();
+        self.merge_weights_inplace(&mut out, w_int8);
+        out
+    }
+
+    /// [`MixedPrecisionController::merge_weights`] merging into the FP32
+    /// slice in place — the per-batch merge path reuses staging storage.
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length.
+    pub fn merge_weights_inplace(&self, w_fp32: &mut [f32], w_int8: &[f32]) {
         assert_eq!(w_fp32.len(), w_int8.len(), "weight length mismatch");
         let k = (-self.alpha).exp();
-        w_fp32
-            .iter()
-            .zip(w_int8)
-            .map(|(a, b)| k * a + (1.0 - k) * b)
-            .collect()
+        for (a, &b) in w_fp32.iter_mut().zip(w_int8) {
+            *a = k * *a + (1.0 - k) * b;
+        }
     }
 }
 

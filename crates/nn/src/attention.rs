@@ -13,9 +13,9 @@
 //! extend to Transformers unchanged.
 
 use crate::layer::{Layer, Mode, Parameter, Precision};
-use crate::layers::{quant_fake, quant_grad};
+use crate::layers::{quant_fake_into, quant_grad_into};
 use rand::Rng;
-use socflow_tensor::{init, linalg, Shape, Tensor};
+use socflow_tensor::{init, linalg, Shape, Tensor, TensorPool};
 
 fn as_btd(t: &Tensor) -> (usize, usize, usize) {
     let d = t.shape().dims();
@@ -28,20 +28,41 @@ fn as_btd(t: &Tensor) -> (usize, usize, usize) {
     (d[0], d[1], d[2])
 }
 
-/// Extracts one `(tokens, dim)` matrix from a `(b, t, d)` tensor.
-fn sample_mat(t: &Tensor, b: usize) -> Tensor {
-    let (_, tok, d) = as_btd(t);
-    let start = b * tok * d;
-    Tensor::from_vec(
-        t.data()[start..start + tok * d].to_vec(),
-        Shape::from([tok, d]),
-    )
+/// Copies head columns `col..col+dh` of a `(t, d)` sample into a dense
+/// `(t, dh)` buffer.
+fn gather_head(src: &[f32], dst: &mut [f32], t: usize, d: usize, col: usize, dh: usize) {
+    for r in 0..t {
+        dst[r * dh..(r + 1) * dh].copy_from_slice(&src[r * d + col..r * d + col + dh]);
+    }
 }
 
-fn write_sample(dst: &mut Tensor, b: usize, mat: &Tensor) {
-    let (_, tok, d) = as_btd(dst);
-    let start = b * tok * d;
-    dst.data_mut()[start..start + tok * d].copy_from_slice(mat.data());
+/// Inverse of [`gather_head`]: writes a dense `(t, dh)` head back into its
+/// column band of a `(t, d)` sample.
+fn scatter_head(dst: &mut [f32], src: &[f32], t: usize, d: usize, col: usize, dh: usize) {
+    for r in 0..t {
+        dst[r * d + col..r * d + col + dh].copy_from_slice(&src[r * dh..(r + 1) * dh]);
+    }
+}
+
+/// Accumulates a flat `(rows, cols)` slice into a length-`cols` accumulator
+/// (same row-ascending order as `Tensor::sum_rows`).
+fn sum_rows_slice(src: &[f32], acc: &mut [f32], rows: usize, cols: usize) {
+    for r in 0..rows {
+        for (c, o) in acc.iter_mut().enumerate() {
+            *o += src[r * cols + c];
+        }
+    }
+}
+
+/// Stages the fused quantize→dequantize of `src` in a pooled buffer.
+fn quant_staged(
+    src: &Tensor,
+    f: socflow_tensor::quant::QuantFormat,
+    pool: &mut TensorPool,
+) -> Tensor {
+    let mut out = pool.take_any();
+    quant_fake_into(src, f, &mut out);
+    out
 }
 
 /// Splits square images into non-overlapping patches and linearly embeds
@@ -55,6 +76,7 @@ pub struct PatchEmbed {
     dim: usize,
     cached_patches: Option<Tensor>, // (n·t, c·p·p)
     cached_shape: Option<Shape>,
+    pool: TensorPool,
 }
 
 impl PatchEmbed {
@@ -78,10 +100,12 @@ impl PatchEmbed {
             dim,
             cached_patches: None,
             cached_shape: None,
+            pool: TensorPool::new(),
         }
     }
 
-    fn patchify(&self, x: &Tensor) -> (Tensor, usize) {
+    /// Writes the `(n·t, c·p·p)` patch matrix into `out`; returns `t`.
+    fn patchify_into(&self, x: &Tensor, out: &mut Tensor) -> usize {
         let (n, c, h, w) = x.shape().as_nchw();
         assert_eq!(h % self.patch, 0, "input height not divisible by patch");
         assert_eq!(w % self.patch, 0, "input width not divisible by patch");
@@ -89,7 +113,8 @@ impl PatchEmbed {
         let pw = w / self.patch;
         let t = ph * pw;
         let f = self.in_features;
-        let mut out = vec![0.0f32; n * t * f];
+        out.resize([n * t, f]);
+        let od = out.data_mut();
         let xd = x.data();
         for ni in 0..n {
             for py in 0..ph {
@@ -100,7 +125,7 @@ impl PatchEmbed {
                             let iy = py * self.patch + dy;
                             for dx in 0..self.patch {
                                 let ix = px * self.patch + dx;
-                                out[row + (ci * self.patch + dy) * self.patch + dx] =
+                                od[row + (ci * self.patch + dy) * self.patch + dx] =
                                     xd[((ni * c + ci) * h + iy) * w + ix];
                             }
                         }
@@ -108,41 +133,82 @@ impl PatchEmbed {
                 }
             }
         }
-        (Tensor::from_vec(out, Shape::from([n * t, f])), t)
+        t
     }
 }
 
 impl Layer for PatchEmbed {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
         let (n, _, _, _) = input.shape().as_nchw();
-        let (patches, t) = self.patchify(input);
-        let (p, w) = match mode.precision {
-            Precision::Fp32 => (patches.clone(), self.weight.value.clone()),
-            Precision::Quant(f) => (quant_fake(&patches, f), quant_fake(&self.weight.value, f)),
+        let mut patches = self.pool.take_any();
+        let t = self.patchify_into(input, &mut patches);
+        let wq = match mode.precision {
+            Precision::Fp32 => None,
+            Precision::Quant(f) => {
+                let mut pq = self.pool.take_any();
+                quant_fake_into(&patches, f, &mut pq);
+                self.pool.recycle(std::mem::replace(&mut patches, pq));
+                Some(quant_staged(&self.weight.value, f, &mut self.pool))
+            }
         };
-        let y = linalg::matmul(&p, &w).add_row_broadcast(&self.bias.value);
+        let w = wq.as_ref().unwrap_or(&self.weight.value);
+        let mut y = Tensor::default();
+        y.resize([n * t, self.dim]);
+        linalg::matmul_slices(
+            patches.data(),
+            w.data(),
+            y.data_mut(),
+            n * t,
+            self.in_features,
+            self.dim,
+        );
+        y.add_row_broadcast_inplace(&self.bias.value);
         if mode.train {
-            self.cached_patches = Some(p);
+            if let Some(old) = self.cached_patches.take() {
+                self.pool.recycle(old);
+            }
+            self.cached_patches = Some(patches);
             self.cached_shape = Some(input.shape().clone());
+        } else {
+            self.pool.recycle(patches);
+        }
+        if let Some(b) = wq {
+            self.pool.recycle(b);
         }
         y.reshape([n, t, self.dim])
     }
 
     fn backward(&mut self, grad_out: &Tensor, mode: Mode) -> Tensor {
         let (n, t, d) = as_btd(grad_out);
-        let g = grad_out.clone().reshape([n * t, d]);
         let patches = self
             .cached_patches
             .as_ref()
             .expect("PatchEmbed::backward without training forward");
-        let mut gw = linalg::matmul_at_b(patches, &g);
-        let mut gb = g.sum_rows();
+        let rows = n * t;
+        let mut gw = self.pool.take([self.in_features, d]);
+        linalg::matmul_at_b_slices(
+            patches.data(),
+            grad_out.data(),
+            gw.data_mut(),
+            self.in_features,
+            rows,
+            d,
+        );
+        let mut gb = self.pool.take_zeroed([d]);
+        sum_rows_slice(grad_out.data(), gb.data_mut(), rows, d);
         if let Precision::Quant(f) = mode.precision {
-            gw = quant_grad(&gw, 0xBEEF, f);
-            gb = quant_grad(&gb, 0xFEED, f);
+            let mut q = self.pool.take_any();
+            quant_grad_into(&gw, 0xBEEF, f, &mut q);
+            self.weight.grad.add_inplace(&q);
+            quant_grad_into(&gb, 0xFEED, f, &mut q);
+            self.bias.grad.add_inplace(&q);
+            self.pool.recycle(q);
+        } else {
+            self.weight.grad.add_inplace(&gw);
+            self.bias.grad.add_inplace(&gb);
         }
-        self.weight.grad.add_inplace(&gw);
-        self.bias.grad.add_inplace(&gb);
+        self.pool.recycle(gw);
+        self.pool.recycle(gb);
         // image gradient unused by the classifier stack (patches are leaves)
         Tensor::zeros(self.cached_shape.clone().expect("cached input shape"))
     }
@@ -335,6 +401,7 @@ pub struct SelfAttention {
     dim: usize,
     heads: usize,
     cache: Option<AttnCache>,
+    pool: TensorPool,
 }
 
 #[derive(Debug, Clone)]
@@ -366,13 +433,8 @@ impl SelfAttention {
             dim,
             heads,
             cache: None,
+            pool: TensorPool::new(),
         }
-    }
-
-    fn project(x: &Tensor, w: &Tensor) -> Tensor {
-        let (b, t, d) = as_btd(x);
-        let flat = x.clone().reshape([b * t, d]);
-        linalg::matmul(&flat, w).reshape([b, t, d])
     }
 }
 
@@ -380,72 +442,108 @@ impl Layer for SelfAttention {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
         let (b, t, d) = as_btd(input);
         assert_eq!(d, self.dim, "SelfAttention dim mismatch");
-        let (x, wq, wk, wv, wo) = match mode.precision {
-            Precision::Fp32 => (
-                input.clone(),
-                self.wq.value.clone(),
-                self.wk.value.clone(),
-                self.wv.value.clone(),
-                self.wo.value.clone(),
-            ),
+        // Fp32 borrows the operands directly; the quantized path stages the
+        // fused quantize→dequantize results in pooled buffers.
+        let (xq, wqb, wkb, wvb, wob) = match mode.precision {
+            Precision::Fp32 => (None, None, None, None, None),
             Precision::Quant(f) => (
-                quant_fake(input, f),
-                quant_fake(&self.wq.value, f),
-                quant_fake(&self.wk.value, f),
-                quant_fake(&self.wv.value, f),
-                quant_fake(&self.wo.value, f),
+                Some(quant_staged(input, f, &mut self.pool)),
+                Some(quant_staged(&self.wq.value, f, &mut self.pool)),
+                Some(quant_staged(&self.wk.value, f, &mut self.pool)),
+                Some(quant_staged(&self.wv.value, f, &mut self.pool)),
+                Some(quant_staged(&self.wo.value, f, &mut self.pool)),
             ),
         };
-        let q = Self::project(&x, &wq);
-        let k = Self::project(&x, &wk);
-        let v = Self::project(&x, &wv);
+        let x = xq.as_ref().unwrap_or(input);
+        let wq = wqb.as_ref().unwrap_or(&self.wq.value);
+        let wk = wkb.as_ref().unwrap_or(&self.wk.value);
+        let wv = wvb.as_ref().unwrap_or(&self.wv.value);
+        let wo = wob.as_ref().unwrap_or(&self.wo.value);
         let dh = d / self.heads;
         let scale = 1.0 / (dh as f32).sqrt();
+        let bt = b * t;
 
-        let mut attn = Tensor::zeros([b, self.heads, t, t]);
-        let mut concat = Tensor::zeros([b, t, d]);
+        let mut q = self.pool.take([b, t, d]);
+        let mut k = self.pool.take([b, t, d]);
+        let mut v = self.pool.take([b, t, d]);
+        linalg::matmul_slices(x.data(), wq.data(), q.data_mut(), bt, d, d);
+        linalg::matmul_slices(x.data(), wk.data(), k.data_mut(), bt, d, d);
+        linalg::matmul_slices(x.data(), wv.data(), v.data_mut(), bt, d, d);
+
+        let mut attn = self.pool.take([b, self.heads, t, t]);
+        let mut concat = self.pool.take([b, t, d]);
+        let mut qh = self.pool.take([t, dh]);
+        let mut kh = self.pool.take([t, dh]);
+        let mut vh = self.pool.take([t, dh]);
+        let mut yh = self.pool.take([t, dh]);
         for bi in 0..b {
-            let qm = sample_mat(&q, bi);
-            let km = sample_mat(&k, bi);
-            let vm = sample_mat(&v, bi);
-            let mut out_m = Tensor::zeros([t, d]);
+            let s0 = bi * t * d;
             for h in 0..self.heads {
-                // slice head columns
-                let slice = |m: &Tensor| -> Tensor {
-                    let mut out = vec![0.0f32; t * dh];
-                    for r in 0..t {
-                        out[r * dh..(r + 1) * dh]
-                            .copy_from_slice(&m.data()[r * d + h * dh..r * d + (h + 1) * dh]);
-                    }
-                    Tensor::from_vec(out, Shape::from([t, dh]))
-                };
-                let qh = slice(&qm);
-                let kh = slice(&km);
-                let vh = slice(&vm);
-                let scores = linalg::matmul_a_bt(&qh, &kh).scale(scale);
-                let a = crate::loss::softmax(&scores);
-                let yh = linalg::matmul(&a, &vh);
-                // write attention weights + output slice
+                let col = h * dh;
+                gather_head(&q.data()[s0..s0 + t * d], qh.data_mut(), t, d, col, dh);
+                gather_head(&k.data()[s0..s0 + t * d], kh.data_mut(), t, d, col, dh);
+                gather_head(&v.data()[s0..s0 + t * d], vh.data_mut(), t, d, col, dh);
+                // scores → softmax computed directly in the attn storage
                 let base = ((bi * self.heads) + h) * t * t;
-                attn.data_mut()[base..base + t * t].copy_from_slice(a.data());
-                for r in 0..t {
-                    out_m.data_mut()[r * d + h * dh..r * d + (h + 1) * dh]
-                        .copy_from_slice(&yh.data()[r * dh..(r + 1) * dh]);
+                let scores = &mut attn.data_mut()[base..base + t * t];
+                linalg::matmul_a_bt_slices(qh.data(), kh.data(), scores, t, dh, t);
+                for s in scores.iter_mut() {
+                    *s *= scale;
+                }
+                crate::loss::softmax_rows_inplace(scores, t, t);
+                linalg::matmul_slices(
+                    &attn.data()[base..base + t * t],
+                    vh.data(),
+                    yh.data_mut(),
+                    t,
+                    t,
+                    dh,
+                );
+                scatter_head(
+                    &mut concat.data_mut()[s0..s0 + t * d],
+                    yh.data(),
+                    t,
+                    d,
+                    col,
+                    dh,
+                );
+            }
+        }
+        // y = input + concat·Wo (residual)
+        let mut proj = self.pool.take([bt, d]);
+        linalg::matmul_slices(concat.data(), wo.data(), proj.data_mut(), bt, d, d);
+        let mut y = Tensor::default();
+        y.copy_from(input);
+        for (o, &p) in y.data_mut().iter_mut().zip(proj.data()) {
+            *o += p;
+        }
+        self.pool.recycle(proj);
+        for buf in [qh, kh, vh, yh] {
+            self.pool.recycle(buf);
+        }
+        if mode.train {
+            if let Some(old) = self.cache.take() {
+                for buf in [old.x, old.q, old.k, old.v, old.attn, old.concat] {
+                    self.pool.recycle(buf);
                 }
             }
-            write_sample(&mut concat, bi, &out_m);
-        }
-        let proj = Self::project(&concat, &wo);
-        let y = input.add(&proj); // residual
-        if mode.train {
+            let mut xc = self.pool.take_any();
+            xc.copy_from(x);
             self.cache = Some(AttnCache {
-                x,
+                x: xc,
                 q,
                 k,
                 v,
                 attn,
                 concat,
             });
+        } else {
+            for buf in [q, k, v, attn, concat] {
+                self.pool.recycle(buf);
+            }
+        }
+        for buf in [xq, wqb, wkb, wvb, wob].into_iter().flatten() {
+            self.pool.recycle(buf);
         }
         y
     }
@@ -458,98 +556,166 @@ impl Layer for SelfAttention {
         let (b, t, d) = as_btd(grad_out);
         let dh = d / self.heads;
         let scale = 1.0 / (dh as f32).sqrt();
+        let bt = b * t;
 
         // y = x + concat·Wo  →  d_concat = g·Woᵀ ; dWo = concatᵀ·g ; dx += g
-        let gflat = grad_out.clone().reshape([b * t, d]);
-        let concat_flat = cache.concat.clone().reshape([b * t, d]);
-        let mut gwo = linalg::matmul_at_b(&concat_flat, &gflat);
-        let gconcat = linalg::matmul_a_bt(&gflat, &self.wo.value).reshape([b, t, d]);
+        let mut gwo = self.pool.take([d, d]);
+        linalg::matmul_at_b_slices(
+            cache.concat.data(),
+            grad_out.data(),
+            gwo.data_mut(),
+            d,
+            bt,
+            d,
+        );
+        let mut gconcat = self.pool.take([b, t, d]);
+        linalg::matmul_a_bt_slices(
+            grad_out.data(),
+            self.wo.value.data(),
+            gconcat.data_mut(),
+            bt,
+            d,
+            d,
+        );
 
-        let mut gq = Tensor::zeros([b, t, d]);
-        let mut gk = Tensor::zeros([b, t, d]);
-        let mut gv = Tensor::zeros([b, t, d]);
+        let mut gq = self.pool.take([b, t, d]);
+        let mut gk = self.pool.take([b, t, d]);
+        let mut gv = self.pool.take([b, t, d]);
+        let mut qh = self.pool.take([t, dh]);
+        let mut kh = self.pool.take([t, dh]);
+        let mut vh = self.pool.take([t, dh]);
+        let mut gyh = self.pool.take([t, dh]);
+        let mut gvh = self.pool.take([t, dh]);
+        let mut gqh = self.pool.take([t, dh]);
+        let mut gkh = self.pool.take([t, dh]);
+        let mut ga = self.pool.take([t, t]);
+        let mut gs = self.pool.take([t, t]);
         for bi in 0..b {
-            let gcm = sample_mat(&gconcat, bi);
-            let qm = sample_mat(&cache.q, bi);
-            let km = sample_mat(&cache.k, bi);
-            let vm = sample_mat(&cache.v, bi);
-            let mut gqm = Tensor::zeros([t, d]);
-            let mut gkm = Tensor::zeros([t, d]);
-            let mut gvm = Tensor::zeros([t, d]);
+            let s0 = bi * t * d;
             for h in 0..self.heads {
-                let slice = |m: &Tensor| -> Tensor {
-                    let mut out = vec![0.0f32; t * dh];
-                    for r in 0..t {
-                        out[r * dh..(r + 1) * dh]
-                            .copy_from_slice(&m.data()[r * d + h * dh..r * d + (h + 1) * dh]);
-                    }
-                    Tensor::from_vec(out, Shape::from([t, dh]))
-                };
-                let gyh = slice(&gcm);
-                let qh = slice(&qm);
-                let kh = slice(&km);
-                let vh = slice(&vm);
-                let base = ((bi * self.heads) + h) * t * t;
-                let a = Tensor::from_vec(
-                    cache.attn.data()[base..base + t * t].to_vec(),
-                    Shape::from([t, t]),
+                let col = h * dh;
+                gather_head(
+                    &gconcat.data()[s0..s0 + t * d],
+                    gyh.data_mut(),
+                    t,
+                    d,
+                    col,
+                    dh,
                 );
+                gather_head(
+                    &cache.q.data()[s0..s0 + t * d],
+                    qh.data_mut(),
+                    t,
+                    d,
+                    col,
+                    dh,
+                );
+                gather_head(
+                    &cache.k.data()[s0..s0 + t * d],
+                    kh.data_mut(),
+                    t,
+                    d,
+                    col,
+                    dh,
+                );
+                gather_head(
+                    &cache.v.data()[s0..s0 + t * d],
+                    vh.data_mut(),
+                    t,
+                    d,
+                    col,
+                    dh,
+                );
+                let base = ((bi * self.heads) + h) * t * t;
+                let a = &cache.attn.data()[base..base + t * t];
                 // dV = Aᵀ·gY ; dA = gY·Vᵀ
-                let gvh = linalg::matmul_at_b(&a, &gyh);
-                let ga = linalg::matmul_a_bt(&gyh, &vh);
-                // softmax backward per row: dS = A ⊙ (dA − rowdot(dA, A))
-                let mut gs = vec![0.0f32; t * t];
+                linalg::matmul_at_b_slices(a, gyh.data(), gvh.data_mut(), t, t, dh);
+                linalg::matmul_a_bt_slices(gyh.data(), vh.data(), ga.data_mut(), t, dh, t);
+                // softmax backward per row: dS = A ⊙ (dA − rowdot(dA, A)) · scale
+                let gsd = gs.data_mut();
                 for r in 0..t {
-                    let arow = &a.data()[r * t..(r + 1) * t];
+                    let arow = &a[r * t..(r + 1) * t];
                     let garow = &ga.data()[r * t..(r + 1) * t];
                     let dot: f32 = arow.iter().zip(garow).map(|(x, y)| x * y).sum();
                     for c in 0..t {
-                        gs[r * t + c] = arow[c] * (garow[c] - dot);
+                        gsd[r * t + c] = arow[c] * (garow[c] - dot) * scale;
                     }
                 }
-                let gs = Tensor::from_vec(gs, Shape::from([t, t])).scale(scale);
                 // dQ = dS·K ; dK = dSᵀ·Q
-                let gqh = linalg::matmul(&gs, &kh);
-                let gkh = linalg::matmul_at_b(&gs, &qh);
-                let unslice = |dst: &mut Tensor, src: &Tensor| {
-                    for r in 0..t {
-                        dst.data_mut()[r * d + h * dh..r * d + (h + 1) * dh]
-                            .copy_from_slice(&src.data()[r * dh..(r + 1) * dh]);
-                    }
-                };
-                unslice(&mut gqm, &gqh);
-                unslice(&mut gkm, &gkh);
-                unslice(&mut gvm, &gvh);
+                linalg::matmul_slices(gs.data(), kh.data(), gqh.data_mut(), t, t, dh);
+                linalg::matmul_at_b_slices(gs.data(), qh.data(), gkh.data_mut(), t, t, dh);
+                scatter_head(
+                    &mut gq.data_mut()[s0..s0 + t * d],
+                    gqh.data(),
+                    t,
+                    d,
+                    col,
+                    dh,
+                );
+                scatter_head(
+                    &mut gk.data_mut()[s0..s0 + t * d],
+                    gkh.data(),
+                    t,
+                    d,
+                    col,
+                    dh,
+                );
+                scatter_head(
+                    &mut gv.data_mut()[s0..s0 + t * d],
+                    gvh.data(),
+                    t,
+                    d,
+                    col,
+                    dh,
+                );
             }
-            write_sample(&mut gq, bi, &gqm);
-            write_sample(&mut gk, bi, &gkm);
-            write_sample(&mut gv, bi, &gvm);
         }
 
         // projections: P = X·W → dW = Xᵀ·dP ; dX += dP·Wᵀ
-        let xflat = cache.x.clone().reshape([b * t, d]);
-        let gq_flat = gq.reshape([b * t, d]);
-        let gk_flat = gk.reshape([b * t, d]);
-        let gv_flat = gv.reshape([b * t, d]);
-        let mut gwq = linalg::matmul_at_b(&xflat, &gq_flat);
-        let mut gwk = linalg::matmul_at_b(&xflat, &gk_flat);
-        let mut gwv = linalg::matmul_at_b(&xflat, &gv_flat);
-        let mut gx = linalg::matmul_a_bt(&gq_flat, &self.wq.value);
-        gx.add_inplace(&linalg::matmul_a_bt(&gk_flat, &self.wk.value));
-        gx.add_inplace(&linalg::matmul_a_bt(&gv_flat, &self.wv.value));
-        let mut gx = gx.reshape([b, t, d]);
-        gx.add_inplace(grad_out); // residual path
+        let mut gwq = self.pool.take([d, d]);
+        let mut gwk = self.pool.take([d, d]);
+        let mut gwv = self.pool.take([d, d]);
+        linalg::matmul_at_b_slices(cache.x.data(), gq.data(), gwq.data_mut(), d, bt, d);
+        linalg::matmul_at_b_slices(cache.x.data(), gk.data(), gwk.data_mut(), d, bt, d);
+        linalg::matmul_at_b_slices(cache.x.data(), gv.data(), gwv.data_mut(), d, bt, d);
+        let mut gx = Tensor::default();
+        gx.resize([b, t, d]);
+        linalg::matmul_a_bt_slices(gq.data(), self.wq.value.data(), gx.data_mut(), bt, d, d);
+        let mut tmp = self.pool.take([bt, d]);
+        linalg::matmul_a_bt_slices(gk.data(), self.wk.value.data(), tmp.data_mut(), bt, d, d);
+        for (o, &v_) in gx.data_mut().iter_mut().zip(tmp.data()) {
+            *o += v_;
+        }
+        linalg::matmul_a_bt_slices(gv.data(), self.wv.value.data(), tmp.data_mut(), bt, d, d);
+        for (o, &v_) in gx.data_mut().iter_mut().zip(tmp.data()) {
+            *o += v_;
+        }
+        for (o, &g) in gx.data_mut().iter_mut().zip(grad_out.data()) {
+            *o += g; // residual path
+        }
 
         if let Precision::Quant(f) = mode.precision {
-            gwq = quant_grad(&gwq, 0x0071, f);
-            gwk = quant_grad(&gwk, 0x0072, f);
-            gwv = quant_grad(&gwv, 0x0073, f);
-            gwo = quant_grad(&gwo, 0x0074, f);
+            let mut q = self.pool.take_any();
+            quant_grad_into(&gwq, 0x0071, f, &mut q);
+            self.wq.grad.add_inplace(&q);
+            quant_grad_into(&gwk, 0x0072, f, &mut q);
+            self.wk.grad.add_inplace(&q);
+            quant_grad_into(&gwv, 0x0073, f, &mut q);
+            self.wv.grad.add_inplace(&q);
+            quant_grad_into(&gwo, 0x0074, f, &mut q);
+            self.wo.grad.add_inplace(&q);
+            self.pool.recycle(q);
+        } else {
+            self.wq.grad.add_inplace(&gwq);
+            self.wk.grad.add_inplace(&gwk);
+            self.wv.grad.add_inplace(&gwv);
+            self.wo.grad.add_inplace(&gwo);
         }
-        self.wq.grad.add_inplace(&gwq);
-        self.wk.grad.add_inplace(&gwk);
-        self.wv.grad.add_inplace(&gwv);
-        self.wo.grad.add_inplace(&gwo);
+        for buf in [
+            gwq, gwk, gwv, gwo, gconcat, gq, gk, gv, qh, kh, vh, gyh, gvh, gqh, gkh, ga, gs, tmp,
+        ] {
+            self.pool.recycle(buf);
+        }
         gx
     }
 
@@ -581,6 +747,7 @@ pub struct TokenFeedForward {
     dim: usize,
     hidden: usize,
     cache: Option<(Tensor, Tensor, Tensor)>, // (x flat, pre-gelu, post-gelu)
+    pool: TensorPool,
 }
 
 impl TokenFeedForward {
@@ -594,6 +761,7 @@ impl TokenFeedForward {
             dim,
             hidden,
             cache: None,
+            pool: TensorPool::new(),
         }
     }
 }
@@ -602,21 +770,49 @@ impl Layer for TokenFeedForward {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
         let (b, t, d) = as_btd(input);
         assert_eq!(d, self.dim, "TokenFeedForward dim mismatch");
-        let (x, w1, w2) = match mode.precision {
-            Precision::Fp32 => (input.clone(), self.w1.value.clone(), self.w2.value.clone()),
+        let (xq, w1b, w2b) = match mode.precision {
+            Precision::Fp32 => (None, None, None),
             Precision::Quant(f) => (
-                quant_fake(input, f),
-                quant_fake(&self.w1.value, f),
-                quant_fake(&self.w2.value, f),
+                Some(quant_staged(input, f, &mut self.pool)),
+                Some(quant_staged(&self.w1.value, f, &mut self.pool)),
+                Some(quant_staged(&self.w2.value, f, &mut self.pool)),
             ),
         };
-        let flat = x.clone().reshape([b * t, d]);
-        let pre = linalg::matmul(&flat, &w1).add_row_broadcast(&self.b1.value);
-        let post = pre.map(Gelu::value);
-        let out = linalg::matmul(&post, &w2).add_row_broadcast(&self.b2.value);
-        let y = input.add(&out.reshape([b, t, d]));
+        let x = xq.as_ref().unwrap_or(input);
+        let w1 = w1b.as_ref().unwrap_or(&self.w1.value);
+        let w2 = w2b.as_ref().unwrap_or(&self.w2.value);
+        let bt = b * t;
+        let mut pre = self.pool.take([bt, self.hidden]);
+        linalg::matmul_slices(x.data(), w1.data(), pre.data_mut(), bt, d, self.hidden);
+        pre.add_row_broadcast_inplace(&self.b1.value);
+        let mut post = self.pool.take([bt, self.hidden]);
+        for (o, &v) in post.data_mut().iter_mut().zip(pre.data()) {
+            *o = Gelu::value(v);
+        }
+        let mut out = self.pool.take([bt, d]);
+        linalg::matmul_slices(post.data(), w2.data(), out.data_mut(), bt, self.hidden, d);
+        out.add_row_broadcast_inplace(&self.b2.value);
+        let mut y = Tensor::default();
+        y.copy_from(input); // residual
+        for (o, &v) in y.data_mut().iter_mut().zip(out.data()) {
+            *o += v;
+        }
+        self.pool.recycle(out);
         if mode.train {
+            if let Some((f_, p_, q_)) = self.cache.take() {
+                self.pool.recycle(f_);
+                self.pool.recycle(p_);
+                self.pool.recycle(q_);
+            }
+            let mut flat = self.pool.take_any();
+            flat.copy_from(x);
             self.cache = Some((flat, pre, post));
+        } else {
+            self.pool.recycle(pre);
+            self.pool.recycle(post);
+        }
+        for buf in [xq, w1b, w2b].into_iter().flatten() {
+            self.pool.recycle(buf);
         }
         y
     }
@@ -627,25 +823,55 @@ impl Layer for TokenFeedForward {
             .cache
             .as_ref()
             .expect("TokenFeedForward::backward without training forward");
-        let g = grad_out.clone().reshape([b * t, d]);
-        let mut gw2 = linalg::matmul_at_b(post, &g);
-        let mut gb2 = g.sum_rows();
-        let gpost = linalg::matmul_a_bt(&g, &self.w2.value);
-        let gpre = gpost.mul(&pre.map(Gelu::derivative));
-        let mut gw1 = linalg::matmul_at_b(flat, &gpre);
-        let mut gb1 = gpre.sum_rows();
-        let mut gx = linalg::matmul_a_bt(&gpre, &self.w1.value).reshape([b, t, d]);
-        gx.add_inplace(grad_out); // residual
-        if let Precision::Quant(f) = mode.precision {
-            gw1 = quant_grad(&gw1, 0x0081, f);
-            gb1 = quant_grad(&gb1, 0x0082, f);
-            gw2 = quant_grad(&gw2, 0x0083, f);
-            gb2 = quant_grad(&gb2, 0x0084, f);
+        let bt = b * t;
+        let h = self.hidden;
+        let mut gw2 = self.pool.take([h, d]);
+        linalg::matmul_at_b_slices(post.data(), grad_out.data(), gw2.data_mut(), h, bt, d);
+        let mut gb2 = self.pool.take_zeroed([d]);
+        sum_rows_slice(grad_out.data(), gb2.data_mut(), bt, d);
+        let mut gpre = self.pool.take([bt, h]);
+        linalg::matmul_a_bt_slices(
+            grad_out.data(),
+            self.w2.value.data(),
+            gpre.data_mut(),
+            bt,
+            d,
+            h,
+        );
+        // gpre = (g·W2ᵀ) ⊙ gelu'(pre), fused over the same buffer
+        for (o, &p) in gpre.data_mut().iter_mut().zip(pre.data()) {
+            *o *= Gelu::derivative(p);
         }
-        self.w1.grad.add_inplace(&gw1);
-        self.b1.grad.add_inplace(&gb1);
-        self.w2.grad.add_inplace(&gw2);
-        self.b2.grad.add_inplace(&gb2);
+        let mut gw1 = self.pool.take([d, h]);
+        linalg::matmul_at_b_slices(flat.data(), gpre.data(), gw1.data_mut(), d, bt, h);
+        let mut gb1 = self.pool.take_zeroed([h]);
+        sum_rows_slice(gpre.data(), gb1.data_mut(), bt, h);
+        let mut gx = Tensor::default();
+        gx.resize([b, t, d]);
+        linalg::matmul_a_bt_slices(gpre.data(), self.w1.value.data(), gx.data_mut(), bt, h, d);
+        for (o, &g) in gx.data_mut().iter_mut().zip(grad_out.data()) {
+            *o += g; // residual
+        }
+        if let Precision::Quant(f) = mode.precision {
+            let mut q = self.pool.take_any();
+            quant_grad_into(&gw1, 0x0081, f, &mut q);
+            self.w1.grad.add_inplace(&q);
+            quant_grad_into(&gb1, 0x0082, f, &mut q);
+            self.b1.grad.add_inplace(&q);
+            quant_grad_into(&gw2, 0x0083, f, &mut q);
+            self.w2.grad.add_inplace(&q);
+            quant_grad_into(&gb2, 0x0084, f, &mut q);
+            self.b2.grad.add_inplace(&q);
+            self.pool.recycle(q);
+        } else {
+            self.w1.grad.add_inplace(&gw1);
+            self.b1.grad.add_inplace(&gb1);
+            self.w2.grad.add_inplace(&gw2);
+            self.b2.grad.add_inplace(&gb2);
+        }
+        for buf in [gw1, gb1, gw2, gb2, gpre] {
+            self.pool.recycle(buf);
+        }
         gx
     }
 

@@ -1,12 +1,17 @@
 use crate::layer::{Layer, Mode, Parameter, Precision};
-use crate::layers::{quant_fake, quant_grad};
+use crate::layers::{quant_fake_into, quant_grad_into};
 use rand::Rng;
-use socflow_tensor::conv::{conv2d, conv2d_backward, ConvParams};
-use socflow_tensor::{init, Shape, Tensor};
+use socflow_tensor::conv::{conv2d_backward_scratch, conv2d_scratch, ConvParams, ConvScratch};
+use socflow_tensor::{init, Shape, Tensor, TensorPool};
 
 /// 2-D convolution layer (no bias — models here always follow a conv with
 /// batch-norm or include bias via the linear head, matching the reference
 /// architectures).
+///
+/// The im2col patch matrix and matmul staging live in a [`ConvScratch`]
+/// reused across batches; fake-quant operands and gradient staging come from
+/// a per-layer [`TensorPool`]. Train-time patches ping-pong between the
+/// scratch and the cache so eval forwards in between never clobber them.
 #[derive(Debug, Clone)]
 pub struct Conv2d {
     weight: Parameter,
@@ -15,6 +20,8 @@ pub struct Conv2d {
     kernel: usize,
     params: ConvParams,
     cached: Option<(Tensor, Shape)>, // (patches, input shape)
+    scratch: ConvScratch,
+    pool: TensorPool,
     step: u64,
 }
 
@@ -38,6 +45,8 @@ impl Conv2d {
             kernel,
             params: ConvParams::new(stride, padding),
             cached: None,
+            scratch: ConvScratch::default(),
+            pool: TensorPool::new(),
             step: 0,
         }
     }
@@ -55,13 +64,35 @@ impl Conv2d {
 
 impl Layer for Conv2d {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
-        let (x, w) = match mode.precision {
-            Precision::Fp32 => (input.clone(), self.weight.value.clone()),
-            Precision::Quant(f) => (quant_fake(input, f), quant_fake(&self.weight.value, f)),
+        let (xq, wq) = match mode.precision {
+            Precision::Fp32 => (None, None),
+            Precision::Quant(f) => {
+                let mut xq = self.pool.take_any();
+                quant_fake_into(input, f, &mut xq);
+                let mut wq = self.pool.take_any();
+                quant_fake_into(&self.weight.value, f, &mut wq);
+                (Some(xq), Some(wq))
+            }
         };
-        let (y, patches) = conv2d(&x, &w, self.params);
+        let x = xq.as_ref().unwrap_or(input);
+        let w = wq.as_ref().unwrap_or(&self.weight.value);
+        let mut y = Tensor::default();
+        conv2d_scratch(x, w, self.params, &mut self.scratch, &mut y);
         if mode.train {
+            // Move the fresh patches into the cache and hand the previous
+            // cache buffer back to the scratch for the next im2col.
+            let prev = match self.cached.take() {
+                Some((t, _)) => t,
+                None => Tensor::default(),
+            };
+            let patches = std::mem::replace(&mut self.scratch.patches, prev);
             self.cached = Some((patches, input.shape().clone()));
+        }
+        if let Some(t) = xq {
+            self.pool.recycle(t);
+        }
+        if let Some(t) = wq {
+            self.pool.recycle(t);
         }
         y
     }
@@ -71,18 +102,28 @@ impl Layer for Conv2d {
             .cached
             .as_ref()
             .expect("Conv2d::backward without training forward");
-        let (gx, mut gw) = conv2d_backward(
+        let mut gx = Tensor::default();
+        let mut gw = self.pool.take_any();
+        conv2d_backward_scratch(
             grad_out,
             patches,
             &self.weight.value,
             input_shape,
             self.params,
+            &mut self.scratch,
+            &mut gx,
+            &mut gw,
         );
         if let Precision::Quant(f) = mode.precision {
             self.step += 1;
-            gw = quant_grad(&gw, self.step.wrapping_mul(0xC2B2), f);
+            let mut q = self.pool.take_any();
+            quant_grad_into(&gw, self.step.wrapping_mul(0xC2B2), f, &mut q);
+            self.weight.grad.add_inplace(&q);
+            self.pool.recycle(q);
+        } else {
+            self.weight.grad.add_inplace(&gw);
         }
-        self.weight.grad.add_inplace(&gw);
+        self.pool.recycle(gw);
         gx
     }
 

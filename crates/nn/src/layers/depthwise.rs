@@ -1,8 +1,8 @@
 use crate::layer::{Layer, Mode, Parameter, Precision};
-use crate::layers::{quant_fake, quant_grad};
+use crate::layers::{quant_fake_into, quant_grad_into};
 use rand::Rng;
 use socflow_tensor::conv::ConvParams;
-use socflow_tensor::{init, Shape, Tensor};
+use socflow_tensor::{init, Shape, Tensor, TensorPool};
 
 /// Depthwise 2-D convolution: each input channel is convolved with its own
 /// `k×k` filter (groups = channels) — the signature operation of
@@ -14,6 +14,7 @@ pub struct DepthwiseConv2d {
     kernel: usize,
     params: ConvParams,
     cached: Option<Tensor>, // quantized/raw input used in forward
+    pool: TensorPool,
 }
 
 impl DepthwiseConv2d {
@@ -33,6 +34,7 @@ impl DepthwiseConv2d {
             kernel,
             params: ConvParams::new(stride, padding),
             cached: None,
+            pool: TensorPool::new(),
         }
     }
 
@@ -47,10 +49,18 @@ impl DepthwiseConv2d {
 
 impl Layer for DepthwiseConv2d {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
-        let (x, wt) = match mode.precision {
-            Precision::Fp32 => (input.clone(), self.weight.value.clone()),
-            Precision::Quant(f) => (quant_fake(input, f), quant_fake(&self.weight.value, f)),
+        let (xq, wq) = match mode.precision {
+            Precision::Fp32 => (None, None),
+            Precision::Quant(f) => {
+                let mut xq = self.pool.take_any();
+                quant_fake_into(input, f, &mut xq);
+                let mut wq = self.pool.take_any();
+                quant_fake_into(&self.weight.value, f, &mut wq);
+                (Some(xq), Some(wq))
+            }
         };
+        let x = xq.as_ref().unwrap_or(input);
+        let wt = wq.as_ref().unwrap_or(&self.weight.value);
         let (n, c, h, w, oh, ow) = self.geometry(input);
         let k = self.kernel;
         let pad = self.params.padding as isize;
@@ -84,7 +94,15 @@ impl Layer for DepthwiseConv2d {
             }
         }
         if mode.train {
-            self.cached = Some(x);
+            let mut cache = self.cached.take().unwrap_or_default();
+            cache.copy_from(x);
+            self.cached = Some(cache);
+        }
+        if let Some(t) = xq {
+            self.pool.recycle(t);
+        }
+        if let Some(t) = wq {
+            self.pool.recycle(t);
         }
         Tensor::from_vec(out, Shape::from([n, c, oh, ow]))
     }
@@ -133,12 +151,18 @@ impl Layer for DepthwiseConv2d {
                 }
             }
         }
-        let mut gw = Tensor::from_vec(gw, self.weight.value.shape().clone());
+        let gw = Tensor::from_vec(gw, self.weight.value.shape().clone());
+        let gx = Tensor::from_vec(gx, x.shape().clone());
         if let Precision::Quant(f) = mode.precision {
-            gw = quant_grad(&gw, 0xD3AD, f);
+            let mut q = self.pool.take_any();
+            quant_grad_into(&gw, 0xD3AD, f, &mut q);
+            self.weight.grad.add_inplace(&q);
+            self.pool.recycle(q);
+        } else {
+            self.weight.grad.add_inplace(&gw);
         }
-        self.weight.grad.add_inplace(&gw);
-        Tensor::from_vec(gx, x.shape().clone())
+        self.pool.recycle(gw);
+        gx
     }
 
     fn parameters(&self) -> Vec<&Parameter> {

@@ -1,9 +1,13 @@
 use crate::layer::{Layer, Mode, Parameter, Precision};
-use crate::layers::{quant_fake, quant_grad};
+use crate::layers::{quant_fake_into, quant_grad_into};
 use rand::Rng;
-use socflow_tensor::{init, linalg, Tensor};
+use socflow_tensor::{init, linalg, Tensor, TensorPool};
 
 /// Fully connected layer: `y = x·W + b` with `x: (n, in)`, `W: (in, out)`.
+///
+/// Temporaries (fake-quantized operands, gradient staging) come from a
+/// per-layer [`TensorPool`], so steady-state training allocates only the
+/// returned output/gradient tensors.
 #[derive(Debug, Clone)]
 pub struct Linear {
     weight: Parameter,
@@ -11,6 +15,7 @@ pub struct Linear {
     in_features: usize,
     out_features: usize,
     cached_input: Option<Tensor>,
+    pool: TensorPool,
     step: u64,
 }
 
@@ -24,6 +29,7 @@ impl Linear {
             in_features,
             out_features,
             cached_input: None,
+            pool: TensorPool::new(),
             step: 0,
         }
     }
@@ -41,14 +47,35 @@ impl Linear {
 
 impl Layer for Linear {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
-        let (x, w) = match mode.precision {
-            Precision::Fp32 => (input.clone(), self.weight.value.clone()),
-            Precision::Quant(f) => (quant_fake(input, f), quant_fake(&self.weight.value, f)),
+        // Fp32 borrows the operands directly; the quantized path stages the
+        // fused quantize→dequantize results in pooled buffers.
+        let (xq, wq) = match mode.precision {
+            Precision::Fp32 => (None, None),
+            Precision::Quant(f) => {
+                let mut xq = self.pool.take_any();
+                quant_fake_into(input, f, &mut xq);
+                let mut wq = self.pool.take_any();
+                quant_fake_into(&self.weight.value, f, &mut wq);
+                (Some(xq), Some(wq))
+            }
         };
+        let x = xq.as_ref().unwrap_or(input);
+        let w = wq.as_ref().unwrap_or(&self.weight.value);
+        let mut y = Tensor::default();
+        linalg::matmul_into(x, w, &mut y);
+        y.add_row_broadcast_inplace(&self.bias.value);
         if mode.train {
-            self.cached_input = Some(x.clone());
+            let mut cache = self.cached_input.take().unwrap_or_default();
+            cache.copy_from(x);
+            self.cached_input = Some(cache);
         }
-        linalg::matmul(&x, &w).add_row_broadcast(&self.bias.value)
+        if let Some(t) = xq {
+            self.pool.recycle(t);
+        }
+        if let Some(t) = wq {
+            self.pool.recycle(t);
+        }
+        y
     }
 
     fn backward(&mut self, grad_out: &Tensor, mode: Mode) -> Tensor {
@@ -57,15 +84,24 @@ impl Layer for Linear {
             .as_ref()
             .expect("Linear::backward without training forward");
         // dW = xᵀ·gy ; db = Σrows gy ; dx = gy·Wᵀ
-        let mut gw = linalg::matmul_at_b(x, grad_out);
-        let mut gb = grad_out.sum_rows();
+        let mut gw = self.pool.take_any();
+        linalg::matmul_at_b_into(x, grad_out, &mut gw);
+        let mut gb = self.pool.take_any();
+        grad_out.sum_rows_into(&mut gb);
         if let Precision::Quant(f) = mode.precision {
             self.step += 1;
-            gw = quant_grad(&gw, self.step.wrapping_mul(0x9E37), f);
-            gb = quant_grad(&gb, self.step.wrapping_mul(0x79B9), f);
+            let mut q = self.pool.take_any();
+            quant_grad_into(&gw, self.step.wrapping_mul(0x9E37), f, &mut q);
+            self.weight.grad.add_inplace(&q);
+            quant_grad_into(&gb, self.step.wrapping_mul(0x79B9), f, &mut q);
+            self.bias.grad.add_inplace(&q);
+            self.pool.recycle(q);
+        } else {
+            self.weight.grad.add_inplace(&gw);
+            self.bias.grad.add_inplace(&gb);
         }
-        self.weight.grad.add_inplace(&gw);
-        self.bias.grad.add_inplace(&gb);
+        self.pool.recycle(gw);
+        self.pool.recycle(gb);
         linalg::matmul_a_bt(grad_out, &self.weight.value)
     }
 

@@ -25,28 +25,30 @@ use socflow_tensor::quant::{self, QuantFormat};
 use socflow_tensor::Tensor;
 
 /// Fake-quantizes `t` to the given NPU format (quantize–dequantize in f32)
-/// using a scale derived from its own max-|x|. Shared by the quantized
-/// paths of [`Conv2d`] and [`Linear`].
-pub(crate) fn quant_fake(t: &Tensor, format: QuantFormat) -> Tensor {
-    format.fake_quant(t)
+/// using a scale derived from its own max-|x|, writing into `out` and
+/// reusing its storage — the fused quantize→dequantize pass shared by the
+/// quantized paths of every layer with pooled scratch.
+pub(crate) fn quant_fake_into(t: &Tensor, format: QuantFormat, out: &mut Tensor) {
+    format.fake_quant_into(t, out);
 }
 
 /// Applies gradient quantization noise with a deterministic per-step seed,
-/// modelling low-precision gradient storage on the NPU. Noise amplitude
-/// scales with the format's grid coarseness relative to INT8 (FP16's
-/// 10-bit mantissa is ~8x finer than INT8's grid).
-pub(crate) fn quant_grad(grad: &Tensor, seed: u64, format: QuantFormat) -> Tensor {
+/// modelling low-precision gradient storage on the NPU, writing into `out`
+/// and reusing its storage. Noise amplitude scales with the format's grid
+/// coarseness relative to INT8 (FP16's 10-bit mantissa is ~8x finer than
+/// INT8's grid).
+pub(crate) fn quant_grad_into(grad: &Tensor, seed: u64, format: QuantFormat, out: &mut Tensor) {
     let rel = match format {
         QuantFormat::Fp16 => 0.125,
         _ => 127.0 / format.grid_max(),
     };
-    let noisy = quant::gradient_quant_noise(grad, seed);
+    quant::gradient_quant_noise_into(grad, seed, out);
     if (rel - 1.0).abs() < 1e-9 {
-        return noisy;
+        return;
     }
-    // re-scale the injected noise component
-    let mut out = grad.clone();
-    let delta = noisy.sub(grad);
-    out.add_scaled_inplace(&delta, rel);
-    out
+    // Re-scale the injected noise component: out = g + rel·(noisy − g),
+    // with the same subtract-multiply-add order as the allocating original.
+    for (o, &g) in out.data_mut().iter_mut().zip(grad.data()) {
+        *o = g + rel * (*o - g);
+    }
 }

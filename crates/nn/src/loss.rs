@@ -5,22 +5,34 @@ use socflow_tensor::Tensor;
 /// Numerically stable row-wise softmax of a `(n, classes)` logits matrix.
 pub fn softmax(logits: &Tensor) -> Tensor {
     let (n, c) = logits.shape().as_matrix();
-    let mut out = vec![0.0f32; n * c];
-    let data = logits.data();
-    for r in 0..n {
-        let row = &data[r * c..(r + 1) * c];
+    let mut out = logits.clone();
+    softmax_rows_inplace(out.data_mut(), n, c);
+    out
+}
+
+/// Row-wise softmax over a flat `rows × cols` slice, in place.
+///
+/// Shares the exact arithmetic of [`softmax`] so callers that operate on
+/// pooled scratch (e.g. attention scores) stay bit-identical with the
+/// allocating path.
+///
+/// # Panics
+/// Panics if `data.len() != rows * cols`.
+pub fn softmax_rows_inplace(data: &mut [f32], rows: usize, cols: usize) {
+    assert_eq!(data.len(), rows * cols, "softmax slice length mismatch");
+    for r in 0..rows {
+        let row = &mut data[r * cols..(r + 1) * cols];
         let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
         let mut denom = 0.0f32;
-        for (o, &v) in out[r * c..(r + 1) * c].iter_mut().zip(row) {
-            let e = (v - max).exp();
-            *o = e;
+        for v in row.iter_mut() {
+            let e = (*v - max).exp();
+            *v = e;
             denom += e;
         }
-        for o in &mut out[r * c..(r + 1) * c] {
-            *o /= denom;
+        for v in row.iter_mut() {
+            *v /= denom;
         }
     }
-    Tensor::from_vec(out, logits.shape().clone())
 }
 
 /// Mean softmax cross-entropy over a batch.

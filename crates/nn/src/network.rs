@@ -67,11 +67,20 @@ impl Network {
 
     /// Concatenates all parameter values into one flat vector.
     pub fn flat_weights(&self) -> Vec<f32> {
-        let mut out = Vec::with_capacity(self.param_count());
+        let mut out = Vec::new();
+        self.flat_weights_into(&mut out);
+        out
+    }
+
+    /// [`Network::flat_weights`] writing into `out`, reusing its storage —
+    /// the per-batch mixed-precision merge stages weights through a scratch
+    /// vector instead of allocating each step.
+    pub fn flat_weights_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.reserve(self.param_count());
         for p in self.parameters() {
             out.extend_from_slice(p.value.data());
         }
-        out
     }
 
     /// Concatenates all gradients into one flat vector.

@@ -61,10 +61,17 @@ impl Sgd {
     /// The momentum buffers flattened into one vector, in parameter order
     /// (empty before the first step).
     pub fn flat_velocity(&self) -> Vec<f32> {
-        self.velocity
-            .iter()
-            .flat_map(|v| v.data().iter().copied())
-            .collect()
+        let mut out = Vec::new();
+        self.flat_velocity_into(&mut out);
+        out
+    }
+
+    /// [`Sgd::flat_velocity`] writing into `out`, reusing its storage.
+    pub fn flat_velocity_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        for v in &self.velocity {
+            out.extend_from_slice(v.data());
+        }
     }
 
     /// Overwrites the momentum buffers from a flat vector (the inverse of

@@ -118,6 +118,14 @@ pub enum Event {
     /// A gang-scheduled baseline stalled on a preempted member and paid a
     /// checkpoint/restore penalty (Fig. 3's tidal argument).
     BaselineStalled { epoch: usize, stall: f64 },
+    /// Host-side kernel-profiling totals for one run, emitted once per
+    /// micro-kernel family (matmul, conv im2col, quant, …) just before
+    /// [`Event::RunCompleted`] — and only when the process-wide kernel
+    /// profiler (`socflow_tensor::profile`) is enabled, since timing the
+    /// hot loops costs a few percent. `nanos` is real host wall time, not
+    /// modelled seconds: it attributes where *this machine* spent an
+    /// epoch's compute, complementing the modelled Fig. 12 breakdown.
+    KernelTotals { op: String, calls: u64, nanos: u64 },
     /// The run finished; totals over all epochs.
     RunCompleted {
         epochs: usize,
@@ -259,6 +267,17 @@ pub struct Summary {
     pub checkpoints: usize,
     pub evictions: usize,
     pub stalls: usize,
+    /// Host kernel-profiling totals (one entry per op family, in emission
+    /// order), present only for traces recorded with the profiler on.
+    pub kernels: Vec<KernelTime>,
+}
+
+/// One aggregated host-kernel timing row in a [`Summary`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct KernelTime {
+    pub op: String,
+    pub calls: u64,
+    pub nanos: u64,
 }
 
 impl Summary {
@@ -310,6 +329,20 @@ impl Summary {
                 Event::CheckpointTaken { .. } => s.checkpoints += 1,
                 Event::GroupEvicted { .. } => s.evictions += 1,
                 Event::BaselineStalled { .. } => s.stalls += 1,
+                Event::KernelTotals { op, calls, nanos } => {
+                    // A window can span several runs; merge rows per op.
+                    match s.kernels.iter_mut().find(|k| k.op == *op) {
+                        Some(k) => {
+                            k.calls += calls;
+                            k.nanos += nanos;
+                        }
+                        None => s.kernels.push(KernelTime {
+                            op: op.clone(),
+                            calls: *calls,
+                            nanos: *nanos,
+                        }),
+                    }
+                }
                 Event::RunStarted { .. }
                 | Event::PlanComputed { .. }
                 | Event::MemoryChecked { .. }
@@ -380,6 +413,26 @@ impl Summary {
             "resilience       {} checkpoints, {} evictions, {} stalls\n",
             self.checkpoints, self.evictions, self.stalls
         ));
+        if !self.kernels.is_empty() {
+            let total: u64 = self.kernels.iter().map(|k| k.nanos).sum();
+            out.push_str(&format!(
+                "host kernels     {:.3} s measured\n",
+                total as f64 / 1e9
+            ));
+            for k in &self.kernels {
+                let share = if total > 0 {
+                    100.0 * k.nanos as f64 / total as f64
+                } else {
+                    0.0
+                };
+                out.push_str(&format!(
+                    "  {:<14} {:.3} s ({share:.1}%, {} calls)\n",
+                    k.op,
+                    k.nanos as f64 / 1e9,
+                    k.calls
+                ));
+            }
+        }
         out
     }
 }
@@ -545,6 +598,37 @@ mod tests {
         let report = s.render();
         assert!(report.contains("epochs           2"));
         assert!(report.contains("alpha            0.2000 -> 0.3000"));
+    }
+
+    #[test]
+    fn summary_merges_kernel_totals_per_op() {
+        let events = vec![
+            Event::KernelTotals {
+                op: "matmul".into(),
+                calls: 10,
+                nanos: 1_000,
+            },
+            Event::KernelTotals {
+                op: "im2col".into(),
+                calls: 2,
+                nanos: 500,
+            },
+            // second run in the same trace window: rows merge per op
+            Event::KernelTotals {
+                op: "matmul".into(),
+                calls: 5,
+                nanos: 2_000,
+            },
+        ];
+        let s = Summary::from_events(&events);
+        assert_eq!(s.kernels.len(), 2);
+        assert_eq!(s.kernels[0].op, "matmul");
+        assert_eq!(s.kernels[0].calls, 15);
+        assert_eq!(s.kernels[0].nanos, 3_000);
+        assert_eq!(s.kernels[1].op, "im2col");
+        let report = s.render();
+        assert!(report.contains("host kernels"), "{report}");
+        assert!(report.contains("matmul"), "{report}");
     }
 
     #[test]

@@ -5,8 +5,16 @@
 //! [`matmul`](crate::linalg::matmul), and the backward pass reuses the same
 //! patch matrix (`dW = dYᵀ·patches`) plus a `col2im` scatter (`dX`).
 //!
+//! The heavy entry points come in two flavors: allocating wrappers
+//! ([`conv2d`], [`conv2d_backward`], [`im2col`], [`col2im`]) and
+//! scratch-reusing variants ([`conv2d_scratch`], [`conv2d_backward_scratch`],
+//! [`im2col_into`], [`col2im_into`]) that write into caller-owned buffers so
+//! steady-state training allocates nothing per batch. The weight tensor is
+//! consumed as a raw `(oc, ic·kh·kw)` view of its storage — no clone/reshape.
+//!
 //! All image tensors are NCHW.
 
+use crate::profile::{KernelOp, Timer};
 use crate::{linalg, Shape, Tensor};
 
 /// Stride and zero-padding of a convolution or pooling window.
@@ -54,12 +62,33 @@ impl Default for ConvParams {
 /// # Panics
 /// Panics if `input` is not rank-4 or the window does not fit.
 pub fn im2col(input: &Tensor, kh: usize, kw: usize, p: ConvParams) -> (Tensor, usize, usize) {
+    let mut patches = Tensor::default();
+    let (oh, ow) = im2col_into(input, kh, kw, p, &mut patches);
+    (patches, oh, ow)
+}
+
+/// [`im2col`] writing into `patches`, reusing its storage; returns `(oh, ow)`.
+///
+/// # Panics
+/// Panics if `input` is not rank-4 or the window does not fit.
+pub fn im2col_into(
+    input: &Tensor,
+    kh: usize,
+    kw: usize,
+    p: ConvParams,
+    patches: &mut Tensor,
+) -> (usize, usize) {
     let (n, c, h, w) = input.shape().as_nchw();
     let oh = p.out_size(h, kh);
     let ow = p.out_size(w, kw);
     let rows = n * oh * ow;
     let cols = c * kh * kw;
-    let mut out = vec![0.0f32; rows * cols];
+    let _t = Timer::start(KernelOp::Im2col);
+    patches.resize([rows, cols]);
+    let out = patches.data_mut();
+    // Zero first: padding positions are skipped by the scatter below and must
+    // read as zero even when the buffer is recycled.
+    out.fill(0.0);
     let data = input.data();
     let pad = p.padding as isize;
     for ni in 0..n {
@@ -87,7 +116,7 @@ pub fn im2col(input: &Tensor, kh: usize, kw: usize, p: ConvParams) -> (Tensor, u
             }
         }
     }
-    (Tensor::from_vec(out, Shape::from([rows, cols])), oh, ow)
+    (oh, ow)
 }
 
 /// Inverse of [`im2col`]: scatters (accumulates) a patch-matrix gradient back
@@ -106,6 +135,27 @@ pub fn col2im(
     kw: usize,
     p: ConvParams,
 ) -> Tensor {
+    let mut out = Tensor::default();
+    col2im_into(patches, n, c, h, w, kh, kw, p, &mut out);
+    out
+}
+
+/// [`col2im`] writing into `grad`, reusing its storage.
+///
+/// # Panics
+/// Panics if the patch matrix shape is inconsistent with the arguments.
+#[allow(clippy::too_many_arguments)]
+pub fn col2im_into(
+    patches: &Tensor,
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    p: ConvParams,
+    grad: &mut Tensor,
+) {
     let oh = p.out_size(h, kh);
     let ow = p.out_size(w, kw);
     let cols = c * kh * kw;
@@ -114,7 +164,10 @@ pub fn col2im(
         &[n * oh * ow, cols],
         "patch matrix shape mismatch"
     );
-    let mut out = vec![0.0f32; n * c * h * w];
+    let _t = Timer::start(KernelOp::Col2im);
+    grad.resize([n, c, h, w]);
+    let out = grad.data_mut();
+    out.fill(0.0);
     let data = patches.data();
     let pad = p.padding as isize;
     for ni in 0..n {
@@ -142,7 +195,28 @@ pub fn col2im(
             }
         }
     }
-    Tensor::from_vec(out, Shape::from([n, c, h, w]))
+}
+
+/// Reusable scratch buffers for one convolution layer.
+///
+/// Holds the im2col patch matrix (shared between forward and backward) plus
+/// the staging matrices of both passes. Owned by the layer that runs the
+/// convolution; `Clone` yields empty buffers so cloning a layer never aliases
+/// scratch storage (see [`crate::pool`] for the ownership rules).
+#[derive(Debug, Default)]
+pub struct ConvScratch {
+    /// The im2col patch matrix of the last forward pass.
+    pub patches: Tensor,
+    /// `(n·oh·ow, oc)` staging matrix (forward output / backward gradient).
+    mat: Tensor,
+    /// Patch-gradient matrix of the backward pass.
+    gpatches: Tensor,
+}
+
+impl Clone for ConvScratch {
+    fn clone(&self) -> Self {
+        ConvScratch::default()
+    }
 }
 
 /// Forward 2-D convolution.
@@ -153,15 +227,43 @@ pub fn col2im(
 /// # Panics
 /// Panics if channel counts disagree or the window does not fit.
 pub fn conv2d(input: &Tensor, weight: &Tensor, p: ConvParams) -> (Tensor, Tensor) {
+    let mut s = ConvScratch::default();
+    let mut out = Tensor::default();
+    conv2d_scratch(input, weight, p, &mut s, &mut out);
+    (out, s.patches)
+}
+
+/// [`conv2d`] writing into `out` and reusing `scratch` across batches.
+///
+/// The patch matrix is left in `scratch.patches` for the backward pass.
+///
+/// # Panics
+/// Panics if channel counts disagree or the window does not fit.
+pub fn conv2d_scratch(
+    input: &Tensor,
+    weight: &Tensor,
+    p: ConvParams,
+    scratch: &mut ConvScratch,
+    out: &mut Tensor,
+) {
     let (n, ic, _h, _w) = input.shape().as_nchw();
     let (oc, ic2, kh, kw) = weight.shape().as_nchw();
     assert_eq!(ic, ic2, "conv2d channel mismatch: input {ic}, weight {ic2}");
-    let (patches, oh, ow) = im2col(input, kh, kw, p);
-    let wmat = weight.clone().reshape([oc, ic * kh * kw]);
-    // (n·oh·ow, cols) × (oc, cols)ᵀ = (n·oh·ow, oc)
-    let out_mat = linalg::matmul_a_bt(&patches, &wmat);
-    let out = nhwc_rows_to_nchw(&out_mat, n, oc, oh, ow);
-    (out, patches)
+    let (oh, ow) = im2col_into(input, kh, kw, p, &mut scratch.patches);
+    let rows = n * oh * ow;
+    let cols = ic * kh * kw;
+    // (n·oh·ow, cols) × (oc, cols)ᵀ = (n·oh·ow, oc); the weight storage is
+    // already the row-major (oc, cols) matrix — no clone/reshape needed.
+    scratch.mat.resize([rows, oc]);
+    linalg::matmul_a_bt_slices(
+        scratch.patches.data(),
+        weight.data(),
+        scratch.mat.data_mut(),
+        rows,
+        cols,
+        oc,
+    );
+    nhwc_rows_to_nchw_into(&scratch.mat, n, oc, oh, ow, out);
 }
 
 /// Backward 2-D convolution.
@@ -179,25 +281,77 @@ pub fn conv2d_backward(
     input_shape: &Shape,
     p: ConvParams,
 ) -> (Tensor, Tensor) {
+    let mut s = ConvScratch::default();
+    let mut gx = Tensor::default();
+    let mut gw = Tensor::default();
+    conv2d_backward_scratch(
+        grad_out,
+        patches,
+        weight,
+        input_shape,
+        p,
+        &mut s,
+        &mut gx,
+        &mut gw,
+    );
+    (gx, gw)
+}
+
+/// [`conv2d_backward`] reusing `scratch` staging buffers and writing the
+/// gradients into `gx` / `gw`.
+///
+/// `patches` is the im2col matrix of the matching forward pass — usually
+/// `scratch.patches` moved out by the caller (a layer caches the train-time
+/// patches while the scratch may be overwritten by eval forwards in between).
+///
+/// # Panics
+/// Panics on any geometry inconsistency.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_backward_scratch(
+    grad_out: &Tensor,
+    patches: &Tensor,
+    weight: &Tensor,
+    input_shape: &Shape,
+    p: ConvParams,
+    scratch: &mut ConvScratch,
+    gx: &mut Tensor,
+    gw: &mut Tensor,
+) {
     let (n, ic, h, w) = input_shape.as_nchw();
     let (oc, _ic, kh, kw) = weight.shape().as_nchw();
     let (gn, goc, oh, ow) = grad_out.shape().as_nchw();
     assert_eq!((gn, goc), (n, oc), "grad_out batch/channel mismatch");
+    let rows = n * oh * ow;
+    let cols = ic * kh * kw;
     // (n·oh·ow, oc)
-    let gmat = nchw_to_nhwc_rows(grad_out);
+    nchw_to_nhwc_rows_into(grad_out, &mut scratch.mat);
     // dW = gmatᵀ × patches  →  (oc, ic·kh·kw)
-    let gw = linalg::matmul_at_b(&gmat, patches).reshape([oc, ic, kh, kw]);
+    gw.resize([oc, ic, kh, kw]);
+    linalg::matmul_at_b_slices(
+        scratch.mat.data(),
+        patches.data(),
+        gw.data_mut(),
+        oc,
+        rows,
+        cols,
+    );
     // dPatches = gmat × Wmat  →  (n·oh·ow, ic·kh·kw)
-    let wmat = weight.clone().reshape([oc, ic * kh * kw]);
-    let gpatches = linalg::matmul(&gmat, &wmat);
-    let _ = (oh, ow);
-    let gx = col2im(&gpatches, n, ic, h, w, kh, kw, p);
-    (gx, gw)
+    scratch.gpatches.resize([rows, cols]);
+    linalg::matmul_slices(
+        scratch.mat.data(),
+        weight.data(),
+        scratch.gpatches.data_mut(),
+        rows,
+        oc,
+        cols,
+    );
+    col2im_into(&scratch.gpatches, n, ic, h, w, kh, kw, p, gx);
 }
 
 /// Reorders a `(n·oh·ow, c)` matrix (rows in NHWC order) into NCHW.
-fn nhwc_rows_to_nchw(mat: &Tensor, n: usize, c: usize, oh: usize, ow: usize) -> Tensor {
-    let mut out = vec![0.0f32; n * c * oh * ow];
+fn nhwc_rows_to_nchw_into(mat: &Tensor, n: usize, c: usize, oh: usize, ow: usize, t: &mut Tensor) {
+    t.resize([n, c, oh, ow]);
+    let out = t.data_mut();
     let data = mat.data();
     for ni in 0..n {
         for y in 0..oh {
@@ -209,13 +363,13 @@ fn nhwc_rows_to_nchw(mat: &Tensor, n: usize, c: usize, oh: usize, ow: usize) -> 
             }
         }
     }
-    Tensor::from_vec(out, Shape::from([n, c, oh, ow]))
 }
 
 /// Reorders an NCHW tensor into a `(n·h·w, c)` matrix (rows in NHWC order).
-fn nchw_to_nhwc_rows(t: &Tensor) -> Tensor {
+fn nchw_to_nhwc_rows_into(t: &Tensor, mat: &mut Tensor) {
     let (n, c, h, w) = t.shape().as_nchw();
-    let mut out = vec![0.0f32; n * c * h * w];
+    mat.resize([n * h * w, c]);
+    let out = mat.data_mut();
     let data = t.data();
     for ni in 0..n {
         for ci in 0..c {
@@ -226,7 +380,6 @@ fn nchw_to_nhwc_rows(t: &Tensor) -> Tensor {
             }
         }
     }
-    Tensor::from_vec(out, Shape::from([n * h * w, c]))
 }
 
 /// Forward max pooling. Returns the pooled output and the flat argmax index
@@ -412,6 +565,41 @@ mod tests {
                 gw.data()[idx]
             );
         }
+    }
+
+    #[test]
+    fn scratch_variants_match_allocating() {
+        let p = ConvParams::new(1, 1);
+        let x = Tensor::from_vec(
+            (0..2 * 2 * 5 * 5).map(|i| (i as f32 * 0.7).sin()).collect(),
+            [2, 2, 5, 5],
+        );
+        let w = Tensor::from_vec(
+            (0..3 * 2 * 3 * 3)
+                .map(|i| (i as f32 * 0.3).cos() * 0.5)
+                .collect(),
+            [3, 2, 3, 3],
+        );
+        let (y, patches) = conv2d(&x, &w, p);
+        let gy = y.scale(2.0);
+        let (gx, gw) = conv2d_backward(&gy, &patches, &w, x.shape(), p);
+
+        // Prime the scratch with garbage by running a *different* shape first,
+        // then check the reused buffers produce identical results.
+        let mut s = ConvScratch::default();
+        let mut out = Tensor::default();
+        let x0 = Tensor::ones([1, 2, 4, 4]);
+        conv2d_scratch(&x0, &w, p, &mut s, &mut out);
+        conv2d_scratch(&x, &w, p, &mut s, &mut out);
+        assert_eq!(out, y);
+        assert_eq!(s.patches, patches);
+        let mut gx2 = Tensor::default();
+        let mut gw2 = Tensor::default();
+        // Move the patches out, the way a layer caches them across passes.
+        let pt = std::mem::take(&mut s.patches);
+        conv2d_backward_scratch(&gy, &pt, &w, x.shape(), p, &mut s, &mut gx2, &mut gw2);
+        assert_eq!(gx2, gx);
+        assert_eq!(gw2, gw);
     }
 
     #[test]

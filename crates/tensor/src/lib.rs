@@ -11,7 +11,9 @@
 //!   passes ([`conv`]);
 //! - symmetric per-tensor INT8 quantization with straight-through-estimator
 //!   helpers for quantization-aware training ([`quant`]);
-//! - weight initializers ([`init`]).
+//! - weight initializers ([`init`]);
+//! - scratch-buffer pooling for allocation-free steady-state training
+//!   ([`pool`]) and opt-in kernel timing counters ([`profile`]).
 //!
 //! The library is intentionally CPU-only and deterministic: every random
 //! routine takes an explicit RNG so experiments are reproducible bit-for-bit.
@@ -30,10 +32,13 @@
 pub mod conv;
 pub mod init;
 pub mod linalg;
+pub mod pool;
+pub mod profile;
 pub mod quant;
 mod shape;
 mod tensor;
 
+pub use pool::TensorPool;
 pub use shape::Shape;
 pub use tensor::Tensor;
 

@@ -1,0 +1,118 @@
+//! Scratch-buffer pooling for hot-path temporaries.
+//!
+//! Training re-executes the same layer shapes every batch, so temporaries
+//! (im2col patch matrices, matmul outputs, quantized weight copies) have
+//! stable sizes. A [`TensorPool`] keeps the freed storage of such temporaries
+//! and hands it back on the next request, turning per-batch heap churn into
+//! steady-state zero-allocation reuse.
+//!
+//! ## Ownership and thread-safety
+//!
+//! Pools are deliberately **not** shared: each layer / replica owns its own
+//! pool, matching the engine's threading model where every replica trains on
+//! its own scoped thread. There is no interior mutability and no locking.
+//! `Clone` yields an *empty* pool — cloning a layer (e.g. when building
+//! replicas) never aliases scratch storage.
+
+use crate::{Shape, Tensor};
+
+/// A free-list of tensor storage for reuse across batches.
+///
+/// ```
+/// use socflow_tensor::pool::TensorPool;
+/// let mut pool = TensorPool::default();
+/// let t = pool.take_zeroed([4, 4]);
+/// assert_eq!(t.sum(), 0.0);
+/// pool.recycle(t); // storage returns to the pool for the next take
+/// ```
+#[derive(Debug, Default)]
+pub struct TensorPool {
+    free: Vec<Vec<f32>>,
+}
+
+impl Clone for TensorPool {
+    /// Cloning produces an empty pool: scratch storage is never shared.
+    fn clone(&self) -> Self {
+        TensorPool::default()
+    }
+}
+
+impl TensorPool {
+    /// A pool with no cached storage.
+    pub fn new() -> Self {
+        TensorPool::default()
+    }
+
+    /// Takes a tensor of `shape` with **unspecified** element values.
+    ///
+    /// Reuses pooled storage when available. Use when every element will be
+    /// overwritten (e.g. as an `_into` kernel destination).
+    pub fn take(&mut self, shape: impl Into<Shape>) -> Tensor {
+        let shape = shape.into();
+        let mut data = self.free.pop().unwrap_or_default();
+        data.resize(shape.len(), 0.0);
+        Tensor::from_vec(data, shape)
+    }
+
+    /// Takes a tensor of `shape` with every element set to zero.
+    pub fn take_zeroed(&mut self, shape: impl Into<Shape>) -> Tensor {
+        let mut t = self.take(shape);
+        t.fill_zero();
+        t
+    }
+
+    /// Takes a pooled buffer without retargeting its shape — a rank-1 tensor
+    /// over whatever storage was cached (empty if the pool is dry).
+    ///
+    /// Intended as the destination of an `_into` kernel, which resizes it.
+    pub fn take_any(&mut self) -> Tensor {
+        let data = self.free.pop().unwrap_or_default();
+        let n = data.len();
+        Tensor::from_vec(data, [n])
+    }
+
+    /// Returns a tensor's storage to the pool for later reuse.
+    pub fn recycle(&mut self, t: Tensor) {
+        self.free.push(t.into_vec());
+    }
+
+    /// Number of cached buffers currently available.
+    pub fn cached(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_recycle_reuses_storage() {
+        let mut pool = TensorPool::new();
+        let mut t = pool.take([2, 3]);
+        t.data_mut().fill(9.0);
+        let ptr = t.data().as_ptr();
+        pool.recycle(t);
+        assert_eq!(pool.cached(), 1);
+        let t2 = pool.take([3, 2]); // same element count, reshaped
+        assert_eq!(t2.data().as_ptr(), ptr);
+        assert_eq!(pool.cached(), 0);
+    }
+
+    #[test]
+    fn take_zeroed_clears_recycled_garbage() {
+        let mut pool = TensorPool::new();
+        let mut t = pool.take([4]);
+        t.data_mut().fill(5.0);
+        pool.recycle(t);
+        let t = pool.take_zeroed([4]);
+        assert_eq!(t.data(), &[0.0; 4]);
+    }
+
+    #[test]
+    fn clone_is_empty() {
+        let mut pool = TensorPool::new();
+        pool.recycle(Tensor::zeros([8]));
+        assert_eq!(pool.clone().cached(), 0);
+    }
+}

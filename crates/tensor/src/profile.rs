@@ -1,0 +1,180 @@
+//! Opt-in kernel timing counters.
+//!
+//! Every hot kernel in [`crate::linalg`], [`crate::conv`] and [`crate::quant`]
+//! reports its wall-clock time here. Profiling is **off by default** and the
+//! disabled path costs a single relaxed atomic load per kernel call, so
+//! normal runs (and their byte-identical telemetry traces) are unaffected.
+//! Call [`set_enabled`] to start collecting, [`snapshot`] to read the totals
+//! and [`reset`] to zero them between measurement windows.
+//!
+//! Counters are process-global atomics: totals aggregate across the engine's
+//! scoped replica threads without any locking.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// The kernel families that are individually attributed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelOp {
+    /// `C = A × B` (dense matmul and its `_into` variants).
+    Matmul,
+    /// `C = Aᵀ × B` (weight-gradient matmul).
+    MatmulAtB,
+    /// `C = A × Bᵀ` (conv forward / input-gradient matmul).
+    MatmulABt,
+    /// Rank-2 transpose.
+    Transpose,
+    /// im2col patch extraction.
+    Im2col,
+    /// col2im gradient scatter.
+    Col2im,
+    /// Fake-quantize (quantize → dequantize) passes.
+    Quant,
+}
+
+const OP_COUNT: usize = 7;
+
+/// All attributed kernel families, in reporting order.
+pub const ALL_OPS: [KernelOp; OP_COUNT] = [
+    KernelOp::Matmul,
+    KernelOp::MatmulAtB,
+    KernelOp::MatmulABt,
+    KernelOp::Transpose,
+    KernelOp::Im2col,
+    KernelOp::Col2im,
+    KernelOp::Quant,
+];
+
+impl KernelOp {
+    /// Stable snake_case name used in telemetry events and bench JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelOp::Matmul => "matmul",
+            KernelOp::MatmulAtB => "matmul_at_b",
+            KernelOp::MatmulABt => "matmul_a_bt",
+            KernelOp::Transpose => "transpose",
+            KernelOp::Im2col => "im2col",
+            KernelOp::Col2im => "col2im",
+            KernelOp::Quant => "quant",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            KernelOp::Matmul => 0,
+            KernelOp::MatmulAtB => 1,
+            KernelOp::MatmulABt => 2,
+            KernelOp::Transpose => 3,
+            KernelOp::Im2col => 4,
+            KernelOp::Col2im => 5,
+            KernelOp::Quant => 6,
+        }
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static CALLS: [AtomicU64; OP_COUNT] = [const { AtomicU64::new(0) }; OP_COUNT];
+static NANOS: [AtomicU64; OP_COUNT] = [const { AtomicU64::new(0) }; OP_COUNT];
+
+/// Turns kernel timing on or off globally.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether kernel timing is currently collecting.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Zeroes all counters (does not change the enabled flag).
+pub fn reset() {
+    for c in &CALLS {
+        c.store(0, Ordering::Relaxed);
+    }
+    for n in &NANOS {
+        n.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Aggregate time spent in one kernel family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelTotal {
+    /// Kernel family name (see [`KernelOp::name`]).
+    pub op: &'static str,
+    /// Number of timed calls.
+    pub calls: u64,
+    /// Total wall-clock nanoseconds across those calls.
+    pub nanos: u64,
+}
+
+/// Reads the current totals for every kernel family (including zero entries).
+pub fn snapshot() -> Vec<KernelTotal> {
+    ALL_OPS
+        .iter()
+        .map(|&op| {
+            let i = op.index();
+            KernelTotal {
+                op: op.name(),
+                calls: CALLS[i].load(Ordering::Relaxed),
+                nanos: NANOS[i].load(Ordering::Relaxed),
+            }
+        })
+        .collect()
+}
+
+/// RAII guard that attributes the enclosed scope to `op` when profiling is on.
+pub(crate) struct Timer {
+    op: KernelOp,
+    start: Option<Instant>,
+}
+
+impl Timer {
+    #[inline]
+    pub(crate) fn start(op: KernelOp) -> Timer {
+        let start = enabled().then(Instant::now);
+        Timer { op, start }
+    }
+}
+
+impl Drop for Timer {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let i = self.op.index();
+            CALLS[i].fetch_add(1, Ordering::Relaxed);
+            NANOS[i].fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default_and_counts_when_enabled() {
+        // Serialize against other tests via the enabled flag itself: this is
+        // the only test in the crate that enables profiling.
+        assert!(!enabled());
+        {
+            let _t = Timer::start(KernelOp::Matmul);
+        }
+        let before = snapshot();
+        assert!(before.iter().all(|t| t.calls == 0));
+
+        set_enabled(true);
+        reset();
+        {
+            let _t = Timer::start(KernelOp::Matmul);
+        }
+        {
+            let _t = Timer::start(KernelOp::Quant);
+        }
+        set_enabled(false);
+        let after = snapshot();
+        let m = after.iter().find(|t| t.op == "matmul").unwrap();
+        assert_eq!(m.calls, 1);
+        let q = after.iter().find(|t| t.op == "quant").unwrap();
+        assert_eq!(q.calls, 1);
+        reset();
+    }
+}

@@ -16,6 +16,7 @@
 //! The NiTi-style integer optimizer in `socflow-nn` builds on these
 //! primitives.
 
+use crate::profile::{KernelOp, Timer};
 use crate::{Shape, Tensor};
 use serde::{Deserialize, Serialize};
 
@@ -65,13 +66,33 @@ impl QuantFormat {
     /// the symmetric grid scaled by max-|x|; FP16 rounds the mantissa to
     /// 10 bits (flushing below-half-min-normal values to zero).
     pub fn fake_quant(self, t: &Tensor) -> Tensor {
+        let mut out = Tensor::default();
+        self.fake_quant_into(t, &mut out);
+        out
+    }
+
+    /// [`QuantFormat::fake_quant`] writing into `out`, reusing its storage.
+    ///
+    /// The quantize→dequantize round-trip is fused into a single output pass
+    /// (one read of `t` for the scale, one read-transform-write), so the INT8
+    /// side of mixed precision produces no intermediate tensor.
+    pub fn fake_quant_into(self, t: &Tensor, out: &mut Tensor) {
+        let _timer = Timer::start(KernelOp::Quant);
+        out.resize(t.shape().clone());
+        let od = out.data_mut();
         match self {
-            QuantFormat::Fp16 => t.map(fp16_round),
+            QuantFormat::Fp16 => {
+                for (o, &v) in od.iter_mut().zip(t.data()) {
+                    *o = fp16_round(v);
+                }
+            }
             _ => {
                 let m = t.abs_max();
                 let gm = self.grid_max();
                 let scale = if m == 0.0 { 1.0 } else { m / gm };
-                t.map(|v| (v / scale).round().clamp(-gm, gm) * scale)
+                for (o, &v) in od.iter_mut().zip(t.data()) {
+                    *o = (v / scale).round().clamp(-gm, gm) * scale;
+                }
             }
         }
     }
@@ -167,10 +188,21 @@ pub fn dequantize(q: &[i8], shape: impl Into<Shape>, p: QuantParams) -> Tensor {
 /// representable range and are zeroed outside; [`ste_mask`] computes that
 /// mask.
 pub fn fake_quant(t: &Tensor, p: QuantParams) -> Tensor {
+    let _timer = Timer::start(KernelOp::Quant);
     t.map(|v| {
         let q = (v / p.scale).round().clamp(-INT8_MAX, INT8_MAX);
         q * p.scale
     })
+}
+
+/// [`fake_quant`] applied in place: fuses quantize→dequantize into one
+/// read-modify-write sweep over the tensor's storage.
+pub fn fake_quant_inplace(t: &mut Tensor, p: QuantParams) {
+    let _timer = Timer::start(KernelOp::Quant);
+    t.map_inplace(|v| {
+        let q = (v / p.scale).round().clamp(-INT8_MAX, INT8_MAX);
+        q * p.scale
+    });
 }
 
 /// Straight-through-estimator mask: 1.0 where the value is inside the
@@ -233,22 +265,25 @@ pub fn quantized_matmul(
 /// ±half a quantization step of the gradient's own scale — the worst-case
 /// rounding error model used in integer-training analyses.
 pub fn gradient_quant_noise(grad: &Tensor, seed: u64) -> Tensor {
+    let mut out = Tensor::default();
+    gradient_quant_noise_into(grad, seed, &mut out);
+    out
+}
+
+/// [`gradient_quant_noise`] writing into `out`, reusing its storage.
+pub fn gradient_quant_noise_into(grad: &Tensor, seed: u64, out: &mut Tensor) {
+    let _timer = Timer::start(KernelOp::Quant);
     let p = QuantParams::from_tensor(grad);
     let half = max_rounding_error(p);
-    let data = grad
-        .data()
-        .iter()
-        .enumerate()
-        .map(|(i, &g)| {
-            let mut h = seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15);
-            h ^= h >> 33;
-            h = h.wrapping_mul(0xFF51AFD7ED558CCD);
-            h ^= h >> 33;
-            let u = (h >> 11) as f32 / (1u64 << 53) as f32; // [0,1)
-            g + (2.0 * u - 1.0) * half
-        })
-        .collect();
-    Tensor::from_vec(data, grad.shape().clone())
+    out.resize(grad.shape().clone());
+    for (i, (o, &g)) in out.data_mut().iter_mut().zip(grad.data()).enumerate() {
+        let mut h = seed ^ (i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xFF51AFD7ED558CCD);
+        h ^= h >> 33;
+        let u = (h >> 11) as f32 / (1u64 << 53) as f32; // [0,1)
+        *o = g + (2.0 * u - 1.0) * half;
+    }
 }
 
 #[cfg(test)]
@@ -292,6 +327,31 @@ mod tests {
         for (a, b) in fq.data().iter().zip(qd.data()) {
             assert!((a - b).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn fused_variants_match_allocating() {
+        let t = Tensor::from_vec((0..96).map(|i| (i as f32 * 0.37).sin()).collect(), [96]);
+        let p = QuantParams::from_tensor(&t);
+        let mut inplace = t.clone();
+        fake_quant_inplace(&mut inplace, p);
+        assert_eq!(inplace, fake_quant(&t, p));
+
+        for f in [
+            QuantFormat::Int4,
+            QuantFormat::Int8,
+            QuantFormat::Int16,
+            QuantFormat::Fp16,
+        ] {
+            // recycled buffer of the wrong shape must be resized + overwritten
+            let mut out = Tensor::full([3], 9.0);
+            f.fake_quant_into(&t, &mut out);
+            assert_eq!(out, f.fake_quant(&t));
+        }
+
+        let mut noisy = Tensor::default();
+        gradient_quant_noise_into(&t, 42, &mut noisy);
+        assert_eq!(noisy, gradient_quant_noise(&t, 42));
     }
 
     #[test]

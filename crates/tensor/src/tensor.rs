@@ -130,6 +130,28 @@ impl Tensor {
         self
     }
 
+    /// Reshapes `self` to `shape`, growing or shrinking the storage in place.
+    ///
+    /// Unlike [`Tensor::reshape`], the element counts need not match: this is
+    /// the primitive behind every `_into` kernel variant and [`crate::pool`],
+    /// letting a scratch tensor be retargeted without reallocating (beyond
+    /// what `Vec` growth requires). Element values after a resize are
+    /// unspecified — callers are expected to overwrite the tensor.
+    pub fn resize(&mut self, shape: impl Into<Shape>) {
+        let shape = shape.into();
+        self.data.resize(shape.len(), 0.0);
+        self.shape = shape;
+    }
+
+    /// Overwrites `self` with a copy of `other`, reusing `self`'s storage.
+    ///
+    /// Equivalent to `*self = other.clone()` without the fresh allocation.
+    pub fn copy_from(&mut self, other: &Tensor) {
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+        self.shape = other.shape.clone();
+    }
+
     /// Element at a multi-dimensional index.
     ///
     /// # Panics
@@ -211,6 +233,14 @@ impl Tensor {
         Tensor::from_vec(data, self.shape.clone())
     }
 
+    /// In-place elementwise difference. Panics on shape mismatch.
+    pub fn sub_inplace(&mut self, other: &Tensor) {
+        self.zip_check(other, "sub_inplace");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a -= b;
+        }
+    }
+
     /// Elementwise (Hadamard) product. Panics on shape mismatch.
     pub fn mul(&self, other: &Tensor) -> Tensor {
         self.zip_check(other, "mul");
@@ -221,6 +251,14 @@ impl Tensor {
             .map(|(a, b)| a * b)
             .collect();
         Tensor::from_vec(data, self.shape.clone())
+    }
+
+    /// In-place elementwise (Hadamard) product. Panics on shape mismatch.
+    pub fn mul_inplace(&mut self, other: &Tensor) {
+        self.zip_check(other, "mul_inplace");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a *= b;
+        }
     }
 
     /// Multiplies every element by `s`.
@@ -240,6 +278,13 @@ impl Tensor {
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
         let data = self.data.iter().map(|&a| f(a)).collect();
         Tensor::from_vec(data, self.shape.clone())
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for a in &mut self.data {
+            *a = f(*a);
+        }
     }
 
     /// Overwrites every element with zero, keeping the allocation.
@@ -310,19 +355,45 @@ impl Tensor {
         out
     }
 
+    /// Adds a bias vector to every row of a `(rows, cols)` matrix in place.
+    ///
+    /// # Panics
+    /// Panics if `self` is not rank-2 or `bias.len() != cols`.
+    pub fn add_row_broadcast_inplace(&mut self, bias: &Tensor) {
+        let (rows, cols) = self.shape.as_matrix();
+        assert_eq!(bias.len(), cols, "bias length must equal column count");
+        for r in 0..rows {
+            let row = &mut self.data[r * cols..(r + 1) * cols];
+            for (o, b) in row.iter_mut().zip(&bias.data) {
+                *o += b;
+            }
+        }
+    }
+
     /// Sums a `(rows, cols)` matrix down to a length-`cols` vector.
     ///
     /// # Panics
     /// Panics if `self` is not rank-2.
     pub fn sum_rows(&self) -> Tensor {
+        let mut out = Tensor::default();
+        self.sum_rows_into(&mut out);
+        out
+    }
+
+    /// [`Tensor::sum_rows`] writing into `out`, reusing its storage.
+    ///
+    /// # Panics
+    /// Panics if `self` is not rank-2.
+    pub fn sum_rows_into(&self, out: &mut Tensor) {
         let (rows, cols) = self.shape.as_matrix();
-        let mut out = vec![0.0f32; cols];
+        out.resize([cols]);
+        let od = out.data_mut();
+        od.fill(0.0);
         for r in 0..rows {
-            for (c, o) in out.iter_mut().enumerate() {
+            for (c, o) in od.iter_mut().enumerate() {
                 *o += self.data[r * cols + c];
             }
         }
-        Tensor::from_vec(out, Shape::from([cols]))
     }
 
     /// Concatenates tensors along axis 0 (all other dimensions must match).

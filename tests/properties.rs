@@ -19,6 +19,39 @@ fn cluster(boards: usize, per: usize) -> ClusterSpec {
     s
 }
 
+/// Deterministic pseudo-random tensor for the kernel properties.
+fn lcg_tensor(rows: usize, cols: usize, seed: u64) -> Tensor {
+    let mut state = seed;
+    let data = (0..rows * cols)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        })
+        .collect();
+    Tensor::from_vec(data, [rows, cols])
+}
+
+/// Naive triple-loop GEMM reference, accumulating over `p` ascending —
+/// the exact floating-point order the tiled kernels promise to preserve.
+fn naive_matmul(a: &Tensor, b: &Tensor) -> Vec<f32> {
+    let (m, k) = (a.shape().dims()[0], a.shape().dims()[1]);
+    let n = b.shape().dims()[1];
+    let (ad, bd) = (a.data(), b.data());
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += ad[i * k + p] * bd[p * n + j];
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    out
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -157,6 +190,97 @@ proptest! {
         for (r, d) in buffers.iter().flatten().zip(direct.iter().flatten()) {
             prop_assert!((r - d).abs() < 1e-3 * (1.0 + d.abs()), "{} vs {}", r, d);
         }
+    }
+
+    /// The tiled pack-and-tile GEMM kernels agree **bit-for-bit** with the
+    /// naive triple loop on arbitrary (awkward, tail-heavy) shapes: per
+    /// output element both accumulate strictly sequentially over the shared
+    /// dimension, so identical rounding applies. Training numerics are
+    /// therefore unchanged by the tiling.
+    #[test]
+    fn tiled_gemm_matches_naive_bitwise(
+        m in 1usize..40,
+        k in 1usize..40,
+        n in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        use socflow_tensor::linalg;
+        let a = lcg_tensor(m, k, seed);
+        let b = lcg_tensor(k, n, seed ^ 0xABCD);
+        let expect = naive_matmul(&a, &b);
+        let tiled = linalg::matmul(&a, &b);
+        prop_assert_eq!(tiled.data(), &expect[..]);
+        // Aᵀ·B with A stored (k, m): transpose the stored operand first so
+        // the same reference applies.
+        let at = linalg::transpose(&a); // (k, m)
+        let via_at = linalg::matmul_at_b(&at, &b);
+        prop_assert_eq!(via_at.data(), &expect[..]);
+        // A·Bᵀ with B stored (n, k)
+        let bt = linalg::transpose(&b); // (n, k)
+        let via_bt = linalg::matmul_a_bt(&a, &bt);
+        prop_assert_eq!(via_bt.data(), &expect[..]);
+        // transpose is an involution
+        prop_assert_eq!(linalg::transpose(&at), a);
+    }
+
+    /// The `_into` kernel variants equal their allocating wrappers even
+    /// when the destination arrives dirty with a stale shape — the pooled
+    /// scratch path recycles buffers across layers of different sizes.
+    #[test]
+    fn into_variants_match_allocating(
+        m in 1usize..24,
+        k in 1usize..24,
+        n in 1usize..24,
+        stale in 1usize..50,
+        seed in 0u64..1000,
+    ) {
+        use socflow_tensor::linalg;
+        let a = lcg_tensor(m, k, seed);
+        let b = lcg_tensor(k, n, seed ^ 0x5EED);
+        let mut out = lcg_tensor(stale, stale + 1, seed ^ 0xF00D); // dirty + wrong shape
+        linalg::matmul_into(&a, &b, &mut out);
+        prop_assert_eq!(&out, &linalg::matmul(&a, &b));
+        let at = linalg::transpose(&a);
+        linalg::matmul_at_b_into(&at, &b, &mut out);
+        prop_assert_eq!(&out, &linalg::matmul(&a, &b));
+        let bt = linalg::transpose(&b);
+        linalg::matmul_a_bt_into(&a, &bt, &mut out);
+        prop_assert_eq!(&out, &linalg::matmul(&a, &b));
+        linalg::transpose_into(&a, &mut out);
+        prop_assert_eq!(&out, &at);
+        // fused quantize→dequantize equals the allocating fake-quant
+        let big = a.scale(30.0);
+        for f in [QuantFormat::Int4, QuantFormat::Int8, QuantFormat::Int16, QuantFormat::Fp16] {
+            f.fake_quant_into(&big, &mut out);
+            prop_assert_eq!(&out, &f.fake_quant(&big), "{:?}", f);
+        }
+    }
+
+    /// Scratch-pool round trips hand back buffers with the requested shape
+    /// and (for `take_zeroed`) zeroed contents, regardless of what shapes
+    /// were recycled before — the invariant every pooled layer leans on.
+    #[test]
+    fn tensor_pool_recycling_is_shape_safe(
+        shapes in proptest::collection::vec(0usize..121, 1..8),
+    ) {
+        use socflow_tensor::TensorPool;
+        let mut pool = TensorPool::default();
+        for &code in &shapes {
+            let (r, c) = (code % 11 + 1, code / 11 + 1);
+            let t = pool.take_zeroed([r, c]);
+            prop_assert_eq!(t.shape().dims(), &[r, c]);
+            prop_assert!(t.data().iter().all(|&v| v == 0.0));
+            let mut t = t;
+            t.data_mut().iter_mut().for_each(|v| *v = 7.25); // dirty it
+            pool.recycle(t);
+            let u = pool.take(&[c, r][..]);
+            prop_assert_eq!(u.shape().dims(), &[c, r]);
+            pool.recycle(u);
+            let z = pool.take_zeroed([r, c]);
+            prop_assert!(z.data().iter().all(|&v| v == 0.0), "reused buffer must re-zero");
+            pool.recycle(z);
+        }
+        prop_assert!(pool.cached() >= 1);
     }
 
     /// Quantize–dequantize round trips within half a step, and fake-quant
