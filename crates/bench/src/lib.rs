@@ -231,6 +231,7 @@ pub fn run_comparison(
             },
             energy_joules: cost.energy * n as f64,
             alpha_trace: vec![f32::NAN; n],
+            recovery_time: 0.0,
         }
     };
 

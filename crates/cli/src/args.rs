@@ -17,6 +17,16 @@ pub struct Options {
     /// Enable the host kernel profiler for the run: KernelTotals events
     /// land in the trace, and a host-time attribution table is printed.
     pub profile_kernels: bool,
+    /// Fault timeline spec `<mean_reclaim_s>:<mean_crash_s>` sampled over
+    /// the job's SoCs (e.g. `600:3600`).
+    pub faults: Option<String>,
+    /// Directory for durable checkpoints (enables checkpointing).
+    pub checkpoint_dir: Option<String>,
+    /// Persist a checkpoint every N epochs (defaults to 1 when a
+    /// checkpoint dir is given).
+    pub checkpoint_every: Option<usize>,
+    /// Resume from the latest checkpoint in `--checkpoint-dir`.
+    pub resume: bool,
 }
 
 impl Default for Options {
@@ -33,6 +43,10 @@ impl Default for Options {
             json: false,
             trace: None,
             profile_kernels: false,
+            faults: None,
+            checkpoint_dir: None,
+            checkpoint_every: None,
+            resume: false,
         }
     }
 }
@@ -54,6 +68,10 @@ impl Options {
                 o.profile_kernels = true;
                 continue;
             }
+            if flag == "--resume" {
+                o.resume = true;
+                continue;
+            }
             let value = it
                 .next()
                 .ok_or_else(|| format!("flag `{flag}` needs a value"))?;
@@ -67,11 +85,17 @@ impl Options {
                 "--samples" => o.samples = parse_num(flag, value)?,
                 "--seed" => o.seed = parse_num(flag, value)? as u64,
                 "--trace" => o.trace = Some(value.clone()),
+                "--faults" => o.faults = Some(value.clone()),
+                "--checkpoint-dir" => o.checkpoint_dir = Some(value.clone()),
+                "--checkpoint-every" => o.checkpoint_every = Some(parse_num(flag, value)?),
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
         if o.socs == 0 {
             return Err("--socs must be positive".into());
+        }
+        if o.resume && o.checkpoint_dir.is_none() {
+            return Err("--resume needs --checkpoint-dir".into());
         }
         Ok(o)
     }
@@ -125,6 +149,30 @@ mod tests {
         assert!(o.profile_kernels);
         assert_eq!(o.epochs, 2);
         assert!(!parse(&[]).unwrap().profile_kernels);
+    }
+
+    #[test]
+    fn fault_and_checkpoint_flags_parse() {
+        let o = parse(&[
+            "--faults",
+            "600:3600",
+            "--checkpoint-dir",
+            "/tmp/ck",
+            "--checkpoint-every",
+            "3",
+        ])
+        .unwrap();
+        assert_eq!(o.faults.as_deref(), Some("600:3600"));
+        assert_eq!(o.checkpoint_dir.as_deref(), Some("/tmp/ck"));
+        assert_eq!(o.checkpoint_every, Some(3));
+        assert!(!o.resume);
+    }
+
+    #[test]
+    fn resume_is_a_bare_switch_needing_a_dir() {
+        let o = parse(&["--checkpoint-dir", "/tmp/ck", "--resume"]).unwrap();
+        assert!(o.resume);
+        assert!(parse(&["--resume"]).is_err(), "resume needs a dir");
     }
 
     #[test]

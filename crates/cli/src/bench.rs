@@ -1,5 +1,7 @@
-//! `socflow-cli bench kernels` — the reproducible kernel benchmark
-//! baseline.
+//! `socflow-cli bench` — reproducible benchmark baselines.
+//!
+//! `bench kernels` is the host micro-kernel suite; `bench faults` is the
+//! fault-tolerance recovery experiment (simulated, machine-independent).
 //!
 //! Runs the tensor micro-kernels the training hot path lives in (tiled
 //! GEMM variants, transpose, the pooled conv2d forward/backward, the fused
@@ -227,17 +229,176 @@ fn to_json(results: &[Measurement], fast: bool) -> serde_json::Value {
     ])
 }
 
-/// `socflow-cli bench kernels [--fast] [--json <path>]`.
+/// One fault-bench scenario result.
+struct FaultRun {
+    scenario: &'static str,
+    /// Mean reclaim / crash inter-arrivals as multiples of the fault-free
+    /// run's simulated duration (0 = no faults of that kind).
+    reclaim_x: f64,
+    crash_x: f64,
+    faults_injected: u64,
+    best_accuracy: f64,
+    sim_time_s: f64,
+    recovery_s: f64,
+    energy_kj: f64,
+}
+
+/// Runs the fault-tolerance recovery experiment: a fault-free baseline
+/// establishes the simulated run length, then fault timelines of growing
+/// intensity (inter-arrival means expressed relative to that length) are
+/// injected into the otherwise-identical job. Everything is simulated and
+/// seeded, so the numbers are machine-independent.
+fn run_fault_suite(fast: bool) -> Vec<FaultRun> {
+    use socflow::config::{MethodSpec, SocFlowConfig, TrainJobSpec};
+    use socflow::engine::Workload;
+    use socflow::scheduler::GlobalScheduler;
+    use socflow_cluster::faults::FaultPlan;
+    use socflow_data::DatasetPreset;
+    use socflow_nn::models::ModelKind;
+    use socflow_telemetry::{Event, MemorySink};
+    use std::sync::Arc;
+
+    let (socs, groups, epochs, samples) = if fast {
+        (8, 2, 2, 256)
+    } else {
+        (16, 4, 4, 512)
+    };
+    let job = || {
+        let mut spec = TrainJobSpec::new(
+            ModelKind::LeNet5,
+            DatasetPreset::FashionMnist,
+            MethodSpec::SocFlow(SocFlowConfig::with_groups(groups)),
+        );
+        spec.socs = socs;
+        spec.epochs = epochs;
+        spec.global_batch = 64;
+        spec
+    };
+    let spec = job();
+    let baseline = GlobalScheduler::new(spec, Workload::standard(&spec, samples, 8, 0.5)).run();
+    let horizon = baseline.total_time();
+
+    let mut out = vec![FaultRun {
+        scenario: "baseline",
+        reclaim_x: 0.0,
+        crash_x: 0.0,
+        faults_injected: 0,
+        best_accuracy: baseline.best_accuracy() as f64,
+        sim_time_s: horizon,
+        recovery_s: baseline.recovery_time,
+        energy_kj: baseline.energy_joules / 1e3,
+    }];
+    // intensities: mean inter-arrivals as multiples of the run length —
+    // "calm" loses a SoC or two, "storm" sheds most of the cluster
+    let scenarios: [(&'static str, f64, f64); 3] =
+        [("calm", 4.0, 8.0), ("busy", 1.0, 2.0), ("storm", 0.25, 0.5)];
+    for (name, reclaim_x, crash_x) in scenarios {
+        let spec = job();
+        let plan = FaultPlan::sample(
+            socs,
+            horizon,
+            horizon * reclaim_x,
+            horizon * crash_x,
+            spec.seed,
+        );
+        let sink = Arc::new(MemorySink::new());
+        let r = GlobalScheduler::new(spec, Workload::standard(&spec, samples, 8, 0.5))
+            .with_fault_plan(plan)
+            .with_sink(sink.clone())
+            .run();
+        let injected = sink
+            .events()
+            .iter()
+            .filter(|e| matches!(e, Event::FaultInjected { .. }))
+            .count() as u64;
+        out.push(FaultRun {
+            scenario: name,
+            reclaim_x,
+            crash_x,
+            faults_injected: injected,
+            best_accuracy: r.best_accuracy() as f64,
+            sim_time_s: r.total_time(),
+            recovery_s: r.recovery_time,
+            energy_kj: r.energy_joules / 1e3,
+        });
+    }
+    out
+}
+
+fn fault_suite_to_json(results: &[FaultRun], fast: bool) -> serde_json::Value {
+    use serde_json::Value;
+    let rows = results
+        .iter()
+        .map(|r| {
+            Value::Object(vec![
+                ("scenario".into(), Value::Str(r.scenario.into())),
+                ("reclaim_x".into(), Value::F64(r.reclaim_x)),
+                ("crash_x".into(), Value::F64(r.crash_x)),
+                ("faults_injected".into(), Value::U64(r.faults_injected)),
+                ("best_accuracy".into(), Value::F64(r.best_accuracy)),
+                ("sim_time_s".into(), Value::F64(r.sim_time_s)),
+                ("recovery_s".into(), Value::F64(r.recovery_s)),
+                ("energy_kj".into(), Value::F64(r.energy_kj)),
+            ])
+        })
+        .collect();
+    Value::Object(vec![
+        ("schema".into(), Value::Str("socflow-fault-bench/v1".into())),
+        (
+            "mode".into(),
+            Value::Str(if fast { "fast" } else { "full" }.into()),
+        ),
+        ("results".into(), Value::Array(rows)),
+    ])
+}
+
+fn bench_faults(fast: bool, json_path: Option<String>) -> Result<(), String> {
+    let results = run_fault_suite(fast);
+    println!(
+        "{:<10} {:>10} {:>8} {:>7} {:>9} {:>11} {:>10} {:>10}",
+        "scenario",
+        "reclaim_x",
+        "crash_x",
+        "faults",
+        "best acc",
+        "sim time s",
+        "recovery s",
+        "energy kJ"
+    );
+    for r in &results {
+        println!(
+            "{:<10} {:>10.2} {:>8.2} {:>7} {:>8.1}% {:>11.0} {:>10.1} {:>10.1}",
+            r.scenario,
+            r.reclaim_x,
+            r.crash_x,
+            r.faults_injected,
+            r.best_accuracy * 100.0,
+            r.sim_time_s,
+            r.recovery_s,
+            r.energy_kj
+        );
+    }
+    if let Some(path) = json_path {
+        let doc = fault_suite_to_json(&results, fast);
+        let text = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
+        std::fs::write(&path, text + "\n")
+            .map_err(|e| format!("cannot write bench file `{path}`: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// `socflow-cli bench <kernels|faults> [--fast] [--json <path>]`.
 ///
 /// # Errors
 /// Returns a message on unknown operands or an unwritable `--json` path.
 pub fn bench(argv: &[String]) -> Result<(), String> {
-    let usage = "usage: socflow-cli bench kernels [--fast] [--json <path>]";
+    let usage = "usage: socflow-cli bench <kernels|faults> [--fast] [--json <path>]";
     let mut it = argv.iter();
-    match it.next().map(String::as_str) {
-        Some("kernels") => {}
+    let suite = match it.next().map(String::as_str) {
+        Some(s @ ("kernels" | "faults")) => s.to_string(),
         _ => return Err(usage.into()),
-    }
+    };
     let mut fast = false;
     let mut json_path: Option<String> = None;
     while let Some(flag) = it.next() {
@@ -248,6 +409,9 @@ pub fn bench(argv: &[String]) -> Result<(), String> {
             }
             other => return Err(format!("unknown bench flag `{other}`\n{usage}")),
         }
+    }
+    if suite == "faults" {
+        return bench_faults(fast, json_path);
     }
 
     let results = run_suite(fast);
@@ -300,6 +464,30 @@ mod tests {
         assert!(bench(&args(&["cache"])).is_err());
         assert!(bench(&args(&["kernels", "--json"])).is_err());
         assert!(bench(&args(&["kernels", "--turbo"])).is_err());
+        assert!(bench(&args(&["faults", "--turbo"])).is_err());
+    }
+
+    #[test]
+    fn fast_fault_suite_runs_and_serializes() {
+        let results = run_fault_suite(true);
+        assert_eq!(results.len(), 4, "baseline + three intensities");
+        assert_eq!(results[0].scenario, "baseline");
+        assert_eq!(results[0].recovery_s, 0.0);
+        // the storm scenario must actually lose SoCs
+        assert!(
+            results.last().unwrap().faults_injected > 0,
+            "storm must inject faults"
+        );
+        for r in &results {
+            assert!(
+                r.best_accuracy > 0.0 && r.sim_time_s > 0.0,
+                "{}",
+                r.scenario
+            );
+        }
+        let doc = fault_suite_to_json(&results, true);
+        assert_eq!(doc.get("schema").as_str(), Some("socflow-fault-bench/v1"));
+        assert_eq!(doc.get("results").as_array().unwrap().len(), results.len());
     }
 
     #[test]

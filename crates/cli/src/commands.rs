@@ -1,9 +1,11 @@
 //! The CLI subcommands.
 
 use crate::args::Options;
+use socflow::checkpoint::{Checkpoint, CheckpointPolicy};
 use socflow::config::{MethodSpec, SocFlowConfig, TrainJobSpec};
 use socflow::engine::Workload;
 use socflow::scheduler::GlobalScheduler;
+use socflow_cluster::faults::FaultPlan;
 use socflow_cluster::tidal::TidalTrace;
 use socflow_cluster::ClusterSpec;
 use socflow_data::DatasetPreset;
@@ -24,12 +26,20 @@ USAGE:
   socflow-cli tidal [--socs N] [--seed S]
   socflow-cli trace summarize <run.jsonl>
   socflow-cli bench kernels [--fast] [--json <path>]
+  socflow-cli bench faults [--fast] [--json <path>]
   socflow-cli info
 
   --trace <path> (train): write a JSONL telemetry trace of the run
   --profile-kernels (train): attribute host compute time to tensor
       kernels (matmul/conv/quant) — printed after the run and recorded
       in the trace as KernelTotals events
+  --faults <reclaim_s>:<crash_s> (train): sample a fault timeline with
+      these mean inter-arrival times (e.g. 600:3600) and inject it
+  --checkpoint-dir <dir> (train): persist durable checkpoints there
+  --checkpoint-every <N> (train): checkpoint cadence in epochs
+      (default 1 when --checkpoint-dir is set)
+  --resume (train): continue bit-exactly from the latest checkpoint
+      in --checkpoint-dir
 
   models:   lenet5 | vgg11 | resnet18 | resnet50 | mobilenet | tinyvit
   datasets: cifar10 | emnist | fmnist | celeba | cinic10
@@ -127,6 +137,20 @@ pub fn plan(opts: &Options) -> Result<(), String> {
     }
 }
 
+/// Parses a `--faults` spec `<mean_reclaim_s>:<mean_crash_s>`.
+fn fault_plan_of(spec: &str, socs: usize, seed: u64) -> Result<FaultPlan, String> {
+    let err = || format!("`--faults` expects <mean_reclaim_s>:<mean_crash_s>, got `{spec}`");
+    let (reclaim, crash) = spec.split_once(':').ok_or_else(err)?;
+    let mean_reclaim: f64 = reclaim.parse().map_err(|_| err())?;
+    let mean_crash: f64 = crash.parse().map_err(|_| err())?;
+    if mean_reclaim <= 0.0 || mean_crash <= 0.0 {
+        return Err("`--faults` means must be positive seconds".into());
+    }
+    // a horizon far past any simulated run: events beyond the job's
+    // simulated clock simply never fire
+    Ok(FaultPlan::sample(socs, 1e9, mean_reclaim, mean_crash, seed))
+}
+
 /// `socflow-cli train`: run one training job and report the results.
 pub fn train(opts: &Options) -> Result<(), String> {
     let model = model_of(&opts.model)?;
@@ -143,6 +167,27 @@ pub fn train(opts: &Options) -> Result<(), String> {
         let writer = TraceWriter::create(path)
             .map_err(|e| format!("cannot create trace file `{path}`: {e}"))?;
         sched = sched.with_sink(Arc::new(writer));
+    }
+    if let Some(fspec) = &opts.faults {
+        sched = sched.with_fault_plan(fault_plan_of(fspec, opts.socs, opts.seed)?);
+    }
+    if let Some(dir) = &opts.checkpoint_dir {
+        let policy = CheckpointPolicy {
+            every_epochs: Some(opts.checkpoint_every.unwrap_or(1).max(1)),
+            on_reclaim: true,
+        };
+        sched = sched.with_checkpointing(dir.into(), policy);
+        if opts.resume {
+            let ckpt = Checkpoint::load(std::path::Path::new(dir))
+                .map_err(|e| format!("cannot resume from `{dir}`: {e}"))?;
+            eprintln!(
+                "resuming from epoch {} ({} streams, {} SoCs alive)",
+                ckpt.epoch,
+                ckpt.num_replicas(),
+                ckpt.alive.len()
+            );
+            sched = sched.with_resume(ckpt);
+        }
     }
     let profile_base = opts.profile_kernels.then(|| {
         socflow_tensor::profile::set_enabled(true);
@@ -190,6 +235,13 @@ pub fn train(opts: &Options) -> Result<(), String> {
         result.energy_joules / 1e3,
         result.breakdown.sync / result.breakdown.total().max(1e-9) * 100.0
     );
+    if result.recovery_time > 0.0 {
+        println!(
+            "crash recovery stalls: {:.1} s ({:.2}% of run time)",
+            result.recovery_time,
+            result.recovery_time / result.total_time().max(1e-9) * 100.0
+        );
+    }
     Ok(())
 }
 
@@ -356,5 +408,56 @@ mod tests {
             ..Options::default()
         };
         train(&opts).unwrap();
+    }
+
+    #[test]
+    fn fault_spec_parses_and_rejects() {
+        let plan = fault_plan_of("600:3600", 8, 42).unwrap();
+        assert!(!plan.events().is_empty(), "dense spec yields events");
+        assert!(fault_plan_of("600", 8, 42).is_err());
+        assert!(fault_plan_of("0:3600", 8, 42).is_err());
+        assert!(fault_plan_of("x:y", 8, 42).is_err());
+    }
+
+    #[test]
+    fn train_with_faults_survives() {
+        let opts = Options {
+            socs: 8,
+            groups: Some(2),
+            epochs: 2,
+            samples: 128,
+            faults: Some("200:400".into()),
+            ..Options::default()
+        };
+        train(&opts).unwrap();
+    }
+
+    #[test]
+    fn train_checkpoints_and_resumes() {
+        let dir = std::env::temp_dir().join("socflow_cli_resume_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let base = Options {
+            socs: 8,
+            groups: Some(2),
+            epochs: 2,
+            samples: 128,
+            checkpoint_dir: Some(dir.to_string_lossy().into_owned()),
+            checkpoint_every: Some(1),
+            ..Options::default()
+        };
+        train(&base).unwrap();
+        let resumed = Options {
+            epochs: 3,
+            resume: true,
+            ..base.clone()
+        };
+        train(&resumed).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        // resuming from a missing dir errors cleanly
+        let missing = Options {
+            resume: true,
+            ..base
+        };
+        assert!(train(&missing).is_err());
     }
 }

@@ -8,6 +8,7 @@
 //! socflow-cli tidal [--socs N] [--seed S]
 //! socflow-cli trace summarize <run.jsonl>
 //! socflow-cli bench kernels [--fast] [--json <path>]
+//! socflow-cli bench faults [--fast] [--json <path>]
 //! socflow-cli info
 //! ```
 

@@ -77,7 +77,15 @@ impl FaultPlan {
                 });
             }
         }
-        events.sort_by(|a, b| a.at.partial_cmp(&b.at).unwrap());
+        Self::from_events(events)
+    }
+
+    /// Builds a plan from explicit events (crafted timelines in tests and
+    /// experiments). Events are time-sorted; a NaN time sorts last instead
+    /// of panicking (`total_cmp`), so adversarial inputs cannot crash the
+    /// scheduler.
+    pub fn from_events(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by(|a, b| a.at.total_cmp(&b.at));
         FaultPlan { events }
     }
 
@@ -97,10 +105,12 @@ impl FaultPlan {
 
     /// SoCs still alive (un-faulted) at time `t`.
     pub fn survivors(&self, socs: usize, t: Seconds) -> Vec<SocId> {
-        let dead: Vec<SocId> = self
+        // events are time-sorted, so the dead prefix is a single scan and
+        // set lookups keep the whole call O(n log n) instead of O(n²)
+        let dead: std::collections::HashSet<SocId> = self
             .events
             .iter()
-            .filter(|e| e.at <= t)
+            .take_while(|e| e.at <= t)
             .map(|e| e.soc)
             .collect();
         (0..socs).map(SocId).filter(|s| !dead.contains(s)).collect()

@@ -2,28 +2,95 @@
 //! SoCs to ensure that a new user-related workload request can preempt
 //! training tasks").
 //!
-//! A checkpoint captures everything needed to resume: the epoch counter,
-//! every group replica's flat weights, and the mixed-precision α. Because
-//! the group-wise structure is flexible, resuming with *fewer* groups is
+//! A checkpoint captures everything needed to resume *bit-exactly*: the
+//! epoch counter, every stream's flat weights and momentum buffers, the
+//! learning rates, the mixed-precision α, the surviving SoC set and group
+//! count, the simulated clock, and the run-so-far [`RunResult`]. Because
+//! the group-wise structure is flexible, resuming with *fewer* streams is
 //! first-class: [`Checkpoint::redistribute`] merges evicted replicas into
-//! the survivors (weight averaging), which is exactly how the engine
-//! continues after a preemption.
+//! the survivors (weight *and* momentum averaging), which is exactly how
+//! the engine continues after a preemption.
+//!
+//! The on-disk format is a versioned little-endian binary layout
+//! (`SFCK` magic + version tag), not JSON: float values must round-trip
+//! bit-exactly or a resumed run cannot reproduce the uninterrupted run's
+//! `RunResult` byte-for-byte. [`Checkpoint::save`] writes atomically
+//! (temp file + rename) so a crash mid-write never corrupts the latest
+//! usable checkpoint.
 
-use serde::{Deserialize, Serialize};
+use crate::report::{Breakdown, RunResult};
+use socflow_cluster::SocId;
+use std::path::Path;
+
+/// Magic bytes prefixing every serialized checkpoint.
+const MAGIC: &[u8; 4] = b"SFCK";
+/// Current on-disk format version.
+pub const FORMAT_VERSION: u32 = 2;
+/// File name of the most recent checkpoint inside a checkpoint directory.
+pub const LATEST_FILE: &str = "latest.ckpt";
+
+/// When the engine persists durable checkpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Persist after every N completed epochs (`None` = only on faults).
+    pub every_epochs: Option<usize>,
+    /// Persist when a graceful reclaim shrinks the cluster.
+    pub on_reclaim: bool,
+}
+
+impl Default for CheckpointPolicy {
+    fn default() -> Self {
+        CheckpointPolicy {
+            every_epochs: None,
+            on_reclaim: true,
+        }
+    }
+}
 
 /// A resumable snapshot of a group-parallel training job.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Checkpoint {
     /// Epochs completed so far.
     pub epoch: usize,
-    /// Flat weights of each group replica.
+    /// Flat weights of each accuracy stream.
     pub replicas: Vec<Vec<f32>>,
     /// Mixed-precision α at snapshot time.
     pub alpha: f32,
+    /// FP32 optimizer momentum of each stream (empty = not captured).
+    pub velocities: Vec<Vec<f32>>,
+    /// INT8-arm optimizer momentum of each stream (empty = no INT8 arm).
+    pub velocities_int8: Vec<Vec<f32>>,
+    /// Non-learnable model state of each stream (batch-norm running
+    /// statistics, quant-noise step counters) — read by later forwards and
+    /// backwards, so a bit-exact resume must restore it (empty = not
+    /// captured).
+    pub states: Vec<Vec<f32>>,
+    /// Non-learnable state of each stream's INT8-arm model (the arm's
+    /// quant-noise step counters advance every mixed step). Empty = no
+    /// INT8 arm.
+    pub states_int8: Vec<Vec<f32>>,
+    /// FP32 learning rate at snapshot time (uniform across streams).
+    pub lr: f32,
+    /// INT8-arm learning rate (0 when there is no INT8 arm).
+    pub lr_int8: f32,
+    /// Logical-group count the job started with (so a resumed run skips
+    /// the group-count heuristic and the elastic target stays anchored).
+    pub initial_groups: usize,
+    /// Logical-group count at snapshot time.
+    pub groups: usize,
+    /// SoCs still alive at snapshot time.
+    pub alive: Vec<usize>,
+    /// Simulated clock at snapshot time, seconds.
+    pub clock: f64,
+    /// Watermark up to which fault-plan events have been consumed.
+    pub fault_cursor: f64,
+    /// The run recorded so far (accuracy/time/energy per epoch).
+    pub partial: Option<RunResult>,
 }
 
 impl Checkpoint {
-    /// Creates a checkpoint.
+    /// Creates a weights-only checkpoint (momentum/clock state default to
+    /// empty — the engine fills them before persisting).
     ///
     /// # Panics
     /// Panics if `replicas` is empty or replica lengths differ.
@@ -37,21 +104,34 @@ impl Checkpoint {
             replicas.iter().all(|r| r.len() == len),
             "replicas must have equal length"
         );
+        let n = replicas.len();
         Checkpoint {
             epoch,
             replicas,
             alpha,
+            velocities: Vec::new(),
+            velocities_int8: Vec::new(),
+            states: Vec::new(),
+            states_int8: Vec::new(),
+            lr: 0.0,
+            lr_int8: 0.0,
+            initial_groups: n,
+            groups: n,
+            alive: Vec::new(),
+            clock: 0.0,
+            fault_cursor: 0.0,
+            partial: None,
         }
     }
 
-    /// Number of group replicas.
+    /// Number of stream replicas.
     pub fn num_replicas(&self) -> usize {
         self.replicas.len()
     }
 
     /// Shrinks the checkpoint to `keep` replicas after a preemption: the
-    /// evicted replicas' weights are averaged into the survivors so no
-    /// training signal is lost.
+    /// evicted replicas' weights — and momentum buffers, when captured —
+    /// are averaged into the survivors so no training signal is lost.
     ///
     /// # Panics
     /// Panics if `keep` is zero or exceeds the replica count.
@@ -63,44 +143,326 @@ impl Checkpoint {
         if keep == self.replicas.len() {
             return self.clone();
         }
-        let len = self.replicas[0].len();
-        // average of the evicted replicas
-        let evicted = &self.replicas[keep..];
-        let mut evicted_mean = vec![0.0f32; len];
-        for r in evicted {
-            for (m, v) in evicted_mean.iter_mut().zip(r) {
-                *m += v / evicted.len() as f32;
+        let total = self.replicas.len();
+        let mut out = self.clone();
+        out.replicas = merge_evicted(&self.replicas, keep, total);
+        if self.velocities.len() == total {
+            out.velocities = merge_evicted(&self.velocities, keep, total);
+        }
+        if self.velocities_int8.len() == total {
+            out.velocities_int8 = merge_evicted(&self.velocities_int8, keep, total);
+        }
+        // running statistics and step counters are observations, not
+        // training signal: survivors keep their own, the evicted streams'
+        // are dropped
+        if self.states.len() == total {
+            out.states.truncate(keep);
+        }
+        if self.states_int8.len() == total {
+            out.states_int8.truncate(keep);
+        }
+        out
+    }
+
+    /// Serializes to the versioned binary format.
+    ///
+    /// # Errors
+    /// Never fails today; the `Result` keeps the signature stable for
+    /// future versions with fallible encodings.
+    pub fn to_bytes(&self) -> Result<Vec<u8>, String> {
+        let mut w = Vec::new();
+        w.extend_from_slice(MAGIC);
+        put_u32(&mut w, FORMAT_VERSION);
+        put_u64(&mut w, self.epoch as u64);
+        put_f32(&mut w, self.alpha);
+        put_f32(&mut w, self.lr);
+        put_f32(&mut w, self.lr_int8);
+        put_u64(&mut w, self.initial_groups as u64);
+        put_u64(&mut w, self.groups as u64);
+        put_f64(&mut w, self.clock);
+        put_f64(&mut w, self.fault_cursor);
+        put_u64(&mut w, self.alive.len() as u64);
+        for &s in &self.alive {
+            put_u64(&mut w, s as u64);
+        }
+        put_f32_matrix(&mut w, &self.replicas);
+        put_f32_matrix(&mut w, &self.velocities);
+        put_f32_matrix(&mut w, &self.velocities_int8);
+        put_f32_matrix(&mut w, &self.states);
+        put_f32_matrix(&mut w, &self.states_int8);
+        match &self.partial {
+            None => w.push(0),
+            Some(r) => {
+                w.push(1);
+                put_run_result(&mut w, r);
             }
         }
-        // each survivor absorbs a proportional share of the evicted signal
-        let w_survivor = keep as f32 / self.replicas.len() as f32;
-        let survivors: Vec<Vec<f32>> = self.replicas[..keep]
-            .iter()
-            .map(|r| {
-                r.iter()
-                    .zip(&evicted_mean)
-                    .map(|(a, b)| w_survivor * a + (1.0 - w_survivor) * b)
-                    .collect()
-            })
-            .collect();
-        Checkpoint::new(self.epoch, survivors, self.alpha)
+        Ok(w)
     }
 
-    /// Serializes to JSON bytes.
+    /// Deserializes from the versioned binary format.
     ///
     /// # Errors
-    /// Returns an error if serialization fails (practically impossible for
-    /// this type).
-    pub fn to_bytes(&self) -> Result<Vec<u8>, serde_json::Error> {
-        serde_json::to_vec(self)
+    /// Returns a message when the bytes are truncated, carry the wrong
+    /// magic, or a future format version.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        let mut r = Reader { buf: bytes, pos: 0 };
+        let magic = r.take(4)?;
+        if magic != MAGIC {
+            return Err("not a SoCFlow checkpoint (bad magic)".into());
+        }
+        let version = r.u32()?;
+        if version != FORMAT_VERSION {
+            return Err(format!(
+                "unsupported checkpoint version {version} (this build reads v{FORMAT_VERSION})"
+            ));
+        }
+        let epoch = r.u64()? as usize;
+        let alpha = r.f32()?;
+        let lr = r.f32()?;
+        let lr_int8 = r.f32()?;
+        let initial_groups = r.u64()? as usize;
+        let groups = r.u64()? as usize;
+        let clock = r.f64()?;
+        let fault_cursor = r.f64()?;
+        let n_alive = r.u64()? as usize;
+        let mut alive = Vec::with_capacity(n_alive.min(1 << 20));
+        for _ in 0..n_alive {
+            alive.push(r.u64()? as usize);
+        }
+        let replicas = r.f32_matrix()?;
+        let velocities = r.f32_matrix()?;
+        let velocities_int8 = r.f32_matrix()?;
+        let states = r.f32_matrix()?;
+        let states_int8 = r.f32_matrix()?;
+        let partial = match r.u8()? {
+            0 => None,
+            1 => Some(r.run_result()?),
+            other => return Err(format!("bad partial-result tag {other}")),
+        };
+        if !r.done() {
+            return Err("trailing bytes after checkpoint".into());
+        }
+        if replicas.is_empty() {
+            return Err("checkpoint has no replicas".into());
+        }
+        Ok(Checkpoint {
+            epoch,
+            replicas,
+            alpha,
+            velocities,
+            velocities_int8,
+            states,
+            states_int8,
+            lr,
+            lr_int8,
+            initial_groups,
+            groups,
+            alive,
+            clock,
+            fault_cursor,
+            partial,
+        })
     }
 
-    /// Deserializes from JSON bytes.
+    /// The surviving SoC set as typed ids.
+    pub fn alive_socs(&self) -> Vec<SocId> {
+        self.alive.iter().map(|&s| SocId(s)).collect()
+    }
+
+    /// Writes the checkpoint atomically to `<dir>/latest.ckpt` (temp file
+    /// + rename) and returns the serialized size in bytes.
     ///
     /// # Errors
-    /// Returns an error when the bytes are not a valid checkpoint.
-    pub fn from_bytes(bytes: &[u8]) -> Result<Self, serde_json::Error> {
-        serde_json::from_slice(bytes)
+    /// Returns a message on I/O failure.
+    pub fn save(&self, dir: &Path) -> Result<u64, String> {
+        let bytes = self.to_bytes()?;
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create checkpoint dir {}: {e}", dir.display()))?;
+        let tmp = dir.join(format!("{LATEST_FILE}.tmp"));
+        let fin = dir.join(LATEST_FILE);
+        std::fs::write(&tmp, &bytes)
+            .map_err(|e| format!("cannot write checkpoint {}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, &fin)
+            .map_err(|e| format!("cannot finalize checkpoint {}: {e}", fin.display()))?;
+        Ok(bytes.len() as u64)
+    }
+
+    /// Loads the latest checkpoint from a checkpoint directory.
+    ///
+    /// # Errors
+    /// Returns a message when the file is missing or malformed.
+    pub fn load(dir: &Path) -> Result<Self, String> {
+        let path = dir.join(LATEST_FILE);
+        let bytes = std::fs::read(&path)
+            .map_err(|e| format!("cannot read checkpoint {}: {e}", path.display()))?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+/// Averages rows `keep..total` into rows `0..keep` with the proportional
+/// survivor weighting the paper's preemption path uses.
+fn merge_evicted(rows: &[Vec<f32>], keep: usize, total: usize) -> Vec<Vec<f32>> {
+    let len = rows[0].len();
+    let evicted = &rows[keep..];
+    let mut evicted_mean = vec![0.0f32; len];
+    for r in evicted {
+        for (m, v) in evicted_mean.iter_mut().zip(r) {
+            *m += v / evicted.len() as f32;
+        }
+    }
+    let w_survivor = keep as f32 / total as f32;
+    rows[..keep]
+        .iter()
+        .map(|r| {
+            r.iter()
+                .zip(&evicted_mean)
+                .map(|(a, b)| w_survivor * a + (1.0 - w_survivor) * b)
+                .collect()
+        })
+        .collect()
+}
+
+// --- little-endian primitives -------------------------------------------
+
+fn put_u32(w: &mut Vec<u8>, v: u32) {
+    w.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(w: &mut Vec<u8>, v: u64) {
+    w.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f32(w: &mut Vec<u8>, v: f32) {
+    w.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(w: &mut Vec<u8>, v: f64) {
+    w.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f32_vec(w: &mut Vec<u8>, v: &[f32]) {
+    put_u64(w, v.len() as u64);
+    for &x in v {
+        put_f32(w, x);
+    }
+}
+
+fn put_f64_vec(w: &mut Vec<u8>, v: &[f64]) {
+    put_u64(w, v.len() as u64);
+    for &x in v {
+        put_f64(w, x);
+    }
+}
+
+fn put_f32_matrix(w: &mut Vec<u8>, m: &[Vec<f32>]) {
+    put_u64(w, m.len() as u64);
+    for row in m {
+        put_f32_vec(w, row);
+    }
+}
+
+fn put_str(w: &mut Vec<u8>, s: &str) {
+    put_u64(w, s.len() as u64);
+    w.extend_from_slice(s.as_bytes());
+}
+
+fn put_run_result(w: &mut Vec<u8>, r: &RunResult) {
+    put_str(w, &r.method);
+    put_f32_vec(w, &r.epoch_accuracy);
+    put_f64_vec(w, &r.epoch_time);
+    put_f64(w, r.breakdown.compute);
+    put_f64(w, r.breakdown.sync);
+    put_f64(w, r.breakdown.update);
+    put_f64(w, r.energy_joules);
+    put_f64(w, r.recovery_time);
+    put_f32_vec(w, &r.alpha_trace);
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.pos + n > self.buf.len() {
+            return Err("truncated checkpoint".into());
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f32(&mut self) -> Result<f32, String> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f32_vec(&mut self) -> Result<Vec<f32>, String> {
+        let n = self.u64()? as usize;
+        // a length prefix can never exceed the remaining bytes / 4
+        if n > (self.buf.len() - self.pos) / 4 {
+            return Err("truncated checkpoint (vector length)".into());
+        }
+        (0..n).map(|_| self.f32()).collect()
+    }
+
+    fn f64_vec(&mut self) -> Result<Vec<f64>, String> {
+        let n = self.u64()? as usize;
+        if n > (self.buf.len() - self.pos) / 8 {
+            return Err("truncated checkpoint (vector length)".into());
+        }
+        (0..n).map(|_| self.f64()).collect()
+    }
+
+    fn f32_matrix(&mut self) -> Result<Vec<Vec<f32>>, String> {
+        let n = self.u64()? as usize;
+        if n > self.buf.len() - self.pos {
+            return Err("truncated checkpoint (matrix length)".into());
+        }
+        (0..n).map(|_| self.f32_vec()).collect()
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        let n = self.u64()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| "invalid UTF-8 in checkpoint".into())
+    }
+
+    fn run_result(&mut self) -> Result<RunResult, String> {
+        Ok(RunResult {
+            method: self.string()?,
+            epoch_accuracy: self.f32_vec()?,
+            epoch_time: self.f64_vec()?,
+            breakdown: Breakdown {
+                compute: self.f64()?,
+                sync: self.f64()?,
+                update: self.f64()?,
+            },
+            energy_joules: self.f64()?,
+            recovery_time: self.f64()?,
+            alpha_trace: self.f32_vec()?,
+        })
     }
 }
 
@@ -108,12 +470,81 @@ impl Checkpoint {
 mod tests {
     use super::*;
 
+    fn full_checkpoint() -> Checkpoint {
+        let mut c = Checkpoint::new(3, vec![vec![1.0, 2.5e-8], vec![-3.0, 4.0]], 0.8125);
+        c.velocities = vec![vec![0.1, -0.2], vec![0.3, 0.4]];
+        c.velocities_int8 = vec![vec![0.5, 0.6], vec![0.7, -0.8]];
+        c.states = vec![vec![0.01, 0.99, -0.5], vec![0.02, 1.01, 0.5]];
+        c.states_int8 = vec![vec![7.0, 0.5], vec![9.0, -0.25]];
+        c.lr = 0.04375;
+        c.lr_int8 = 0.031;
+        c.initial_groups = 4;
+        c.groups = 3;
+        c.alive = vec![0, 1, 3, 5, 6];
+        c.clock = 1234.567890123;
+        c.fault_cursor = 1200.25;
+        c.partial = Some(RunResult {
+            method: "Ours".into(),
+            epoch_accuracy: vec![0.31, 0.57, 0.688],
+            epoch_time: vec![10.125, 10.0, 9.875],
+            breakdown: Breakdown {
+                compute: 20.0,
+                sync: 7.5,
+                update: 2.5,
+            },
+            energy_joules: 812.375,
+            recovery_time: 3.25,
+            alpha_trace: vec![0.2, 0.3, 0.35],
+        });
+        c
+    }
+
     #[test]
-    fn roundtrip_bytes() {
-        let c = Checkpoint::new(3, vec![vec![1.0, 2.0], vec![3.0, 4.0]], 0.8);
+    fn roundtrip_bytes_bit_exact() {
+        let c = full_checkpoint();
         let bytes = c.to_bytes().unwrap();
         let back = Checkpoint::from_bytes(&bytes).unwrap();
         assert_eq!(back, c);
+        // re-serializing is byte-identical (no hidden nondeterminism)
+        assert_eq!(back.to_bytes().unwrap(), bytes);
+    }
+
+    #[test]
+    fn format_is_version_tagged() {
+        let bytes = full_checkpoint().to_bytes().unwrap();
+        assert_eq!(&bytes[..4], b"SFCK");
+        assert_eq!(
+            u32::from_le_bytes(bytes[4..8].try_into().unwrap()),
+            FORMAT_VERSION
+        );
+        // a future version must be rejected, not misread
+        let mut future = bytes.clone();
+        future[4..8].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        let err = Checkpoint::from_bytes(&future).unwrap_err();
+        assert!(err.contains("version"), "{err}");
+        // wrong magic is rejected
+        let mut bad = bytes;
+        bad[0] = b'X';
+        assert!(Checkpoint::from_bytes(&bad).unwrap_err().contains("magic"));
+    }
+
+    #[test]
+    fn truncated_bytes_error_cleanly() {
+        let bytes = full_checkpoint().to_bytes().unwrap();
+        for cut in [0, 3, 7, 20, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                Checkpoint::from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} must not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn minimal_checkpoint_roundtrips() {
+        let c = Checkpoint::new(0, vec![vec![f32::MIN_POSITIVE]], 1.0);
+        let back = Checkpoint::from_bytes(&c.to_bytes().unwrap()).unwrap();
+        assert_eq!(back, c);
+        assert!(back.partial.is_none());
     }
 
     #[test]
@@ -136,9 +567,41 @@ mod tests {
     }
 
     #[test]
+    fn redistribute_merges_momentum_too() {
+        let mut c = Checkpoint::new(1, vec![vec![0.0], vec![2.0], vec![4.0]], 0.5);
+        c.velocities = vec![vec![3.0], vec![6.0], vec![9.0]];
+        let shrunk = c.redistribute(2);
+        assert_eq!(shrunk.velocities.len(), 2);
+        // survivors absorb the evicted mean with the same 2/3 weighting as
+        // the weights: 2/3 * v + 1/3 * 9.0
+        assert!((shrunk.velocities[0][0] - (2.0 / 3.0 * 3.0 + 3.0)).abs() < 1e-6);
+        assert!((shrunk.velocities[1][0] - (2.0 / 3.0 * 6.0 + 3.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn redistribute_keeps_survivor_states_only() {
+        let mut c = Checkpoint::new(1, vec![vec![0.0], vec![2.0], vec![4.0]], 0.5);
+        c.states = vec![vec![0.1, 1.1], vec![0.2, 1.2], vec![0.3, 1.3]];
+        let shrunk = c.redistribute(2);
+        // running stats are not averaged: survivors keep their own
+        assert_eq!(shrunk.states, vec![vec![0.1, 1.1], vec![0.2, 1.2]]);
+    }
+
+    #[test]
     fn redistribute_noop_when_keeping_all() {
-        let c = Checkpoint::new(1, vec![vec![1.0]], 0.5);
-        assert_eq!(c.redistribute(1), c);
+        let c = full_checkpoint();
+        assert_eq!(c.redistribute(2), c);
+    }
+
+    #[test]
+    fn save_and_load_roundtrip() {
+        let dir = std::env::temp_dir().join("socflow_ckpt_test");
+        let c = full_checkpoint();
+        let bytes = c.save(&dir).unwrap();
+        assert!(bytes > 0);
+        let back = Checkpoint::load(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(back, c);
     }
 
     #[test]

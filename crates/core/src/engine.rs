@@ -19,7 +19,7 @@
 //! replicas (time/energy still use the full SoC count) so laptop-scale runs
 //! stay tractable; DESIGN.md documents this substitution.
 
-use crate::checkpoint::Checkpoint;
+use crate::checkpoint::{Checkpoint, CheckpointPolicy};
 use crate::config::{MappingMode, MethodSpec, SocFlowConfig, TrainJobSpec};
 use crate::mapping::{self, Mapping};
 use crate::mixed::MixedPrecisionController;
@@ -28,12 +28,13 @@ use crate::report::{Breakdown, RunResult};
 use crate::timemodel::{SyncCollective, TimeModel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use socflow_cluster::faults::{FaultKind, FaultPlan};
-use socflow_cluster::{calibration, ClusterSpec, Processor};
+use socflow_cluster::faults::{FaultEvent, FaultKind, FaultPlan};
+use socflow_cluster::{calibration, ClusterSpec, Processor, SocId};
 use socflow_data::{iid_partition, Batch, Dataset};
 use socflow_nn::models::ModelConfig;
 use socflow_nn::{loss, metrics, optim::Sgd, Mode, Network, Precision};
-use socflow_telemetry::{Event, EventSink, EvictionCause};
+use socflow_telemetry::{Event, EventSink, EvictionCause, FaultClass};
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Maximum number of model replicas simulated for federated methods.
@@ -212,9 +213,15 @@ pub struct Engine {
     /// Preempt after this epoch: evict `1` logical group (SoCFlow) or stall
     /// (baselines).
     preempt_after: Option<usize>,
-    /// Optional fault timeline: reclaims/crashes are converted into group
-    /// preemptions at the epoch boundary they fall into.
+    /// Optional fault timeline: per-SoC reclaims (graceful) and crashes
+    /// (in-flight batch lost), consumed against the simulated clock.
     fault_plan: Option<FaultPlan>,
+    /// When to persist durable checkpoints.
+    ckpt_policy: CheckpointPolicy,
+    /// Where to persist them (`None` disables durability entirely).
+    ckpt_dir: Option<PathBuf>,
+    /// Restored state to continue from instead of a fresh start.
+    resume_from: Option<Checkpoint>,
     /// Optional telemetry sink. All engine events are emitted from the
     /// coordinating thread, so traces are deterministic given the seed.
     sink: Option<Arc<dyn EventSink>>,
@@ -230,6 +237,9 @@ impl Engine {
             time_model,
             preempt_after: None,
             fault_plan: None,
+            ckpt_policy: CheckpointPolicy::default(),
+            ckpt_dir: None,
+            resume_from: None,
             sink: None,
         }
     }
@@ -259,13 +269,32 @@ impl Engine {
         self
     }
 
-    /// Attaches a fault timeline: each epoch whose simulated interval
-    /// contains at least one fault costs SoCFlow one logical group
-    /// (a crash additionally loses that epoch's in-flight contribution —
-    /// approximated by the same group eviction, since the survivors carry
-    /// the aggregated weights forward).
+    /// Attaches a fault timeline. Events are consumed per SoC against the
+    /// simulated clock at every epoch boundary: a `Reclaimed` SoC leaves
+    /// gracefully (a durable checkpoint is taken, no training time lost),
+    /// a `Crashed` SoC loses its in-flight batch and the survivors pay a
+    /// restore stall. Either way the job remaps onto the actual surviving
+    /// topology and keeps training.
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Enables durable checkpointing: snapshots are written atomically to
+    /// `dir/latest.ckpt` according to `policy`, ready for [`Self::with_resume`].
+    pub fn with_checkpointing(mut self, dir: PathBuf, policy: CheckpointPolicy) -> Self {
+        self.ckpt_dir = Some(dir);
+        self.ckpt_policy = policy;
+        self
+    }
+
+    /// Continues a SoCFlow job from a restored checkpoint instead of a
+    /// fresh start. The continuation reproduces the uninterrupted run
+    /// bit-exactly: weights, momentum, learning rates, α, the surviving
+    /// topology, the simulated clock and the partial result all come from
+    /// the snapshot. Ignored by non-SoCFlow methods.
+    pub fn with_resume(mut self, ckpt: Checkpoint) -> Self {
+        self.resume_from = Some(ckpt);
         self
     }
 
@@ -274,17 +303,14 @@ impl Engine {
         &mut self.time_model
     }
 
-    /// Faults (if any) whose time falls inside `[from, to)`.
-    fn faults_between(&self, from: f64, to: f64) -> usize {
+    /// Fault events whose time falls inside `[from, to)` — every kind.
+    /// Reclaim-vs-crash classification happens at the consumption site,
+    /// where the semantics actually differ.
+    fn faults_between(&self, from: f64, to: f64) -> Vec<FaultEvent> {
         self.fault_plan
             .as_ref()
-            .map(|p| {
-                p.between(from, to)
-                    .iter()
-                    .filter(|e| matches!(e.kind, FaultKind::Reclaimed | FaultKind::Crashed))
-                    .count()
-            })
-            .unwrap_or(0)
+            .map(|p| p.between(from, to))
+            .unwrap_or_default()
     }
 
     /// The resolved logical-group count for SoCFlow methods.
@@ -530,20 +556,53 @@ impl Engine {
     }
 
     /// SoCFlow proper: group replicas with per-epoch delayed aggregation,
-    /// cross-group data shuffling, and the mixed-precision controller.
+    /// cross-group data shuffling, the mixed-precision controller, and the
+    /// full fault-tolerance machinery (per-SoC fault consumption, elastic
+    /// remapping, durable checkpoint/resume).
     fn run_socflow(&mut self, cfg: SocFlowConfig, mixed: MixedMode) -> RunResult {
         let mut rng = StdRng::seed_from_u64(self.spec.seed);
-        let mut groups = self.resolved_groups(&cfg);
         let cluster = ClusterSpec::for_socs(self.spec.socs);
-        let mut socs = self.spec.socs;
-        let (mut mapping, mut cgs) = self.build_topology(&cfg, &cluster, socs, groups);
+        let socs0 = self.spec.socs;
+        let with_int8 = matches!(mixed, MixedMode::Adaptive | MixedMode::Half);
+        let resume = self.resume_from.take();
+
+        // starting state: fresh, or restored from a durable checkpoint.
+        // `clock` is the simulated wall-clock; `fault_cursor` is the
+        // watermark up to which fault-plan events were already consumed
+        // (crash stalls push the clock past the consumed window, so the
+        // two genuinely differ).
+        let (start_epoch, initial_groups, mut groups, mut alive, mut clock, mut fault_cursor) =
+            match &resume {
+                Some(c) => (
+                    c.epoch,
+                    c.initial_groups.clamp(1, socs0),
+                    c.groups.clamp(1, socs0),
+                    if c.alive.is_empty() {
+                        (0..socs0).map(SocId).collect()
+                    } else {
+                        c.alive_socs()
+                    },
+                    c.clock,
+                    c.fault_cursor,
+                ),
+                None => {
+                    let g = self.resolved_groups(&cfg);
+                    (0, g, g, (0..socs0).map(SocId).collect::<Vec<_>>(), 0.0, 0.0)
+                }
+            };
+        let (mut mapping, mut cgs) = self.build_topology(&cfg, &cluster, &alive, groups);
 
         // accuracy streams may be capped independently of the topology
-        let mut streams = cfg
-            .accuracy_streams
-            .unwrap_or(groups)
-            .clamp(1, groups.max(1));
-        let with_int8 = matches!(mixed, MixedMode::Adaptive | MixedMode::Half);
+        let mut streams = match &resume {
+            Some(c) => c.num_replicas(),
+            None => cfg
+                .accuracy_streams
+                .unwrap_or(groups)
+                .clamp(1, groups.max(1)),
+        };
+        // RNG-safe under resume: build_replicas draws from `rng` once for
+        // the base network regardless of the replica count, then the
+        // restored state overwrites everything below
         let mut replicas = self.build_replicas(streams, &mut rng, with_int8);
         let beta = self.time_model.compute().beta() as f32;
         let mut ctrl = MixedPrecisionController::new(beta.clamp(0.05, 0.95));
@@ -552,7 +611,40 @@ impl Engine {
         }
 
         let mut result = self.empty_result();
-        for epoch in 0..self.spec.epochs {
+        if let Some(c) = &resume {
+            for (i, r) in replicas.iter_mut().enumerate() {
+                r.net.set_flat_weights(&c.replicas[i]);
+                if let Some(s) = c.states.get(i) {
+                    if !s.is_empty() {
+                        r.net.set_flat_state(s);
+                    }
+                }
+                r.opt.set_lr(c.lr);
+                if let Some(v) = c.velocities.get(i) {
+                    r.opt.ensure_velocity(&mut r.net);
+                    r.opt.set_flat_velocity(v);
+                }
+                if let Some(arm) = &mut r.int8 {
+                    arm.opt.set_lr(c.lr_int8);
+                    if let Some(v) = c.velocities_int8.get(i) {
+                        arm.opt.ensure_velocity(&mut arm.net);
+                        arm.opt.set_flat_velocity(v);
+                    }
+                    if let Some(s) = c.states_int8.get(i) {
+                        if !s.is_empty() {
+                            arm.net.set_flat_state(s);
+                        }
+                    }
+                }
+            }
+            ctrl.set_alpha(c.alpha);
+            if let Some(partial) = &c.partial {
+                result = partial.clone();
+            }
+        }
+        drop(resume);
+
+        for epoch in start_epoch..self.spec.epochs {
             // cross-group reshuffle every epoch (unlike FL)
             let shards = iid_partition(
                 self.workload.train.len(),
@@ -644,88 +736,282 @@ impl Engine {
                 groups,
             });
 
-            // fault-driven preemption: each fault in this epoch's simulated
-            // interval costs one logical group
-            let epoch_start: f64 = result.epoch_time.iter().take(epoch).sum();
-            let epoch_end: f64 = epoch_start + cost.time;
-            let mut evictions = self
-                .faults_between(epoch_start, epoch_end)
-                .min(groups.saturating_sub(1));
-            while evictions > 0 && groups > 1 {
-                let keep = (streams - 1).max(1);
-                let ckpt = Checkpoint::new(
-                    epoch + 1,
-                    replicas.iter().map(|r| r.net.flat_weights()).collect(),
-                    ctrl.alpha(),
-                );
-                let shrunk = ckpt.redistribute(keep);
-                self.emit(Event::CheckpointTaken {
-                    epoch: epoch + 1,
-                    groups,
-                });
-                groups -= 1;
-                streams = keep.min(groups.max(1)).max(1);
-                socs -= socs / (groups + 1);
-                self.emit(Event::GroupEvicted {
-                    epoch: epoch + 1,
-                    cause: EvictionCause::Fault,
-                    groups_left: groups,
-                    socs_left: socs,
-                });
-                replicas.truncate(streams);
-                for (r, w) in replicas.iter_mut().zip(&shrunk.replicas) {
-                    r.net.set_flat_weights(w);
+            // consume fault events against the simulated clock. A running
+            // clock (not a per-epoch prefix sum) keeps this O(E) overall
+            // and, crucially, accounts for recovery stalls: events landing
+            // inside a stall interval are consumed at the next boundary,
+            // never skipped, because `fault_cursor` only advances over
+            // windows actually examined.
+            let window_end = clock + cost.time;
+            let events = self.faults_between(fault_cursor, window_end);
+            clock = window_end;
+            fault_cursor = window_end;
+            let (mut reclaims, mut crashes) = (0usize, 0usize);
+            for e in events {
+                // only SoCs this job still holds can fault (plans may cover
+                // a larger shared cluster, or repeat an already-dead SoC)
+                let Some(pos) = alive.iter().position(|s| *s == e.soc) else {
+                    continue;
+                };
+                if alive.len() <= 1 {
+                    break; // the job cannot lose its last SoC
                 }
-                let t = self.build_topology(&cfg, &cluster, socs, groups);
+                alive.remove(pos);
+                match e.kind {
+                    FaultKind::Reclaimed => reclaims += 1,
+                    FaultKind::Crashed => crashes += 1,
+                }
+                self.emit(Event::FaultInjected {
+                    at: e.at,
+                    soc: e.soc.0,
+                    kind: match e.kind {
+                        FaultKind::Reclaimed => FaultClass::Reclaim,
+                        FaultKind::Crashed => FaultClass::Crash,
+                    },
+                    epoch: epoch + 1,
+                });
+            }
+            if reclaims + crashes > 0 {
+                // elastic remapping over the *actual* survivors: shrink the
+                // logical-group count proportionally to the lost capacity,
+                // then re-run integrity-greedy mapping + CG planning on the
+                // surviving SoC set
+                let target = (initial_groups * alive.len())
+                    .div_ceil(socs0)
+                    .clamp(1, alive.len().min(groups));
+                while groups > target {
+                    self.evict_group(
+                        epoch + 1,
+                        EvictionCause::Fault,
+                        &mut replicas,
+                        ctrl.alpha(),
+                        &mut groups,
+                        &mut streams,
+                        alive.len(),
+                    );
+                }
+                let t = self.build_topology(&cfg, &cluster, &alive, groups);
                 mapping = t.0;
                 cgs = t.1;
-                evictions -= 1;
+                self.emit(Event::PlanComputed {
+                    groups,
+                    probes: 0,
+                    cgs: cgs.len(),
+                });
+                // crashes lose the in-flight batch: survivors reload the
+                // latest snapshot and redo it — a real stall on the clock
+                let stall = crashes as f64 * self.time_model.restore_stall_time();
+                if stall > 0.0 {
+                    clock += stall;
+                    result.recovery_time += stall;
+                }
+                // graceful reclaims checkpoint before leaving: durable and
+                // write-behind, so the cost shows up in telemetry but never
+                // on the training clock
+                if reclaims > 0 && self.ckpt_policy.on_reclaim {
+                    self.persist_checkpoint(
+                        epoch + 1,
+                        &replicas,
+                        ctrl.alpha(),
+                        initial_groups,
+                        groups,
+                        &alive,
+                        clock,
+                        fault_cursor,
+                        &result,
+                    );
+                }
+                self.emit(Event::RecoveryCompleted {
+                    epoch: epoch + 1,
+                    stall,
+                    socs_left: alive.len(),
+                    groups_left: groups,
+                });
             }
 
-            // preemption: surrender one logical group, keep training
+            // user-workload preemption: surrender the last logical group's
+            // SoCs, keep training on the rest
             if Some(epoch + 1) == self.preempt_after && groups > 1 {
-                let keep = (streams - 1).max(1);
-                let ckpt = Checkpoint::new(
+                let lost: Vec<SocId> = mapping.group(crate::mapping::GroupId(groups - 1)).to_vec();
+                alive.retain(|s| !lost.contains(s));
+                self.evict_group(
                     epoch + 1,
-                    replicas.iter().map(|r| r.net.flat_weights()).collect(),
+                    EvictionCause::Preemption,
+                    &mut replicas,
                     ctrl.alpha(),
+                    &mut groups,
+                    &mut streams,
+                    alive.len(),
                 );
-                let shrunk = ckpt.redistribute(keep);
-                self.emit(Event::CheckpointTaken {
-                    epoch: epoch + 1,
-                    groups,
-                });
-                groups -= 1;
-                streams = keep.min(groups);
-                socs -= socs / (groups + 1);
-                self.emit(Event::GroupEvicted {
-                    epoch: epoch + 1,
-                    cause: EvictionCause::Preemption,
-                    groups_left: groups,
-                    socs_left: socs,
-                });
-                replicas.truncate(streams);
-                for (r, w) in replicas.iter_mut().zip(&shrunk.replicas) {
-                    r.net.set_flat_weights(w);
-                }
-                let t = self.build_topology(&cfg, &cluster, socs, groups);
+                let t = self.build_topology(&cfg, &cluster, &alive, groups);
                 mapping = t.0;
                 cgs = t.1;
+                self.emit(Event::PlanComputed {
+                    groups,
+                    probes: 0,
+                    cgs: cgs.len(),
+                });
+            }
+
+            // periodic durability
+            if let Some(every) = self.ckpt_policy.every_epochs {
+                if every > 0 && (epoch + 1) % every == 0 {
+                    self.persist_checkpoint(
+                        epoch + 1,
+                        &replicas,
+                        ctrl.alpha(),
+                        initial_groups,
+                        groups,
+                        &alive,
+                        clock,
+                        fault_cursor,
+                        &result,
+                    );
+                }
             }
         }
         result
+    }
+
+    /// Snapshots the full stream state (weights, momentum, learning rates)
+    /// into a [`Checkpoint`]; callers fill in topology/clock fields.
+    fn capture_checkpoint(
+        &self,
+        epoch_done: usize,
+        replicas: &[Replica],
+        alpha: f32,
+    ) -> Checkpoint {
+        let mut ckpt = Checkpoint::new(
+            epoch_done,
+            replicas.iter().map(|r| r.net.flat_weights()).collect(),
+            alpha,
+        );
+        ckpt.lr = replicas[0].opt.lr();
+        ckpt.velocities = replicas
+            .iter()
+            .map(|r| {
+                let mut v = Vec::new();
+                r.opt.flat_velocity_into(&mut v);
+                v
+            })
+            .collect();
+        // non-learnable model state must ride along for a bit-exact
+        // resume: batch-norm running stats feed eval-mode forwards
+        // (accuracy and the α probe), and the quant-noise step counters
+        // seed every INT8 backward
+        ckpt.states = replicas.iter().map(|r| r.net.flat_state()).collect();
+        if let Some(arm0) = &replicas[0].int8 {
+            ckpt.lr_int8 = arm0.opt.lr();
+            ckpt.velocities_int8 = replicas
+                .iter()
+                .map(|r| {
+                    let mut v = Vec::new();
+                    r.int8
+                        .as_ref()
+                        .expect("uniform INT8 arms across replicas")
+                        .opt
+                        .flat_velocity_into(&mut v);
+                    v
+                })
+                .collect();
+            ckpt.states_int8 = replicas
+                .iter()
+                .map(|r| {
+                    r.int8
+                        .as_ref()
+                        .expect("uniform INT8 arms across replicas")
+                        .net
+                        .flat_state()
+                })
+                .collect();
+        }
+        ckpt
+    }
+
+    /// Persists a durable checkpoint to the configured directory (no-op
+    /// without one) and reports it via telemetry.
+    #[allow(clippy::too_many_arguments)]
+    fn persist_checkpoint(
+        &self,
+        epoch_done: usize,
+        replicas: &[Replica],
+        alpha: f32,
+        initial_groups: usize,
+        groups: usize,
+        alive: &[SocId],
+        clock: f64,
+        fault_cursor: f64,
+        result: &RunResult,
+    ) {
+        let Some(dir) = &self.ckpt_dir else { return };
+        let mut ckpt = self.capture_checkpoint(epoch_done, replicas, alpha);
+        ckpt.initial_groups = initial_groups;
+        ckpt.groups = groups;
+        ckpt.alive = alive.iter().map(|s| s.0).collect();
+        ckpt.clock = clock;
+        ckpt.fault_cursor = fault_cursor;
+        ckpt.partial = Some(result.clone());
+        let bytes = ckpt.save(dir).expect("persist durable checkpoint");
+        self.emit(Event::CheckpointPersisted {
+            epoch: epoch_done,
+            groups,
+            bytes,
+            cost: self.time_model.checkpoint_persist_time(),
+        });
+    }
+
+    /// Evicts one logical group: checkpoint the streams, merge the evicted
+    /// replica (weights *and* momentum) into the survivors, shrink the
+    /// stream count. One shared shrink rule for the fault and preemption
+    /// paths — the stream count never exceeds the surviving group count
+    /// and never reaches zero.
+    #[allow(clippy::too_many_arguments)]
+    fn evict_group(
+        &self,
+        epoch_done: usize,
+        cause: EvictionCause,
+        replicas: &mut Vec<Replica>,
+        alpha: f32,
+        groups: &mut usize,
+        streams: &mut usize,
+        socs_left: usize,
+    ) {
+        debug_assert!(*groups > 1, "cannot evict the last group");
+        let keep = (*streams - 1).max(1);
+        let ckpt = self.capture_checkpoint(epoch_done, replicas, alpha);
+        let shrunk = ckpt.redistribute(keep);
+        self.emit(Event::CheckpointTaken {
+            epoch: epoch_done,
+            groups: *groups,
+        });
+        *groups -= 1;
+        *streams = keep.min(*groups).max(1);
+        self.emit(Event::GroupEvicted {
+            epoch: epoch_done,
+            cause,
+            groups_left: *groups,
+            socs_left,
+        });
+        replicas.truncate(*streams);
+        for (i, r) in replicas.iter_mut().enumerate() {
+            r.net.set_flat_weights(&shrunk.replicas[i]);
+            r.opt.set_flat_velocity(&shrunk.velocities[i]);
+            if let Some(arm) = &mut r.int8 {
+                arm.opt.set_flat_velocity(&shrunk.velocities_int8[i]);
+            }
+        }
     }
 
     fn build_topology(
         &self,
         cfg: &SocFlowConfig,
         cluster: &ClusterSpec,
-        socs: usize,
+        alive: &[SocId],
         groups: usize,
     ) -> (Mapping, CommunicationGroups) {
         let mapping = match cfg.mapping {
-            MappingMode::IntegrityGreedy => mapping::integrity_greedy(cluster, socs, groups),
-            MappingMode::Sequential => mapping::sequential(cluster, socs, groups),
+            MappingMode::IntegrityGreedy => mapping::integrity_greedy_over(cluster, alive, groups),
+            MappingMode::Sequential => mapping::sequential_over(cluster, alive, groups),
         };
         let cgs = divide_communication_groups(&mapping).unwrap_or_else(|_| {
             // non-bipartite conflicts (possible for ad-hoc mappings): fall
@@ -790,6 +1076,7 @@ impl Engine {
             breakdown: Breakdown::default(),
             energy_joules: 0.0,
             alpha_trace: Vec::new(),
+            recovery_time: 0.0,
         }
     }
 
@@ -1018,6 +1305,202 @@ mod tests {
         let r = e.run();
         assert_eq!(r.epoch_accuracy.len(), 4, "run completes despite faults");
         assert!(r.best_accuracy() > 0.15, "acc {}", r.best_accuracy());
+    }
+
+    fn plan_of(events: Vec<(f64, usize, FaultKind)>) -> FaultPlan {
+        FaultPlan::from_events(
+            events
+                .into_iter()
+                .map(|(at, soc, kind)| FaultEvent {
+                    at,
+                    soc: SocId(soc),
+                    kind,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn reclaims_shrink_topology_without_charging_recovery_time() {
+        let sink = Arc::new(socflow_telemetry::MemorySink::new());
+        let spec = tiny_spec(MethodSpec::SocFlow(SocFlowConfig::with_groups(4)));
+        let workload = easy_workload(&spec, 512);
+        let plan = plan_of(vec![
+            (0.0, 6, FaultKind::Reclaimed),
+            (0.0, 7, FaultKind::Reclaimed),
+        ]);
+        let mut e = Engine::new(spec, workload)
+            .with_fault_plan(plan)
+            .with_sink(sink.clone());
+        let r = e.run();
+        assert_eq!(r.epoch_accuracy.len(), 4, "run completes");
+        assert_eq!(r.recovery_time, 0.0, "graceful reclaims charge no stall");
+        let events = sink.events();
+        let injected = events
+            .iter()
+            .filter(|ev| {
+                matches!(
+                    ev,
+                    Event::FaultInjected {
+                        kind: FaultClass::Reclaim,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(injected, 2);
+        // 6 of 8 SoCs survive: the elastic target is ceil(4·6/8) = 3 groups
+        assert!(events.iter().any(|ev| matches!(
+            ev,
+            Event::GroupEvicted {
+                cause: EvictionCause::Fault,
+                groups_left: 3,
+                socs_left: 6,
+                ..
+            }
+        )));
+        // membership change re-plans over the real survivor set
+        assert!(events.iter().any(|ev| matches!(
+            ev,
+            Event::PlanComputed {
+                groups: 3,
+                probes: 0,
+                ..
+            }
+        )));
+        assert!(events.iter().any(|ev| matches!(
+            ev,
+            Event::RecoveryCompleted {
+                stall,
+                socs_left: 6,
+                groups_left: 3,
+                ..
+            } if *stall == 0.0
+        )));
+    }
+
+    #[test]
+    fn crashes_charge_restore_stalls() {
+        let spec = tiny_spec(MethodSpec::SocFlow(SocFlowConfig::with_groups(4)));
+        let workload = easy_workload(&spec, 512);
+        let plan = plan_of(vec![
+            (0.0, 7, FaultKind::Crashed),
+            (0.0, 6, FaultKind::Reclaimed),
+        ]);
+        let mut e = Engine::new(spec, workload).with_fault_plan(plan);
+        let r = e.run();
+        // exactly one crash: one restore stall, the reclaim adds nothing
+        let expected = TimeModel::new(&spec).restore_stall_time();
+        assert!(
+            (r.recovery_time - expected).abs() < 1e-9,
+            "recovery {} expected {}",
+            r.recovery_time,
+            expected
+        );
+        assert!(r.total_time() > r.epoch_time.iter().sum::<f64>());
+    }
+
+    #[test]
+    fn single_group_survives_faults_without_eviction() {
+        // groups == 1 edge: nothing left to evict, the job degrades to
+        // fewer SoCs in its one group and keeps going
+        let sink = Arc::new(socflow_telemetry::MemorySink::new());
+        let spec = tiny_spec(MethodSpec::SocFlow(SocFlowConfig::with_groups(1)));
+        let workload = easy_workload(&spec, 512);
+        let plan = plan_of(vec![
+            (0.0, 7, FaultKind::Crashed),
+            (0.0, 6, FaultKind::Reclaimed),
+        ]);
+        let mut e = Engine::new(spec, workload)
+            .with_fault_plan(plan)
+            .with_sink(sink.clone());
+        let r = e.run();
+        assert_eq!(r.epoch_accuracy.len(), 4);
+        let events = sink.events();
+        assert!(
+            !events
+                .iter()
+                .any(|ev| matches!(ev, Event::GroupEvicted { .. })),
+            "a single group must never be evicted"
+        );
+        assert!(events.iter().any(|ev| matches!(
+            ev,
+            Event::RecoveryCompleted {
+                socs_left: 6,
+                groups_left: 1,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn faults_on_socs_the_job_does_not_hold_are_ignored() {
+        let spec = tiny_spec(MethodSpec::SocFlow(SocFlowConfig::with_groups(2)));
+        let clean = Engine::new(spec, easy_workload(&spec, 512)).run();
+        let plan = plan_of(vec![
+            (0.0, 100, FaultKind::Crashed),
+            (0.0, 101, FaultKind::Reclaimed),
+        ]);
+        let faulty = Engine::new(spec, easy_workload(&spec, 512))
+            .with_fault_plan(plan)
+            .run();
+        assert_eq!(faulty, clean, "out-of-range SoCs must not perturb the run");
+    }
+
+    #[test]
+    fn fault_timing_follows_the_simulated_clock() {
+        // an event landing inside the second epoch's window must be applied
+        // at the second boundary, not the first — and one beyond the whole
+        // run must never fire
+        let spec = tiny_spec(MethodSpec::SocFlow(SocFlowConfig::with_groups(4)));
+        let clean = Engine::new(spec, easy_workload(&spec, 512)).run();
+        let mid_second_epoch = clean.epoch_time[0] * 1.5;
+        let sink = Arc::new(socflow_telemetry::MemorySink::new());
+        let plan = plan_of(vec![
+            (mid_second_epoch, 7, FaultKind::Reclaimed),
+            (clean.total_time() * 100.0, 6, FaultKind::Crashed),
+        ]);
+        let mut e = Engine::new(spec, easy_workload(&spec, 512))
+            .with_fault_plan(plan)
+            .with_sink(sink.clone());
+        let r = e.run();
+        assert_eq!(r.recovery_time, 0.0, "the far-future crash never fires");
+        let fired: Vec<usize> = sink
+            .events()
+            .iter()
+            .filter_map(|ev| match ev {
+                Event::FaultInjected { epoch, .. } => Some(*epoch),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(fired, vec![2], "one fault, applied at the second boundary");
+    }
+
+    #[test]
+    fn resumed_run_is_bit_identical_to_uninterrupted() {
+        let dir = std::env::temp_dir().join("socflow_engine_resume_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let spec = tiny_spec(MethodSpec::SocFlow(SocFlowConfig::with_groups(2)));
+        let full = Engine::new(spec, easy_workload(&spec, 512)).run();
+
+        // "killed" run: first 2 of 4 epochs, persisting at epoch 2
+        let mut short = spec;
+        short.epochs = 2;
+        let policy = crate::checkpoint::CheckpointPolicy {
+            every_epochs: Some(2),
+            on_reclaim: true,
+        };
+        let _ = Engine::new(short, easy_workload(&short, 512))
+            .with_checkpointing(dir.clone(), policy)
+            .run();
+
+        let ckpt = Checkpoint::load(&dir).expect("killed run persisted a checkpoint");
+        assert_eq!(ckpt.epoch, 2);
+        let resumed = Engine::new(spec, easy_workload(&spec, 512))
+            .with_resume(ckpt)
+            .run();
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(resumed, full, "continuation must be bit-identical");
     }
 
     #[test]

@@ -174,14 +174,31 @@ pub fn group_sizes(socs: usize, n_groups: usize) -> Vec<usize> {
 /// Panics if `socs` exceeds the cluster or `n_groups` is invalid.
 pub fn integrity_greedy(spec: &ClusterSpec, socs: usize, n_groups: usize) -> Mapping {
     assert!(socs <= spec.total_socs(), "not enough SoCs in cluster");
-    let sizes = group_sizes(socs, n_groups);
-    // per-board free slot lists (only the first `socs` SoCs participate)
+    let alive: Vec<SocId> = (0..socs).map(SocId).collect();
+    integrity_greedy_over(spec, &alive, n_groups)
+}
+
+/// Integrity-greedy over an explicit set of surviving SoCs — the elastic
+/// remapping entry point: after reclaims/crashes the engine re-runs the
+/// same §3.1 algorithm over whatever SoCs are actually left, which may be
+/// an arbitrary subset with holes on every board.
+///
+/// # Panics
+/// Panics if a SoC is outside the cluster or `n_groups` is invalid.
+pub fn integrity_greedy_over(spec: &ClusterSpec, alive: &[SocId], n_groups: usize) -> Mapping {
+    let alive_set: std::collections::HashSet<SocId> = alive.iter().copied().collect();
+    assert!(
+        alive.iter().all(|s| s.0 < spec.total_socs()),
+        "SoC outside cluster"
+    );
+    let sizes = group_sizes(alive.len(), n_groups);
+    // per-board free slot lists (only surviving SoCs participate)
     let mut board_free: Vec<Vec<SocId>> = Vec::new();
     for b in 0..spec.boards {
         let slots: Vec<SocId> = spec
             .socs_on(socflow_cluster::BoardId(b))
             .into_iter()
-            .filter(|s| s.0 < socs)
+            .filter(|s| alive_set.contains(s))
             .collect();
         if !slots.is_empty() {
             board_free.push(slots);
@@ -238,11 +255,27 @@ pub fn integrity_greedy(spec: &ClusterSpec, socs: usize, n_groups: usize) -> Map
 /// Panics if `socs` exceeds the cluster or `n_groups` is invalid.
 pub fn sequential(spec: &ClusterSpec, socs: usize, n_groups: usize) -> Mapping {
     assert!(socs <= spec.total_socs(), "not enough SoCs in cluster");
-    let sizes = group_sizes(socs, n_groups);
+    let alive: Vec<SocId> = (0..socs).map(SocId).collect();
+    sequential_over(spec, &alive, n_groups)
+}
+
+/// Sequential mapping over an explicit surviving SoC set: groups take
+/// consecutive survivors in id order, ignoring board boundaries.
+///
+/// # Panics
+/// Panics if a SoC is outside the cluster or `n_groups` is invalid.
+pub fn sequential_over(spec: &ClusterSpec, alive: &[SocId], n_groups: usize) -> Mapping {
+    assert!(
+        alive.iter().all(|s| s.0 < spec.total_socs()),
+        "SoC outside cluster"
+    );
+    let mut ordered = alive.to_vec();
+    ordered.sort_unstable();
+    let sizes = group_sizes(ordered.len(), n_groups);
     let mut members = Vec::with_capacity(n_groups);
     let mut next = 0;
     for size in sizes {
-        members.push((next..next + size).map(SocId).collect());
+        members.push(ordered[next..next + size].to_vec());
         next += size;
     }
     Mapping::from_members(members, spec)
@@ -436,6 +469,41 @@ mod tests {
         for g in 0..5 {
             assert_eq!(m.leader(GroupId(g)), m.group(GroupId(g))[0]);
         }
+    }
+
+    #[test]
+    fn mapping_over_survivor_set_with_holes() {
+        // 3 boards of 5, but SoCs 2, 6 and 11 died: 12 survivors, 4 groups
+        let s = spec(3, 5);
+        let alive: Vec<SocId> = (0..15)
+            .filter(|i| ![2usize, 6, 11].contains(i))
+            .map(SocId)
+            .collect();
+        let m = integrity_greedy_over(&s, &alive, 4);
+        assert_eq!(m.num_groups(), 4);
+        let mut used: Vec<SocId> = m.groups().iter().flatten().copied().collect();
+        used.sort_unstable();
+        assert_eq!(used, alive, "exactly the survivors are placed");
+        // 4 survivors per board, groups of 3: each board hosts one whole
+        // group; the residual slots carry the fourth → conflict stays ≤2
+        assert!(m.conflict_count() <= 2);
+
+        let naive = sequential_over(&s, &alive, 4);
+        let mut used: Vec<SocId> = naive.groups().iter().flatten().copied().collect();
+        used.sort_unstable();
+        assert_eq!(used, alive);
+        assert!(m.conflict_count() <= naive.conflict_count());
+    }
+
+    #[test]
+    fn over_variants_match_prefix_forms_on_full_topology() {
+        let s = spec(7, 5);
+        let alive: Vec<SocId> = (0..32).map(SocId).collect();
+        assert_eq!(
+            integrity_greedy(&s, 32, 8),
+            integrity_greedy_over(&s, &alive, 8)
+        );
+        assert_eq!(sequential(&s, 32, 8), sequential_over(&s, &alive, 8));
     }
 
     #[test]

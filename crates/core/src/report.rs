@@ -64,6 +64,9 @@ pub struct RunResult {
     pub energy_joules: f64,
     /// α trajectory (mixed-precision runs only), one entry per epoch.
     pub alpha_trace: Vec<f32>,
+    /// Simulated wall-clock lost to crash-restore stalls, seconds. Graceful
+    /// reclaims checkpoint before leaving and charge nothing here.
+    pub recovery_time: Seconds,
 }
 
 impl RunResult {
@@ -77,9 +80,10 @@ impl RunResult {
         *self.epoch_accuracy.last().unwrap_or(&0.0)
     }
 
-    /// Total simulated training time, seconds.
+    /// Total simulated training time, seconds (epoch time plus any
+    /// crash-restore stalls).
     pub fn total_time(&self) -> Seconds {
-        self.epoch_time.iter().sum()
+        self.epoch_time.iter().sum::<Seconds>() + self.recovery_time
     }
 
     /// Simulated time until the accuracy first reaches `target`
@@ -124,6 +128,7 @@ mod tests {
             },
             energy_joules: 400.0,
             alpha_trace: vec![],
+            recovery_time: 0.0,
         }
     }
 
@@ -147,6 +152,14 @@ mod tests {
         let r = result();
         assert_eq!(r.energy_to_accuracy(0.5), Some(200.0));
         assert_eq!(r.energy_to_accuracy(0.99), None);
+    }
+
+    #[test]
+    fn recovery_time_counts_toward_total() {
+        let mut r = result();
+        assert_eq!(r.total_time(), 40.0);
+        r.recovery_time = 5.0;
+        assert_eq!(r.total_time(), 45.0);
     }
 
     #[test]

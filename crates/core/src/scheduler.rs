@@ -8,14 +8,17 @@
 //! engine. It also owns the preemption policy: when user workload returns
 //! during training, one logical group is surrendered.
 
+use crate::checkpoint::{Checkpoint, CheckpointPolicy};
 use crate::config::{MethodSpec, SocFlowConfig, TrainJobSpec};
 use crate::engine::{Engine, Workload};
 use crate::grouping::{choose_group_count, GroupChoice};
 use crate::mapping::{self, Mapping};
 use crate::planning::{divide_communication_groups, CommunicationGroups};
 use crate::report::RunResult;
+use socflow_cluster::faults::FaultPlan;
 use socflow_cluster::ClusterSpec;
 use socflow_telemetry::{Event, EventSink};
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// The resolved execution plan for a SoCFlow job.
@@ -36,6 +39,10 @@ pub struct GlobalScheduler {
     spec: TrainJobSpec,
     workload: Workload,
     sink: Option<Arc<dyn EventSink>>,
+    fault_plan: Option<FaultPlan>,
+    ckpt_dir: Option<PathBuf>,
+    ckpt_policy: CheckpointPolicy,
+    resume: Option<Checkpoint>,
 }
 
 impl std::fmt::Debug for GlobalScheduler {
@@ -44,6 +51,10 @@ impl std::fmt::Debug for GlobalScheduler {
             .field("spec", &self.spec)
             .field("workload", &self.workload)
             .field("sink", &self.sink.as_ref().map(|_| "EventSink"))
+            .field("fault_plan", &self.fault_plan)
+            .field("ckpt_dir", &self.ckpt_dir)
+            .field("ckpt_policy", &self.ckpt_policy)
+            .field("resume", &self.resume.as_ref().map(|c| c.epoch))
             .finish()
     }
 }
@@ -55,6 +66,10 @@ impl GlobalScheduler {
             spec,
             workload,
             sink: None,
+            fault_plan: None,
+            ckpt_dir: None,
+            ckpt_policy: CheckpointPolicy::default(),
+            resume: None,
         }
     }
 
@@ -62,6 +77,27 @@ impl GlobalScheduler {
     /// emitted here; the sink is forwarded to the [`Engine`] at dispatch.
     pub fn with_sink(mut self, sink: Arc<dyn EventSink>) -> Self {
         self.sink = Some(sink);
+        self
+    }
+
+    /// Attaches a fault timeline, forwarded to the [`Engine`] at dispatch.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Enables durable checkpointing under `dir` per `policy`.
+    pub fn with_checkpointing(mut self, dir: PathBuf, policy: CheckpointPolicy) -> Self {
+        self.ckpt_dir = Some(dir);
+        self.ckpt_policy = policy;
+        self
+    }
+
+    /// Continues from a restored checkpoint: the group-count warm-up
+    /// heuristic is skipped (the snapshot pins the group count the job
+    /// started with) and the engine resumes bit-exactly.
+    pub fn with_resume(mut self, ckpt: Checkpoint) -> Self {
+        self.resume = Some(ckpt);
         self
     }
 
@@ -142,10 +178,16 @@ impl GlobalScheduler {
     pub fn run(self) -> RunResult {
         let spec = match self.spec.method {
             MethodSpec::SocFlow(cfg) if cfg.groups.is_none() => {
-                let plan = self.plan_topology();
+                // a resumed job re-enters with the group count it started
+                // with: re-running the warm-up heuristic would waste probe
+                // epochs and could disagree with the snapshot's topology
+                let groups = match &self.resume {
+                    Some(c) => c.initial_groups.clamp(1, self.spec.socs),
+                    None => self.plan_topology().groups,
+                };
                 let mut s = self.spec;
                 s.method = MethodSpec::SocFlow(SocFlowConfig {
-                    groups: Some(plan.groups),
+                    groups: Some(groups),
                     ..cfg
                 });
                 s
@@ -155,6 +197,15 @@ impl GlobalScheduler {
         let mut engine = Engine::new(spec, self.workload);
         if let Some(sink) = self.sink {
             engine = engine.with_sink(sink);
+        }
+        if let Some(plan) = self.fault_plan {
+            engine = engine.with_fault_plan(plan);
+        }
+        if let Some(dir) = self.ckpt_dir {
+            engine = engine.with_checkpointing(dir, self.ckpt_policy);
+        }
+        if let Some(ckpt) = self.resume {
+            engine = engine.with_resume(ckpt);
         }
         engine.run()
     }

@@ -108,6 +108,18 @@ pub trait Layer: Send {
     /// Mutable access to this layer's parameters (possibly empty).
     fn parameters_mut(&mut self) -> Vec<&mut Parameter>;
 
+    /// Flattened views of the layer's non-learnable state carried across
+    /// steps (batch-norm running statistics and the like) — the part of a
+    /// model snapshot that `parameters` misses. Empty by default.
+    fn state_buffers(&self) -> Vec<&[f32]> {
+        Vec::new()
+    }
+
+    /// Mutable views of [`Layer::state_buffers`], same order and shapes.
+    fn state_buffers_mut(&mut self) -> Vec<&mut [f32]> {
+        Vec::new()
+    }
+
     /// A short human-readable layer descriptor, e.g. `conv2d(3->16, k3)`.
     fn describe(&self) -> String;
 

@@ -22,7 +22,10 @@ pub struct Conv2d {
     cached: Option<(Tensor, Shape)>, // (patches, input shape)
     scratch: ConvScratch,
     pool: TensorPool,
-    step: u64,
+    /// Quantized-backward counter seeding the gradient noise. Kept as f32
+    /// so it rides [`Layer::state_buffers`] into checkpoints (exact up to
+    /// 2^24 steps — far past any realistic run).
+    step: f32,
 }
 
 impl Conv2d {
@@ -47,7 +50,7 @@ impl Conv2d {
             cached: None,
             scratch: ConvScratch::default(),
             pool: TensorPool::new(),
-            step: 0,
+            step: 0.0,
         }
     }
 
@@ -115,9 +118,9 @@ impl Layer for Conv2d {
             &mut gw,
         );
         if let Precision::Quant(f) = mode.precision {
-            self.step += 1;
+            self.step += 1.0;
             let mut q = self.pool.take_any();
-            quant_grad_into(&gw, self.step.wrapping_mul(0xC2B2), f, &mut q);
+            quant_grad_into(&gw, (self.step as u64).wrapping_mul(0xC2B2), f, &mut q);
             self.weight.grad.add_inplace(&q);
             self.pool.recycle(q);
         } else {
@@ -133,6 +136,14 @@ impl Layer for Conv2d {
 
     fn parameters_mut(&mut self) -> Vec<&mut Parameter> {
         vec![&mut self.weight]
+    }
+
+    fn state_buffers(&self) -> Vec<&[f32]> {
+        vec![std::slice::from_ref(&self.step)]
+    }
+
+    fn state_buffers_mut(&mut self) -> Vec<&mut [f32]> {
+        vec![std::slice::from_mut(&mut self.step)]
     }
 
     fn describe(&self) -> String {

@@ -11,7 +11,9 @@ use socflow_tensor::Tensor;
 pub struct Dropout {
     p: f32,
     seed: u64,
-    calls: u64,
+    /// Forward counter seeding the mask. Kept as f32 so it rides
+    /// [`Layer::state_buffers`] into checkpoints (exact up to 2^24 calls).
+    calls: f32,
     mask: Option<Tensor>,
 }
 
@@ -25,13 +27,13 @@ impl Dropout {
         Dropout {
             p,
             seed,
-            calls: 0,
+            calls: 0.0,
             mask: None,
         }
     }
 
     fn hash_unit(&self, i: usize) -> f32 {
-        let mut h = self.seed ^ self.calls.wrapping_mul(0xA24BAED4963EE407);
+        let mut h = self.seed ^ (self.calls as u64).wrapping_mul(0xA24BAED4963EE407);
         h ^= (i as u64).wrapping_mul(0x9E3779B97F4A7C15);
         h ^= h >> 33;
         h = h.wrapping_mul(0xFF51AFD7ED558CCD);
@@ -45,7 +47,7 @@ impl Layer for Dropout {
         if !mode.train || self.p == 0.0 {
             return input.clone();
         }
-        self.calls += 1;
+        self.calls += 1.0;
         let keep = 1.0 - self.p;
         let mask_data: Vec<f32> = (0..input.len())
             .map(|i| {
@@ -76,6 +78,14 @@ impl Layer for Dropout {
 
     fn parameters_mut(&mut self) -> Vec<&mut Parameter> {
         Vec::new()
+    }
+
+    fn state_buffers(&self) -> Vec<&[f32]> {
+        vec![std::slice::from_ref(&self.calls)]
+    }
+
+    fn state_buffers_mut(&mut self) -> Vec<&mut [f32]> {
+        vec![std::slice::from_mut(&mut self.calls)]
     }
 
     fn describe(&self) -> String {

@@ -16,7 +16,10 @@ pub struct Linear {
     out_features: usize,
     cached_input: Option<Tensor>,
     pool: TensorPool,
-    step: u64,
+    /// Quantized-backward counter seeding the gradient noise. Kept as f32
+    /// so it rides [`Layer::state_buffers`] into checkpoints (exact up to
+    /// 2^24 steps — far past any realistic run).
+    step: f32,
 }
 
 impl Linear {
@@ -30,7 +33,7 @@ impl Linear {
             out_features,
             cached_input: None,
             pool: TensorPool::new(),
-            step: 0,
+            step: 0.0,
         }
     }
 
@@ -89,11 +92,12 @@ impl Layer for Linear {
         let mut gb = self.pool.take_any();
         grad_out.sum_rows_into(&mut gb);
         if let Precision::Quant(f) = mode.precision {
-            self.step += 1;
+            self.step += 1.0;
+            let step = self.step as u64;
             let mut q = self.pool.take_any();
-            quant_grad_into(&gw, self.step.wrapping_mul(0x9E37), f, &mut q);
+            quant_grad_into(&gw, step.wrapping_mul(0x9E37), f, &mut q);
             self.weight.grad.add_inplace(&q);
-            quant_grad_into(&gb, self.step.wrapping_mul(0x79B9), f, &mut q);
+            quant_grad_into(&gb, step.wrapping_mul(0x79B9), f, &mut q);
             self.bias.grad.add_inplace(&q);
             self.pool.recycle(q);
         } else {
@@ -111,6 +115,14 @@ impl Layer for Linear {
 
     fn parameters_mut(&mut self) -> Vec<&mut Parameter> {
         vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn state_buffers(&self) -> Vec<&[f32]> {
+        vec![std::slice::from_ref(&self.step)]
+    }
+
+    fn state_buffers_mut(&mut self) -> Vec<&mut [f32]> {
+        vec![std::slice::from_mut(&mut self.step)]
     }
 
     fn describe(&self) -> String {

@@ -151,6 +151,17 @@ impl Layer for BatchNorm2d {
         vec![&mut self.gamma, &mut self.beta]
     }
 
+    fn state_buffers(&self) -> Vec<&[f32]> {
+        vec![self.running_mean.as_slice(), self.running_var.as_slice()]
+    }
+
+    fn state_buffers_mut(&mut self) -> Vec<&mut [f32]> {
+        vec![
+            self.running_mean.as_mut_slice(),
+            self.running_var.as_mut_slice(),
+        ]
+    }
+
     fn describe(&self) -> String {
         format!("batchnorm2d({})", self.channels)
     }

@@ -104,6 +104,26 @@ impl Layer for Residual {
         out
     }
 
+    fn state_buffers(&self) -> Vec<&[f32]> {
+        let mut out: Vec<&[f32]> = self.body.iter().flat_map(|l| l.state_buffers()).collect();
+        if let Some(s) = &self.shortcut {
+            out.extend(s.iter().flat_map(|l| l.state_buffers()));
+        }
+        out
+    }
+
+    fn state_buffers_mut(&mut self) -> Vec<&mut [f32]> {
+        let mut out: Vec<&mut [f32]> = self
+            .body
+            .iter_mut()
+            .flat_map(|l| l.state_buffers_mut())
+            .collect();
+        if let Some(s) = &mut self.shortcut {
+            out.extend(s.iter_mut().flat_map(|l| l.state_buffers_mut()));
+        }
+        out
+    }
+
     fn describe(&self) -> String {
         format!(
             "residual({} body layers{})",

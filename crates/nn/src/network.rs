@@ -124,6 +124,49 @@ impl Network {
         }
     }
 
+    /// Total number of non-learnable state scalars (batch-norm running
+    /// statistics etc.).
+    pub fn state_count(&self) -> usize {
+        self.layers
+            .iter()
+            .flat_map(|l| l.state_buffers())
+            .map(|s| s.len())
+            .sum()
+    }
+
+    /// Concatenates all non-learnable layer state into one flat vector —
+    /// the complement of [`Network::flat_weights`] a bit-exact snapshot
+    /// needs (batch-norm running statistics feed eval-mode forwards).
+    pub fn flat_state(&self) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.flat_state_into(&mut out);
+        out
+    }
+
+    /// [`Network::flat_state`] writing into `out`, reusing its storage.
+    pub fn flat_state_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.reserve(self.state_count());
+        for s in self.layers.iter().flat_map(|l| l.state_buffers()) {
+            out.extend_from_slice(s);
+        }
+    }
+
+    /// Overwrites all non-learnable layer state from a flat vector.
+    ///
+    /// # Panics
+    /// Panics if `flat.len() != state_count()`.
+    pub fn set_flat_state(&mut self, flat: &[f32]) {
+        let expected = self.state_count();
+        assert_eq!(flat.len(), expected, "flat state length mismatch");
+        let mut offset = 0;
+        for s in self.layers.iter_mut().flat_map(|l| l.state_buffers_mut()) {
+            let n = s.len();
+            s.copy_from_slice(&flat[offset..offset + n]);
+            offset += n;
+        }
+    }
+
     /// Serializes the flat weights to JSON bytes (checkpoint payload).
     ///
     /// # Errors
@@ -246,5 +289,34 @@ mod tests {
     fn set_flat_weights_checks_length() {
         let mut n = tiny_net(4);
         n.set_flat_weights(&[0.0; 3]);
+    }
+
+    #[test]
+    fn flat_state_captures_batchnorm_running_stats() {
+        use crate::layers::BatchNorm2d;
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut a = Network::new(vec![Box::new(BatchNorm2d::new(2))]);
+        assert_eq!(a.state_count(), 4); // running mean + var, 2 channels
+        let x = socflow_tensor::init::normal([4, 2, 3, 3], 2.0, &mut rng);
+        a.forward(&x, Mode::train(Precision::Fp32)); // moves running stats
+        let snap = a.flat_state();
+
+        // a fresh net evals differently until the state is restored
+        let mut b = Network::new(vec![Box::new(BatchNorm2d::new(2))]);
+        let probe = socflow_tensor::init::normal([1, 2, 3, 3], 1.0, &mut rng);
+        let ya = a.forward(&probe, Mode::eval(Precision::Fp32));
+        let yb = b.forward(&probe, Mode::eval(Precision::Fp32));
+        assert_ne!(ya.data(), yb.data());
+        b.set_flat_state(&snap);
+        let yb = b.forward(&probe, Mode::eval(Precision::Fp32));
+        assert_eq!(ya.data(), yb.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "flat state length mismatch")]
+    fn set_flat_state_checks_length() {
+        use crate::layers::BatchNorm2d;
+        let mut n = Network::new(vec![Box::new(BatchNorm2d::new(2))]);
+        n.set_flat_state(&[0.0; 3]);
     }
 }

@@ -74,6 +74,20 @@ impl Sgd {
         }
     }
 
+    /// Allocates the momentum buffers to match `net`'s parameter structure
+    /// without taking a step — checkpoint restore needs somewhere to put a
+    /// saved velocity before the first post-resume step. A no-op once the
+    /// buffers exist.
+    pub fn ensure_velocity(&mut self, net: &mut Network) {
+        if self.velocity.is_empty() {
+            self.velocity = net
+                .parameters_mut()
+                .iter()
+                .map(|p| Tensor::zeros(p.value.shape().clone()))
+                .collect();
+        }
+    }
+
     /// Overwrites the momentum buffers from a flat vector (the inverse of
     /// [`Sgd::flat_velocity`]). A no-op for an empty `flat` (so states
     /// captured before the first step restore cleanly).

@@ -47,6 +47,19 @@ pub enum EvictionCause {
     Preemption,
 }
 
+/// How a SoC left the cluster (mirrors the cluster crate's `FaultKind`;
+/// redeclared here because telemetry sits below cluster in the dependency
+/// graph).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultClass {
+    /// Graceful user-session reclaim: the engine checkpoints first, no
+    /// training work is lost.
+    Reclaim,
+    /// Hard failure: the in-flight batch is lost and a restore stall is
+    /// charged.
+    Crash,
+}
+
 /// One structured observation from a training run.
 ///
 /// Serialized as an externally tagged JSON object, one line per event in
@@ -108,6 +121,34 @@ pub enum Event {
     },
     /// SoCFlow checkpointed group states before a topology change.
     CheckpointTaken { epoch: usize, groups: usize },
+    /// A fault event from the fault plan was applied to a live SoC.
+    /// `at` is the modelled time of the fault; `epoch` the epoch boundary
+    /// at which the engine observed it.
+    FaultInjected {
+        at: f64,
+        soc: usize,
+        kind: FaultClass,
+        epoch: usize,
+    },
+    /// A checkpoint was written to durable storage (`--checkpoint-dir`);
+    /// `bytes` is the serialized size and `cost` the modelled seconds
+    /// charged to the run for persisting it.
+    CheckpointPersisted {
+        epoch: usize,
+        groups: usize,
+        bytes: u64,
+        cost: f64,
+    },
+    /// The engine finished reacting to a batch of membership changes:
+    /// survivors remapped (integrity-greedy + CG planning re-run) and any
+    /// crash-restore stall charged. `stall` is the modelled restore time
+    /// (0 when every fault in the batch was a graceful reclaim).
+    RecoveryCompleted {
+        epoch: usize,
+        stall: f64,
+        socs_left: usize,
+        groups_left: usize,
+    },
     /// A group left the cluster; the survivors continue.
     GroupEvicted {
         epoch: usize,
@@ -267,6 +308,18 @@ pub struct Summary {
     pub checkpoints: usize,
     pub evictions: usize,
     pub stalls: usize,
+    /// Fault events applied, split by kind.
+    pub faults: usize,
+    pub reclaims: usize,
+    pub crashes: usize,
+    /// Durable checkpoints written, their serialized bytes, and the
+    /// modelled seconds charged for persisting them.
+    pub checkpoints_persisted: usize,
+    pub persist_bytes: u64,
+    pub persist_cost: f64,
+    /// Modelled seconds spent in crash-restore stalls
+    /// (`RecoveryCompleted::stall` summed).
+    pub recovery_cost: f64,
     /// Host kernel-profiling totals (one entry per op family, in emission
     /// order), present only for traces recorded with the profiler on.
     pub kernels: Vec<KernelTime>,
@@ -329,6 +382,19 @@ impl Summary {
                 Event::CheckpointTaken { .. } => s.checkpoints += 1,
                 Event::GroupEvicted { .. } => s.evictions += 1,
                 Event::BaselineStalled { .. } => s.stalls += 1,
+                Event::FaultInjected { kind, .. } => {
+                    s.faults += 1;
+                    match kind {
+                        FaultClass::Reclaim => s.reclaims += 1,
+                        FaultClass::Crash => s.crashes += 1,
+                    }
+                }
+                Event::CheckpointPersisted { bytes, cost, .. } => {
+                    s.checkpoints_persisted += 1;
+                    s.persist_bytes += bytes;
+                    s.persist_cost += cost;
+                }
+                Event::RecoveryCompleted { stall, .. } => s.recovery_cost += stall,
                 Event::KernelTotals { op, calls, nanos } => {
                     // A window can span several runs; merge rows per op.
                     match s.kernels.iter_mut().find(|k| k.op == *op) {
@@ -413,6 +479,18 @@ impl Summary {
             "resilience       {} checkpoints, {} evictions, {} stalls\n",
             self.checkpoints, self.evictions, self.stalls
         ));
+        if self.faults > 0 || self.checkpoints_persisted > 0 {
+            out.push_str(&format!(
+                "faults           {} ({} reclaims, {} crashes), {:.3} s recovery\n",
+                self.faults, self.reclaims, self.crashes, self.recovery_cost
+            ));
+            out.push_str(&format!(
+                "durable ckpts    {} ({:.1} KB, {:.3} s persist)\n",
+                self.checkpoints_persisted,
+                self.persist_bytes as f64 / 1e3,
+                self.persist_cost
+            ));
+        }
         if !self.kernels.is_empty() {
             let total: u64 = self.kernels.iter().map(|k| k.nanos).sum();
             out.push_str(&format!(
@@ -629,6 +707,69 @@ mod tests {
         let report = s.render();
         assert!(report.contains("host kernels"), "{report}");
         assert!(report.contains("matmul"), "{report}");
+    }
+
+    #[test]
+    fn summary_attributes_fault_and_persist_costs() {
+        let events = vec![
+            Event::FaultInjected {
+                at: 12.5,
+                soc: 3,
+                kind: FaultClass::Reclaim,
+                epoch: 1,
+            },
+            Event::FaultInjected {
+                at: 19.0,
+                soc: 7,
+                kind: FaultClass::Crash,
+                epoch: 2,
+            },
+            Event::CheckpointPersisted {
+                epoch: 1,
+                groups: 4,
+                bytes: 2048,
+                cost: 0.5,
+            },
+            Event::CheckpointPersisted {
+                epoch: 3,
+                groups: 3,
+                bytes: 1024,
+                cost: 0.25,
+            },
+            Event::RecoveryCompleted {
+                epoch: 2,
+                stall: 1.5,
+                socs_left: 14,
+                groups_left: 3,
+            },
+            Event::RecoveryCompleted {
+                epoch: 4,
+                stall: 0.0,
+                socs_left: 13,
+                groups_left: 3,
+            },
+        ];
+        // the new variants must round-trip through JSONL like the rest
+        let text: String = events
+            .iter()
+            .map(|e| serde_json::to_string(e).unwrap() + "\n")
+            .collect();
+        assert_eq!(parse_trace(&text).unwrap(), events);
+
+        let s = Summary::from_events(&events);
+        assert_eq!(s.faults, 2);
+        assert_eq!(s.reclaims, 1);
+        assert_eq!(s.crashes, 1);
+        assert_eq!(s.checkpoints_persisted, 2);
+        assert_eq!(s.persist_bytes, 3072);
+        assert!((s.persist_cost - 0.75).abs() < 1e-12);
+        assert!((s.recovery_cost - 1.5).abs() < 1e-12);
+        let report = s.render();
+        assert!(
+            report.contains("faults           2 (1 reclaims, 1 crashes)"),
+            "{report}"
+        );
+        assert!(report.contains("durable ckpts    2"), "{report}");
     }
 
     #[test]

@@ -2,9 +2,11 @@
 //! claim that a user-workload burst only costs one logical group, not the
 //! training job.
 
-use socflow::checkpoint::Checkpoint;
+use socflow::checkpoint::{Checkpoint, CheckpointPolicy};
 use socflow::config::{MethodSpec, SocFlowConfig, TrainJobSpec};
 use socflow::engine::{Engine, Workload};
+use socflow_cluster::faults::{FaultEvent, FaultKind, FaultPlan};
+use socflow_cluster::SocId;
 use socflow_data::DatasetPreset;
 use socflow_nn::models::ModelKind;
 
@@ -19,6 +21,28 @@ fn spec(groups: usize) -> TrainJobSpec {
     s.global_batch = 64;
     s.lr = 0.05;
     s
+}
+
+/// A smaller job for the fault/resume tests below (they run several full
+/// training jobs each, so the 16-SoC/8-epoch spec would be wasteful).
+fn small_spec(groups: usize) -> TrainJobSpec {
+    let mut s = spec(groups);
+    s.socs = 8;
+    s.epochs = 4;
+    s
+}
+
+fn plan_of(events: Vec<(f64, usize, FaultKind)>) -> FaultPlan {
+    FaultPlan::from_events(
+        events
+            .into_iter()
+            .map(|(at, soc, kind)| FaultEvent {
+                at,
+                soc: SocId(soc),
+                kind,
+            })
+            .collect(),
+    )
 }
 
 #[test]
@@ -64,6 +88,87 @@ fn checkpoint_roundtrip_and_redistribute() {
             "keep={keep}: mean weight drifted {before} → {after}"
         );
     }
+}
+
+/// Crash-vs-reclaim semantics at the job level: a graceful reclaim shrinks
+/// the topology for free, while a crash of the same SoC at the same moment
+/// additionally charges a checkpoint-restore stall to the wall clock.
+#[test]
+fn crashes_cost_a_stall_reclaims_do_not() {
+    let s = small_spec(4);
+    let w = Workload::standard(&s, 512, 8, 0.5);
+    let reclaimed = Engine::new(s, w.clone())
+        .with_fault_plan(plan_of(vec![(0.0, 7, FaultKind::Reclaimed)]))
+        .run();
+    let crashed = Engine::new(s, w)
+        .with_fault_plan(plan_of(vec![(0.0, 7, FaultKind::Crashed)]))
+        .run();
+    assert_eq!(reclaimed.recovery_time, 0.0, "graceful exits are free");
+    assert!(crashed.recovery_time > 0.0, "crashes lose in-flight work");
+    // the survivor topology is identical, so per-epoch progress matches
+    assert_eq!(reclaimed.epoch_accuracy, crashed.epoch_accuracy);
+    assert!(crashed.total_time() > reclaimed.total_time());
+}
+
+/// Durable resume across a fault boundary: kill a checkpointed run after
+/// the epoch in which a SoC was reclaimed, reload from disk, and the
+/// continuation must be byte-identical to the uninterrupted faulty run —
+/// including the persisted survivor set and fault cursor.
+#[test]
+fn resume_across_a_fault_is_bit_identical() {
+    let dir = std::env::temp_dir().join("socflow_it_fault_resume");
+    std::fs::remove_dir_all(&dir).ok();
+    let s = small_spec(4);
+    let w = Workload::standard(&s, 512, 8, 0.5);
+    let plan = plan_of(vec![(0.0, 6, FaultKind::Reclaimed)]);
+
+    let full = Engine::new(s, w.clone())
+        .with_fault_plan(plan.clone())
+        .run();
+
+    let mut short = s;
+    short.epochs = 2;
+    let policy = CheckpointPolicy {
+        every_epochs: Some(2),
+        on_reclaim: true,
+    };
+    let _ = Engine::new(short, Workload::standard(&short, 512, 8, 0.5))
+        .with_fault_plan(plan.clone())
+        .with_checkpointing(dir.clone(), policy)
+        .run();
+
+    let ckpt = Checkpoint::load(&dir).expect("killed run persisted a checkpoint");
+    assert_eq!(ckpt.epoch, 2);
+    assert_eq!(ckpt.alive.len(), 7, "the reclaimed SoC is gone from disk");
+    assert!(!ckpt.alive.contains(&6));
+
+    let resumed = Engine::new(s, w)
+        .with_fault_plan(plan)
+        .with_resume(ckpt)
+        .run();
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(resumed, full, "continuation must be bit-identical");
+}
+
+/// The v2 on-disk format round-trips the non-learnable model state
+/// (BatchNorm running statistics, quant-noise step counters) alongside the
+/// weights, and eviction keeps only the survivors' state rows.
+#[test]
+fn checkpoint_states_roundtrip_and_redistribute() {
+    let replicas: Vec<Vec<f32>> = (0..3).map(|g| vec![g as f32; 8]).collect();
+    let mut ckpt = Checkpoint::new(2, replicas, 0.9);
+    ckpt.states = (0..3).map(|g| vec![0.5 + g as f32; 4]).collect();
+    ckpt.states_int8 = (0..3).map(|g| vec![10.0 * g as f32; 2]).collect();
+
+    let restored = Checkpoint::from_bytes(&ckpt.to_bytes().unwrap()).unwrap();
+    assert_eq!(restored, ckpt);
+
+    let shrunk = restored.redistribute(2);
+    assert_eq!(shrunk.num_replicas(), 2);
+    // running statistics are observations, not training signal: the
+    // survivors keep their own rows untouched (no evicted-mean merge)
+    assert_eq!(shrunk.states, ckpt.states[..2]);
+    assert_eq!(shrunk.states_int8, ckpt.states_int8[..2]);
 }
 
 #[test]

@@ -482,4 +482,48 @@ proptest! {
         prop_assert!(!t1.is_empty(), "trace must not be empty");
         prop_assert_eq!(t1, t2, "telemetry traces must be byte-identical");
     }
+
+    /// Kill-and-resume determinism: for arbitrary seeds and group counts, a
+    /// run killed at its midpoint checkpoint and resumed from disk produces
+    /// a RunResult byte-identical to the uninterrupted run. This is the
+    /// durable-checkpoint contract — every piece of training state
+    /// (weights, momenta, BatchNorm statistics, quant-noise counters, the
+    /// fault cursor) must round-trip through the on-disk format.
+    #[test]
+    fn resume_is_byte_identical(seed in 0u64..1000, groups in 1usize..4) {
+        use socflow::checkpoint::{Checkpoint, CheckpointPolicy};
+        use socflow::config::{MethodSpec, SocFlowConfig, TrainJobSpec};
+        use socflow::engine::{Engine, Workload};
+        use socflow_nn::models::ModelKind;
+        use socflow_data::DatasetPreset;
+
+        let spec_of = |epochs: usize| {
+            let mut s = TrainJobSpec::new(
+                ModelKind::LeNet5,
+                DatasetPreset::FashionMnist,
+                MethodSpec::SocFlow(SocFlowConfig::with_groups(groups)),
+            );
+            s.socs = 8;
+            s.epochs = epochs;
+            s.global_batch = 32;
+            s.seed = seed;
+            s
+        };
+        let full_spec = spec_of(4);
+        let workload = Workload::standard(&full_spec, 96, 8, 0.5);
+        let full = Engine::new(full_spec, workload.clone()).run();
+
+        let dir = std::env::temp_dir().join(format!("socflow_prop_resume_{seed}_{groups}"));
+        std::fs::remove_dir_all(&dir).ok();
+        let short = spec_of(2);
+        let policy = CheckpointPolicy { every_epochs: Some(2), on_reclaim: true };
+        let _ = Engine::new(short, Workload::standard(&short, 96, 8, 0.5))
+            .with_checkpointing(dir.clone(), policy)
+            .run();
+
+        let ckpt = Checkpoint::load(&dir).expect("checkpoint persisted");
+        let resumed = Engine::new(full_spec, workload).with_resume(ckpt).run();
+        std::fs::remove_dir_all(&dir).ok();
+        prop_assert_eq!(resumed, full, "resume must continue bit-exactly");
+    }
 }
