@@ -27,6 +27,9 @@ pub struct Options {
     pub checkpoint_every: Option<usize>,
     /// Resume from the latest checkpoint in `--checkpoint-dir`.
     pub resume: bool,
+    /// Price SoCFlow epochs with the event-driven fluid timeline instead
+    /// of the closed-form Eq. 1 sums.
+    pub timeline: bool,
 }
 
 impl Default for Options {
@@ -47,6 +50,7 @@ impl Default for Options {
             checkpoint_dir: None,
             checkpoint_every: None,
             resume: false,
+            timeline: false,
         }
     }
 }
@@ -70,6 +74,10 @@ impl Options {
             }
             if flag == "--resume" {
                 o.resume = true;
+                continue;
+            }
+            if flag == "--timeline" {
+                o.timeline = true;
                 continue;
             }
             let value = it
@@ -149,6 +157,14 @@ mod tests {
         assert!(o.profile_kernels);
         assert_eq!(o.epochs, 2);
         assert!(!parse(&[]).unwrap().profile_kernels);
+    }
+
+    #[test]
+    fn timeline_is_a_bare_switch() {
+        let o = parse(&["--timeline", "--epochs", "2"]).unwrap();
+        assert!(o.timeline);
+        assert_eq!(o.epochs, 2);
+        assert!(!parse(&[]).unwrap().timeline);
     }
 
     #[test]

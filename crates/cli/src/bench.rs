@@ -1,7 +1,10 @@
 //! `socflow-cli bench` — reproducible benchmark baselines.
 //!
 //! `bench kernels` is the host micro-kernel suite; `bench faults` is the
-//! fault-tolerance recovery experiment (simulated, machine-independent).
+//! fault-tolerance recovery experiment (simulated, machine-independent);
+//! `bench timeline` compares the closed-form Eq. 1 epoch pricing against
+//! the event-driven fluid timeline across logical-group counts (also
+//! simulated and machine-independent).
 //!
 //! Runs the tensor micro-kernels the training hot path lives in (tiled
 //! GEMM variants, transpose, the pooled conv2d forward/backward, the fused
@@ -352,6 +355,171 @@ fn fault_suite_to_json(results: &[FaultRun], fast: bool) -> serde_json::Value {
     ])
 }
 
+/// One timeline-bench row: closed-form Eq. 1 pricing vs the event-driven
+/// fluid timeline, with and without compute↔CG interleaving, at one
+/// logical-group count.
+struct TimelineRun {
+    groups: usize,
+    /// Logical groups whose SoCs span more than one board.
+    split_lgs: usize,
+    /// Communication groups after 2-coloring.
+    cgs: usize,
+    analytic_s: f64,
+    /// Fluid timeline, CG syncs overlapping member compute (the paper's
+    /// interleaved schedule).
+    simulated_s: f64,
+    /// Fluid timeline with the same CG slots but syncs strictly after
+    /// compute — the no-interleaving comparator.
+    no_overlap_s: f64,
+}
+
+impl TimelineRun {
+    /// Simulated / analytic epoch time (1.0 = exact agreement).
+    fn agreement(&self) -> f64 {
+        if self.analytic_s > 0.0 {
+            self.simulated_s / self.analytic_s
+        } else {
+            1.0
+        }
+    }
+
+    /// No-overlap / interleaved epoch time (≥ 1.0 by construction).
+    fn overlap_speedup(&self) -> f64 {
+        if self.simulated_s > 0.0 {
+            self.no_overlap_s / self.simulated_s
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Sweeps logical-group counts on one cluster and prices each epoch three
+/// ways: the analytic Eq. 1 model, the fluid timeline with interleaving,
+/// and the fluid timeline without it. Board-aligned counts (zero split
+/// LGs) pin the simulator against the analytic model; counts with split
+/// groups show what interleaving buys. Everything is simulated and
+/// deterministic, so the numbers are machine-independent.
+fn run_timeline_suite(fast: bool) -> Vec<TimelineRun> {
+    use socflow::config::{MethodSpec, TrainJobSpec};
+    use socflow::mapping::integrity_greedy;
+    use socflow::planning::divide_communication_groups;
+    use socflow::sim::{simulate_socflow_schedule, SyncSchedule};
+    use socflow::timemodel::TimeModel;
+    use socflow::GroupId;
+    use socflow_cluster::ClusterSpec;
+    use socflow_data::DatasetPreset;
+    use socflow_nn::models::ModelKind;
+
+    // the paper server is 60 SoCs; the fast smoke uses a 20-SoC slice
+    let (socs, group_counts): (usize, &[usize]) = if fast {
+        (20, &[2, 4, 7])
+    } else {
+        (60, &[1, 2, 4, 6, 8, 12, 20, 60])
+    };
+    let mut spec = TrainJobSpec::new(ModelKind::Vgg11, DatasetPreset::Cifar10, MethodSpec::Ring);
+    spec.socs = socs;
+    let tm = TimeModel::new(&spec);
+    let cluster = ClusterSpec::for_socs(socs);
+    group_counts
+        .iter()
+        .map(|&groups| {
+            let mapping = integrity_greedy(&cluster, socs, groups);
+            let split_lgs = (0..groups)
+                .filter(|&g| mapping.is_split(GroupId(g)))
+                .count();
+            let cgs =
+                divide_communication_groups(&mapping).expect("integrity-greedy mappings 2-color");
+            let analytic = tm.socflow_epoch(&mapping, &cgs, true, 1.0);
+            let interleaved = simulate_socflow_schedule(
+                &tm,
+                &mapping,
+                &cgs,
+                true,
+                SyncSchedule::Interleaved,
+                1.0,
+            );
+            let serial =
+                simulate_socflow_schedule(&tm, &mapping, &cgs, true, SyncSchedule::Serial, 1.0);
+            TimelineRun {
+                groups,
+                split_lgs,
+                cgs: cgs.len(),
+                analytic_s: analytic.time,
+                simulated_s: interleaved.cost.time,
+                no_overlap_s: serial.cost.time,
+            }
+        })
+        .collect()
+}
+
+fn timeline_suite_to_json(results: &[TimelineRun], fast: bool, socs: usize) -> serde_json::Value {
+    use serde_json::Value;
+    let rows = results
+        .iter()
+        .map(|r| {
+            Value::Object(vec![
+                ("groups".into(), Value::U64(r.groups as u64)),
+                ("split_lgs".into(), Value::U64(r.split_lgs as u64)),
+                ("cgs".into(), Value::U64(r.cgs as u64)),
+                ("analytic_s".into(), Value::F64(r.analytic_s)),
+                ("simulated_s".into(), Value::F64(r.simulated_s)),
+                ("no_overlap_s".into(), Value::F64(r.no_overlap_s)),
+                ("agreement".into(), Value::F64(r.agreement())),
+                ("overlap_speedup".into(), Value::F64(r.overlap_speedup())),
+            ])
+        })
+        .collect();
+    Value::Object(vec![
+        (
+            "schema".into(),
+            Value::Str("socflow-timeline-bench/v1".into()),
+        ),
+        (
+            "mode".into(),
+            Value::Str(if fast { "fast" } else { "full" }.into()),
+        ),
+        ("socs".into(), Value::U64(socs as u64)),
+        ("results".into(), Value::Array(rows)),
+    ])
+}
+
+fn bench_timeline(fast: bool, json_path: Option<String>) -> Result<(), String> {
+    let socs = if fast { 20 } else { 60 };
+    let results = run_timeline_suite(fast);
+    println!(
+        "{:<7} {:>6} {:>4} {:>12} {:>12} {:>13} {:>10} {:>8}",
+        "groups",
+        "split",
+        "cgs",
+        "analytic s",
+        "simulated s",
+        "no-overlap s",
+        "agreement",
+        "speedup"
+    );
+    for r in &results {
+        println!(
+            "{:<7} {:>6} {:>4} {:>12.1} {:>12.1} {:>13.1} {:>10.4} {:>8.3}",
+            r.groups,
+            r.split_lgs,
+            r.cgs,
+            r.analytic_s,
+            r.simulated_s,
+            r.no_overlap_s,
+            r.agreement(),
+            r.overlap_speedup()
+        );
+    }
+    if let Some(path) = json_path {
+        let doc = timeline_suite_to_json(&results, fast, socs);
+        let text = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
+        std::fs::write(&path, text + "\n")
+            .map_err(|e| format!("cannot write bench file `{path}`: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
 fn bench_faults(fast: bool, json_path: Option<String>) -> Result<(), String> {
     let results = run_fault_suite(fast);
     println!(
@@ -388,15 +556,15 @@ fn bench_faults(fast: bool, json_path: Option<String>) -> Result<(), String> {
     Ok(())
 }
 
-/// `socflow-cli bench <kernels|faults> [--fast] [--json <path>]`.
+/// `socflow-cli bench <kernels|faults|timeline> [--fast] [--json <path>]`.
 ///
 /// # Errors
 /// Returns a message on unknown operands or an unwritable `--json` path.
 pub fn bench(argv: &[String]) -> Result<(), String> {
-    let usage = "usage: socflow-cli bench <kernels|faults> [--fast] [--json <path>]";
+    let usage = "usage: socflow-cli bench <kernels|faults|timeline> [--fast] [--json <path>]";
     let mut it = argv.iter();
     let suite = match it.next().map(String::as_str) {
-        Some(s @ ("kernels" | "faults")) => s.to_string(),
+        Some(s @ ("kernels" | "faults" | "timeline")) => s.to_string(),
         _ => return Err(usage.into()),
     };
     let mut fast = false;
@@ -412,6 +580,9 @@ pub fn bench(argv: &[String]) -> Result<(), String> {
     }
     if suite == "faults" {
         return bench_faults(fast, json_path);
+    }
+    if suite == "timeline" {
+        return bench_timeline(fast, json_path);
     }
 
     let results = run_suite(fast);
@@ -487,6 +658,39 @@ mod tests {
         }
         let doc = fault_suite_to_json(&results, true);
         assert_eq!(doc.get("schema").as_str(), Some("socflow-fault-bench/v1"));
+        assert_eq!(doc.get("results").as_array().unwrap().len(), results.len());
+    }
+
+    #[test]
+    fn fast_timeline_suite_runs_and_serializes() {
+        let results = run_timeline_suite(true);
+        assert_eq!(results.len(), 3);
+        assert!(
+            results.iter().any(|r| r.split_lgs > 0),
+            "the sweep must include a split-LG count"
+        );
+        for r in &results {
+            assert!(r.analytic_s > 0.0 && r.simulated_s > 0.0, "{}", r.groups);
+            // interleaving never loses to the serial schedule
+            assert!(
+                r.simulated_s <= r.no_overlap_s + 1e-9,
+                "{} groups: simulated {} vs no-overlap {}",
+                r.groups,
+                r.simulated_s,
+                r.no_overlap_s
+            );
+            // board-aligned counts reproduce the analytic model within 1%
+            if r.split_lgs == 0 {
+                let rel = (r.analytic_s - r.simulated_s).abs() / r.analytic_s;
+                assert!(rel < 0.01, "{} groups: rel {rel}", r.groups);
+            }
+        }
+        let doc = timeline_suite_to_json(&results, true, 20);
+        assert_eq!(
+            doc.get("schema").as_str(),
+            Some("socflow-timeline-bench/v1")
+        );
+        assert_eq!(doc.get("mode").as_str(), Some("fast"));
         assert_eq!(doc.get("results").as_array().unwrap().len(), results.len());
     }
 

@@ -27,6 +27,7 @@ USAGE:
   socflow-cli trace summarize <run.jsonl>
   socflow-cli bench kernels [--fast] [--json <path>]
   socflow-cli bench faults [--fast] [--json <path>]
+  socflow-cli bench timeline [--fast] [--json <path>]
   socflow-cli info
 
   --trace <path> (train): write a JSONL telemetry trace of the run
@@ -40,6 +41,10 @@ USAGE:
       (default 1 when --checkpoint-dir is set)
   --resume (train): continue bit-exactly from the latest checkpoint
       in --checkpoint-dir
+  --timeline (train): price SoCFlow epochs with the event-driven fluid
+      timeline (compute and CG collectives contend on one simulated
+      clock) instead of the closed-form Eq. 1 sums; with --trace, span
+      and link-utilization events land in the trace
 
   models:   lenet5 | vgg11 | resnet18 | resnet50 | mobilenet | tinyvit
   datasets: cifar10 | emnist | fmnist | celeba | cinic10
@@ -163,6 +168,9 @@ pub fn train(opts: &Options) -> Result<(), String> {
     spec.lr = 0.05;
     let workload = Workload::standard(&spec, opts.samples, 8, default_width(model));
     let mut sched = GlobalScheduler::new(spec, workload);
+    if opts.timeline {
+        sched = sched.with_timeline(true);
+    }
     if let Some(path) = &opts.trace {
         let writer = TraceWriter::create(path)
             .map_err(|e| format!("cannot create trace file `{path}`: {e}"))?;
@@ -405,6 +413,19 @@ mod tests {
             groups: Some(2),
             epochs: 1,
             samples: 128,
+            ..Options::default()
+        };
+        train(&opts).unwrap();
+    }
+
+    #[test]
+    fn train_runs_with_timeline() {
+        let opts = Options {
+            socs: 8,
+            groups: Some(2),
+            epochs: 1,
+            samples: 128,
+            timeline: true,
             ..Options::default()
         };
         train(&opts).unwrap();

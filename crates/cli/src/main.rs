@@ -9,6 +9,7 @@
 //! socflow-cli trace summarize <run.jsonl>
 //! socflow-cli bench kernels [--fast] [--json <path>]
 //! socflow-cli bench faults [--fast] [--json <path>]
+//! socflow-cli bench timeline [--fast] [--json <path>]
 //! socflow-cli info
 //! ```
 

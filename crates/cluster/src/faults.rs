@@ -84,6 +84,24 @@ impl FaultPlan {
     /// experiments). Events are time-sorted; a NaN time sorts last instead
     /// of panicking (`total_cmp`), so adversarial inputs cannot crash the
     /// scheduler.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use socflow_cluster::faults::{FaultEvent, FaultKind, FaultPlan};
+    /// use socflow_cluster::SocId;
+    ///
+    /// // a crash at t=120 s and an earlier graceful reclaim at t=30 s
+    /// let plan = FaultPlan::from_events(vec![
+    ///     FaultEvent { at: 120.0, soc: SocId(7), kind: FaultKind::Crashed },
+    ///     FaultEvent { at: 30.0, soc: SocId(3), kind: FaultKind::Reclaimed },
+    /// ]);
+    /// // events come back time-ordered regardless of input order
+    /// assert_eq!(plan.events()[0].soc, SocId(3));
+    /// // and window queries are half-open: [from, to)
+    /// assert_eq!(plan.between(0.0, 120.0).len(), 1);
+    /// assert_eq!(plan.between(0.0, 121.0).len(), 2);
+    /// ```
     pub fn from_events(mut events: Vec<FaultEvent>) -> Self {
         events.sort_by(|a, b| a.at.total_cmp(&b.at));
         FaultPlan { events }

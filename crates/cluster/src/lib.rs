@@ -18,6 +18,9 @@
 //! - [`energy`]: power-state integration for SoCs and GPUs;
 //! - [`tidal`]: the diurnal utilization traces of paper Fig. 3, plus idle-
 //!   window extraction and preemption events;
+//! - [`timeline`]: a discrete-event fluid timeline that lets compute spans
+//!   and collective transfers from *different* tasks contend and overlap
+//!   on a shared simulated clock (the substrate of `--timeline` mode);
 //! - [`calibration`]: every constant, with its derivation, in one place.
 //!
 //! Simulated time is plain `f64` seconds ([`Seconds`]).
@@ -34,18 +37,22 @@
 //! assert!(!stats.crossed_boards);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod calibration;
 pub mod compute;
 pub mod energy;
 pub mod faults;
 pub mod net;
 pub mod tidal;
+pub mod timeline;
 pub mod topology;
 pub mod trace;
 
 pub use compute::{ComputeModel, Processor};
 pub use energy::{EnergyMeter, PowerState};
 pub use net::{ClusterNet, Flow, TransferStats};
+pub use timeline::{Completion, FluidTimeline, LinkClassUtil, TaskId};
 pub use topology::{BoardId, ClusterSpec, SocId};
 
 /// Simulated time in seconds.

@@ -124,11 +124,14 @@ impl ClusterNet {
         &self.spec
     }
 
-    fn num_links(&self) -> usize {
+    /// Number of modelled link resources (SoC tx/rx pairs, board uplink
+    /// tx/rx pairs, switch backplane). Shared with the fluid timeline.
+    pub(crate) fn num_links(&self) -> usize {
         2 * self.spec.total_socs() + 2 * self.spec.boards + 1
     }
 
-    fn link_caps(&self) -> Vec<f64> {
+    /// Per-link capacities in bytes/s, background load already deducted.
+    pub(crate) fn link_caps(&self) -> Vec<f64> {
         let socs = self.spec.total_socs();
         let avail = 1.0 - self.background;
         let mut caps = Vec::with_capacity(self.num_links());
@@ -144,7 +147,8 @@ impl ClusterNet {
         caps
     }
 
-    fn path(&self, f: &Flow) -> Vec<usize> {
+    /// The fixed link path a flow occupies (empty for self-flows).
+    pub(crate) fn path(&self, f: &Flow) -> Vec<usize> {
         if f.src == f.dst {
             return Vec::new();
         }
@@ -173,6 +177,24 @@ impl ClusterNet {
 
     /// Simulates a set of flows that start at the same instant, returning
     /// per-flow completion times under max-min fair sharing.
+    ///
+    /// # Examples
+    ///
+    /// Two SoCs on the same board sending off-board contend on the shared
+    /// 1 Gb/s board NIC, so 125 MB each takes ~2 s instead of ~1 s:
+    ///
+    /// ```
+    /// use socflow_cluster::topology::{ClusterSpec, SocId};
+    /// use socflow_cluster::net::{ClusterNet, Flow};
+    ///
+    /// let net = ClusterNet::new(ClusterSpec::paper_server());
+    /// let stats = net.transfer(&[
+    ///     Flow::new(SocId(0), SocId(5), 125e6),
+    ///     Flow::new(SocId(1), SocId(6), 125e6),
+    /// ]);
+    /// assert!(stats.crossed_boards);
+    /// assert!((stats.makespan - 2.0).abs() < 1e-3);
+    /// ```
     pub fn transfer(&self, flows: &[Flow]) -> TransferStats {
         let paths: Vec<Vec<usize>> = flows.iter().map(|f| self.path(f)).collect();
         let crossed = flows.iter().any(|f| self.crosses_boards(f));
@@ -271,7 +293,7 @@ impl ClusterNet {
     }
 
     /// Max-min fair rates (bytes/s) for the active flows, in `active` order.
-    fn max_min_rates(&self, active: &[usize], paths: &[Vec<usize>]) -> Vec<f64> {
+    pub(crate) fn max_min_rates(&self, active: &[usize], paths: &[Vec<usize>]) -> Vec<f64> {
         let mut caps = self.link_caps();
         let mut counts = vec![0usize; self.num_links()];
         for &i in active {

@@ -1,0 +1,444 @@
+//! Discrete-event fluid timeline: spans and flow sets on a shared clock.
+//!
+//! [`ClusterNet::transfer`](crate::net::ClusterNet::transfer) prices one
+//! flow set in isolation. The timeline generalizes that to *many* tasks
+//! live at once: fixed-duration **spans** (compute, parameter updates) and
+//! fluid **flow batches** (collective steps) all advance against one
+//! simulated clock, and every batch admitted mid-flight re-triggers the
+//! max-min rate computation so concurrent transfers contend exactly as the
+//! fluid model says they should (preemptable fluid flows).
+//!
+//! The driver pattern is event-reactive: callers admit tasks at the
+//! current clock, call [`FluidTimeline::advance`] to step to the next
+//! completion, and admit successor tasks in response. Because admissions
+//! only ever happen at event times, the schedule is a deterministic
+//! function of the admitted task sequence — no wall-clock, no randomness.
+//!
+//! Per-link carried bytes are accumulated as flows progress, so after a
+//! run the timeline can report average utilization per link *class* (SoC
+//! links, board NICs, switch backplane) — the observability half of the
+//! paper's §2.3 bottleneck story.
+
+use crate::net::{ClusterNet, Flow};
+use crate::Seconds;
+
+/// Handle to a task admitted to the timeline. Ids are dense and assigned
+/// in admission order, which also fixes the tie-break order when several
+/// tasks complete at the same instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TaskId(pub usize);
+
+/// One completed task: which, and when the clock read at completion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Completion {
+    /// The completed task.
+    pub id: TaskId,
+    /// Simulated completion time, seconds from timeline start.
+    pub at: Seconds,
+}
+
+/// Average utilization per link class over a horizon: bytes actually
+/// carried divided by what the class could have carried. All values are
+/// fractions in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LinkClassUtil {
+    /// SoC SAS links (tx + rx).
+    pub soc_links: f64,
+    /// Board NIC uplinks (tx + rx) — the paper's shared bottleneck.
+    pub board_nics: f64,
+    /// Switch backplane.
+    pub switch: f64,
+}
+
+/// Drain threshold matching `ClusterNet`'s fluid integration: a flow with
+/// fewer residual bytes than this is complete.
+const DRAIN_EPS: f64 = 1e-9;
+/// Residual-seconds threshold below which a span or latency is complete.
+const TIME_EPS: f64 = 1e-12;
+
+struct FlowState {
+    path: Vec<usize>,
+    remaining: f64,
+}
+
+enum Work {
+    Span {
+        remaining: Seconds,
+    },
+    Batch {
+        latency_left: Seconds,
+        flows: Vec<FlowState>,
+    },
+}
+
+struct TaskState {
+    work: Work,
+    reported: bool,
+}
+
+impl TaskState {
+    fn is_complete(&self) -> bool {
+        match &self.work {
+            Work::Span { remaining } => *remaining <= TIME_EPS,
+            Work::Batch {
+                latency_left,
+                flows,
+            } => *latency_left <= TIME_EPS && flows.iter().all(|f| f.remaining <= DRAIN_EPS),
+        }
+    }
+}
+
+/// The event-driven timeline simulator (see the module docs for the
+/// driver contract).
+pub struct FluidTimeline<'n> {
+    net: &'n ClusterNet,
+    now: Seconds,
+    tasks: Vec<TaskState>,
+    /// Unreported task indices in admission (id) order. Keeping the live
+    /// set separate makes each event O(live) instead of O(all admitted) —
+    /// an epoch can admit ~10⁵ tasks but only ~10² are ever live at once.
+    live: Vec<usize>,
+    /// Bytes carried per link since timeline start.
+    carried: Vec<f64>,
+}
+
+impl std::fmt::Debug for FluidTimeline<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FluidTimeline")
+            .field("now", &self.now)
+            .field("tasks", &self.tasks.len())
+            .finish()
+    }
+}
+
+impl<'n> FluidTimeline<'n> {
+    /// Creates an empty timeline over a cluster network at clock zero.
+    pub fn new(net: &'n ClusterNet) -> Self {
+        FluidTimeline {
+            now: 0.0,
+            carried: vec![0.0; net.num_links()],
+            net,
+            tasks: Vec::new(),
+            live: Vec::new(),
+        }
+    }
+
+    /// Current simulated clock, seconds.
+    pub fn now(&self) -> Seconds {
+        self.now
+    }
+
+    /// Admits a fixed-duration span (compute, update, stall) starting at
+    /// the current clock.
+    ///
+    /// # Panics
+    /// Panics if `duration` is negative or not finite.
+    pub fn start_span(&mut self, duration: Seconds) -> TaskId {
+        assert!(
+            duration.is_finite() && duration >= 0.0,
+            "invalid span duration"
+        );
+        self.push(Work::Span {
+            remaining: duration,
+        })
+    }
+
+    /// Admits a fluid flow batch (one collective step) starting at the
+    /// current clock. The batch first waits out `latency` seconds of
+    /// protocol setup, then its flows drain under max-min fair sharing
+    /// with every other active batch; it completes when the last flow
+    /// drains. Self-flows and zero-byte flows are dropped (they complete
+    /// instantly, as in [`ClusterNet::transfer`]).
+    ///
+    /// # Panics
+    /// Panics if `latency` is negative or not finite.
+    pub fn start_flows(&mut self, flows: &[Flow], latency: Seconds) -> TaskId {
+        assert!(latency.is_finite() && latency >= 0.0, "invalid latency");
+        let states = flows
+            .iter()
+            .filter(|f| f.bytes > 0.0 && f.src != f.dst)
+            .map(|f| FlowState {
+                path: self.net.path(f),
+                remaining: f.bytes,
+            })
+            .collect();
+        self.push(Work::Batch {
+            latency_left: latency,
+            flows: states,
+        })
+    }
+
+    fn push(&mut self, work: Work) -> TaskId {
+        let id = TaskId(self.tasks.len());
+        self.live.push(id.0);
+        self.tasks.push(TaskState {
+            work,
+            reported: false,
+        });
+        id
+    }
+
+    /// Advances to the next task completion and returns it; `None` when
+    /// every admitted task has already been reported. Simultaneous
+    /// completions are reported one at a time, in [`TaskId`] order,
+    /// without moving the clock between them.
+    pub fn advance(&mut self) -> Option<Completion> {
+        loop {
+            if let Some(c) = self.harvest() {
+                return Some(c);
+            }
+            if !self.step() {
+                return None;
+            }
+        }
+    }
+
+    /// Reports one complete-but-unreported task, lowest id first (`live`
+    /// is kept in admission order, so a linear scan finds it).
+    fn harvest(&mut self) -> Option<Completion> {
+        let pos = self
+            .live
+            .iter()
+            .position(|&i| self.tasks[i].is_complete())?;
+        let i = self.live.remove(pos);
+        self.tasks[i].reported = true;
+        Some(Completion {
+            id: TaskId(i),
+            at: self.now,
+        })
+    }
+
+    /// Integrates the fluid system forward to the next event (span end,
+    /// latency expiry, or flow drain). Returns `false` if nothing is live.
+    fn step(&mut self) -> bool {
+        // Gather the active flow set: batches past their setup latency.
+        let mut paths: Vec<Vec<usize>> = Vec::new();
+        let mut locate: Vec<(usize, usize)> = Vec::new(); // (task, flow idx)
+        let mut dt = f64::INFINITY;
+        for &ti in &self.live {
+            let t = &self.tasks[ti];
+            match &t.work {
+                Work::Span { remaining } => dt = dt.min(*remaining),
+                Work::Batch {
+                    latency_left,
+                    flows,
+                } => {
+                    if *latency_left > TIME_EPS {
+                        dt = dt.min(*latency_left);
+                    } else {
+                        for (fi, f) in flows.iter().enumerate() {
+                            if f.remaining > DRAIN_EPS {
+                                paths.push(f.path.clone());
+                                locate.push((ti, fi));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let active: Vec<usize> = (0..paths.len()).collect();
+        let rates = if active.is_empty() {
+            Vec::new()
+        } else {
+            self.net.max_min_rates(&active, &paths)
+        };
+        for ((ti, fi), &r) in locate.iter().zip(&rates) {
+            debug_assert!(r > 0.0, "max-min must give every flow a rate");
+            if let Work::Batch { flows, .. } = &self.tasks[*ti].work {
+                dt = dt.min(flows[*fi].remaining / r);
+            }
+        }
+        if !dt.is_finite() {
+            return false; // nothing live at all
+        }
+        // Integrate forward by dt.
+        self.now += dt;
+        for &ti in &self.live {
+            match &mut self.tasks[ti].work {
+                Work::Span { remaining } => *remaining -= dt,
+                Work::Batch { latency_left, .. } => {
+                    if *latency_left > TIME_EPS {
+                        *latency_left -= dt;
+                    }
+                }
+            }
+        }
+        for ((ti, fi), &r) in locate.iter().zip(&rates) {
+            if let Work::Batch { flows, .. } = &mut self.tasks[*ti].work {
+                let moved = r * dt;
+                flows[*fi].remaining -= moved;
+                for &l in &flows[*fi].path {
+                    self.carried[l] += moved;
+                }
+            }
+        }
+        true
+    }
+
+    /// Average utilization per link class over `[0, horizon]` seconds:
+    /// bytes carried by the class divided by the class's aggregate
+    /// capacity times the horizon. Zero for a non-positive horizon.
+    pub fn class_utilization(&self, horizon: Seconds) -> LinkClassUtil {
+        if horizon <= 0.0 {
+            return LinkClassUtil::default();
+        }
+        let caps = self.net.link_caps();
+        let socs = 2 * self.net.spec().total_socs();
+        let boards = 2 * self.net.spec().boards;
+        let class = |range: std::ops::Range<usize>| -> f64 {
+            let carried: f64 = self.carried[range.clone()].iter().sum();
+            let cap: f64 = caps[range].iter().sum();
+            if cap <= 0.0 {
+                0.0
+            } else {
+                (carried / (cap * horizon)).clamp(0.0, 1.0)
+            }
+        };
+        LinkClassUtil {
+            soc_links: class(0..socs),
+            board_nics: class(socs..socs + boards),
+            switch: class(socs + boards..socs + boards + 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{ClusterSpec, SocId};
+
+    const MB: f64 = 1e6;
+
+    fn net() -> ClusterNet {
+        ClusterNet::new(ClusterSpec::paper_server())
+    }
+
+    fn drain(tl: &mut FluidTimeline<'_>) -> Vec<Completion> {
+        let mut out = Vec::new();
+        while let Some(c) = tl.advance() {
+            out.push(c);
+        }
+        out
+    }
+
+    #[test]
+    fn lone_span_completes_at_duration() {
+        let n = net();
+        let mut tl = FluidTimeline::new(&n);
+        let id = tl.start_span(2.5);
+        let c = tl.advance().unwrap();
+        assert_eq!(c.id, id);
+        assert!((c.at - 2.5).abs() < 1e-12);
+        assert!(tl.advance().is_none());
+    }
+
+    #[test]
+    fn spans_complete_in_time_order_with_id_tiebreak() {
+        let n = net();
+        let mut tl = FluidTimeline::new(&n);
+        let a = tl.start_span(2.0);
+        let b = tl.start_span(1.0);
+        let c = tl.start_span(2.0);
+        let done = drain(&mut tl);
+        assert_eq!(done.iter().map(|c| c.id).collect::<Vec<_>>(), vec![b, a, c]);
+        assert!((done[1].at - 2.0).abs() < 1e-12);
+        assert!((done[2].at - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lone_batch_matches_transfer_makespan_plus_latency() {
+        let n = net();
+        let flows = [Flow::new(SocId(0), SocId(5), 125.0 * MB)];
+        let reference = n.transfer(&flows).makespan;
+        let mut tl = FluidTimeline::new(&n);
+        tl.start_flows(&flows, 0.021);
+        let c = tl.advance().unwrap();
+        assert!((c.at - (reference + 0.021)).abs() < 1e-9, "{}", c.at);
+    }
+
+    #[test]
+    fn concurrent_batches_contend_like_one_transfer() {
+        // both flows share board 0's NIC: together they take 2 s
+        let n = net();
+        let mut tl = FluidTimeline::new(&n);
+        tl.start_flows(&[Flow::new(SocId(0), SocId(5), 125.0 * MB)], 0.0);
+        tl.start_flows(&[Flow::new(SocId(1), SocId(6), 125.0 * MB)], 0.0);
+        let done = drain(&mut tl);
+        assert_eq!(done.len(), 2);
+        for c in &done {
+            assert!((c.at - 2.0).abs() < 1e-3, "{}", c.at);
+        }
+    }
+
+    #[test]
+    fn late_batch_preempts_bandwidth_mid_flight() {
+        // A: 250 MB on soc 0's tx link (2 s alone). After 1 s a second
+        // batch grabs half the link; A's last 125 MB takes 2 more seconds.
+        let n = net();
+        let mut tl = FluidTimeline::new(&n);
+        let a = tl.start_flows(&[Flow::new(SocId(0), SocId(1), 250.0 * MB)], 0.0);
+        let gate = tl.start_span(1.0);
+        let first = tl.advance().unwrap();
+        assert_eq!(first.id, gate);
+        let b = tl.start_flows(&[Flow::new(SocId(0), SocId(2), 125.0 * MB)], 0.0);
+        let done = drain(&mut tl);
+        assert_eq!(done.len(), 2);
+        for c in &done {
+            assert!((c.at - 3.0).abs() < 1e-3, "task {:?} at {}", c.id, c.at);
+        }
+        assert!(done.iter().any(|c| c.id == a) && done.iter().any(|c| c.id == b));
+    }
+
+    #[test]
+    fn empty_batch_completes_after_latency_only() {
+        let n = net();
+        let mut tl = FluidTimeline::new(&n);
+        tl.start_flows(&[Flow::new(SocId(3), SocId(3), 1e9)], 0.5);
+        let c = tl.advance().unwrap();
+        assert!((c.at - 0.5).abs() < 1e-12);
+        let instant = tl.start_flows(&[], 0.0);
+        let c2 = tl.advance().unwrap();
+        assert_eq!(c2.id, instant);
+        assert!((c2.at - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_accounts_only_touched_classes() {
+        let n = net();
+        let mut tl = FluidTimeline::new(&n);
+        tl.start_flows(&[Flow::new(SocId(0), SocId(1), 125.0 * MB)], 0.0);
+        let c = tl.advance().unwrap();
+        let util = tl.class_utilization(c.at);
+        assert!(util.soc_links > 0.0 && util.soc_links <= 1.0);
+        assert_eq!(util.board_nics, 0.0);
+        assert_eq!(util.switch, 0.0);
+        assert_eq!(tl.class_utilization(0.0), LinkClassUtil::default());
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let n = net();
+        let run = || {
+            let mut tl = FluidTimeline::new(&n);
+            tl.start_flows(&[Flow::new(SocId(0), SocId(7), 40.0 * MB)], 0.009);
+            tl.start_span(0.3);
+            tl.start_flows(
+                &[
+                    Flow::new(SocId(2), SocId(9), 80.0 * MB),
+                    Flow::new(SocId(4), SocId(11), 60.0 * MB),
+                ],
+                0.021,
+            );
+            let done = drain(&mut tl);
+            (done, tl.class_utilization(1.0))
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid span duration")]
+    fn rejects_negative_span() {
+        let n = net();
+        FluidTimeline::new(&n).start_span(-1.0);
+    }
+}

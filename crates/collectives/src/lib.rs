@@ -30,6 +30,8 @@
 //! assert!(ring < ps, "at 32 SoCs the ring beats the incast-bound PS");
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod analytic;
 mod functional;
 mod patterns;

@@ -225,7 +225,17 @@ pub struct Engine {
     /// Optional telemetry sink. All engine events are emitted from the
     /// coordinating thread, so traces are deterministic given the seed.
     sink: Option<Arc<dyn EventSink>>,
+    /// Price SoCFlow epochs with the discrete-event fluid timeline instead
+    /// of the closed-form Eq. 1 sums (`--timeline`).
+    timeline: bool,
 }
+
+/// How many spans of each (lane, kind) pair the per-epoch timeline digest
+/// keeps. An epoch at paper scale simulates hundreds of iterations; the
+/// digest records the first couple per lane (the schedule is periodic, so
+/// they characterize the rest) plus every epoch-boundary phase, keeping
+/// traces bounded.
+const SPAN_DIGEST_PER_LANE: usize = 2;
 
 impl Engine {
     /// Creates an engine for a job + workload.
@@ -241,7 +251,20 @@ impl Engine {
             ckpt_dir: None,
             resume_from: None,
             sink: None,
+            timeline: false,
         }
+    }
+
+    /// Switches SoCFlow epoch pricing to the event-driven fluid timeline
+    /// ([`crate::sim`]): compute spans and CG collectives contend on one
+    /// simulated clock instead of being summed in closed form. With a sink
+    /// attached the engine also emits a bounded [`Event::SpanBegin`] /
+    /// [`Event::SpanEnd`] digest and one [`Event::LinkUtilization`] row per
+    /// epoch.
+    pub fn with_timeline(mut self, on: bool) -> Self {
+        self.timeline = on;
+        self.time_model.set_simulated(on);
+        self
     }
 
     /// Attaches a telemetry sink. The engine emits run/epoch/eviction
@@ -394,7 +417,33 @@ impl Engine {
         mean
     }
 
-    /// Runs the job to completion.
+    /// Runs the job to completion: really trains the scaled replicas,
+    /// prices every epoch on the calibrated cluster simulation, and returns
+    /// the combined [`RunResult`] (accuracy curve, Fig. 12 breakdown,
+    /// energy, α trace).
+    ///
+    /// # Examples
+    ///
+    /// A laptop-scale smoke run — 8 SoCs, 2 logical groups, one epoch over
+    /// 64 synthetic samples:
+    ///
+    /// ```
+    /// use socflow::prelude::*;
+    ///
+    /// let mut spec = TrainJobSpec::new(
+    ///     ModelKind::LeNet5,
+    ///     DatasetPreset::FashionMnist,
+    ///     MethodSpec::SocFlow(SocFlowConfig::with_groups(2)),
+    /// );
+    /// spec.socs = 8;
+    /// spec.epochs = 1;
+    /// spec.global_batch = 32;
+    /// let workload = Workload::standard(&spec, 64, 8, 0.5);
+    /// let result = Engine::new(spec, workload).run();
+    /// assert_eq!(result.epoch_accuracy.len(), 1);
+    /// assert!(result.total_time() > 0.0);
+    /// assert!(result.energy_joules > 0.0);
+    /// ```
     pub fn run(&mut self) -> RunResult {
         self.emit(Event::RunStarted {
             method: self.spec.method.name().to_string(),
@@ -714,9 +763,27 @@ impl Engine {
                 MixedMode::Int8Only => 0.0,
                 MixedMode::Fp32Only => 1.0,
             };
-            let cost = self
-                .time_model
-                .socflow_epoch(&mapping, &cgs, cfg.planning, cpu_fraction);
+            let cost = if self.timeline {
+                let sim = self.time_model.socflow_epoch_timeline(
+                    &mapping,
+                    &cgs,
+                    cfg.planning,
+                    cpu_fraction,
+                );
+                if self.sink.is_some() {
+                    self.emit_span_digest(epoch, clock, &sim.spans);
+                    self.emit(Event::LinkUtilization {
+                        epoch,
+                        soc_links: sim.link_util.soc_links,
+                        board_nics: sim.link_util.board_nics,
+                        switch: sim.link_util.switch,
+                    });
+                }
+                sim.cost
+            } else {
+                self.time_model
+                    .socflow_epoch(&mapping, &cgs, cfg.planning, cpu_fraction)
+            };
             result.alpha_trace.push(ctrl.alpha());
             result.epoch_accuracy.push(acc);
             result.epoch_time.push(cost.time);
@@ -802,6 +869,20 @@ impl Engine {
                 // latest snapshot and redo it — a real stall on the clock
                 let stall = crashes as f64 * self.time_model.restore_stall_time();
                 if stall > 0.0 {
+                    if self.timeline {
+                        self.emit(Event::SpanBegin {
+                            epoch: epoch + 1,
+                            kind: "stall".to_string(),
+                            lane: "cluster".to_string(),
+                            at: clock,
+                        });
+                        self.emit(Event::SpanEnd {
+                            epoch: epoch + 1,
+                            kind: "stall".to_string(),
+                            lane: "cluster".to_string(),
+                            at: clock + stall,
+                        });
+                    }
                     clock += stall;
                     result.recovery_time += stall;
                 }
@@ -952,12 +1033,66 @@ impl Engine {
         ckpt.fault_cursor = fault_cursor;
         ckpt.partial = Some(result.clone());
         let bytes = ckpt.save(dir).expect("persist durable checkpoint");
+        let cost = self.time_model.checkpoint_persist_time();
         self.emit(Event::CheckpointPersisted {
             epoch: epoch_done,
             groups,
             bytes,
-            cost: self.time_model.checkpoint_persist_time(),
+            cost,
         });
+        // write-behind: the persist overlaps training, so the span sits on
+        // the run clock without advancing it
+        if self.timeline {
+            self.emit(Event::SpanBegin {
+                epoch: epoch_done,
+                kind: "checkpoint".to_string(),
+                lane: "cluster".to_string(),
+                at: clock,
+            });
+            self.emit(Event::SpanEnd {
+                epoch: epoch_done,
+                kind: "checkpoint".to_string(),
+                lane: "cluster".to_string(),
+                at: clock + cost,
+            });
+        }
+    }
+
+    /// Emits the bounded per-epoch span digest for a simulated epoch: the
+    /// first [`SPAN_DIGEST_PER_LANE`] spans of each (lane, kind) pair, with
+    /// span times shifted from epoch-local onto the run clock. Boundary
+    /// phases (leader ring, broadcast, shuffle) occur once per epoch on the
+    /// `"cluster"` lane, so the cap never drops them.
+    fn emit_span_digest(&self, epoch: usize, offset: f64, spans: &[crate::sim::Span]) {
+        let mut counts: Vec<((&str, &str), usize)> = Vec::new();
+        for s in spans {
+            let key = (s.lane.as_str(), s.kind);
+            let n = match counts.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, n)) => {
+                    *n += 1;
+                    *n
+                }
+                None => {
+                    counts.push((key, 1));
+                    1
+                }
+            };
+            if n > SPAN_DIGEST_PER_LANE {
+                continue;
+            }
+            self.emit(Event::SpanBegin {
+                epoch,
+                kind: s.kind.to_string(),
+                lane: s.lane.clone(),
+                at: offset + s.start,
+            });
+            self.emit(Event::SpanEnd {
+                epoch,
+                kind: s.kind.to_string(),
+                lane: s.lane.clone(),
+                at: offset + s.end,
+            });
+        }
     }
 
     /// Evicts one logical group: checkpoint the streams, merge the evicted
@@ -1501,6 +1636,66 @@ mod tests {
             .run();
         std::fs::remove_dir_all(&dir).ok();
         assert_eq!(resumed, full, "continuation must be bit-identical");
+    }
+
+    #[test]
+    fn timeline_mode_runs_and_emits_spans() {
+        let sink = Arc::new(socflow_telemetry::MemorySink::new());
+        let spec = tiny_spec(MethodSpec::SocFlow(SocFlowConfig::with_groups(4)));
+        let workload = easy_workload(&spec, 512);
+        let mut e = Engine::new(spec, workload)
+            .with_timeline(true)
+            .with_sink(sink.clone());
+        let r = e.run();
+        assert_eq!(r.epoch_accuracy.len(), 4);
+        assert!(r.total_time() > 0.0);
+        let events = sink.events();
+        let spans = events
+            .iter()
+            .filter(|ev| matches!(ev, Event::SpanBegin { .. }))
+            .count();
+        let ends = events
+            .iter()
+            .filter(|ev| matches!(ev, Event::SpanEnd { .. }))
+            .count();
+        assert!(spans > 0, "timeline runs must emit a span digest");
+        assert_eq!(spans, ends, "every span closes");
+        // exactly one link-utilization row per epoch, with sane fractions
+        let utils: Vec<_> = events
+            .iter()
+            .filter_map(|ev| match ev {
+                Event::LinkUtilization {
+                    soc_links,
+                    board_nics,
+                    switch,
+                    ..
+                } => Some((*soc_links, *board_nics, *switch)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(utils.len(), 4);
+        for (s, n, w) in utils {
+            for v in [s, n, w] {
+                assert!((0.0..=1.0).contains(&v), "utilization {v} out of range");
+            }
+        }
+        // epoch boundary phases appear in the digest
+        assert!(events.iter().any(|ev| matches!(
+            ev,
+            Event::SpanBegin { kind, .. } if kind == "broadcast"
+        )));
+    }
+
+    #[test]
+    fn timeline_mode_accuracy_matches_analytic_mode() {
+        // the timeline changes epoch *pricing*, never the learning dynamics
+        let analytic = tiny_engine(MethodSpec::SocFlow(SocFlowConfig::with_groups(2))).run();
+        let spec = tiny_spec(MethodSpec::SocFlow(SocFlowConfig::with_groups(2)));
+        let workload = easy_workload(&spec, 512);
+        let timeline = Engine::new(spec, workload).with_timeline(true).run();
+        assert_eq!(analytic.epoch_accuracy, timeline.epoch_accuracy);
+        assert_eq!(analytic.alpha_trace, timeline.alpha_trace);
+        assert!(timeline.total_time() > 0.0);
     }
 
     #[test]

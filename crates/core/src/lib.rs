@@ -46,6 +46,8 @@
 //! assert!(cgs.len() <= 2); // Theorem 2 ⇒ two communication groups suffice
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod checkpoint;
 pub mod config;
 pub mod engine;
@@ -55,6 +57,7 @@ pub mod mixed;
 pub mod planning;
 pub mod report;
 pub mod scheduler;
+pub mod sim;
 pub mod timemodel;
 
 pub use config::{MethodSpec, SocFlowConfig, TrainJobSpec};

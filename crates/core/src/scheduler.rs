@@ -43,6 +43,7 @@ pub struct GlobalScheduler {
     ckpt_dir: Option<PathBuf>,
     ckpt_policy: CheckpointPolicy,
     resume: Option<Checkpoint>,
+    timeline: bool,
 }
 
 impl std::fmt::Debug for GlobalScheduler {
@@ -55,6 +56,7 @@ impl std::fmt::Debug for GlobalScheduler {
             .field("ckpt_dir", &self.ckpt_dir)
             .field("ckpt_policy", &self.ckpt_policy)
             .field("resume", &self.resume.as_ref().map(|c| c.epoch))
+            .field("timeline", &self.timeline)
             .finish()
     }
 }
@@ -70,7 +72,16 @@ impl GlobalScheduler {
             ckpt_dir: None,
             ckpt_policy: CheckpointPolicy::default(),
             resume: None,
+            timeline: false,
         }
+    }
+
+    /// Prices SoCFlow epochs with the event-driven fluid timeline instead
+    /// of the closed-form sums (the `--timeline` CLI flag), forwarded to
+    /// the [`Engine`] at dispatch.
+    pub fn with_timeline(mut self, on: bool) -> Self {
+        self.timeline = on;
+        self
     }
 
     /// Attaches a telemetry sink. Planning and admission decisions are
@@ -195,6 +206,9 @@ impl GlobalScheduler {
             _ => self.spec,
         };
         let mut engine = Engine::new(spec, self.workload);
+        if self.timeline {
+            engine = engine.with_timeline(true);
+        }
         if let Some(sink) = self.sink {
             engine = engine.with_sink(sink);
         }

@@ -52,6 +52,9 @@ pub struct TimeModel {
     socs: usize,
     batch: usize,
     params: f64,
+    /// Price SoCFlow epochs on the event-driven timeline ([`crate::sim`])
+    /// instead of the closed-form schedule.
+    simulated: bool,
 }
 
 impl TimeModel {
@@ -68,7 +71,20 @@ impl TimeModel {
             socs: spec.socs,
             batch: spec.global_batch,
             params: spec.model.reference_params() as f64,
+            simulated: false,
         }
+    }
+
+    /// Selects how [`Self::socflow_epoch`] prices an epoch: `true` runs
+    /// the event-driven timeline simulation ([`crate::sim`]), `false`
+    /// (the default) keeps the analytic closed form.
+    pub fn set_simulated(&mut self, on: bool) {
+        self.simulated = on;
+    }
+
+    /// `true` when SoCFlow epochs are priced on the event-driven timeline.
+    pub fn simulated(&self) -> bool {
+        self.simulated
     }
 
     /// The underlying network simulation.
@@ -103,11 +119,26 @@ impl TimeModel {
         self.ref_samples
     }
 
-    fn update_time(&self) -> Seconds {
+    /// Batch size per logical group (the paper's `BS_g`).
+    pub(crate) fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// FP32 gradient/weight payload of the reference model, bytes.
+    pub(crate) fn payload(&self) -> f64 {
+        self.payload
+    }
+
+    /// Bytes of one input sample on the wire.
+    pub(crate) fn sample_bytes(&self) -> f64 {
+        self.sample_bytes
+    }
+
+    pub(crate) fn update_time(&self) -> Seconds {
         self.params * calibration::UPDATE_FLOPS_PER_PARAM / calibration::SOC_CPU_FLOPS
     }
 
-    fn soc_epoch_energy(
+    pub(crate) fn soc_epoch_energy(
         &self,
         wall: Seconds,
         compute_s: Seconds,
@@ -262,6 +293,38 @@ impl TimeModel {
     /// proportional to current clocks, so a throttled SoC slows its group
     /// by the *average* deficit, not the worst one (see
     /// [`Self::rebalanced_compute_time`]).
+    ///
+    /// When [`Self::set_simulated`] enabled timeline mode, the epoch is
+    /// priced by the event-driven simulation ([`crate::sim`]) instead of
+    /// the closed form below.
+    ///
+    /// # Examples
+    ///
+    /// Price one SoCFlow epoch on the paper's default topology (32 SoCs,
+    /// 8 logical groups) and check that planning hides sync behind
+    /// compute:
+    ///
+    /// ```
+    /// use socflow::mapping::integrity_greedy;
+    /// use socflow::planning::divide_communication_groups;
+    /// use socflow::prelude::*;
+    /// use socflow::timemodel::TimeModel;
+    /// use socflow_cluster::ClusterSpec;
+    ///
+    /// let spec = TrainJobSpec::new(
+    ///     ModelKind::Vgg11,
+    ///     DatasetPreset::Cifar10,
+    ///     MethodSpec::SocFlow(SocFlowConfig::with_groups(8)),
+    /// );
+    /// let model = TimeModel::new(&spec);
+    /// let mapping = integrity_greedy(&ClusterSpec::for_socs(32), 32, 8);
+    /// let cgs = divide_communication_groups(&mapping).unwrap();
+    ///
+    /// let planned = model.socflow_epoch(&mapping, &cgs, true, 1.0);
+    /// let serial = model.socflow_epoch(&mapping, &cgs, false, 1.0);
+    /// assert!(planned.time > 0.0);
+    /// assert!(planned.time <= serial.time); // overlap only ever helps
+    /// ```
     pub fn socflow_epoch(
         &self,
         mapping: &Mapping,
@@ -269,6 +332,11 @@ impl TimeModel {
         planning: bool,
         cpu_fraction: f64,
     ) -> EpochCost {
+        if self.simulated {
+            return self
+                .socflow_epoch_timeline(mapping, cgs, planning, cpu_fraction)
+                .cost;
+        }
         let n_groups = mapping.num_groups();
         let iters = (self.ref_samples as f64 / (n_groups as f64 * self.batch as f64)).ceil();
 

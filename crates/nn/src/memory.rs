@@ -2,8 +2,8 @@
 //!
 //! Each Snapdragon 865 SoC carries 12 GB of LPDDR5 shared with the OS and
 //! any co-located user workloads, so the global scheduler must check that a
-//! training job *fits* before dispatching it (the paper cites Melon [95]
-//! for on-device memory pressure). The estimate covers the classic
+//! training job *fits* before dispatching it (the paper cites Melon, its
+//! ref. 95, for on-device memory pressure). The estimate covers the classic
 //! training-footprint terms: weights, gradients, optimizer state and
 //! activations retained for the backward pass.
 

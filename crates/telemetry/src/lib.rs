@@ -159,6 +159,40 @@ pub enum Event {
     /// A gang-scheduled baseline stalled on a preempted member and paid a
     /// checkpoint/restore penalty (Fig. 3's tidal argument).
     BaselineStalled { epoch: usize, stall: f64 },
+    /// A simulated timeline span opened (`--timeline` mode only). `kind`
+    /// names the activity (`"compute"`, `"sync"`, `"update"`,
+    /// `"leader_ring"`, `"broadcast"`, `"shuffle"`, `"stall"`,
+    /// `"checkpoint"`); `lane` names the resource it occupies (`"g3"` for
+    /// logical group 3, `"cg0"` for communication group 0, `"cluster"` for
+    /// whole-cluster phases); `at` is the modelled run-clock time. The
+    /// engine emits a bounded digest (the first iterations of each epoch
+    /// plus every epoch-boundary phase), not every span, so traces stay
+    /// small at paper scale.
+    SpanBegin {
+        epoch: usize,
+        kind: String,
+        lane: String,
+        at: f64,
+    },
+    /// The matching close of a [`Event::SpanBegin`]; same `kind`/`lane`,
+    /// `at` is the span's end time on the run clock.
+    SpanEnd {
+        epoch: usize,
+        kind: String,
+        lane: String,
+        at: f64,
+    },
+    /// Per-epoch link-class utilization from the fluid timeline
+    /// (`--timeline` mode only): fraction of each class's aggregate
+    /// byte-capacity actually carried over the epoch, in `0..=1`. Classes
+    /// follow the cluster topology: per-SoC SAS links, shared per-board
+    /// NICs, and the switch backplane.
+    LinkUtilization {
+        epoch: usize,
+        soc_links: f64,
+        board_nics: f64,
+        switch: f64,
+    },
     /// Host-side kernel-profiling totals for one run, emitted once per
     /// micro-kernel family (matmul, conv im2col, quant, …) just before
     /// [`Event::RunCompleted`] — and only when the process-wide kernel
@@ -323,6 +357,26 @@ pub struct Summary {
     /// Host kernel-profiling totals (one entry per op family, in emission
     /// order), present only for traces recorded with the profiler on.
     pub kernels: Vec<KernelTime>,
+    /// Timeline spans recorded (count of `SpanBegin` events; `--timeline`
+    /// runs only, 0 otherwise).
+    pub spans: usize,
+    /// Per-epoch link-class utilization rows, in emission order
+    /// (`--timeline` runs only, empty otherwise).
+    pub link_timeline: Vec<LinkUtilRow>,
+}
+
+/// One per-epoch link-utilization row in a [`Summary`] (from
+/// [`Event::LinkUtilization`]); all fractions in `0..=1`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct LinkUtilRow {
+    /// Zero-based epoch the row describes.
+    pub epoch: usize,
+    /// Utilization of the per-SoC SAS links as a class.
+    pub soc_links: f64,
+    /// Utilization of the shared per-board NICs as a class.
+    pub board_nics: f64,
+    /// Utilization of the switch backplane.
+    pub switch: f64,
 }
 
 /// One aggregated host-kernel timing row in a [`Summary`].
@@ -409,9 +463,22 @@ impl Summary {
                         }),
                     }
                 }
+                Event::SpanBegin { .. } => s.spans += 1,
+                Event::LinkUtilization {
+                    epoch,
+                    soc_links,
+                    board_nics,
+                    switch,
+                } => s.link_timeline.push(LinkUtilRow {
+                    epoch: *epoch,
+                    soc_links: *soc_links,
+                    board_nics: *board_nics,
+                    switch: *switch,
+                }),
                 Event::RunStarted { .. }
                 | Event::PlanComputed { .. }
                 | Event::MemoryChecked { .. }
+                | Event::SpanEnd { .. }
                 | Event::RunCompleted { .. } => {}
             }
         }
@@ -490,6 +557,21 @@ impl Summary {
                 self.persist_bytes as f64 / 1e3,
                 self.persist_cost
             ));
+        }
+        if self.spans > 0 || !self.link_timeline.is_empty() {
+            out.push_str(&format!("timeline spans   {}\n", self.spans));
+            if !self.link_timeline.is_empty() {
+                let n = self.link_timeline.len() as f64;
+                let avg = |f: fn(&LinkUtilRow) -> f64| {
+                    100.0 * self.link_timeline.iter().map(f).sum::<f64>() / n
+                };
+                out.push_str(&format!(
+                    "link util (avg)  soc {:.1}%, nic {:.1}%, switch {:.1}%\n",
+                    avg(|r| r.soc_links),
+                    avg(|r| r.board_nics),
+                    avg(|r| r.switch)
+                ));
+            }
         }
         if !self.kernels.is_empty() {
             let total: u64 = self.kernels.iter().map(|k| k.nanos).sum();
@@ -770,6 +852,60 @@ mod tests {
             "{report}"
         );
         assert!(report.contains("durable ckpts    2"), "{report}");
+    }
+
+    #[test]
+    fn summary_collects_spans_and_link_timeline() {
+        let events = vec![
+            Event::SpanBegin {
+                epoch: 0,
+                kind: "compute".into(),
+                lane: "g0".into(),
+                at: 0.0,
+            },
+            Event::SpanEnd {
+                epoch: 0,
+                kind: "compute".into(),
+                lane: "g0".into(),
+                at: 1.5,
+            },
+            Event::SpanBegin {
+                epoch: 0,
+                kind: "sync".into(),
+                lane: "cg0".into(),
+                at: 1.5,
+            },
+            Event::LinkUtilization {
+                epoch: 0,
+                soc_links: 0.5,
+                board_nics: 0.25,
+                switch: 0.01,
+            },
+            Event::LinkUtilization {
+                epoch: 1,
+                soc_links: 0.7,
+                board_nics: 0.35,
+                switch: 0.03,
+            },
+        ];
+        // the timeline variants round-trip through JSONL like the rest
+        let text: String = events
+            .iter()
+            .map(|e| serde_json::to_string(e).unwrap() + "\n")
+            .collect();
+        assert_eq!(parse_trace(&text).unwrap(), events);
+
+        let s = Summary::from_events(&events);
+        assert_eq!(s.spans, 2); // SpanEnd does not count
+        assert_eq!(s.link_timeline.len(), 2);
+        assert_eq!(s.link_timeline[1].epoch, 1);
+        assert!((s.link_timeline[1].soc_links - 0.7).abs() < 1e-12);
+        let report = s.render();
+        assert!(report.contains("timeline spans   2"), "{report}");
+        assert!(
+            report.contains("link util (avg)  soc 60.0%, nic 30.0%, switch 2.0%"),
+            "{report}"
+        );
     }
 
     #[test]

@@ -431,6 +431,49 @@ proptest! {
     }
 }
 
+// Timeline-simulation properties price whole epochs (hundreds of fluid
+// events each), so they run fewer cases than the algebraic invariants.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// On board-aligned topologies (socs = 5·k, groups = k ⇒ every logical
+    /// group is one PCB, zero split LGs) the event-driven timeline and the
+    /// closed-form Eq. 1 model describe the same schedule, so their epoch
+    /// times agree within 1% — for any group count and CPU/NPU batch split.
+    #[test]
+    fn timeline_agrees_with_analytic_on_zero_split_configs(
+        k in 1usize..9,
+        cpu_pct in 0u32..101,
+    ) {
+        use socflow::config::{MethodSpec, TrainJobSpec};
+        use socflow::timemodel::TimeModel;
+        use socflow_data::DatasetPreset;
+        use socflow_nn::models::ModelKind;
+
+        let socs = 5 * k;
+        let mut spec = TrainJobSpec::new(
+            ModelKind::Vgg11,
+            DatasetPreset::Cifar10,
+            MethodSpec::Ring,
+        );
+        spec.socs = socs;
+        let tm = TimeModel::new(&spec);
+        let cluster = ClusterSpec::for_socs(socs);
+        let mapping = integrity_greedy(&cluster, socs, k);
+        prop_assume!((0..k).all(|g| !mapping.is_split(GroupId(g))));
+        let cgs = divide_communication_groups(&mapping).unwrap();
+        let cpu_fraction = cpu_pct as f64 / 100.0;
+        let analytic = tm.socflow_epoch(&mapping, &cgs, true, cpu_fraction);
+        let sim = tm.socflow_epoch_timeline(&mapping, &cgs, true, cpu_fraction);
+        let rel = (sim.cost.time - analytic.time).abs() / analytic.time;
+        prop_assert!(
+            rel < 0.01,
+            "{} groups on {} SoCs: sim {} vs analytic {} (rel {})",
+            k, socs, sim.cost.time, analytic.time, rel
+        );
+    }
+}
+
 // Determinism properties run full (tiny) training jobs, so they get far
 // fewer cases than the algebraic invariants above.
 proptest! {
@@ -481,6 +524,57 @@ proptest! {
         prop_assert_eq!(r1, r2, "RunResult must be byte-identical");
         prop_assert!(!t1.is_empty(), "trace must not be empty");
         prop_assert_eq!(t1, t2, "telemetry traces must be byte-identical");
+    }
+
+    /// `--timeline` runs are exactly as deterministic as analytic ones:
+    /// same seed ⇒ byte-identical RunResult and byte-identical traces,
+    /// including the simulated span digest and link-utilization events.
+    #[test]
+    fn timeline_traces_are_deterministic(
+        seed in 0u64..1000,
+        groups in 1usize..4,
+    ) {
+        use socflow::config::{MethodSpec, SocFlowConfig, TrainJobSpec};
+        use socflow::engine::{Engine, Workload};
+        use socflow_nn::models::ModelKind;
+        use socflow_data::DatasetPreset;
+        use socflow_telemetry::{Event, MemorySink};
+        use std::sync::Arc;
+
+        let run = || {
+            let cfg = SocFlowConfig::with_groups(groups);
+            let mut spec = TrainJobSpec::new(
+                ModelKind::LeNet5,
+                DatasetPreset::FashionMnist,
+                MethodSpec::SocFlow(cfg),
+            );
+            spec.socs = 8;
+            spec.epochs = 2;
+            spec.global_batch = 32;
+            spec.seed = seed;
+            let workload = Workload::standard(&spec, 96, 8, 0.5);
+            let sink = Arc::new(MemorySink::new());
+            let result = Engine::new(spec, workload)
+                .with_timeline(true)
+                .with_sink(sink.clone())
+                .run();
+            let result_json = serde_json::to_string(&result).unwrap();
+            let events = sink.take();
+            let spans = events
+                .iter()
+                .filter(|e| matches!(e, Event::SpanBegin { .. }))
+                .count();
+            let trace: Vec<String> = events
+                .iter()
+                .map(|e| serde_json::to_string(e).unwrap())
+                .collect();
+            (result_json, trace, spans)
+        };
+        let (r1, t1, s1) = run();
+        let (r2, t2, _) = run();
+        prop_assert!(s1 > 0, "timeline traces must carry span events");
+        prop_assert_eq!(r1, r2, "RunResult must be byte-identical");
+        prop_assert_eq!(t1, t2, "timeline traces must be byte-identical");
     }
 
     /// Kill-and-resume determinism: for arbitrary seeds and group counts, a
