@@ -30,6 +30,10 @@ pub struct Options {
     /// Price SoCFlow epochs with the event-driven fluid timeline instead
     /// of the closed-form Eq. 1 sums.
     pub timeline: bool,
+    /// Worker-pool size for host compute (overrides `SOCFLOW_THREADS`).
+    /// Results are bit-identical at any thread count; this only changes
+    /// wall-clock time.
+    pub threads: Option<usize>,
 }
 
 impl Default for Options {
@@ -51,6 +55,7 @@ impl Default for Options {
             checkpoint_every: None,
             resume: false,
             timeline: false,
+            threads: None,
         }
     }
 }
@@ -96,6 +101,7 @@ impl Options {
                 "--faults" => o.faults = Some(value.clone()),
                 "--checkpoint-dir" => o.checkpoint_dir = Some(value.clone()),
                 "--checkpoint-every" => o.checkpoint_every = Some(parse_num(flag, value)?),
+                "--threads" => o.threads = Some(parse_num(flag, value)?),
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -104,6 +110,9 @@ impl Options {
         }
         if o.resume && o.checkpoint_dir.is_none() {
             return Err("--resume needs --checkpoint-dir".into());
+        }
+        if o.threads == Some(0) {
+            return Err("--threads must be positive".into());
         }
         Ok(o)
     }
@@ -189,6 +198,15 @@ mod tests {
         let o = parse(&["--checkpoint-dir", "/tmp/ck", "--resume"]).unwrap();
         assert!(o.resume);
         assert!(parse(&["--resume"]).is_err(), "resume needs a dir");
+    }
+
+    #[test]
+    fn threads_flag_parses_and_rejects_zero() {
+        let o = parse(&["--threads", "4"]).unwrap();
+        assert_eq!(o.threads, Some(4));
+        assert_eq!(parse(&[]).unwrap().threads, None);
+        assert!(parse(&["--threads", "0"]).is_err());
+        assert!(parse(&["--threads"]).is_err());
     }
 
     #[test]

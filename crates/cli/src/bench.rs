@@ -4,7 +4,10 @@
 //! fault-tolerance recovery experiment (simulated, machine-independent);
 //! `bench timeline` compares the closed-form Eq. 1 epoch pricing against
 //! the event-driven fluid timeline across logical-group counts (also
-//! simulated and machine-independent).
+//! simulated and machine-independent). `bench e2e` wall-clocks one full
+//! training run (train step + eval + aggregation) at worker-pool sizes
+//! 1/2/4/all, verifying along the way that the accuracy trajectory is
+//! bit-identical at every pool size.
 //!
 //! Runs the tensor micro-kernels the training hot path lives in (tiled
 //! GEMM variants, transpose, the pooled conv2d forward/backward, the fused
@@ -483,6 +486,172 @@ fn timeline_suite_to_json(results: &[TimelineRun], fast: bool, socs: usize) -> s
     ])
 }
 
+/// One end-to-end row: the wall-clock of a full training run (forward /
+/// backward steps, sharded evaluation, replica aggregation) at one
+/// worker-pool size, plus a reference 128³ GEMM at the same pool size.
+struct E2eRun {
+    threads: usize,
+    /// Wall-clock seconds of one `GlobalScheduler::run()` (1 epoch).
+    run_s: f64,
+    /// Min-of-N time of a 128×128×128 `matmul` at this pool size.
+    gemm_ns: f64,
+    /// Sum of the run's epoch accuracies — the determinism witness: the
+    /// runtime partitions work by problem shape, never by thread count,
+    /// so this must be bitwise-identical on every row.
+    digest: f64,
+}
+
+/// Runs the end-to-end suite: the same 1-epoch SoCFlow job (train step +
+/// eval + aggregation — everything inside `Engine::run`) timed at pool
+/// sizes 1, 2, 4 and all hardware threads. Unlike the simulated suites,
+/// these are host wall-clock numbers and machine-dependent; the committed
+/// baseline records one reference machine.
+fn run_e2e_suite(fast: bool) -> Vec<E2eRun> {
+    use socflow::config::{MethodSpec, SocFlowConfig, TrainJobSpec};
+    use socflow::engine::Workload;
+    use socflow::scheduler::GlobalScheduler;
+    use socflow_data::DatasetPreset;
+    use socflow_nn::models::ModelKind;
+    use socflow_tensor::runtime;
+
+    let (socs, groups, samples) = if fast { (4, 2, 256) } else { (8, 2, 2048) };
+    let (iters, warmup) = if fast { (3, 1) } else { (20, 3) };
+    let hw = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut counts = vec![1, 2, 4, hw];
+    counts.sort_unstable();
+    counts.dedup();
+
+    let (m, k, n) = (128, 128, 128);
+    let a = tensor([m, k], 0x5eed_0101);
+    let b = tensor([k, n], 0x5eed_0102);
+    let mut c = Tensor::zeros([m, n]);
+
+    let before = runtime::threads();
+    let mut out = Vec::new();
+    for &t in &counts {
+        runtime::set_threads(t);
+        let mut spec = TrainJobSpec::new(
+            ModelKind::LeNet5,
+            DatasetPreset::FashionMnist,
+            MethodSpec::SocFlow(SocFlowConfig::with_groups(groups)),
+        );
+        spec.socs = socs;
+        spec.epochs = 1;
+        spec.global_batch = 64;
+        // min-of-N over full runs: one epoch is tens of milliseconds on
+        // the reference machine, too noisy for a single shot
+        let reps = if fast { 1 } else { 3 };
+        let mut run_s = f64::INFINITY;
+        let mut digest = 0.0;
+        for _ in 0..reps {
+            let workload = Workload::standard(&spec, samples, 8, 0.5);
+            let t0 = Instant::now();
+            let r = GlobalScheduler::new(spec, workload).run();
+            run_s = run_s.min(t0.elapsed().as_secs_f64());
+            digest = r.epoch_accuracy.iter().map(|&x| f64::from(x)).sum();
+        }
+        let gemm_ns = time_min(iters, warmup, || {
+            linalg::matmul_slices(a.data(), b.data(), c.data_mut(), m, k, n);
+        });
+        out.push(E2eRun {
+            threads: t,
+            run_s,
+            gemm_ns,
+            digest,
+        });
+    }
+    runtime::set_threads(before);
+    out
+}
+
+fn e2e_suite_to_json(results: &[E2eRun], fast: bool) -> serde_json::Value {
+    use serde_json::Value;
+    let base_run = results.first().map_or(0.0, |r| r.run_s);
+    let base_gemm = results.first().map_or(0.0, |r| r.gemm_ns);
+    let rows = results
+        .iter()
+        .map(|r| {
+            Value::Object(vec![
+                ("threads".into(), Value::U64(r.threads as u64)),
+                ("run_s".into(), Value::F64(r.run_s)),
+                (
+                    "run_speedup_vs_1t".into(),
+                    Value::F64(if r.run_s > 0.0 {
+                        base_run / r.run_s
+                    } else {
+                        0.0
+                    }),
+                ),
+                ("gemm_ns_per_iter".into(), Value::F64(r.gemm_ns)),
+                (
+                    "gemm_speedup_vs_1t".into(),
+                    Value::F64(if r.gemm_ns > 0.0 {
+                        base_gemm / r.gemm_ns
+                    } else {
+                        0.0
+                    }),
+                ),
+                ("accuracy_digest".into(), Value::F64(r.digest)),
+            ])
+        })
+        .collect();
+    Value::Object(vec![
+        ("schema".into(), Value::Str("socflow-e2e-bench/v1".into())),
+        (
+            "mode".into(),
+            Value::Str(if fast { "fast" } else { "full" }.into()),
+        ),
+        (
+            "host_threads".into(),
+            Value::U64(
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1) as u64,
+            ),
+        ),
+        ("results".into(), Value::Array(rows)),
+    ])
+}
+
+fn bench_e2e(fast: bool, json_path: Option<String>) -> Result<(), String> {
+    let results = run_e2e_suite(fast);
+    let base_run = results.first().map_or(0.0, |r| r.run_s);
+    let base_gemm = results.first().map_or(0.0, |r| r.gemm_ns);
+    println!(
+        "{:<8} {:>9} {:>8} {:>13} {:>13} {:>13}",
+        "threads", "run s", "speedup", "gemm ns/iter", "gemm speedup", "acc digest"
+    );
+    for r in &results {
+        println!(
+            "{:<8} {:>9.2} {:>7.2}x {:>13.0} {:>12.2}x {:>13.6}",
+            r.threads,
+            r.run_s,
+            if r.run_s > 0.0 {
+                base_run / r.run_s
+            } else {
+                0.0
+            },
+            r.gemm_ns,
+            if r.gemm_ns > 0.0 {
+                base_gemm / r.gemm_ns
+            } else {
+                0.0
+            },
+            r.digest
+        );
+    }
+    if let Some(path) = json_path {
+        let doc = e2e_suite_to_json(&results, fast);
+        let text = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
+        std::fs::write(&path, text + "\n")
+            .map_err(|e| format!("cannot write bench file `{path}`: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
 fn bench_timeline(fast: bool, json_path: Option<String>) -> Result<(), String> {
     let socs = if fast { 20 } else { 60 };
     let results = run_timeline_suite(fast);
@@ -556,15 +725,15 @@ fn bench_faults(fast: bool, json_path: Option<String>) -> Result<(), String> {
     Ok(())
 }
 
-/// `socflow-cli bench <kernels|faults|timeline> [--fast] [--json <path>]`.
+/// `socflow-cli bench <kernels|faults|timeline|e2e> [--fast] [--json <path>]`.
 ///
 /// # Errors
 /// Returns a message on unknown operands or an unwritable `--json` path.
 pub fn bench(argv: &[String]) -> Result<(), String> {
-    let usage = "usage: socflow-cli bench <kernels|faults|timeline> [--fast] [--json <path>]";
+    let usage = "usage: socflow-cli bench <kernels|faults|timeline|e2e> [--fast] [--json <path>]";
     let mut it = argv.iter();
     let suite = match it.next().map(String::as_str) {
-        Some(s @ ("kernels" | "faults" | "timeline")) => s.to_string(),
+        Some(s @ ("kernels" | "faults" | "timeline" | "e2e")) => s.to_string(),
         _ => return Err(usage.into()),
     };
     let mut fast = false;
@@ -583,6 +752,9 @@ pub fn bench(argv: &[String]) -> Result<(), String> {
     }
     if suite == "timeline" {
         return bench_timeline(fast, json_path);
+    }
+    if suite == "e2e" {
+        return bench_e2e(fast, json_path);
     }
 
     let results = run_suite(fast);
@@ -690,6 +862,26 @@ mod tests {
             doc.get("schema").as_str(),
             Some("socflow-timeline-bench/v1")
         );
+        assert_eq!(doc.get("mode").as_str(), Some("fast"));
+        assert_eq!(doc.get("results").as_array().unwrap().len(), results.len());
+    }
+
+    #[test]
+    fn fast_e2e_suite_runs_and_serializes() {
+        let results = run_e2e_suite(true);
+        assert!(results.len() >= 2, "at least pool sizes 1 and 2");
+        assert_eq!(results[0].threads, 1, "first row is the 1-thread base");
+        for r in &results {
+            assert!(r.run_s > 0.0 && r.gemm_ns > 0.0, "{} threads", r.threads);
+            // determinism witness: identical trajectory at every pool size
+            assert_eq!(
+                r.digest.to_bits(),
+                results[0].digest.to_bits(),
+                "accuracy digest must be bitwise thread-count-invariant"
+            );
+        }
+        let doc = e2e_suite_to_json(&results, true);
+        assert_eq!(doc.get("schema").as_str(), Some("socflow-e2e-bench/v1"));
         assert_eq!(doc.get("mode").as_str(), Some("fast"));
         assert_eq!(doc.get("results").as_array().unwrap().len(), results.len());
     }

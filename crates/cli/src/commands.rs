@@ -28,8 +28,12 @@ USAGE:
   socflow-cli bench kernels [--fast] [--json <path>]
   socflow-cli bench faults [--fast] [--json <path>]
   socflow-cli bench timeline [--fast] [--json <path>]
+  socflow-cli bench e2e [--fast] [--json <path>]
   socflow-cli info
 
+  --threads <N> (train, compare): size of the host worker pool
+      (default: SOCFLOW_THREADS env var, else all cores). Results are
+      bit-identical at any thread count; only wall-clock time changes.
   --trace <path> (train): write a JSONL telemetry trace of the run
   --profile-kernels (train): attribute host compute time to tensor
       kernels (matmul/conv/quant) — printed after the run and recorded
@@ -158,6 +162,9 @@ fn fault_plan_of(spec: &str, socs: usize, seed: u64) -> Result<FaultPlan, String
 
 /// `socflow-cli train`: run one training job and report the results.
 pub fn train(opts: &Options) -> Result<(), String> {
+    if let Some(t) = opts.threads {
+        socflow_tensor::runtime::set_threads(t);
+    }
     let model = model_of(&opts.model)?;
     let preset = dataset_of(&opts.dataset)?;
     let method = method_of(&opts.method, opts.groups)?;
@@ -255,6 +262,9 @@ pub fn train(opts: &Options) -> Result<(), String> {
 
 /// `socflow-cli compare`: run the method comparison on one workload.
 pub fn compare(opts: &Options) -> Result<(), String> {
+    if let Some(t) = opts.threads {
+        socflow_tensor::runtime::set_threads(t);
+    }
     let model = model_of(&opts.model)?;
     let preset = dataset_of(&opts.dataset)?;
     let methods: Vec<(&str, MethodSpec)> = vec![

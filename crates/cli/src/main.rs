@@ -10,6 +10,7 @@
 //! socflow-cli bench kernels [--fast] [--json <path>]
 //! socflow-cli bench faults [--fast] [--json <path>]
 //! socflow-cli bench timeline [--fast] [--json <path>]
+//! socflow-cli bench e2e [--fast] [--json <path>]
 //! socflow-cli info
 //! ```
 

@@ -47,6 +47,11 @@ pub const DEFAULT_GROUPS: usize = 8;
 /// How many test samples the per-epoch evaluation uses.
 const EVAL_CAP: usize = 512;
 
+/// Samples per parallel evaluation shard. The shard decomposition is fixed
+/// by the eval-set size (never the thread count), which keeps evaluation
+/// byte-deterministic across `SOCFLOW_THREADS` settings.
+const EVAL_SHARD: usize = 128;
+
 /// Per-epoch learning-rate decay factor (step schedule). Applied uniformly
 /// to every method so comparisons stay fair.
 const LR_DECAY: f32 = 0.88;
@@ -354,10 +359,47 @@ impl Engine {
             .collect()
     }
 
+    /// Eval-set accuracy, sharded across the worker pool.
+    ///
+    /// The eval set is split into fixed [`EVAL_SHARD`]-sample shards — the
+    /// shard count follows from the eval-set size alone, never the thread
+    /// count — and each shard forwards on its own clone of `net` (forward
+    /// needs `&mut` for scratch; eval mode mutates no persistent state).
+    /// Shards reduce an integer correct-count, which is order-independent,
+    /// so the returned accuracy is byte-identical at any `SOCFLOW_THREADS`.
     fn evaluate(&self, net: &mut Network, precision: Precision) -> f32 {
-        let batch = self.workload.test.head_batch(EVAL_CAP);
-        let logits = net.forward(&batch.images, Mode::eval(precision));
-        metrics::accuracy(&logits, &batch.labels)
+        let test = &self.workload.test;
+        let total = test.len().min(EVAL_CAP);
+        if total == 0 {
+            return 0.0;
+        }
+        let shard_count = total.div_ceil(EVAL_SHARD);
+        if shard_count == 1 {
+            let batch = test.head_batch(EVAL_CAP);
+            let logits = net.forward(&batch.images, Mode::eval(precision));
+            return metrics::accuracy(&logits, &batch.labels);
+        }
+        let correct: Vec<std::sync::atomic::AtomicUsize> = (0..shard_count)
+            .map(|_| std::sync::atomic::AtomicUsize::new(0))
+            .collect();
+        let net_ref: &Network = net;
+        socflow_tensor::runtime::parallel_for_chunks(shard_count, &|s| {
+            let lo = s * EVAL_SHARD;
+            let hi = (lo + EVAL_SHARD).min(total);
+            let idx: Vec<usize> = (lo..hi).collect();
+            let batch = test.batch(&idx);
+            let mut shard_net = net_ref.clone();
+            let logits = shard_net.forward(&batch.images, Mode::eval(precision));
+            correct[s].store(
+                metrics::correct_count(&logits, &batch.labels),
+                std::sync::atomic::Ordering::Relaxed,
+            );
+        });
+        let hits: usize = correct
+            .iter()
+            .map(|c| c.load(std::sync::atomic::Ordering::Relaxed))
+            .sum();
+        hits as f32 / total as f32
     }
 
     /// Average all replicas' weights in place (delayed aggregation /
@@ -371,50 +413,92 @@ impl Engine {
     /// direction) and cancels the divergent parts, exactly like the
     /// weights themselves.
     fn average_replicas(replicas: &mut [Replica]) -> Vec<f32> {
-        let n = replicas.len();
-        let len = replicas[0].net.param_count();
         let has_int8 = replicas[0].int8.is_some();
-        let mut mean = vec![0.0f32; len];
-        let mut scratch = Vec::new();
-        for r in replicas.iter() {
-            r.net.flat_weights_into(&mut scratch);
-            for (m, &v) in mean.iter_mut().zip(&scratch) {
-                *m += v / n as f32;
-            }
-        }
-        replicas[0].opt.flat_velocity_into(&mut scratch);
-        let mut mean_vel = vec![0.0f32; scratch.len()];
-        let mut mean_vel8 = Vec::new();
-        for r in replicas.iter() {
-            r.opt.flat_velocity_into(&mut scratch);
-            for (m, &v) in mean_vel.iter_mut().zip(&scratch) {
-                *m += v / n as f32;
-            }
-        }
-        if has_int8 {
-            replicas[0]
-                .int8
-                .as_ref()
-                .expect("checked above")
-                .opt
-                .flat_velocity_into(&mut scratch);
-            mean_vel8.resize(scratch.len(), 0.0);
-            for r in replicas.iter() {
-                let arm = r.int8.as_ref().expect("uniform INT8 arms across replicas");
-                arm.opt.flat_velocity_into(&mut scratch);
-                for (m, &v) in mean_vel8.iter_mut().zip(&scratch) {
-                    *m += v / n as f32;
+
+        // Materialize every replica's flat vectors once (once per epoch;
+        // the chunked reduction below then reads them in fixed replica
+        // order). Summing first and scaling once by a precomputed 1/n does
+        // n-fold fewer divisions than dividing per replica and rounds once.
+        let weights: Vec<Vec<f32>> = replicas
+            .iter()
+            .map(|r| {
+                let mut v = Vec::new();
+                r.net.flat_weights_into(&mut v);
+                v
+            })
+            .collect();
+        let vels: Vec<Vec<f32>> = replicas
+            .iter()
+            .map(|r| {
+                let mut v = Vec::new();
+                r.opt.flat_velocity_into(&mut v);
+                v
+            })
+            .collect();
+        let vels8: Option<Vec<Vec<f32>>> = has_int8.then(|| {
+            replicas
+                .iter()
+                .map(|r| {
+                    let arm = r.int8.as_ref().expect("uniform INT8 arms across replicas");
+                    let mut v = Vec::new();
+                    arm.opt.flat_velocity_into(&mut v);
+                    v
+                })
+                .collect()
+        });
+
+        let mean = Self::mean_of(&weights);
+        let mean_vel = Self::mean_of(&vels);
+        let mean_vel8 = vels8.as_deref().map(Self::mean_of);
+
+        // Broadcasting the means back into every replica is independent
+        // per replica — run it as pool jobs.
+        let mean_ref = &mean;
+        let mean_vel_ref = &mean_vel;
+        let mean_vel8_ref = &mean_vel8;
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = replicas
+            .iter_mut()
+            .map(|r| {
+                Box::new(move || {
+                    r.net.set_flat_weights(mean_ref);
+                    r.opt.set_flat_velocity(mean_vel_ref);
+                    if let Some(arm) = &mut r.int8 {
+                        arm.opt
+                            .set_flat_velocity(mean_vel8_ref.as_ref().expect("INT8 mean"));
+                    }
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        socflow_tensor::runtime::run_scoped(jobs);
+        mean
+    }
+
+    /// Element-wise mean of equal-length rows: chunked across the worker
+    /// pool, each chunk summing in fixed (ascending-replica) order and
+    /// scaling once by a precomputed `1/n`. Chunk boundaries depend only on
+    /// the parameter count, so the result is byte-identical at any thread
+    /// count.
+    fn mean_of(rows: &[Vec<f32>]) -> Vec<f32> {
+        /// Elements per reduction chunk (shape-fixed).
+        const MEAN_CHUNK: usize = 16 * 1024;
+        let inv_n = 1.0 / rows.len() as f32;
+        let len = rows[0].len();
+        let mut out = vec![0.0f32; len];
+        socflow_tensor::runtime::parallel_for_slice_chunks(&mut out, MEAN_CHUNK, &|c, chunk| {
+            let lo = c * MEAN_CHUNK;
+            for row in rows {
+                let hi = (lo + chunk.len()).min(row.len());
+                if lo < hi {
+                    for (m, &v) in chunk.iter_mut().zip(&row[lo..hi]) {
+                        *m += v;
+                    }
                 }
             }
-        }
-        for r in replicas.iter_mut() {
-            r.net.set_flat_weights(&mean);
-            r.opt.set_flat_velocity(&mean_vel);
-            if let Some(arm) = &mut r.int8 {
-                arm.opt.set_flat_velocity(&mean_vel8);
+            for m in chunk.iter_mut() {
+                *m *= inv_n;
             }
-        }
-        mean
+        });
+        out
     }
 
     /// Runs the job to completion: really trains the scaled replicas,
@@ -451,10 +535,13 @@ impl Engine {
             epochs: self.spec.epochs,
             seed: self.spec.seed,
         });
-        // Snapshot the host kernel profiler (when on) so the run can be
-        // attributed to matmul/conv/quant time by diffing at the end.
+        // Snapshot the host kernel profiler and the worker pool (when on)
+        // so the run can be attributed to matmul/conv/quant time and pool
+        // activity by diffing at the end. Both are gated on the profiler so
+        // profiler-off traces stay byte-identical across thread counts.
         let kernel_base =
             socflow_tensor::profile::enabled().then(socflow_tensor::profile::snapshot);
+        let pool_base = kernel_base.is_some().then(socflow_tensor::runtime::stats);
         let result = match self.spec.method {
             MethodSpec::Local => {
                 self.run_single(Precision::Fp32, |tm| tm.local_epoch(Processor::SocCpuFp32))
@@ -498,6 +585,17 @@ impl Engine {
                     });
                 }
             }
+        }
+        if let Some(base) = pool_base {
+            let now = socflow_tensor::runtime::stats();
+            self.emit(Event::PoolTotals {
+                threads: now.threads,
+                tasks: now.tasks.saturating_sub(base.tasks),
+                chunks: now.chunks.saturating_sub(base.chunks),
+                jobs: now.jobs.saturating_sub(base.jobs),
+                busy_nanos: now.busy_nanos.saturating_sub(base.busy_nanos),
+                wall_nanos: now.wall_nanos.saturating_sub(base.wall_nanos),
+            });
         }
         self.emit(Event::RunCompleted {
             epochs: result.epoch_accuracy.len(),
@@ -578,21 +676,26 @@ impl Engine {
 
         let mut result = self.empty_result();
         for epoch in 0..self.spec.epochs {
-            // clients are independent between aggregations: train in parallel
-            std::thread::scope(|scope| {
-                for (c, replica) in replicas.iter_mut().enumerate() {
+            // clients are independent between aggregations: train them as
+            // persistent-pool jobs (no per-epoch thread spawns)
+            let seed0 = self.spec.seed;
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = replicas
+                .iter_mut()
+                .enumerate()
+                .map(|(c, replica)| {
                     let data = &client_data[c];
-                    let seed = self.spec.seed ^ ((epoch * 131 + c) as u64 + 7);
-                    scope.spawn(move || {
+                    let seed = seed0 ^ ((epoch * 131 + c) as u64 + 7);
+                    Box::new(move || {
                         let mut erng = StdRng::seed_from_u64(seed);
                         let batches: Vec<Batch> =
                             data.epoch_batches(local_batch, &mut erng).collect();
                         for b in &batches {
                             replica.step(b, Precision::Fp32);
                         }
-                    });
-                }
-            });
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            socflow_tensor::runtime::run_scoped(jobs);
             Self::average_replicas(&mut replicas);
             for r in replicas.iter_mut() {
                 r.decay_lr_floored(LR_DECAY, self.spec.lr * LR_FLOOR);
@@ -700,19 +803,25 @@ impl Engine {
                 replicas.len(),
                 self.spec.seed ^ (epoch as u64 * 97 + 13),
             );
-            // logical groups run in parallel between delayed aggregations
+            // logical groups run in parallel between delayed aggregations,
+            // as persistent-pool jobs. `epoch_batches_of` shuffles the
+            // borrowed shard indices directly — bit-identical batches to
+            // the old per-epoch `subset` clone, without copying the shard's
+            // sample data every epoch.
             let train = &self.workload.train;
             let spec = self.spec;
             let ctrl_ref = &ctrl;
-            std::thread::scope(|scope| {
-                for (g, replica) in replicas.iter_mut().enumerate() {
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = replicas
+                .iter_mut()
+                .enumerate()
+                .map(|(g, replica)| {
                     let shard_idx = &shards[g];
-                    scope.spawn(move || {
-                        let shard = train.subset(shard_idx);
+                    Box::new(move || {
                         let mut erng =
                             StdRng::seed_from_u64(spec.seed ^ ((epoch * 61 + g) as u64 + 3));
-                        let batches: Vec<Batch> =
-                            shard.epoch_batches(spec.global_batch, &mut erng).collect();
+                        let batches: Vec<Batch> = train
+                            .epoch_batches_of(shard_idx, spec.global_batch, &mut erng)
+                            .collect();
                         for b in &batches {
                             match mixed {
                                 MixedMode::Adaptive | MixedMode::Half => {
@@ -726,9 +835,10 @@ impl Engine {
                                 }
                             }
                         }
-                    });
-                }
-            });
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            socflow_tensor::runtime::run_scoped(jobs);
             // delayed aggregation across groups (leader ring at paper scale)
             Self::average_replicas(&mut replicas);
             // each group stream sees 1/groups of the data per epoch, so a
@@ -1189,10 +1299,11 @@ impl Engine {
         let mut replicas = self.build_replicas(n_groups, &mut rng, false);
         let shards = iid_partition(self.workload.train.len(), n_groups, self.spec.seed);
         for (g, replica) in replicas.iter_mut().enumerate() {
-            let shard = self.workload.train.subset(&shards[g]);
             let mut erng = StdRng::seed_from_u64(self.spec.seed ^ (g as u64 + 17));
-            let batches: Vec<Batch> = shard
-                .epoch_batches(self.spec.global_batch, &mut erng)
+            let batches: Vec<Batch> = self
+                .workload
+                .train
+                .epoch_batches_of(&shards[g], self.spec.global_batch, &mut erng)
                 .collect();
             for b in &batches {
                 replica.step(b, Precision::Fp32);

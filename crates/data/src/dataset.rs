@@ -206,8 +206,36 @@ impl Dataset {
 
     /// Iterator over shuffled mini-batches for one epoch.
     pub fn epoch_batches(&self, batch_size: usize, rng: &mut impl Rng) -> BatchIter<'_> {
+        let order: Vec<usize> = (0..self.len()).collect();
+        self.epoch_batches_order(order, batch_size, rng)
+    }
+
+    /// Like [`epoch_batches`](Dataset::epoch_batches), but restricted to the
+    /// samples at `indices` — the zero-copy replacement for
+    /// `subset(indices).epoch_batches(..)`. Shuffling a copy of `indices`
+    /// draws exactly the swaps that shuffling the subset's own `0..len`
+    /// range would, so the produced batches (and the RNG stream afterwards)
+    /// are bit-identical to the subset path.
+    ///
+    /// # Panics
+    /// Panics if `batch_size == 0`; out-of-range indices panic on batch
+    /// materialization.
+    pub fn epoch_batches_of(
+        &self,
+        indices: &[usize],
+        batch_size: usize,
+        rng: &mut impl Rng,
+    ) -> BatchIter<'_> {
+        self.epoch_batches_order(indices.to_vec(), batch_size, rng)
+    }
+
+    fn epoch_batches_order(
+        &self,
+        mut order: Vec<usize>,
+        batch_size: usize,
+        rng: &mut impl Rng,
+    ) -> BatchIter<'_> {
         assert!(batch_size > 0, "batch size must be positive");
-        let mut order: Vec<usize> = (0..self.len()).collect();
         // Fisher-Yates
         for i in (1..order.len()).rev() {
             let j = rng.gen_range(0..=i);
@@ -407,6 +435,29 @@ mod tests {
         assert_eq!(sub.len(), 2);
         assert_eq!(sub.labels()[0], d.labels()[3]);
         assert_eq!(sub.batch(&[0]).images, d.batch(&[3]).images);
+    }
+
+    #[test]
+    fn epoch_batches_of_matches_subset_path_bitwise() {
+        // The zero-copy path must reproduce the old subset-then-shuffle
+        // batches exactly, including the RNG stream it leaves behind.
+        let d = Dataset::synthetic(spec());
+        let indices: Vec<usize> = (0..64).filter(|i| i % 3 != 0).collect();
+
+        let mut rng_a = StdRng::seed_from_u64(7);
+        let sub = d.subset(&indices);
+        let via_subset: Vec<Batch> = sub.epoch_batches(10, &mut rng_a).collect();
+
+        let mut rng_b = StdRng::seed_from_u64(7);
+        let via_indices: Vec<Batch> = d.epoch_batches_of(&indices, 10, &mut rng_b).collect();
+
+        assert_eq!(via_subset.len(), via_indices.len());
+        for (a, b) in via_subset.iter().zip(via_indices.iter()) {
+            assert_eq!(a.labels, b.labels);
+            assert_eq!(a.images, b.images);
+        }
+        // identical RNG consumption
+        assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
     }
 
     #[test]

@@ -91,7 +91,12 @@ impl Parameter {
 /// accumulates parameter gradients and returns the gradient w.r.t. its
 /// input. A layer must tolerate `forward` in eval mode without a following
 /// `backward`.
-pub trait Layer: Send {
+///
+/// `Send + Sync` is part of the contract: replicas move across the worker
+/// pool's jobs, and parallel evaluation shares a `&Network` across pool
+/// workers (each of which clones it before forwarding). Layers are plain
+/// data — no interior mutability — so both bounds hold structurally.
+pub trait Layer: Send + Sync {
     /// Runs the layer on `input`, caching state when `mode.train`.
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor;
 

@@ -18,6 +18,19 @@ pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
     correct as f32 / labels.len() as f32
 }
 
+/// Number of top-1 correct rows of a `(n, classes)` logits matrix — the
+/// integer numerator of [`accuracy`]. Evaluation shards reduce with this
+/// (integer addition is order-independent) and divide once at the end, so a
+/// sharded accuracy is exactly the unsharded one.
+///
+/// # Panics
+/// Panics if `labels.len()` differs from the batch size.
+pub fn correct_count(logits: &Tensor, labels: &[usize]) -> usize {
+    let preds = logits.argmax_rows();
+    assert_eq!(preds.len(), labels.len(), "one label per row required");
+    preds.iter().zip(labels).filter(|(p, l)| p == l).count()
+}
+
 /// The α metric of SoCFlow (paper Eq. 4): cosine similarity between the
 /// flattened logits of the FP32 model and the INT8 model on the same probe
 /// batch, clamped to `[0, 1]` (a negative correlation means the INT8 model

@@ -201,6 +201,24 @@ pub enum Event {
     /// modelled seconds: it attributes where *this machine* spent an
     /// epoch's compute, complementing the modelled Fig. 12 breakdown.
     KernelTotals { op: String, calls: u64, nanos: u64 },
+    /// Worker-pool totals for one run, emitted once just before
+    /// [`Event::RunCompleted`] — and, like [`Event::KernelTotals`], only
+    /// when the kernel profiler is enabled, so profiler-off traces stay
+    /// byte-identical across `SOCFLOW_THREADS` settings. `threads` is the
+    /// pool's participation budget; `tasks` counts parallel regions and
+    /// `chunks` the shape-fixed chunks they executed; `jobs` counts
+    /// one-shot scoped jobs (per-replica training work). `busy_nanos` is
+    /// chunk execution time summed over all lanes and `wall_nanos` the
+    /// submitters' wall time for the same regions: their ratio is the
+    /// pool's effective parallelism.
+    PoolTotals {
+        threads: usize,
+        tasks: u64,
+        chunks: u64,
+        jobs: u64,
+        busy_nanos: u64,
+        wall_nanos: u64,
+    },
     /// The run finished; totals over all epochs.
     RunCompleted {
         epochs: usize,
@@ -357,6 +375,9 @@ pub struct Summary {
     /// Host kernel-profiling totals (one entry per op family, in emission
     /// order), present only for traces recorded with the profiler on.
     pub kernels: Vec<KernelTime>,
+    /// Worker-pool totals (merged across the runs in a window), present only
+    /// for traces recorded with the profiler on.
+    pub pool: Option<PoolTime>,
     /// Timeline spans recorded (count of `SpanBegin` events; `--timeline`
     /// runs only, 0 otherwise).
     pub spans: usize,
@@ -385,6 +406,37 @@ pub struct KernelTime {
     pub op: String,
     pub calls: u64,
     pub nanos: u64,
+}
+
+/// Aggregated worker-pool activity in a [`Summary`] (from
+/// [`Event::PoolTotals`]; counters summed across runs in the window,
+/// `threads` is the maximum seen).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct PoolTime {
+    /// Pool participation budget (max over merged events).
+    pub threads: usize,
+    /// Parallel regions executed.
+    pub tasks: u64,
+    /// Shape-fixed chunks executed across all regions.
+    pub chunks: u64,
+    /// One-shot scoped jobs executed.
+    pub jobs: u64,
+    /// Summed lane execution nanoseconds.
+    pub busy_nanos: u64,
+    /// Submitter-side wall nanoseconds of the same regions.
+    pub wall_nanos: u64,
+}
+
+impl PoolTime {
+    /// `busy / wall` — average number of lanes doing useful work inside
+    /// parallel regions (1.0 = no overlap at all).
+    pub fn effective_parallelism(&self) -> f64 {
+        if self.wall_nanos > 0 {
+            self.busy_nanos as f64 / self.wall_nanos as f64
+        } else {
+            0.0
+        }
+    }
 }
 
 impl Summary {
@@ -462,6 +514,29 @@ impl Summary {
                             nanos: *nanos,
                         }),
                     }
+                }
+                Event::PoolTotals {
+                    threads,
+                    tasks,
+                    chunks,
+                    jobs,
+                    busy_nanos,
+                    wall_nanos,
+                } => {
+                    let row = s.pool.get_or_insert(PoolTime {
+                        threads: 0,
+                        tasks: 0,
+                        chunks: 0,
+                        jobs: 0,
+                        busy_nanos: 0,
+                        wall_nanos: 0,
+                    });
+                    row.threads = row.threads.max(*threads);
+                    row.tasks += tasks;
+                    row.chunks += chunks;
+                    row.jobs += jobs;
+                    row.busy_nanos += busy_nanos;
+                    row.wall_nanos += wall_nanos;
                 }
                 Event::SpanBegin { .. } => s.spans += 1,
                 Event::LinkUtilization {
@@ -590,6 +665,20 @@ impl Summary {
                     k.op,
                     k.nanos as f64 / 1e9,
                     k.calls
+                ));
+            }
+        }
+        if let Some(p) = &self.pool {
+            out.push_str(&format!(
+                "worker pool      {} threads, {} tasks ({} chunks), {} jobs\n",
+                p.threads, p.tasks, p.chunks, p.jobs
+            ));
+            if p.wall_nanos > 0 {
+                out.push_str(&format!(
+                    "  parallel time  {:.3} s busy / {:.3} s wall ({:.2}x effective)\n",
+                    p.busy_nanos as f64 / 1e9,
+                    p.wall_nanos as f64 / 1e9,
+                    p.effective_parallelism()
                 ));
             }
         }

@@ -15,7 +15,14 @@
 //! All image tensors are NCHW.
 
 use crate::profile::{KernelOp, Timer};
+use crate::runtime::{self, SendPtr};
 use crate::{linalg, Shape, Tensor};
+
+/// Minimum per-call element count before the im2col/col2im lowering is
+/// dispatched on the worker pool; the partition is one chunk per batch
+/// sample (shape-fixed), so serial and parallel paths are bit-identical and
+/// the threshold affects wall-clock only.
+const PAR_MIN_ELEMS: usize = 1 << 15;
 
 /// Stride and zero-padding of a convolution or pooling window.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,37 +93,72 @@ pub fn im2col_into(
     let _t = Timer::start(KernelOp::Im2col);
     patches.resize([rows, cols]);
     let out = patches.data_mut();
+    let data = input.data();
+    let sample_rows = oh * ow * cols;
+    if n > 1 && rows * cols >= PAR_MIN_ELEMS && runtime::threads() > 1 {
+        // One chunk per batch sample: sample `ni` owns exactly the patch
+        // rows `[ni·oh·ow, (ni+1)·oh·ow)` — disjoint output regions, and
+        // the per-sample fill/scatter below is the same code the serial
+        // path runs, so the bytes are identical at any thread count.
+        let out_ptr = SendPtr::new(out);
+        runtime::parallel_for_chunks(n, &|ni| {
+            // Safety: per-sample regions are disjoint and in-bounds.
+            let sample = unsafe { out_ptr.slice(ni * sample_rows, sample_rows) };
+            im2col_sample(data, sample, ni, c, h, w, kh, kw, oh, ow, p);
+        });
+    } else {
+        for ni in 0..n {
+            let sample = &mut out[ni * sample_rows..(ni + 1) * sample_rows];
+            im2col_sample(data, sample, ni, c, h, w, kh, kw, oh, ow, p);
+        }
+    }
+    (oh, ow)
+}
+
+/// Extracts the patch rows of batch sample `ni` into `out` (that sample's
+/// `oh·ow × c·kh·kw` region of the patch matrix).
+#[allow(clippy::too_many_arguments)]
+fn im2col_sample(
+    data: &[f32],
+    out: &mut [f32],
+    ni: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    oh: usize,
+    ow: usize,
+    p: ConvParams,
+) {
+    let cols = c * kh * kw;
     // Zero first: padding positions are skipped by the scatter below and must
     // read as zero even when the buffer is recycled.
     out.fill(0.0);
-    let data = input.data();
     let pad = p.padding as isize;
-    for ni in 0..n {
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let row = ((ni * oh + oy) * ow + ox) * cols;
-                for ci in 0..c {
-                    let chan = (ni * c + ci) * h * w;
-                    for ky in 0..kh {
-                        let iy = (oy * p.stride + ky) as isize - pad;
-                        if iy < 0 || iy >= h as isize {
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let row = (oy * ow + ox) * cols;
+            for ci in 0..c {
+                let chan = (ni * c + ci) * h * w;
+                for ky in 0..kh {
+                    let iy = (oy * p.stride + ky) as isize - pad;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let src_row = chan + iy as usize * w;
+                    let dst = row + (ci * kh + ky) * kw;
+                    for kx in 0..kw {
+                        let ix = (ox * p.stride + kx) as isize - pad;
+                        if ix < 0 || ix >= w as isize {
                             continue;
                         }
-                        let src_row = chan + iy as usize * w;
-                        let dst = row + (ci * kh + ky) * kw;
-                        for kx in 0..kw {
-                            let ix = (ox * p.stride + kx) as isize - pad;
-                            if ix < 0 || ix >= w as isize {
-                                continue;
-                            }
-                            out[dst + kx] = data[src_row + ix as usize];
-                        }
+                        out[dst + kx] = data[src_row + ix as usize];
                     }
                 }
             }
         }
     }
-    (oh, ow)
 }
 
 /// Inverse of [`im2col`]: scatters (accumulates) a patch-matrix gradient back
@@ -167,29 +209,64 @@ pub fn col2im_into(
     let _t = Timer::start(KernelOp::Col2im);
     grad.resize([n, c, h, w]);
     let out = grad.data_mut();
-    out.fill(0.0);
     let data = patches.data();
+    let sample_len = c * h * w;
+    if n > 1 && n * oh * ow * cols >= PAR_MIN_ELEMS && runtime::threads() > 1 {
+        // One chunk per batch sample: sample `ni`'s patch rows scatter only
+        // into its own `c·h·w` gradient region, and within a sample the
+        // accumulation order is the serial one — bit-identical at any
+        // thread count.
+        let out_ptr = SendPtr::new(out);
+        runtime::parallel_for_chunks(n, &|ni| {
+            // Safety: per-sample regions are disjoint and in-bounds.
+            let sample = unsafe { out_ptr.slice(ni * sample_len, sample_len) };
+            col2im_sample(data, sample, ni, c, h, w, kh, kw, oh, ow, p);
+        });
+    } else {
+        for ni in 0..n {
+            let sample = &mut out[ni * sample_len..(ni + 1) * sample_len];
+            col2im_sample(data, sample, ni, c, h, w, kh, kw, oh, ow, p);
+        }
+    }
+}
+
+/// Scatters batch sample `ni`'s patch-row gradients into `out` (that
+/// sample's `c·h·w` region of the NCHW gradient).
+#[allow(clippy::too_many_arguments)]
+fn col2im_sample(
+    data: &[f32],
+    out: &mut [f32],
+    ni: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    oh: usize,
+    ow: usize,
+    p: ConvParams,
+) {
+    let cols = c * kh * kw;
+    out.fill(0.0);
     let pad = p.padding as isize;
-    for ni in 0..n {
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let row = ((ni * oh + oy) * ow + ox) * cols;
-                for ci in 0..c {
-                    let chan = (ni * c + ci) * h * w;
-                    for ky in 0..kh {
-                        let iy = (oy * p.stride + ky) as isize - pad;
-                        if iy < 0 || iy >= h as isize {
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let row = ((ni * oh + oy) * ow + ox) * cols;
+            for ci in 0..c {
+                let chan = ci * h * w;
+                for ky in 0..kh {
+                    let iy = (oy * p.stride + ky) as isize - pad;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let dst_row = chan + iy as usize * w;
+                    let src = row + (ci * kh + ky) * kw;
+                    for kx in 0..kw {
+                        let ix = (ox * p.stride + kx) as isize - pad;
+                        if ix < 0 || ix >= w as isize {
                             continue;
                         }
-                        let dst_row = chan + iy as usize * w;
-                        let src = row + (ci * kh + ky) * kw;
-                        for kx in 0..kw {
-                            let ix = (ox * p.stride + kx) as isize - pad;
-                            if ix < 0 || ix >= w as isize {
-                                continue;
-                            }
-                            out[dst_row + ix as usize] += data[src + kx];
-                        }
+                        out[dst_row + ix as usize] += data[src + kx];
                     }
                 }
             }
@@ -618,6 +695,74 @@ mod tests {
         let back = col2im(&probe, 1, 2, 4, 4, 3, 3, p);
         let rhs = x.dot(&back);
         assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    /// The batch-parallel im2col/col2im paths must be bitwise-identical to
+    /// composing the per-sample kernel serially — the shape is chosen to
+    /// cross `PAR_MIN_ELEMS` so the pool path actually runs.
+    #[test]
+    fn parallel_im2col_and_col2im_match_serial_bitwise() {
+        crate::runtime::set_threads(8);
+        let (n, c, h, w, kh, kw) = (4usize, 8, 16, 16, 3, 3);
+        let p = ConvParams::new(1, 1);
+        let x = Tensor::from_vec(
+            (0..n * c * h * w)
+                .map(|i| ((i * 31 % 97) as f32) * 0.37 - 5.0)
+                .collect(),
+            [n, c, h, w],
+        );
+        let mut patches = Tensor::default();
+        let (oh, ow) = im2col_into(&x, kh, kw, p, &mut patches);
+        let cols = c * kh * kw;
+        assert!(
+            n * oh * ow * cols >= PAR_MIN_ELEMS,
+            "shape must cross the parallel threshold"
+        );
+        let sample_rows = oh * ow * cols;
+        let mut expect = vec![f32::NAN; n * sample_rows];
+        for ni in 0..n {
+            im2col_sample(
+                x.data(),
+                &mut expect[ni * sample_rows..(ni + 1) * sample_rows],
+                ni,
+                c,
+                h,
+                w,
+                kh,
+                kw,
+                oh,
+                ow,
+                p,
+            );
+        }
+        assert_eq!(patches.data(), &expect[..]);
+
+        let probe = Tensor::from_vec(
+            (0..patches.len())
+                .map(|i| ((i * 7 % 13) as f32) - 6.0)
+                .collect(),
+            patches.shape().clone(),
+        );
+        let mut grad = Tensor::default();
+        col2im_into(&probe, n, c, h, w, kh, kw, p, &mut grad);
+        let sample_len = c * h * w;
+        let mut gexpect = vec![f32::NAN; n * sample_len];
+        for ni in 0..n {
+            col2im_sample(
+                probe.data(),
+                &mut gexpect[ni * sample_len..(ni + 1) * sample_len],
+                ni,
+                c,
+                h,
+                w,
+                kh,
+                kw,
+                oh,
+                ow,
+                p,
+            );
+        }
+        assert_eq!(grad.data(), &gexpect[..]);
     }
 
     #[test]

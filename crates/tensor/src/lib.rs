@@ -13,7 +13,10 @@
 //!   helpers for quantization-aware training ([`quant`]);
 //! - weight initializers ([`init`]);
 //! - scratch-buffer pooling for allocation-free steady-state training
-//!   ([`pool`]) and opt-in kernel timing counters ([`profile`]).
+//!   ([`pool`]) and opt-in kernel timing counters ([`profile`]);
+//! - a deterministic intra-op parallel runtime ([`runtime`]): a persistent
+//!   worker pool whose output partitioning is fixed by problem shape, so
+//!   results are bit-identical at any thread count.
 //!
 //! The library is intentionally CPU-only and deterministic: every random
 //! routine takes an explicit RNG so experiments are reproducible bit-for-bit.
@@ -35,6 +38,7 @@ pub mod linalg;
 pub mod pool;
 pub mod profile;
 pub mod quant;
+pub mod runtime;
 mod shape;
 mod tensor;
 

@@ -15,6 +15,14 @@
 //! computed together, never the floating-point summation order, so results
 //! are bit-identical to the pre-tiled kernels and deterministic across runs.
 //!
+//! **Parallelism:** large products are split into fixed-size row panels of
+//! the output (`ROWS_PER_CHUNK` rows each) and dispatched on the
+//! [`crate::runtime`] worker pool. The panel decomposition depends only on
+//! `m` — never on the thread count — and each panel is computed by the same
+//! sequential micro-kernel writing a disjoint output region, so the
+//! parallel kernels are bit-identical to the single-threaded ones at any
+//! `SOCFLOW_THREADS` setting.
+//!
 //! Every entry point has an `_into` variant that writes into a caller-owned
 //! [`Tensor`] (resizing its storage as needed) and a `_slices` variant that
 //! operates on raw row-major buffers; the allocating wrappers remain for API
@@ -33,10 +41,48 @@ const NR: usize = 16;
 
 thread_local! {
     /// Scratch panel used by [`matmul_a_bt_slices`] to pack a transposed
-    /// `k × NR` tile of `B`. Thread-local so the engine's scoped replica
-    /// threads never contend; reused across calls so steady-state matmuls
-    /// allocate nothing.
+    /// `k × NR` tile of `B`. Thread-local so replica jobs and pool workers
+    /// never contend; reused across calls so steady-state matmuls allocate
+    /// nothing.
     static PACK_PANEL: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Rows of output per parallel panel. A multiple of `MR`, so interior panels
+/// tile exactly like the single-threaded sweep; chosen from the problem
+/// shape only (never the thread count) to keep the partition deterministic.
+const ROWS_PER_CHUNK: usize = 32;
+
+/// Minimum multiply-add count before a product takes the parallel path;
+/// below this the pool round-trip costs more than the kernel itself. The
+/// serial and parallel paths produce identical bytes, so this threshold
+/// affects wall-clock only.
+const PAR_MIN_WORK: usize = 1 << 18;
+
+use crate::runtime::SendPtr;
+
+/// Splits `m` output rows into shape-fixed panels and runs
+/// `panel(i0, i1, out_rows)` for each on the worker pool. `out_rows` is the
+/// `(i1 - i0) × n` sub-slice of `out` starting at row `i0`.
+fn par_row_panels(
+    out: &mut [f32],
+    m: usize,
+    n: usize,
+    panel: &(dyn Fn(usize, usize, &mut [f32]) + Sync),
+) {
+    let chunks = m.div_ceil(ROWS_PER_CHUNK);
+    let out_ptr = SendPtr::new(out);
+    crate::runtime::parallel_for_chunks(chunks, &|c| {
+        let i0 = c * ROWS_PER_CHUNK;
+        let i1 = (i0 + ROWS_PER_CHUNK).min(m);
+        // Safety: panels [i0, i1) are pairwise disjoint and in-bounds.
+        let out_rows = unsafe { out_ptr.slice(i0 * n, (i1 - i0) * n) };
+        panel(i0, i1, out_rows);
+    });
+}
+
+/// Whether a product of this shape is worth dispatching on the pool.
+fn worth_parallel(m: usize, k: usize, n: usize) -> bool {
+    m > ROWS_PER_CHUNK && m * k * n >= PAR_MIN_WORK && crate::runtime::threads() > 1
 }
 
 // ---------------------------------------------------------------------------
@@ -83,6 +129,18 @@ pub fn matmul_slices(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, 
     assert_eq!(b.len(), k * n, "matmul_slices: b length");
     assert_eq!(out.len(), m * n, "matmul_slices: out length");
     let _t = Timer::start(KernelOp::Matmul);
+    if worth_parallel(m, k, n) {
+        par_row_panels(out, m, n, &|i0, i1, out_rows| {
+            matmul_panel(&a[i0 * k..i1 * k], b, out_rows, i1 - i0, k, n);
+        });
+    } else {
+        matmul_panel(a, b, out, m, k, n);
+    }
+}
+
+/// Sequential `MR × NR` kernel over an `m`-row slice of `A`/`out`: the
+/// original single-threaded sweep, reused verbatim by every parallel panel.
+fn matmul_panel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     let mut j = 0;
     // Full NR-wide column panels.
     while j + NR <= n {
@@ -172,13 +230,37 @@ pub fn matmul_at_b_slices(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: us
     assert_eq!(b.len(), k * n, "matmul_at_b_slices: b length");
     assert_eq!(out.len(), m * n, "matmul_at_b_slices: out length");
     let _t = Timer::start(KernelOp::MatmulAtB);
-    // Identical tiling to `matmul_slices`; only the A addressing differs:
-    // row i of Aᵀ is the stride-m column i of A, and the MR values needed per
-    // p are contiguous in A's row p.
+    if worth_parallel(m, k, n) {
+        par_row_panels(out, m, n, &|i0, i1, out_rows| {
+            matmul_at_b_panel(a, b, out_rows, i0, i1, m, k, n);
+        });
+    } else {
+        matmul_at_b_panel(a, b, out, 0, m, m, k, n);
+    }
+}
+
+/// Sequential kernel for output rows `i0..i1` of `C = Aᵀ × B`. Unlike
+/// [`matmul_panel`], `a` cannot be row-sliced (row `i` of `Aᵀ` is the
+/// stride-`m` column `i` of `A`), so the panel takes the full operands plus
+/// a global row range; `out` holds only the panel's rows.
+///
+/// Identical tiling to `matmul_panel`; only the A addressing differs: the
+/// MR values needed per `p` are contiguous in A's row `p`.
+#[allow(clippy::too_many_arguments)]
+fn matmul_at_b_panel(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    i0: usize,
+    i1: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     let mut j = 0;
     while j + NR <= n {
-        let mut i = 0;
-        while i + MR <= m {
+        let mut i = i0;
+        while i + MR <= i1 {
             let mut acc = [[0.0f32; NR]; MR];
             for p in 0..k {
                 let apanel = &a[p * m + i..p * m + i + MR];
@@ -190,12 +272,12 @@ pub fn matmul_at_b_slices(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: us
                 }
             }
             for (mi, accrow) in acc.iter().enumerate() {
-                let orow = i + mi;
+                let orow = i - i0 + mi;
                 out[orow * n + j..orow * n + j + NR].copy_from_slice(accrow);
             }
             i += MR;
         }
-        while i < m {
+        while i < i1 {
             let mut acc = [0.0f32; NR];
             for p in 0..k {
                 let av = a[p * m + i];
@@ -204,14 +286,16 @@ pub fn matmul_at_b_slices(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: us
                     *c += av * bv;
                 }
             }
-            out[i * n + j..i * n + j + NR].copy_from_slice(&acc);
+            let orow = i - i0;
+            out[orow * n + j..orow * n + j + NR].copy_from_slice(&acc);
             i += 1;
         }
         j += NR;
     }
     if j < n {
-        for i in 0..m {
-            let orow = &mut out[i * n + j..(i + 1) * n];
+        for i in i0..i1 {
+            let li = i - i0;
+            let orow = &mut out[li * n + j..(li + 1) * n];
             orow.fill(0.0);
             for p in 0..k {
                 let av = a[p * m + i];
@@ -265,6 +349,20 @@ pub fn matmul_a_bt_slices(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: us
     assert_eq!(b.len(), n * k, "matmul_a_bt_slices: b length");
     assert_eq!(out.len(), m * n, "matmul_a_bt_slices: out length");
     let _t = Timer::start(KernelOp::MatmulABt);
+    if worth_parallel(m, k, n) {
+        par_row_panels(out, m, n, &|i0, i1, out_rows| {
+            matmul_a_bt_panel(&a[i0 * k..i1 * k], b, out_rows, i1 - i0, k, n);
+        });
+    } else {
+        matmul_a_bt_panel(a, b, out, m, k, n);
+    }
+}
+
+/// Sequential kernel over an `m`-row slice of `A`/`out` for `C = A × Bᵀ`.
+/// Each executing thread packs `B` tiles into its own `PACK_PANEL`, so
+/// parallel panels re-pack redundantly (~`k·n` extra reads per panel, a few
+/// percent of the panel's `rows·k·n` multiply-adds) but never share scratch.
+fn matmul_a_bt_panel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     PACK_PANEL.with(|panel| {
         let mut panel = panel.borrow_mut();
         panel.resize(k * NR, 0.0);
@@ -501,6 +599,35 @@ mod tests {
         // Also across the TR tile edge.
         let big = rand_matrix(37, 65, 9);
         assert_eq!(transpose(&transpose(&big)), big);
+    }
+
+    #[test]
+    fn parallel_panels_match_serial_bitwise() {
+        // Shapes above PAR_MIN_WORK with awkward row counts (tails smaller
+        // than MR and ROWS_PER_CHUNK, primes, exact multiples).
+        crate::runtime::set_threads(8);
+        for &(m, k, n) in &[(97, 64, 48), (130, 70, 33), (256, 64, 17), (64, 64, 64)] {
+            let a = rand_matrix(m, k, (m + k) as u64);
+            let b = rand_matrix(k, n, (k + n + 7) as u64);
+            assert!(worth_parallel(m, k, n) || m * k * n < PAR_MIN_WORK);
+
+            let mut serial = vec![0.0f32; m * n];
+            matmul_panel(a.data(), b.data(), &mut serial, m, k, n);
+            let par = matmul(&a, &b);
+            assert_eq!(par.data(), &serial[..], "matmul {m}x{k}x{n}");
+
+            let at = transpose(&a);
+            let mut serial = vec![0.0f32; m * n];
+            matmul_at_b_panel(at.data(), b.data(), &mut serial, 0, m, m, k, n);
+            let par = matmul_at_b(&at, &b);
+            assert_eq!(par.data(), &serial[..], "matmul_at_b {m}x{k}x{n}");
+
+            let bt = transpose(&b);
+            let mut serial = vec![0.0f32; m * n];
+            matmul_a_bt_panel(a.data(), bt.data(), &mut serial, m, k, n);
+            let par = matmul_a_bt(&a, &bt);
+            assert_eq!(par.data(), &serial[..], "matmul_a_bt {m}x{k}x{n}");
+        }
     }
 
     #[test]

@@ -7,10 +7,15 @@
 //! Call [`set_enabled`] to start collecting, [`snapshot`] to read the totals
 //! and [`reset`] to zero them between measurement windows.
 //!
-//! Counters are process-global atomics: totals aggregate across the engine's
-//! scoped replica threads without any locking.
+//! Counters are **per-thread** with a fold-on-read: each thread (the
+//! coordinator, the engine's replica jobs, and every [`crate::runtime`] pool
+//! worker) bumps its own cache line and registers it once in a global list;
+//! [`snapshot`] and [`reset`] walk that list under a lock. Hot paths never
+//! contend on a shared atomic, so `--profile-kernels` does not serialize the
+//! parallel kernels.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 /// The kernel families that are individually attributed.
@@ -73,8 +78,38 @@ impl KernelOp {
 }
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
-static CALLS: [AtomicU64; OP_COUNT] = [const { AtomicU64::new(0) }; OP_COUNT];
-static NANOS: [AtomicU64; OP_COUNT] = [const { AtomicU64::new(0) }; OP_COUNT];
+
+/// One thread's private counters. Atomics so `snapshot` can read them while
+/// the owning thread keeps writing; writes are uncontended in practice.
+struct ThreadCounters {
+    calls: [AtomicU64; OP_COUNT],
+    nanos: [AtomicU64; OP_COUNT],
+}
+
+impl ThreadCounters {
+    fn new() -> ThreadCounters {
+        ThreadCounters {
+            calls: [const { AtomicU64::new(0) }; OP_COUNT],
+            nanos: [const { AtomicU64::new(0) }; OP_COUNT],
+        }
+    }
+}
+
+/// Every thread's counters, in registration order. Entries outlive their
+/// threads (the `Arc` keeps a dead thread's totals readable); the list is
+/// bounded by the number of distinct threads that ever timed a kernel.
+fn registry() -> &'static Mutex<Vec<Arc<ThreadCounters>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<ThreadCounters>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static LOCAL: Arc<ThreadCounters> = {
+        let counters = Arc::new(ThreadCounters::new());
+        registry().lock().unwrap().push(Arc::clone(&counters));
+        counters
+    };
+}
 
 /// Turns kernel timing on or off globally.
 pub fn set_enabled(on: bool) {
@@ -86,13 +121,16 @@ pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
-/// Zeroes all counters (does not change the enabled flag).
+/// Zeroes all counters on every registered thread (does not change the
+/// enabled flag).
 pub fn reset() {
-    for c in &CALLS {
-        c.store(0, Ordering::Relaxed);
-    }
-    for n in &NANOS {
-        n.store(0, Ordering::Relaxed);
+    for counters in registry().lock().unwrap().iter() {
+        for c in &counters.calls {
+            c.store(0, Ordering::Relaxed);
+        }
+        for n in &counters.nanos {
+            n.store(0, Ordering::Relaxed);
+        }
     }
 }
 
@@ -107,16 +145,24 @@ pub struct KernelTotal {
     pub nanos: u64,
 }
 
-/// Reads the current totals for every kernel family (including zero entries).
+/// Reads the current totals for every kernel family (including zero
+/// entries), folded across all threads that ever timed a kernel.
 pub fn snapshot() -> Vec<KernelTotal> {
+    let registry = registry().lock().unwrap();
     ALL_OPS
         .iter()
         .map(|&op| {
             let i = op.index();
+            let mut calls = 0u64;
+            let mut nanos = 0u64;
+            for counters in registry.iter() {
+                calls += counters.calls[i].load(Ordering::Relaxed);
+                nanos += counters.nanos[i].load(Ordering::Relaxed);
+            }
             KernelTotal {
                 op: op.name(),
-                calls: CALLS[i].load(Ordering::Relaxed),
-                nanos: NANOS[i].load(Ordering::Relaxed),
+                calls,
+                nanos,
             }
         })
         .collect()
@@ -140,8 +186,11 @@ impl Drop for Timer {
     fn drop(&mut self) {
         if let Some(start) = self.start {
             let i = self.op.index();
-            CALLS[i].fetch_add(1, Ordering::Relaxed);
-            NANOS[i].fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            let elapsed = start.elapsed().as_nanos() as u64;
+            LOCAL.with(|counters| {
+                counters.calls[i].fetch_add(1, Ordering::Relaxed);
+                counters.nanos[i].fetch_add(elapsed, Ordering::Relaxed);
+            });
         }
     }
 }
@@ -150,10 +199,12 @@ impl Drop for Timer {
 mod tests {
     use super::*;
 
+    /// Serializes the two tests that toggle the global enabled flag.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
     #[test]
     fn disabled_by_default_and_counts_when_enabled() {
-        // Serialize against other tests via the enabled flag itself: this is
-        // the only test in the crate that enables profiling.
+        let _guard = TEST_LOCK.lock().unwrap();
         assert!(!enabled());
         {
             let _t = Timer::start(KernelOp::Matmul);
@@ -175,6 +226,28 @@ mod tests {
         assert_eq!(m.calls, 1);
         let q = after.iter().find(|t| t.op == "quant").unwrap();
         assert_eq!(q.calls, 1);
+        reset();
+    }
+
+    #[test]
+    fn folds_counters_across_threads() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        set_enabled(true);
+        reset();
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    let _t = Timer::start(KernelOp::Transpose);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        set_enabled(false);
+        let after = snapshot();
+        let t = after.iter().find(|t| t.op == "transpose").unwrap();
+        assert!(t.calls >= 3);
         reset();
     }
 }

@@ -1,0 +1,442 @@
+//! Deterministic intra-op parallel runtime.
+//!
+//! A persistent worker pool shared by every kernel in the process. The pool
+//! is spawned once (first use), sized by the `SOCFLOW_THREADS` environment
+//! variable (or [`set_threads`], e.g. from a `--threads` CLI flag), and
+//! reused for the lifetime of the process — no per-epoch thread spawn churn.
+//!
+//! ## Determinism contract
+//!
+//! The core primitive, [`parallel_for_chunks`], runs `body(0..chunks)` where
+//! the *chunk decomposition is chosen by the caller from the problem shape
+//! alone* — never from the thread count. Each chunk writes a disjoint,
+//! statically assigned region of the output, and every kernel built on top
+//! accumulates within a chunk in exactly the same order as the
+//! single-threaded code. Which OS thread executes a chunk is scheduling
+//! noise; the bytes produced are identical for 1, 2, or N threads. This is
+//! what lets the engine's byte-exact determinism and resume guarantees
+//! survive parallel execution (property-tested in `tests/`).
+//!
+//! ## Blocking and re-entrancy
+//!
+//! The submitting thread always participates: it claims chunks itself and
+//! only then waits for stragglers, so a task completes even when every
+//! worker is busy. Calls made *from* a worker thread (nested parallelism)
+//! run all chunks inline, in order, on that worker — same partition, same
+//! bytes, no deadlock.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
+
+/// One in-flight `parallel_for_chunks` call. Workers claim chunk indices
+/// from `next`; the last finisher flips `done` and wakes the submitter.
+struct Task {
+    /// Type- and lifetime-erased pointer to the caller's chunk body. Safety:
+    /// the submitting thread owns the referent and does not return from
+    /// [`parallel_for_chunks`] until `remaining == 0`, so the pointer is
+    /// live whenever a worker dereferences it.
+    body: *const (dyn Fn(usize) + Sync),
+    chunks: usize,
+    next: AtomicUsize,
+    remaining: AtomicUsize,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+// Safety: `body` is only dereferenced while the submitter blocks in
+// `parallel_for_chunks` (see `Task::body`); all other fields are Sync.
+unsafe impl Send for Task {}
+unsafe impl Sync for Task {}
+
+impl Task {
+    /// Claims and runs chunks until none are left. Returns whether this
+    /// call executed the final chunk (and thus signalled completion).
+    fn help(&self, pool: &Pool) {
+        let timing = crate::profile::enabled();
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.chunks {
+                return;
+            }
+            let t0 = timing.then(Instant::now);
+            // Safety: claim succeeded, so the submitter is still waiting
+            // and `body` is live.
+            unsafe { (*self.body)(i) };
+            if let Some(t0) = t0 {
+                pool.busy_nanos
+                    .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            }
+            pool.chunks.fetch_add(1, Ordering::Relaxed);
+            if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                let mut done = self.done.lock().unwrap();
+                *done = true;
+                self.done_cv.notify_all();
+            }
+        }
+    }
+}
+
+/// Pool shared state: a FIFO of tasks that want helpers, plus counters.
+struct Pool {
+    queue: Mutex<VecDeque<Arc<Task>>>,
+    work_cv: Condvar,
+    /// Worker-participation budget (what [`threads`] reports). Workers
+    /// beyond this limit exist but stay parked.
+    target: AtomicUsize,
+    /// Workers actually spawned so far (pool only ever grows).
+    spawned: Mutex<usize>,
+    // Cumulative counters since process start / last `reset_stats`.
+    tasks: AtomicU64,
+    chunks: AtomicU64,
+    jobs: AtomicU64,
+    busy_nanos: AtomicU64,
+    wall_nanos: AtomicU64,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+thread_local! {
+    /// True on pool worker threads; makes nested parallel calls run inline.
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn env_threads() -> usize {
+    std::env::var("SOCFLOW_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+fn pool() -> &'static Pool {
+    let pool = POOL.get_or_init(|| Pool {
+        queue: Mutex::new(VecDeque::new()),
+        work_cv: Condvar::new(),
+        target: AtomicUsize::new(env_threads()),
+        spawned: Mutex::new(0),
+        tasks: AtomicU64::new(0),
+        chunks: AtomicU64::new(0),
+        jobs: AtomicU64::new(0),
+        busy_nanos: AtomicU64::new(0),
+        wall_nanos: AtomicU64::new(0),
+    });
+    ensure_workers(pool);
+    pool
+}
+
+/// Spawns workers up to `target - 1` (the submitting thread is the N-th
+/// lane). Workers are never torn down; shrinking the target just parks the
+/// surplus on the queue condvar.
+fn ensure_workers(pool: &'static Pool) {
+    let want = pool.target.load(Ordering::Relaxed).saturating_sub(1);
+    let mut spawned = pool.spawned.lock().unwrap();
+    while *spawned < want {
+        let id = *spawned;
+        std::thread::Builder::new()
+            .name(format!("socflow-worker-{id}"))
+            .spawn(move || worker_loop(pool))
+            .expect("spawn socflow worker");
+        *spawned += 1;
+    }
+}
+
+fn worker_loop(pool: &'static Pool) {
+    IN_WORKER.with(|f| f.set(true));
+    loop {
+        let task = {
+            let mut q = pool.queue.lock().unwrap();
+            loop {
+                if let Some(t) = q.pop_front() {
+                    break t;
+                }
+                q = pool.work_cv.wait(q).unwrap();
+            }
+        };
+        task.help(pool);
+    }
+}
+
+/// Current worker-participation budget (including the submitting thread).
+pub fn threads() -> usize {
+    pool().target.load(Ordering::Relaxed).max(1)
+}
+
+/// Sets the worker-participation budget. Values are clamped to at least 1.
+/// Growing spawns the missing workers; shrinking parks the surplus. Safe to
+/// call at any time — the partitioning of every kernel is independent of
+/// this value, so results never change, only wall-clock.
+pub fn set_threads(n: usize) {
+    let pool = pool();
+    pool.target.store(n.max(1), Ordering::Relaxed);
+    ensure_workers(pool);
+}
+
+/// True when called from a pool worker thread (nested parallel calls run
+/// inline there).
+pub fn in_worker() -> bool {
+    IN_WORKER.with(|f| f.get())
+}
+
+/// Runs `body(i)` for every `i in 0..chunks`, possibly on several threads.
+///
+/// The caller picks `chunks` from the problem shape alone; each chunk must
+/// touch a disjoint region of any shared output. Chunks may run in any
+/// order and on any thread, so determinism requires (and all in-tree
+/// kernels guarantee) that chunk bodies are order-independent: they only
+/// write their own region, with a fixed internal accumulation order.
+///
+/// Degenerate cases (`chunks <= 1`, a single-thread budget, or a call from
+/// inside a worker) run inline, in index order, with no synchronization.
+pub fn parallel_for_chunks(chunks: usize, body: &(dyn Fn(usize) + Sync)) {
+    if chunks == 0 {
+        return;
+    }
+    let pool = pool();
+    let budget = pool.target.load(Ordering::Relaxed);
+    if chunks == 1 || budget <= 1 || in_worker() {
+        for i in 0..chunks {
+            body(i);
+        }
+        return;
+    }
+
+    let timing = crate::profile::enabled();
+    let t0 = timing.then(Instant::now);
+
+    // Erase the borrow lifetime: `Task` stores a raw pointer and this
+    // function does not return until every chunk has completed, so the
+    // referent outlives every dereference. See `Task::body`.
+    let body_static: &'static (dyn Fn(usize) + Sync) =
+        unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(body) };
+    let task = Arc::new(Task {
+        body: body_static as *const _,
+        chunks,
+        next: AtomicUsize::new(0),
+        remaining: AtomicUsize::new(chunks),
+        done: Mutex::new(false),
+        done_cv: Condvar::new(),
+    });
+
+    // Enqueue one helper handle per extra lane; surplus helpers find
+    // `next >= chunks` and exit without touching `body`.
+    let helpers = (budget - 1).min(chunks - 1);
+    {
+        let mut q = pool.queue.lock().unwrap();
+        for _ in 0..helpers {
+            q.push_back(Arc::clone(&task));
+        }
+    }
+    if helpers == 1 {
+        pool.work_cv.notify_one();
+    } else {
+        pool.work_cv.notify_all();
+    }
+
+    pool.tasks.fetch_add(1, Ordering::Relaxed);
+    // The submitter works too: guarantees progress even if all workers are
+    // wedged on other tasks.
+    task.help(pool);
+    let mut done = task.done.lock().unwrap();
+    while !*done {
+        done = task.done_cv.wait(done).unwrap();
+    }
+    drop(done);
+    if let Some(t0) = t0 {
+        pool.wall_nanos
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+}
+
+/// A one-shot job for [`run_scoped`]; may borrow from the caller's stack.
+pub type ScopedJob<'scope> = Box<dyn FnOnce() + Send + 'scope>;
+
+/// Runs a batch of independent one-shot jobs on the pool and waits for all
+/// of them — the pool-backed replacement for per-epoch `std::thread::scope`
+/// spawns. Jobs may borrow from the caller's stack frame.
+pub fn run_scoped<'scope>(jobs: Vec<ScopedJob<'scope>>) {
+    let n = jobs.len();
+    if n == 0 {
+        return;
+    }
+    pool().jobs.fetch_add(n as u64, Ordering::Relaxed);
+    let slots: Vec<Mutex<Option<ScopedJob<'scope>>>> =
+        jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    parallel_for_chunks(n, &|i| {
+        if let Some(job) = slots[i].lock().unwrap().take() {
+            job();
+        }
+    });
+}
+
+/// Splits `out` into fixed-size chunks of `chunk_len` elements (the last
+/// may be short) and runs `body(i, chunk_i)` for each on the pool. The
+/// partition depends only on `out.len()` and `chunk_len` — never the thread
+/// count — so any reduction whose chunk bodies are internally ordered is
+/// bit-identical at every `SOCFLOW_THREADS` setting.
+///
+/// # Panics
+/// Panics if `chunk_len == 0`.
+pub fn parallel_for_slice_chunks(
+    out: &mut [f32],
+    chunk_len: usize,
+    body: &(dyn Fn(usize, &mut [f32]) + Sync),
+) {
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let len = out.len();
+    if len == 0 {
+        return;
+    }
+    let chunks = len.div_ceil(chunk_len);
+    let base = SendPtr::new(out);
+    parallel_for_chunks(chunks, &|c| {
+        let lo = c * chunk_len;
+        let hi = (lo + chunk_len).min(len);
+        // Safety: chunk ranges are pairwise disjoint and in-bounds.
+        let chunk = unsafe { base.slice(lo, hi - lo) };
+        body(c, chunk);
+    });
+}
+
+/// Crate-internal wrapper that lets kernels hand disjoint sub-slices of one
+/// output buffer to pool workers; every chunk derives a non-overlapping
+/// range from it.
+pub(crate) struct SendPtr(*mut f32);
+// Safety: only ever used to produce disjoint `&mut [f32]` ranges.
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
+impl SendPtr {
+    /// Captures the base pointer of `out`.
+    pub(crate) fn new(out: &mut [f32]) -> SendPtr {
+        SendPtr(out.as_mut_ptr())
+    }
+
+    /// Derives the mutable sub-slice `[off, off + len)`.
+    ///
+    /// # Safety
+    /// The range must be in-bounds of the original slice and disjoint from
+    /// every other range derived from this pointer while both are live.
+    // The `&self -> &mut` shape is the point of the wrapper: disjointness is
+    // the caller's obligation, stated above, exactly like `from_raw_parts_mut`.
+    #[allow(clippy::mut_from_ref)]
+    pub(crate) unsafe fn slice(&self, off: usize, len: usize) -> &mut [f32] {
+        std::slice::from_raw_parts_mut(self.0.add(off), len)
+    }
+}
+
+/// A snapshot of cumulative pool activity (see [`stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Current worker-participation budget.
+    pub threads: usize,
+    /// `parallel_for_chunks` calls that took the parallel path.
+    pub tasks: u64,
+    /// Chunks executed across all tasks.
+    pub chunks: u64,
+    /// One-shot jobs submitted through [`run_scoped`].
+    pub jobs: u64,
+    /// Nanoseconds of chunk execution summed over all lanes. Collected only
+    /// while the kernel profiler ([`crate::profile`]) is enabled; 0 otherwise.
+    pub busy_nanos: u64,
+    /// Submitter-side wall nanoseconds of parallel regions (same gating as
+    /// `busy_nanos`). `busy_nanos / wall_nanos` is the effective parallelism.
+    pub wall_nanos: u64,
+}
+
+/// Returns cumulative pool counters since process start or the last
+/// [`reset_stats`]. Chunk/wall timing is only collected while the kernel
+/// profiler is enabled, mirroring `socflow_tensor::profile`.
+pub fn stats() -> PoolStats {
+    let p = pool();
+    PoolStats {
+        threads: p.target.load(Ordering::Relaxed).max(1),
+        tasks: p.tasks.load(Ordering::Relaxed),
+        chunks: p.chunks.load(Ordering::Relaxed),
+        jobs: p.jobs.load(Ordering::Relaxed),
+        busy_nanos: p.busy_nanos.load(Ordering::Relaxed),
+        wall_nanos: p.wall_nanos.load(Ordering::Relaxed),
+    }
+}
+
+/// Zeroes all cumulative pool counters.
+pub fn reset_stats() {
+    let p = pool();
+    p.tasks.store(0, Ordering::Relaxed);
+    p.chunks.store(0, Ordering::Relaxed);
+    p.jobs.store(0, Ordering::Relaxed);
+    p.busy_nanos.store(0, Ordering::Relaxed);
+    p.wall_nanos.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn covers_every_chunk_exactly_once() {
+        set_threads(4);
+        let hits: Vec<AtomicUsize> = (0..97).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for_chunks(hits.len(), &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn disjoint_writes_land() {
+        set_threads(4);
+        let mut out = vec![0u64; 64];
+        let base = out.as_mut_ptr() as usize;
+        parallel_for_chunks(64, &|i| {
+            // Safety: each chunk writes only its own element.
+            unsafe { *(base as *mut u64).add(i) = i as u64 * 3 };
+        });
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i as u64 * 3));
+    }
+
+    #[test]
+    fn nested_calls_run_inline_without_deadlock() {
+        set_threads(4);
+        let total = AtomicUsize::new(0);
+        parallel_for_chunks(8, &|_| {
+            parallel_for_chunks(8, &|_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn run_scoped_executes_all_jobs_and_allows_borrows() {
+        set_threads(4);
+        let mut results = [0usize; 10];
+        {
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = results
+                .iter_mut()
+                .enumerate()
+                .map(|(i, slot)| {
+                    Box::new(move || {
+                        *slot = i + 1;
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            run_scoped(jobs);
+        }
+        assert_eq!(results, [1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn thread_budget_is_clamped_and_grows() {
+        set_threads(0);
+        assert_eq!(threads(), 1);
+        set_threads(3);
+        assert_eq!(threads(), 3);
+    }
+}

@@ -1,0 +1,156 @@
+//! Thread-count invariance of the worker-pool runtime: the pool partitions
+//! every kernel, evaluation shard and aggregation chunk by problem shape —
+//! never by thread count — so a run's `RunResult` AND its telemetry trace
+//! must be byte-identical whether the pool has 1, 2 or 8 workers. These
+//! tests pin that contract across the training methods (including the
+//! mixed-precision and INT8 arms) and the fault / checkpoint-resume paths.
+
+use socflow::checkpoint::{Checkpoint, CheckpointPolicy};
+use socflow::config::{MethodSpec, SocFlowConfig, TrainJobSpec};
+use socflow::engine::{Engine, Workload};
+use socflow_cluster::faults::{FaultEvent, FaultKind, FaultPlan};
+use socflow_cluster::SocId;
+use socflow_data::DatasetPreset;
+use socflow_nn::models::ModelKind;
+use socflow_telemetry::MemorySink;
+use socflow_tensor::runtime;
+use std::sync::Arc;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn spec_of(method: MethodSpec) -> TrainJobSpec {
+    let mut s = TrainJobSpec::new(ModelKind::LeNet5, DatasetPreset::FashionMnist, method);
+    s.socs = 8;
+    s.epochs = 2;
+    s.global_batch = 32;
+    s.seed = 11;
+    s
+}
+
+/// Runs the engine `build` produces at pool size `threads` and returns the
+/// serialized `RunResult` plus the serialized trace events.
+fn fingerprint(threads: usize, build: &dyn Fn(Arc<MemorySink>) -> Engine) -> (String, Vec<String>) {
+    runtime::set_threads(threads);
+    let sink = Arc::new(MemorySink::new());
+    let result = build(sink.clone()).run();
+    let result_json = serde_json::to_string(&result).unwrap();
+    let trace = sink
+        .take()
+        .iter()
+        .map(|e| serde_json::to_string(e).unwrap())
+        .collect();
+    (result_json, trace)
+}
+
+/// Asserts byte-identical results and traces at every pool size in
+/// [`THREAD_COUNTS`].
+fn assert_thread_invariant(label: &str, build: &dyn Fn(Arc<MemorySink>) -> Engine) {
+    let (base_result, base_trace) = fingerprint(THREAD_COUNTS[0], build);
+    assert!(!base_trace.is_empty(), "{label}: trace must not be empty");
+    for &t in &THREAD_COUNTS[1..] {
+        let (result, trace) = fingerprint(t, build);
+        assert_eq!(
+            base_result, result,
+            "{label}: RunResult must be byte-identical at {t} threads"
+        );
+        assert_eq!(
+            base_trace, trace,
+            "{label}: trace must be byte-identical at {t} threads"
+        );
+    }
+    // leave the pool at its smallest size so test ordering cannot matter
+    runtime::set_threads(THREAD_COUNTS[0]);
+}
+
+#[test]
+fn socflow_arms_are_thread_count_invariant() {
+    let cfg = SocFlowConfig::with_groups(2);
+    let arms = [
+        ("ours", MethodSpec::SocFlow(cfg)),
+        ("ours-int8", MethodSpec::SocFlowInt8(cfg)),
+        ("ours-half", MethodSpec::SocFlowHalf(cfg)),
+    ];
+    for (label, arm) in arms {
+        let spec = spec_of(arm);
+        let workload = Workload::standard(&spec, 96, 8, 0.5);
+        assert_thread_invariant(label, &|sink| {
+            Engine::new(spec, workload.clone()).with_sink(sink)
+        });
+    }
+}
+
+#[test]
+fn baseline_and_federated_methods_are_thread_count_invariant() {
+    let methods: [(&str, MethodSpec); 3] = [
+        ("ring", MethodSpec::Ring),
+        ("fedavg", MethodSpec::FedAvg),
+        ("local", MethodSpec::Local),
+    ];
+    for (label, method) in methods {
+        let spec = spec_of(method);
+        let workload = Workload::standard(&spec, 96, 8, 0.5);
+        assert_thread_invariant(label, &|sink| {
+            Engine::new(spec, workload.clone()).with_sink(sink)
+        });
+    }
+}
+
+#[test]
+fn faulted_runs_are_thread_count_invariant() {
+    let plan = FaultPlan::from_events(vec![
+        FaultEvent {
+            at: 0.0,
+            soc: SocId(6),
+            kind: FaultKind::Reclaimed,
+        },
+        FaultEvent {
+            at: 1.0,
+            soc: SocId(3),
+            kind: FaultKind::Crashed,
+        },
+    ]);
+    let spec = spec_of(MethodSpec::SocFlow(SocFlowConfig::with_groups(2)));
+    let workload = Workload::standard(&spec, 96, 8, 0.5);
+    assert_thread_invariant("faulted", &|sink| {
+        Engine::new(spec, workload.clone())
+            .with_fault_plan(plan.clone())
+            .with_sink(sink)
+    });
+}
+
+/// Checkpoint bytes written at one pool size must resume bit-exactly at
+/// another: the durable artifact itself is part of the determinism
+/// contract, so the full run, the checkpointing run and the resumed
+/// continuation each execute at a different pool size.
+#[test]
+fn checkpoint_resume_crosses_thread_counts_bit_exactly() {
+    let dir = std::env::temp_dir().join("socflow_thread_det_resume");
+    std::fs::remove_dir_all(&dir).ok();
+    let spec = spec_of(MethodSpec::SocFlow(SocFlowConfig::with_groups(2)));
+    let workload = Workload::standard(&spec, 96, 8, 0.5);
+
+    runtime::set_threads(1);
+    let full = Engine::new(spec, workload.clone()).run();
+
+    runtime::set_threads(8);
+    let mut short = spec;
+    short.epochs = 1;
+    let policy = CheckpointPolicy {
+        every_epochs: Some(1),
+        on_reclaim: true,
+    };
+    let _ = Engine::new(short, Workload::standard(&short, 96, 8, 0.5))
+        .with_checkpointing(dir.clone(), policy)
+        .run();
+    let ckpt = Checkpoint::load(&dir).expect("short run persisted a checkpoint");
+    assert_eq!(ckpt.epoch, 1);
+
+    runtime::set_threads(2);
+    let resumed = Engine::new(spec, workload).with_resume(ckpt).run();
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(
+        resumed, full,
+        "a continuation resumed at a different pool size must be bit-identical"
+    );
+    runtime::set_threads(1);
+}
