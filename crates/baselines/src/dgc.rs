@@ -78,16 +78,20 @@ impl DgcCompressor {
         for (r, g) in self.residual.iter_mut().zip(grad) {
             *r += g;
         }
-        // threshold = k-th largest |residual| via select_nth
+        // threshold = k-th largest |residual| via select_nth. total_cmp,
+        // not partial_cmp: a NaN gradient (upstream overflow) must not
+        // panic mid-allreduce, and the IEEE total order ranks NaN above
+        // every finite magnitude, so poisoned elements are transmitted
+        // first rather than silently parked in the residual forever.
         let mut mags: Vec<f32> = self.residual.iter().map(|v| v.abs()).collect();
         let idx = n - k;
-        mags.select_nth_unstable_by(idx, |a, b| a.partial_cmp(b).unwrap());
+        mags.select_nth_unstable_by(idx, f32::total_cmp);
         let threshold = mags[idx];
 
         let mut indices = Vec::with_capacity(k);
         let mut values = Vec::with_capacity(k);
         for (i, r) in self.residual.iter_mut().enumerate() {
-            if r.abs() >= threshold && indices.len() < k {
+            if r.abs().total_cmp(&threshold) != std::cmp::Ordering::Less && indices.len() < k {
                 indices.push(i as u32);
                 values.push(*r);
                 *r = 0.0; // transmitted; cleared from the residual
@@ -214,6 +218,32 @@ mod tests {
         assert_eq!(d.len(), 10);
         let nonzero = d.iter().filter(|v| **v != 0.0).count();
         assert_eq!(nonzero, s.indices.len());
+    }
+
+    #[test]
+    fn nan_gradient_does_not_panic_and_is_flushed() {
+        // regression: select_nth_unstable_by with partial_cmp().unwrap()
+        // panicked the moment a NaN gradient (upstream overflow) arrived
+        let mut c = DgcCompressor::new(20, 0.1);
+        let mut g = grad(20, 9);
+        g[7] = f32::NAN;
+        let s = c.compress(&g); // must not panic
+        assert_eq!(s.indices.len(), 2);
+        // the poisoned element outranks every finite magnitude, so it is
+        // transmitted now instead of rotting in the residual
+        assert!(s.indices.contains(&7), "NaN element must be selected");
+        assert!(
+            s.values[s.indices.iter().position(|&i| i == 7).unwrap()].is_nan(),
+            "transmitted value carries the NaN"
+        );
+        assert!(
+            c.residual().iter().all(|v| !v.is_nan()),
+            "residual must be NaN-free after the flush"
+        );
+        // the compressor keeps working on later, clean rounds
+        let s2 = c.compress(&grad(20, 10));
+        assert_eq!(s2.indices.len(), 2);
+        assert!(s2.values.iter().all(|v| v.is_finite()));
     }
 
     #[test]

@@ -34,6 +34,9 @@ pub struct Options {
     /// Results are bit-identical at any thread count; this only changes
     /// wall-clock time.
     pub threads: Option<usize>,
+    /// Measured β compute-power ratio override in (0,1) — typically the
+    /// value `bench kernels` reports from timing the f32 and i8 GEMMs.
+    pub profiled_beta: Option<f64>,
 }
 
 impl Default for Options {
@@ -56,6 +59,7 @@ impl Default for Options {
             resume: false,
             timeline: false,
             threads: None,
+            profiled_beta: None,
         }
     }
 }
@@ -102,6 +106,17 @@ impl Options {
                 "--checkpoint-dir" => o.checkpoint_dir = Some(value.clone()),
                 "--checkpoint-every" => o.checkpoint_every = Some(parse_num(flag, value)?),
                 "--threads" => o.threads = Some(parse_num(flag, value)?),
+                "--profiled-beta" => {
+                    let beta: f64 = value
+                        .parse()
+                        .map_err(|_| format!("`{flag}` expects a number, got `{value}`"))?;
+                    if !(beta > 0.0 && beta < 1.0) {
+                        return Err(format!(
+                            "`{flag}` must be strictly between 0 and 1, got `{value}`"
+                        ));
+                    }
+                    o.profiled_beta = Some(beta);
+                }
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -207,6 +222,17 @@ mod tests {
         assert_eq!(parse(&[]).unwrap().threads, None);
         assert!(parse(&["--threads", "0"]).is_err());
         assert!(parse(&["--threads"]).is_err());
+    }
+
+    #[test]
+    fn profiled_beta_parses_and_rejects_out_of_range() {
+        let o = parse(&["--profiled-beta", "0.78"]).unwrap();
+        assert_eq!(o.profiled_beta, Some(0.78));
+        assert_eq!(parse(&[]).unwrap().profiled_beta, None);
+        assert!(parse(&["--profiled-beta", "0"]).is_err());
+        assert!(parse(&["--profiled-beta", "1.0"]).is_err());
+        assert!(parse(&["--profiled-beta", "nan"]).is_err());
+        assert!(parse(&["--profiled-beta", "big"]).is_err());
     }
 
     #[test]

@@ -23,7 +23,7 @@
 //! work should be judged against.
 
 use socflow_tensor::conv::{self, ConvParams, ConvScratch};
-use socflow_tensor::quant::QuantFormat;
+use socflow_tensor::quant::{self, QuantFormat, QuantParams};
 use socflow_tensor::{linalg, Tensor};
 use std::time::Instant;
 
@@ -141,6 +141,40 @@ fn run_suite(fast: bool) -> Vec<Measurement> {
         flops: 2.0 * (m2 * k2 * n2) as f64,
     });
 
+    // --- Integer GEMM (the INT8 replica arm's execution path) -----------
+    // Same shapes as the f32 family; the 128³ pair is what the measured
+    // β = t_f32 / (t_f32 + t_i8) is computed from.
+    let (mut qa, mut qbt) = (Vec::new(), Vec::new());
+    quant::quantize_into(&a, QuantParams::from_tensor(&a), &mut qa);
+    quant::quantize_into(&bt, QuantParams::from_tensor(&bt), &mut qbt);
+    let mut ci = vec![0i32; m * n];
+    let ns = time_min(iters, warmup, || {
+        linalg::matmul_i8_a_bt_slices(&qa, &qbt, &mut ci, m, k, n);
+    });
+    out.push(Measurement {
+        op: "matmul_i8",
+        shape: format!("{m}x{k}x{n}"),
+        iters,
+        ns_per_iter: ns,
+        flops: gemm_flops,
+    });
+
+    let bt2 = tensor([n2, k2], 0x5eed_000c); // Bᵀ stored (n, k)
+    let (mut qa2, mut qbt2) = (Vec::new(), Vec::new());
+    quant::quantize_into(&a2, QuantParams::from_tensor(&a2), &mut qa2);
+    quant::quantize_into(&bt2, QuantParams::from_tensor(&bt2), &mut qbt2);
+    let mut ci2 = vec![0i32; m2 * n2];
+    let ns = time_min(iters, warmup, || {
+        linalg::matmul_i8_a_bt_slices(&qa2, &qbt2, &mut ci2, m2, k2, n2);
+    });
+    out.push(Measurement {
+        op: "matmul_i8",
+        shape: format!("{m2}x{k2}x{n2}"),
+        iters,
+        ns_per_iter: ns,
+        flops: 2.0 * (m2 * k2 * n2) as f64,
+    });
+
     // --- Transpose (data movement; "flops" = elements moved) ------------
     let (tm, tn) = (256, 256);
     let src = tensor([tm, tn], 0x5eed_0007);
@@ -208,6 +242,21 @@ fn run_suite(fast: bool) -> Vec<Measurement> {
     out
 }
 
+/// The measured β compute-power ratio from the 128³ GEMM pair:
+/// β = t_f32 / (t_f32 + t_i8), the host analogue of the paper's
+/// CPU-vs-NPU split. Feed it back via `train --profiled-beta`.
+fn measured_beta(results: &[Measurement]) -> Option<f64> {
+    let row = |op: &str| {
+        results
+            .iter()
+            .find(|r| r.op == op && r.shape == "128x128x128")
+            .map(|r| r.ns_per_iter)
+    };
+    let (f32_ns, i8_ns) = (row("matmul")?, row("matmul_i8")?);
+    let total = f32_ns + i8_ns;
+    (total > 0.0).then(|| f32_ns / total)
+}
+
 fn to_json(results: &[Measurement], fast: bool) -> serde_json::Value {
     use serde_json::Value;
     let rows = results
@@ -230,6 +279,10 @@ fn to_json(results: &[Measurement], fast: bool) -> serde_json::Value {
         (
             "mode".into(),
             Value::Str(if fast { "fast" } else { "full" }.into()),
+        ),
+        (
+            "profiled_beta".into(),
+            Value::F64(measured_beta(results).unwrap_or(0.0)),
         ),
         ("results".into(), Value::Array(rows)),
     ])
@@ -772,6 +825,9 @@ pub fn bench(argv: &[String]) -> Result<(), String> {
             r.gflops()
         );
     }
+    if let Some(beta) = measured_beta(&results) {
+        println!("\nmeasured beta = {beta:.4} (f32 vs i8 GEMM at 128x128x128; feed back via `train --profiled-beta {beta:.4}`)");
+    }
     if let Some(path) = json_path {
         let doc = to_json(&results, fast);
         let text = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
@@ -789,14 +845,22 @@ mod tests {
     #[test]
     fn fast_suite_runs_and_serializes() {
         let results = run_suite(true);
-        assert!(results.len() >= 7, "suite covers every kernel family");
+        assert!(results.len() >= 9, "suite covers every kernel family");
         for r in &results {
             assert!(r.ns_per_iter.is_finite() && r.ns_per_iter > 0.0, "{}", r.op);
             assert!(r.gflops() > 0.0, "{}", r.op);
         }
+        assert_eq!(
+            results.iter().filter(|r| r.op == "matmul_i8").count(),
+            2,
+            "integer GEMM rows at both shapes"
+        );
+        let beta = measured_beta(&results).expect("128³ pair present");
+        assert!(beta > 0.0 && beta < 1.0, "beta {beta}");
         let doc = to_json(&results, true);
         assert_eq!(doc.get("schema").as_str(), Some("socflow-kernel-bench/v1"));
         assert_eq!(doc.get("mode").as_str(), Some("fast"));
+        assert_eq!(doc.get("profiled_beta").as_f64(), Some(beta));
         assert_eq!(doc.get("results").as_array().unwrap().len(), results.len());
     }
 

@@ -49,6 +49,9 @@ USAGE:
       timeline (compute and CG collectives contend on one simulated
       clock) instead of the closed-form Eq. 1 sums; with --trace, span
       and link-utilization events land in the trace
+  --profiled-beta <f> (train): override the calibrated β compute-power
+      ratio with a measured value in (0,1) — typically the β that
+      `bench kernels` reports from timing the f32 and i8 GEMMs
 
   models:   lenet5 | vgg11 | resnet18 | resnet50 | mobilenet | tinyvit
   datasets: cifar10 | emnist | fmnist | celeba | cinic10
@@ -65,7 +68,12 @@ fn model_of(name: &str) -> Result<ModelKind, String> {
         "resnet50" | "r50" => ModelKind::ResNet50,
         "mobilenet" => ModelKind::MobileNetV1,
         "tinyvit" | "vit" => ModelKind::TinyViT,
-        other => return Err(format!("unknown model `{other}`")),
+        other => {
+            return Err(format!(
+                "unknown model `{other}`; known models: lenet5 | vgg11 | resnet18 | \
+                 resnet50 | mobilenet | tinyvit"
+            ))
+        }
     })
 }
 
@@ -177,6 +185,9 @@ pub fn train(opts: &Options) -> Result<(), String> {
     let mut sched = GlobalScheduler::new(spec, workload);
     if opts.timeline {
         sched = sched.with_timeline(true);
+    }
+    if let Some(beta) = opts.profiled_beta {
+        sched = sched.with_profiled_beta(beta);
     }
     if let Some(path) = &opts.trace {
         let writer = TraceWriter::create(path)
@@ -382,7 +393,11 @@ mod tests {
     fn model_and_dataset_lookup() {
         assert_eq!(model_of("vgg11").unwrap(), ModelKind::Vgg11);
         assert_eq!(model_of("tinyvit").unwrap(), ModelKind::TinyViT);
-        assert!(model_of("gpt4").is_err());
+        let err = model_of("gpt4").unwrap_err();
+        assert!(
+            err.contains("gpt4") && err.contains("known models:"),
+            "{err}"
+        );
         assert_eq!(dataset_of("cifar10").unwrap(), DatasetPreset::Cifar10);
         assert!(dataset_of("imagenet").is_err());
     }

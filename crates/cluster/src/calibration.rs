@@ -129,18 +129,44 @@ pub const PER_SAMPLE_MS: [(&str, f64, f64, f64, f64); 6] = [
     ("TinyViT", 60.0, 12.0, 0.50, 0.35),
 ];
 
+/// Error returned when a model has no calibration anchor row.
+///
+/// Carries the offending name and lists every known model, so callers at
+/// the CLI boundary can surface a friendly message instead of panicking
+/// deep inside the library.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownModelError {
+    /// The model name that had no anchor row.
+    pub model: String,
+}
+
+impl std::fmt::Display for UnknownModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let known: Vec<&str> = PER_SAMPLE_MS.iter().map(|&(name, ..)| name).collect();
+        write!(
+            f,
+            "no calibration row for model `{}`; known models: {}",
+            self.model,
+            known.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownModelError {}
+
 /// Looks up the per-sample anchor row for a model display name.
 ///
-/// # Panics
-/// Panics if the model name is unknown — calibration must cover every model
-/// the experiments use.
-pub fn per_sample_row(model: &str) -> (f64, f64, f64, f64) {
+/// Returns [`UnknownModelError`] (listing the known models) if the name has
+/// no anchor row — calibration must cover every model the experiments use.
+pub fn per_sample_row(model: &str) -> Result<(f64, f64, f64, f64), UnknownModelError> {
     for (name, cpu, npu, v100, a100) in PER_SAMPLE_MS {
         if name == model {
-            return (cpu, npu, v100, a100);
+            return Ok((cpu, npu, v100, a100));
         }
     }
-    panic!("no calibration row for model `{model}`");
+    Err(UnknownModelError {
+        model: model.to_string(),
+    })
 }
 
 #[cfg(test)]
@@ -150,14 +176,14 @@ mod tests {
     #[test]
     fn vgg11_cpu_anchor_matches_paper_29h() {
         // 200 epochs × 50k samples × 10.5 ms ≈ 29.2 h
-        let (cpu, _, _, _) = per_sample_row("VGG-11");
+        let (cpu, _, _, _) = per_sample_row("VGG-11").unwrap();
         let hours = 200.0 * 50_000.0 * cpu / 1000.0 / 3600.0;
         assert!((hours - 29.1).abs() < 1.0, "got {hours} h");
     }
 
     #[test]
     fn resnet18_npu_anchor_matches_paper_36h() {
-        let (_, npu, _, _) = per_sample_row("ResNet-18");
+        let (_, npu, _, _) = per_sample_row("ResNet-18").unwrap();
         let hours = 200.0 * 50_000.0 * npu / 1000.0 / 3600.0;
         assert!((hours - 36.0).abs() < 2.0, "got {hours} h");
     }
@@ -171,8 +197,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no calibration row")]
-    fn unknown_model_panics() {
-        per_sample_row("GPT-3");
+    fn unknown_model_is_a_friendly_error() {
+        let err = per_sample_row("GPT-3").unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("no calibration row for model `GPT-3`"),
+            "{msg}"
+        );
+        // The error must teach the caller what IS valid.
+        for (name, ..) in PER_SAMPLE_MS {
+            assert!(msg.contains(name), "{msg} should list {name}");
+        }
     }
 }

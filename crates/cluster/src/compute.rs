@@ -50,20 +50,42 @@ impl std::fmt::Display for Processor {
 pub struct ComputeModel {
     model: String,
     underclock: Vec<f64>, // per-SoC frequency factor, 1.0 = full speed
+    /// Measured β override (e.g. from `bench kernels` on the host); `None`
+    /// falls back to the calibrated per-sample anchors.
+    profiled_beta: Option<f64>,
 }
 
 impl ComputeModel {
     /// Creates the model for one DNN (by display name, e.g. `"VGG-11"`) on a
     /// cluster with `socs` SoCs, all at full clock.
     ///
-    /// # Panics
-    /// Panics if the model has no calibration row.
-    pub fn new(model: &str, socs: usize) -> Self {
-        let _ = calibration::per_sample_row(model); // validate early
-        ComputeModel {
+    /// Returns [`calibration::UnknownModelError`] (listing the known models)
+    /// if the model has no calibration row.
+    pub fn new(model: &str, socs: usize) -> Result<Self, calibration::UnknownModelError> {
+        calibration::per_sample_row(model)?; // validate early
+        Ok(ComputeModel {
             model: model.to_string(),
             underclock: vec![1.0; socs],
-        }
+            profiled_beta: None,
+        })
+    }
+
+    /// Overrides the calibrated β with a measured value (see
+    /// [`ComputeModel::beta`]); pass the β reported by `bench kernels`.
+    ///
+    /// # Panics
+    /// Panics if `beta` is not strictly inside `(0, 1)`.
+    pub fn set_profiled_beta(&mut self, beta: f64) {
+        assert!(
+            beta > 0.0 && beta < 1.0,
+            "profiled beta must be in (0,1), got {beta}"
+        );
+        self.profiled_beta = Some(beta);
+    }
+
+    /// The measured β override, if one is set.
+    pub fn profiled_beta(&self) -> Option<f64> {
+        self.profiled_beta
     }
 
     /// The DNN this model describes.
@@ -88,7 +110,8 @@ impl ComputeModel {
 
     /// Per-sample training time on a processor, seconds (full clock).
     pub fn per_sample(&self, proc: Processor) -> Seconds {
-        let (cpu, npu, v100, a100) = calibration::per_sample_row(&self.model);
+        let (cpu, npu, v100, a100) = calibration::per_sample_row(&self.model)
+            .expect("ComputeModel::new validated the calibration row");
         let ms = match proc {
             Processor::SocCpuFp32 => cpu,
             Processor::SocNpuInt8 => npu,
@@ -122,7 +145,15 @@ impl ComputeModel {
     /// `β = (1/t_NPU) / (1/t_NPU + 1/t_CPU) = t_CPU / (t_CPU + t_NPU)`.
     /// Feeding a β fraction of the batch to the NPU equalizes both sides'
     /// finish times, so no processor idles.
+    ///
+    /// A measured override set via [`ComputeModel::set_profiled_beta`]
+    /// (`--profiled-beta` at the CLI, typically the β that `bench kernels`
+    /// measured from the f32-vs-i8 GEMM timings) takes precedence over the
+    /// calibrated anchors.
     pub fn beta(&self) -> f64 {
+        if let Some(b) = self.profiled_beta {
+            return b;
+        }
         let t_cpu = self.per_sample(Processor::SocCpuFp32);
         let t_npu = self.per_sample(Processor::SocNpuInt8);
         t_cpu / (t_npu + t_cpu)
@@ -135,7 +166,7 @@ mod tests {
 
     #[test]
     fn batch_time_scales_linearly() {
-        let m = ComputeModel::new("VGG-11", 4);
+        let m = ComputeModel::new("VGG-11", 4).unwrap();
         let t1 = m.batch_time(0, Processor::SocCpuFp32, 8);
         let t2 = m.batch_time(0, Processor::SocCpuFp32, 16);
         assert!((t2 - 2.0 * t1).abs() < 1e-12);
@@ -143,7 +174,7 @@ mod tests {
 
     #[test]
     fn underclock_slows_down() {
-        let mut m = ComputeModel::new("VGG-11", 2);
+        let mut m = ComputeModel::new("VGG-11", 2).unwrap();
         let base = m.batch_time(0, Processor::SocCpuFp32, 8);
         m.set_underclock(0, 0.5);
         assert!((m.batch_time(0, Processor::SocCpuFp32, 8) - 2.0 * base).abs() < 1e-12);
@@ -153,7 +184,7 @@ mod tests {
 
     #[test]
     fn beta_balances_finish_times() {
-        let m = ComputeModel::new("ResNet-18", 1);
+        let m = ComputeModel::new("ResNet-18", 1).unwrap();
         let beta = m.beta();
         assert!(
             beta > 0.5 && beta < 1.0,
@@ -169,8 +200,24 @@ mod tests {
     }
 
     #[test]
+    fn profiled_beta_overrides_calibrated() {
+        let mut m = ComputeModel::new("VGG-11", 1).unwrap();
+        let calibrated = m.beta();
+        m.set_profiled_beta(0.42);
+        assert_eq!(m.beta(), 0.42);
+        assert_ne!(m.beta(), calibrated);
+        assert_eq!(m.profiled_beta(), Some(0.42));
+    }
+
+    #[test]
+    fn unknown_model_is_rejected_with_known_list() {
+        let err = ComputeModel::new("gpt4", 1).unwrap_err();
+        assert!(err.to_string().contains("known models:"), "{err}");
+    }
+
+    #[test]
     fn mixed_batch_is_max_of_sides() {
-        let m = ComputeModel::new("VGG-11", 1);
+        let m = ComputeModel::new("VGG-11", 1).unwrap();
         let t = m.mixed_batch_time(0, 10, 0);
         assert!((t - m.batch_time(0, Processor::SocCpuFp32, 10)).abs() < 1e-12);
         let t2 = m.mixed_batch_time(0, 0, 10);
@@ -179,7 +226,7 @@ mod tests {
 
     #[test]
     fn gen1_faster_than_865() {
-        let m = ComputeModel::new("LeNet-5", 1);
+        let m = ComputeModel::new("LeNet-5", 1).unwrap();
         assert!(m.per_sample(Processor::Gen1NpuInt8) < m.per_sample(Processor::SocNpuInt8));
         assert!(m.per_sample(Processor::Gen1CpuFp32) < m.per_sample(Processor::SocCpuFp32));
     }

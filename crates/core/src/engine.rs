@@ -326,6 +326,19 @@ impl Engine {
         self
     }
 
+    /// Overrides the calibrated β compute-power ratio with a measured value
+    /// (the `--profiled-beta` CLI flag, typically the β that `bench kernels`
+    /// derived from timing the f32 and i8 GEMMs on this host). Drives both
+    /// the mixed-precision controller's initial CPU share and the NPU batch
+    /// split of the time model.
+    ///
+    /// # Panics
+    /// Panics if `beta` is not strictly inside `(0, 1)`.
+    pub fn with_profiled_beta(mut self, beta: f64) -> Self {
+        self.time_model.compute_mut().set_profiled_beta(beta);
+        self
+    }
+
     /// Mutable access to the time model (underclock injection).
     pub fn time_model_mut(&mut self) -> &mut TimeModel {
         &mut self.time_model
@@ -1258,15 +1271,24 @@ impl Engine {
             MappingMode::IntegrityGreedy => mapping::integrity_greedy_over(cluster, alive, groups),
             MappingMode::Sequential => mapping::sequential_over(cluster, alive, groups),
         };
-        let cgs = divide_communication_groups(&mapping).unwrap_or_else(|_| {
-            // non-bipartite conflicts (possible for ad-hoc mappings): fall
-            // back to one CG per split group — correct, just slower.
-            CommunicationGroups {
-                cgs: (0..mapping.num_groups())
-                    .map(|g| vec![crate::mapping::GroupId(g)])
-                    .collect(),
+        let cgs = match divide_communication_groups(&mapping) {
+            Ok(cgs) => cgs,
+            Err(e) => {
+                // non-bipartite conflicts (possible for ad-hoc mappings):
+                // fall back to one CG per split group — correct, just
+                // slower. Surface it so serialized syncs are explainable.
+                let cgs = CommunicationGroups {
+                    cgs: (0..mapping.num_groups())
+                        .map(|g| vec![crate::mapping::GroupId(g)])
+                        .collect(),
+                };
+                self.emit(Event::CgFallback {
+                    groups: cgs.len(),
+                    reason: format!("{e:?}"),
+                });
+                cgs
             }
-        });
+        };
         (mapping, cgs)
     }
 

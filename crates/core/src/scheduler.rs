@@ -44,6 +44,7 @@ pub struct GlobalScheduler {
     ckpt_policy: CheckpointPolicy,
     resume: Option<Checkpoint>,
     timeline: bool,
+    profiled_beta: Option<f64>,
 }
 
 impl std::fmt::Debug for GlobalScheduler {
@@ -57,6 +58,7 @@ impl std::fmt::Debug for GlobalScheduler {
             .field("ckpt_policy", &self.ckpt_policy)
             .field("resume", &self.resume.as_ref().map(|c| c.epoch))
             .field("timeline", &self.timeline)
+            .field("profiled_beta", &self.profiled_beta)
             .finish()
     }
 }
@@ -73,7 +75,16 @@ impl GlobalScheduler {
             ckpt_policy: CheckpointPolicy::default(),
             resume: None,
             timeline: false,
+            profiled_beta: None,
         }
+    }
+
+    /// Overrides the calibrated β compute-power ratio with a measured value
+    /// (the `--profiled-beta` CLI flag; see [`Engine::with_profiled_beta`]),
+    /// forwarded to the [`Engine`] at dispatch.
+    pub fn with_profiled_beta(mut self, beta: f64) -> Self {
+        self.profiled_beta = Some(beta);
+        self
     }
 
     /// Prices SoCFlow epochs with the event-driven fluid timeline instead
@@ -148,11 +159,24 @@ impl GlobalScheduler {
                 mapping::sequential(&cluster, self.spec.socs, groups)
             }
         };
-        let cgs = divide_communication_groups(&mapping).unwrap_or(CommunicationGroups {
-            cgs: (0..mapping.num_groups())
-                .map(|g| vec![crate::mapping::GroupId(g)])
-                .collect(),
-        });
+        let cgs = match divide_communication_groups(&mapping) {
+            Ok(cgs) => cgs,
+            Err(e) => {
+                // Fall back to one CG per logical group (correct, but every
+                // group syncs in its own serial slot) and say so: a silent
+                // fallback makes the slow sync unexplainable from traces.
+                let cgs = CommunicationGroups {
+                    cgs: (0..mapping.num_groups())
+                        .map(|g| vec![crate::mapping::GroupId(g)])
+                        .collect(),
+                };
+                self.emit(Event::CgFallback {
+                    groups: cgs.len(),
+                    reason: format!("{e:?}"),
+                });
+                cgs
+            }
+        };
         self.emit(Event::PlanComputed {
             groups,
             probes: group_choice.as_ref().map(|c| c.profile.len()).unwrap_or(0),
@@ -221,6 +245,9 @@ impl GlobalScheduler {
         if let Some(ckpt) = self.resume {
             engine = engine.with_resume(ckpt);
         }
+        if let Some(beta) = self.profiled_beta {
+            engine = engine.with_profiled_beta(beta);
+        }
         engine.run()
     }
 }
@@ -266,6 +293,14 @@ mod tests {
         let w = Workload::standard(&s, 128, 8, 0.5);
         let r = GlobalScheduler::new(s, w).run();
         assert_eq!(r.epoch_accuracy.len(), 2);
+    }
+
+    #[test]
+    fn profiled_beta_reaches_the_compute_model() {
+        let s = spec(MethodSpec::SocFlow(SocFlowConfig::with_groups(2)));
+        let w = Workload::standard(&s, 128, 8, 0.5);
+        let mut e = Engine::new(s, w).with_profiled_beta(0.42);
+        assert_eq!(e.time_model_mut().compute().beta(), 0.42);
     }
 
     #[test]

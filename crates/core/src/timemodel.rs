@@ -64,7 +64,11 @@ impl TimeModel {
         let preset = spec.preset.spec();
         TimeModel {
             net: ClusterNet::new(cluster),
-            compute: ComputeModel::new(&spec.model.to_string(), spec.socs),
+            // ModelKind's display names are a closed set and every one has a
+            // calibration row (pinned by the model_of tests), so this cannot
+            // fail for a spec built through the public API.
+            compute: ComputeModel::new(&spec.model.to_string(), spec.socs)
+                .expect("every ModelKind has a calibration row"),
             payload: spec.model.payload_bytes_fp32() as f64,
             ref_samples: preset.reference_samples,
             sample_bytes: (preset.channels * preset.size * preset.size) as f64,

@@ -1,7 +1,10 @@
 use crate::layer::{Layer, Mode, Parameter, Precision};
 use crate::layers::{quant_fake_into, quant_grad_into};
 use rand::Rng;
-use socflow_tensor::conv::{conv2d_backward_scratch, conv2d_scratch, ConvParams, ConvScratch};
+use socflow_tensor::conv::{
+    conv2d_backward_scratch, conv2d_int8_scratch, conv2d_scratch, ConvParams, ConvScratch,
+};
+use socflow_tensor::quant::QuantFormat;
 use socflow_tensor::{init, Shape, Tensor, TensorPool};
 
 /// 2-D convolution layer (no bias — models here always follow a conv with
@@ -67,8 +70,11 @@ impl Conv2d {
 
 impl Layer for Conv2d {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        // INT8 runs the integer im2col-GEMM path ([`conv2d_int8_scratch`]),
+        // which leaves the dequantized patches in the scratch so the cache
+        // handoff and backward below are shared with the other precisions.
         let (xq, wq) = match mode.precision {
-            Precision::Fp32 => (None, None),
+            Precision::Fp32 | Precision::Quant(QuantFormat::Int8) => (None, None),
             Precision::Quant(f) => {
                 let mut xq = self.pool.take_any();
                 quant_fake_into(input, f, &mut xq);
@@ -80,7 +86,11 @@ impl Layer for Conv2d {
         let x = xq.as_ref().unwrap_or(input);
         let w = wq.as_ref().unwrap_or(&self.weight.value);
         let mut y = Tensor::default();
-        conv2d_scratch(x, w, self.params, &mut self.scratch, &mut y);
+        if mode.precision == Precision::Quant(QuantFormat::Int8) {
+            conv2d_int8_scratch(x, w, self.params, &mut self.scratch, &mut y);
+        } else {
+            conv2d_scratch(x, w, self.params, &mut self.scratch, &mut y);
+        }
         if mode.train {
             // Move the fresh patches into the cache and hand the previous
             // cache buffer back to the scratch for the next im2col.
@@ -224,5 +234,23 @@ mod tests {
         let y8 = c.forward(&x, Mode::eval(Precision::Int8));
         assert_ne!(y32, y8);
         assert!(y32.cosine_similarity(&y8) > 0.98);
+    }
+
+    /// The layer's INT8 forward must route to the integer conv kernel and
+    /// cache the dequantized patches it produced.
+    #[test]
+    fn int8_forward_routes_to_integer_kernel() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut c = Conv2d::new(2, 3, 3, 1, 1, &mut rng);
+        let x = init::normal([2, 2, 5, 5], 1.0, &mut rng);
+        let y = c.forward(&x, Mode::train(Precision::Int8));
+
+        let mut s = ConvScratch::default();
+        let mut expect = Tensor::default();
+        conv2d_int8_scratch(&x, &c.weight.value, c.params, &mut s, &mut expect);
+        assert_eq!(y, expect);
+        let (patches, shape) = c.cached.as_ref().unwrap();
+        assert_eq!(patches, &s.patches);
+        assert_eq!(shape, x.shape());
     }
 }

@@ -1,6 +1,7 @@
 use crate::layer::{Layer, Mode, Parameter, Precision};
 use crate::layers::{quant_fake_into, quant_grad_into};
 use rand::Rng;
+use socflow_tensor::quant::{self, QuantFormat, QuantParams};
 use socflow_tensor::{init, linalg, Tensor, TensorPool};
 
 /// Fully connected layer: `y = x·W + b` with `x: (n, in)`, `W: (in, out)`.
@@ -16,6 +17,11 @@ pub struct Linear {
     out_features: usize,
     cached_input: Option<Tensor>,
     pool: TensorPool,
+    /// INT8 staging for the integer forward: quantized activations,
+    /// quantized transposed weight, i32 accumulator.
+    qx: Vec<i8>,
+    qwt: Vec<i8>,
+    iacc: Vec<i32>,
     /// Quantized-backward counter seeding the gradient noise. Kept as f32
     /// so it rides [`Layer::state_buffers`] into checkpoints (exact up to
     /// 2^24 steps — far past any realistic run).
@@ -33,8 +39,41 @@ impl Linear {
             out_features,
             cached_input: None,
             pool: TensorPool::new(),
+            qx: Vec::new(),
+            qwt: Vec::new(),
+            iacc: Vec::new(),
             step: 0.0,
         }
+    }
+
+    /// Integer forward: quantize the activations and the transposed weight
+    /// to symmetric INT8, run the `i8×i8→i32` GEMM and apply both scales
+    /// once at the i32→f32 epilogue (the bias stays f32). In train mode the
+    /// cached input is the *dequantized* activations — bitwise-identical to
+    /// the fake-quant cache — so [`Layer::backward`] is shared unchanged.
+    fn forward_int8(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let (m, k) = input.shape().as_matrix();
+        assert_eq!(k, self.in_features, "Linear input width mismatch");
+        let px = QuantParams::from_tensor(input);
+        let pw = QuantParams::from_tensor(&self.weight.value);
+        quant::quantize_into(input, px, &mut self.qx);
+        quant::quantize_transposed_into(&self.weight.value, pw, &mut self.qwt);
+        self.iacc.clear();
+        self.iacc.resize(m * self.out_features, 0);
+        linalg::matmul_i8_a_bt_slices(&self.qx, &self.qwt, &mut self.iacc, m, k, self.out_features);
+        let s = px.scale * pw.scale;
+        let mut y = Tensor::default();
+        y.resize([m, self.out_features]);
+        for (o, &v) in y.data_mut().iter_mut().zip(self.iacc.iter()) {
+            *o = v as f32 * s;
+        }
+        y.add_row_broadcast_inplace(&self.bias.value);
+        if mode.train {
+            let mut cache = self.cached_input.take().unwrap_or_default();
+            quant::dequantize_into(&self.qx, input.shape().clone(), px, &mut cache);
+            self.cached_input = Some(cache);
+        }
+        y
     }
 
     /// Input feature count.
@@ -50,8 +89,13 @@ impl Linear {
 
 impl Layer for Linear {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
-        // Fp32 borrows the operands directly; the quantized path stages the
-        // fused quantize→dequantize results in pooled buffers.
+        // INT8 runs the true integer kernel; other quantized formats stage
+        // fused quantize→dequantize results in pooled buffers (no integer
+        // grid of their own on the GEMM), and Fp32 borrows the operands
+        // directly.
+        if mode.precision == Precision::Quant(QuantFormat::Int8) {
+            return self.forward_int8(input, mode);
+        }
         let (xq, wq) = match mode.precision {
             Precision::Fp32 => (None, None),
             Precision::Quant(f) => {
@@ -203,6 +247,40 @@ mod tests {
         assert_ne!(y32, y8, "INT8 must be lossy");
         let cos = y32.cosine_similarity(&y8);
         assert!(cos > 0.99, "INT8 output should stay close (cos={cos})");
+    }
+
+    /// The INT8 forward must be the integer kernel, not fake-quant f32: a
+    /// widened-i32 reference with one scale at the end reproduces the
+    /// output bit for bit, and the train cache equals the dequantized
+    /// activations (= fake-quant of the input, bitwise).
+    #[test]
+    fn int8_forward_matches_widened_reference_exactly() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let (nin, nout, batch) = (9usize, 5, 3);
+        let mut l = Linear::new(nin, nout, &mut rng);
+        l.bias.value = init::normal([nout], 0.5, &mut rng);
+        let x = init::normal([batch, nin], 1.0, &mut rng);
+        let y = l.forward(&x, Mode::train(Precision::Int8));
+
+        let px = quant::QuantParams::from_tensor(&x);
+        let pw = quant::QuantParams::from_tensor(&l.weight.value);
+        let qx = quant::quantize(&x, px);
+        let qw = quant::quantize(&l.weight.value, pw); // (in, out) row-major
+        let s = px.scale * pw.scale;
+        for i in 0..batch {
+            for j in 0..nout {
+                let mut acc = 0i32;
+                for p in 0..nin {
+                    acc += qx[i * nin + p] as i32 * qw[p * nout + j] as i32;
+                }
+                let expect = acc as f32 * s + l.bias.value.data()[j];
+                assert_eq!(y.data()[i * nout + j], expect, "y[{i},{j}]");
+            }
+        }
+
+        let cache = l.cached_input.as_ref().unwrap();
+        let fq = quant::fake_quant(&x, px);
+        assert_eq!(cache.data(), fq.data(), "cache must equal fake-quant(x)");
     }
 
     #[test]

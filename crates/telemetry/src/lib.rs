@@ -87,6 +87,11 @@ pub enum Event {
     },
     /// The scheduler checked the per-SoC memory plan.
     MemoryChecked { bytes: u64, fits: bool },
+    /// CG division failed (non-bipartite conflict graph — possible for
+    /// ad-hoc mappings) and the planner fell back to one communication
+    /// group per logical group: correct, but the per-batch sync serializes.
+    /// `groups` is the number of serial CGs the fallback produced.
+    CgFallback { groups: usize, reason: String },
     /// One epoch finished. `compute`/`sync`/`update` are the Fig. 12
     /// breakdown; `aggregation` is the delayed-aggregation share of
     /// `sync` (inter-group sync + broadcast + shuffle for SoCFlow, the
@@ -553,6 +558,7 @@ impl Summary {
                 Event::RunStarted { .. }
                 | Event::PlanComputed { .. }
                 | Event::MemoryChecked { .. }
+                | Event::CgFallback { .. }
                 | Event::SpanEnd { .. }
                 | Event::RunCompleted { .. } => {}
             }

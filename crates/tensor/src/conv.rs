@@ -15,6 +15,7 @@
 //! All image tensors are NCHW.
 
 use crate::profile::{KernelOp, Timer};
+use crate::quant::{self, QuantParams};
 use crate::runtime::{self, SendPtr};
 use crate::{linalg, Shape, Tensor};
 
@@ -288,6 +289,12 @@ pub struct ConvScratch {
     mat: Tensor,
     /// Patch-gradient matrix of the backward pass.
     gpatches: Tensor,
+    /// Quantized patch matrix of the integer forward path.
+    qpatches: Vec<i8>,
+    /// Quantized `(oc, ic·kh·kw)` weight view of the integer forward path.
+    qweight: Vec<i8>,
+    /// i32 accumulator of the integer forward path.
+    imat: Vec<i32>,
 }
 
 impl Clone for ConvScratch {
@@ -341,6 +348,63 @@ pub fn conv2d_scratch(
         oc,
     );
     nhwc_rows_to_nchw_into(&scratch.mat, n, oc, oh, ow, out);
+}
+
+/// Integer-path forward convolution: the INT8 replica arm's conv kernel.
+///
+/// Lowers the raw input with im2col, quantizes the patch matrix and the
+/// `(oc, ic·kh·kw)` weight view to symmetric per-tensor INT8, runs the
+/// `i8×i8→i32` GEMM ([`linalg::matmul_i8_a_bt_slices`]) and applies both
+/// scales once at the i32→f32 epilogue — no f32 fake-quant matmul anywhere
+/// on this path. The patch scale is taken from the patch matrix itself
+/// (padding zeros cannot raise max-|x|, so it equals the in-window input
+/// scale).
+///
+/// On return `scratch.patches` holds the **dequantized** patch matrix — the
+/// exact values the integer kernel consumed — so the standard
+/// [`conv2d_backward_scratch`] differentiates the function the integer
+/// kernel actually computed, unchanged. Returns the `(patches, weight)`
+/// quantization parameters.
+///
+/// # Panics
+/// Panics if channel counts disagree or the window does not fit.
+pub fn conv2d_int8_scratch(
+    input: &Tensor,
+    weight: &Tensor,
+    p: ConvParams,
+    scratch: &mut ConvScratch,
+    out: &mut Tensor,
+) -> (QuantParams, QuantParams) {
+    let (n, ic, _h, _w) = input.shape().as_nchw();
+    let (oc, ic2, kh, kw) = weight.shape().as_nchw();
+    assert_eq!(ic, ic2, "conv2d channel mismatch: input {ic}, weight {ic2}");
+    let (oh, ow) = im2col_into(input, kh, kw, p, &mut scratch.patches);
+    let rows = n * oh * ow;
+    let cols = ic * kh * kw;
+    let pp = QuantParams::from_tensor(&scratch.patches);
+    let pw = QuantParams::from_tensor(weight);
+    quant::quantize_into(&scratch.patches, pp, &mut scratch.qpatches);
+    quant::quantize_into(weight, pw, &mut scratch.qweight);
+    scratch.imat.clear();
+    scratch.imat.resize(rows * oc, 0);
+    linalg::matmul_i8_a_bt_slices(
+        &scratch.qpatches,
+        &scratch.qweight,
+        &mut scratch.imat,
+        rows,
+        cols,
+        oc,
+    );
+    let s = pp.scale * pw.scale;
+    scratch.mat.resize([rows, oc]);
+    for (o, &v) in scratch.mat.data_mut().iter_mut().zip(scratch.imat.iter()) {
+        *o = v as f32 * s;
+    }
+    nhwc_rows_to_nchw_into(&scratch.mat, n, oc, oh, ow, out);
+    // Replace the raw patches with their dequantized INT8 values for backward.
+    let shape = scratch.patches.shape().clone();
+    quant::dequantize_into(&scratch.qpatches, shape, pp, &mut scratch.patches);
+    (pp, pw)
 }
 
 /// Backward 2-D convolution.
@@ -677,6 +741,66 @@ mod tests {
         conv2d_backward_scratch(&gy, &pt, &w, x.shape(), p, &mut s, &mut gx2, &mut gw2);
         assert_eq!(gx2, gx);
         assert_eq!(gw2, gw);
+    }
+
+    /// The integer conv forward must reproduce the widened-i32 reference
+    /// bit for bit, leave dequantized patches behind for backward, and stay
+    /// close to the f32 convolution.
+    #[test]
+    fn int8_conv_matches_widened_reference_exactly() {
+        let p = ConvParams::new(1, 1);
+        let (n, ic, h, w_, oc, kh, kw) = (2usize, 2, 5, 5, 3, 3, 3);
+        let x = Tensor::from_vec(
+            (0..n * ic * h * w_)
+                .map(|i| (i as f32 * 0.7).sin())
+                .collect(),
+            [n, ic, h, w_],
+        );
+        let w = Tensor::from_vec(
+            (0..oc * ic * kh * kw)
+                .map(|i| (i as f32 * 0.3).cos() * 0.5)
+                .collect(),
+            [oc, ic, kh, kw],
+        );
+        let mut s = ConvScratch::default();
+        let mut y8 = Tensor::default();
+        let (pp, pw) = conv2d_int8_scratch(&x, &w, p, &mut s, &mut y8);
+
+        // Reference: quantize the raw patches and weight, accumulate in i32.
+        let (patches, oh, ow) = im2col(&x, kh, kw, p);
+        assert_eq!(pp.scale, QuantParams::from_tensor(&patches).scale);
+        let cols = ic * kh * kw;
+        let qp = quant::quantize(&patches, pp);
+        let qw = quant::quantize(&w, pw);
+        let scale = pp.scale * pw.scale;
+        let mut expect = Tensor::zeros([n, oc, oh, ow]);
+        for ni in 0..n {
+            for j in 0..oc {
+                for y in 0..oh {
+                    for xx in 0..ow {
+                        let row = ((ni * oh + y) * ow + xx) * cols;
+                        let mut acc = 0i32;
+                        for ci in 0..cols {
+                            acc += qp[row + ci] as i32 * qw[j * cols + ci] as i32;
+                        }
+                        expect.data_mut()[((ni * oc + j) * oh + y) * ow + xx] = acc as f32 * scale;
+                    }
+                }
+            }
+        }
+        assert_eq!(y8, expect);
+
+        // Patches left behind are the dequantized values the kernel saw.
+        assert_eq!(
+            s.patches,
+            quant::dequantize(&qp, patches.shape().clone(), pp)
+        );
+
+        // And the whole thing stays close to the f32 convolution.
+        let (y32, _) = conv2d(&x, &w, p);
+        let dot: f32 = y8.data().iter().zip(y32.data()).map(|(a, b)| a * b).sum();
+        let cos = dot / (y8.l2_norm() * y32.l2_norm());
+        assert!(cos > 0.98, "cos {cos}");
     }
 
     #[test]

@@ -62,12 +62,14 @@ use crate::runtime::SendPtr;
 
 /// Splits `m` output rows into shape-fixed panels and runs
 /// `panel(i0, i1, out_rows)` for each on the worker pool. `out_rows` is the
-/// `(i1 - i0) × n` sub-slice of `out` starting at row `i0`.
-fn par_row_panels(
-    out: &mut [f32],
+/// `(i1 - i0) × n` sub-slice of `out` starting at row `i0`. Generic over the
+/// element type so the f32 kernels and the i8→i32 integer GEMM share one
+/// partitioner.
+fn par_row_panels<T: Send>(
+    out: &mut [T],
     m: usize,
     n: usize,
-    panel: &(dyn Fn(usize, usize, &mut [f32]) + Sync),
+    panel: &(dyn Fn(usize, usize, &mut [T]) + Sync),
 ) {
     let chunks = m.div_ceil(ROWS_PER_CHUNK);
     let out_ptr = SendPtr::new(out);
@@ -83,6 +85,173 @@ fn par_row_panels(
 /// Whether a product of this shape is worth dispatching on the pool.
 fn worth_parallel(m: usize, k: usize, n: usize) -> bool {
     m > ROWS_PER_CHUNK && m * k * n >= PAR_MIN_WORK && crate::runtime::threads() > 1
+}
+
+// ---------------------------------------------------------------------------
+// Micro-kernel accumulate steps: scalar reference + optional SIMD lanes
+// ---------------------------------------------------------------------------
+//
+// The `simd` cargo feature swaps the micro-kernels' innermost accumulate
+// steps for explicit `std::arch` lanes — SSE2 on x86_64 and NEON on aarch64,
+// both part of their target's baseline ABI, so no runtime feature detection
+// is needed. The SIMD bodies use a separate multiply and add (never FMA) and
+// keep each accumulator lane's additions in the same ascending-`p` order as
+// the scalar loop, so every output element sees the identical sequence of
+// f32 roundings: scalar and SIMD builds are bitwise-identical
+// (property-pinned in `tests/properties.rs`). The integer dot product is
+// exact in i32, where ordering cannot matter at all.
+
+/// Scalar reference for the f32 accumulate step: `acc[c] += av * brow[c]`
+/// over the `NR` lanes. Kept compiled in every configuration — the SIMD
+/// lanes are property-pinned against it.
+#[cfg_attr(
+    all(feature = "simd", any(target_arch = "x86_64", target_arch = "aarch64")),
+    allow(dead_code)
+)]
+#[inline(always)]
+fn axpy_nr_scalar(acc: &mut [f32; NR], av: f32, brow: &[f32]) {
+    for (c, &bv) in acc.iter_mut().zip(brow.iter()) {
+        *c += av * bv;
+    }
+}
+
+/// SSE2 f32 accumulate step: four 4-lane vectors cover the `NR = 16` tile.
+/// `_mm_mul_ps` + `_mm_add_ps` (no FMA) round exactly like the scalar loop.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[inline(always)]
+fn axpy_nr(acc: &mut [f32; NR], av: f32, brow: &[f32]) {
+    debug_assert!(brow.len() >= NR);
+    // Safety: SSE2 is part of the x86_64 baseline ABI; loads/stores are the
+    // unaligned variants; both buffers hold at least NR elements.
+    unsafe {
+        use std::arch::x86_64::*;
+        let avv = _mm_set1_ps(av);
+        let mut lane = 0;
+        while lane < NR {
+            let b = _mm_loadu_ps(brow.as_ptr().add(lane));
+            let c = _mm_loadu_ps(acc.as_ptr().add(lane));
+            let r = _mm_add_ps(c, _mm_mul_ps(avv, b));
+            _mm_storeu_ps(acc.as_mut_ptr().add(lane), r);
+            lane += 4;
+        }
+    }
+}
+
+/// NEON f32 accumulate step (`vmulq_f32` + `vaddq_f32`, no fused multiply).
+#[cfg(all(feature = "simd", target_arch = "aarch64"))]
+#[inline(always)]
+fn axpy_nr(acc: &mut [f32; NR], av: f32, brow: &[f32]) {
+    debug_assert!(brow.len() >= NR);
+    // Safety: NEON is part of the aarch64 baseline ABI; both buffers hold at
+    // least NR elements.
+    unsafe {
+        use std::arch::aarch64::*;
+        let avv = vdupq_n_f32(av);
+        let mut lane = 0;
+        while lane < NR {
+            let b = vld1q_f32(brow.as_ptr().add(lane));
+            let c = vld1q_f32(acc.as_ptr().add(lane));
+            let r = vaddq_f32(c, vmulq_f32(avv, b));
+            vst1q_f32(acc.as_mut_ptr().add(lane), r);
+            lane += 4;
+        }
+    }
+}
+
+/// Without the `simd` feature (or on other architectures) the accumulate
+/// step *is* the scalar reference.
+#[cfg(not(all(feature = "simd", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+#[inline(always)]
+fn axpy_nr(acc: &mut [f32; NR], av: f32, brow: &[f32]) {
+    axpy_nr_scalar(acc, av, brow);
+}
+
+/// Scalar reference for the integer dot product: widen to i32, accumulate
+/// exactly. `a.len() == b.len()` must hold; the sum must stay within `i32`
+/// (callers bound `k ≤ 2^17`, far below any layer in the model zoo).
+#[cfg_attr(
+    all(feature = "simd", any(target_arch = "x86_64", target_arch = "aarch64")),
+    allow(dead_code)
+)]
+#[inline(always)]
+fn dot_i8_scalar(a: &[i8], b: &[i8]) -> i32 {
+    let mut acc = 0i32;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        acc += x as i32 * y as i32;
+    }
+    acc
+}
+
+/// SSE2 i8 dot product: sign-extend 16 bytes to i16 lanes, then
+/// `_mm_madd_epi16` multiplies i16 pairs and sums them into i32 — exact,
+/// since `|i8·i8| ≤ 127² = 16129` fits an i16 product pair summed into i32.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[inline(always)]
+fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len());
+    // Safety: SSE2 baseline; unaligned loads; tail handled in scalar.
+    unsafe {
+        use std::arch::x86_64::*;
+        let k = a.len();
+        let zero = _mm_setzero_si128();
+        let mut acc = _mm_setzero_si128();
+        let mut p = 0;
+        while p + 16 <= k {
+            let va = _mm_loadu_si128(a.as_ptr().add(p) as *const __m128i);
+            let vb = _mm_loadu_si128(b.as_ptr().add(p) as *const __m128i);
+            // Sign-extend each byte half to i16: unpack into the high byte
+            // of each i16 lane, then arithmetic-shift back down.
+            let a_lo = _mm_srai_epi16(_mm_unpacklo_epi8(zero, va), 8);
+            let a_hi = _mm_srai_epi16(_mm_unpackhi_epi8(zero, va), 8);
+            let b_lo = _mm_srai_epi16(_mm_unpacklo_epi8(zero, vb), 8);
+            let b_hi = _mm_srai_epi16(_mm_unpackhi_epi8(zero, vb), 8);
+            acc = _mm_add_epi32(acc, _mm_madd_epi16(a_lo, b_lo));
+            acc = _mm_add_epi32(acc, _mm_madd_epi16(a_hi, b_hi));
+            p += 16;
+        }
+        let mut lanes = [0i32; 4];
+        _mm_storeu_si128(lanes.as_mut_ptr() as *mut __m128i, acc);
+        let mut sum = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+        while p < k {
+            sum += a[p] as i32 * b[p] as i32;
+            p += 1;
+        }
+        sum
+    }
+}
+
+/// NEON i8 dot product: `vmull_s8` widens 8 products to i16 (exact), then
+/// `vpadalq_s16` folds pairs into i32 accumulators.
+#[cfg(all(feature = "simd", target_arch = "aarch64"))]
+#[inline(always)]
+fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len());
+    // Safety: NEON baseline; tail handled in scalar.
+    unsafe {
+        use std::arch::aarch64::*;
+        let k = a.len();
+        let mut acc = vdupq_n_s32(0);
+        let mut p = 0;
+        while p + 8 <= k {
+            let va = vld1_s8(a.as_ptr().add(p));
+            let vb = vld1_s8(b.as_ptr().add(p));
+            acc = vpadalq_s16(acc, vmull_s8(va, vb));
+            p += 8;
+        }
+        let mut sum = vaddvq_s32(acc);
+        while p < k {
+            sum += a[p] as i32 * b[p] as i32;
+            p += 1;
+        }
+        sum
+    }
+}
+
+/// Without the `simd` feature the integer dot *is* the scalar reference.
+#[cfg(not(all(feature = "simd", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+#[inline(always)]
+fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    dot_i8_scalar(a, b)
 }
 
 // ---------------------------------------------------------------------------
@@ -152,9 +321,7 @@ fn matmul_panel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: us
                 let brow = &b[p * n + j..p * n + j + NR];
                 for (mi, accrow) in acc.iter_mut().enumerate() {
                     let av = a[(i + mi) * k + p];
-                    for (c, &bv) in accrow.iter_mut().zip(brow.iter()) {
-                        *c += av * bv;
-                    }
+                    axpy_nr(accrow, av, brow);
                 }
             }
             for (mi, accrow) in acc.iter().enumerate() {
@@ -169,9 +336,7 @@ fn matmul_panel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: us
             for p in 0..k {
                 let av = a[i * k + p];
                 let brow = &b[p * n + j..p * n + j + NR];
-                for (c, &bv) in acc.iter_mut().zip(brow.iter()) {
-                    *c += av * bv;
-                }
+                axpy_nr(&mut acc, av, brow);
             }
             out[i * n + j..i * n + j + NR].copy_from_slice(&acc);
             i += 1;
@@ -266,9 +431,7 @@ fn matmul_at_b_panel(
                 let apanel = &a[p * m + i..p * m + i + MR];
                 let brow = &b[p * n + j..p * n + j + NR];
                 for (accrow, &av) in acc.iter_mut().zip(apanel.iter()) {
-                    for (c, &bv) in accrow.iter_mut().zip(brow.iter()) {
-                        *c += av * bv;
-                    }
+                    axpy_nr(accrow, av, brow);
                 }
             }
             for (mi, accrow) in acc.iter().enumerate() {
@@ -282,9 +445,7 @@ fn matmul_at_b_panel(
             for p in 0..k {
                 let av = a[p * m + i];
                 let brow = &b[p * n + j..p * n + j + NR];
-                for (c, &bv) in acc.iter_mut().zip(brow.iter()) {
-                    *c += av * bv;
-                }
+                axpy_nr(&mut acc, av, brow);
             }
             let orow = i - i0;
             out[orow * n + j..orow * n + j + NR].copy_from_slice(&acc);
@@ -382,9 +543,7 @@ fn matmul_a_bt_panel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, 
                     let brow = &panel[p * NR..(p + 1) * NR];
                     for (mi, accrow) in acc.iter_mut().enumerate() {
                         let av = a[(i + mi) * k + p];
-                        for (c, &bv) in accrow.iter_mut().zip(brow.iter()) {
-                            *c += av * bv;
-                        }
+                        axpy_nr(accrow, av, brow);
                     }
                 }
                 for (mi, accrow) in acc.iter().enumerate() {
@@ -398,9 +557,7 @@ fn matmul_a_bt_panel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, 
                 for p in 0..k {
                     let av = a[i * k + p];
                     let brow = &panel[p * NR..(p + 1) * NR];
-                    for (c, &bv) in acc.iter_mut().zip(brow.iter()) {
-                        *c += av * bv;
-                    }
+                    axpy_nr(&mut acc, av, brow);
                 }
                 out[i * n + j..i * n + j + NR].copy_from_slice(&acc);
                 i += 1;
@@ -422,6 +579,63 @@ fn matmul_a_bt_panel(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, 
             }
         }
     });
+}
+
+// ---------------------------------------------------------------------------
+// Integer GEMM: C(i32) = A(i8) × B(i8)ᵀ
+// ---------------------------------------------------------------------------
+
+/// `C = A × Bᵀ` over `i8` operands with exact `i32` accumulation:
+/// `a: (m, k)` and `b: (n, k)` row-major — every output element is one
+/// contiguous length-`k` dot product — writing `out: (m, n)`, fully
+/// overwritten.
+///
+/// This is the NPU arm's compute kernel: integer accumulation is exact (no
+/// rounding at any summation order), so the scalar, SIMD and row-parallel
+/// paths are bitwise-identical by construction. Per-tensor scales are *not*
+/// applied here; callers apply `sa·sb` once at the i32→f32 epilogue
+/// ([`crate::quant::quantized_matmul`] does exactly that).
+///
+/// The accumulator bounds the shared dimension: `k · 127² < 2³¹` requires
+/// `k ≤ 2¹⁷`, far above any layer in the model zoo.
+///
+/// # Panics
+/// Panics if the slice lengths do not match the given dimensions.
+pub fn matmul_i8_a_bt_slices(a: &[i8], b: &[i8], out: &mut [i32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "matmul_i8_a_bt_slices: a length");
+    assert_eq!(b.len(), n * k, "matmul_i8_a_bt_slices: b length");
+    assert_eq!(out.len(), m * n, "matmul_i8_a_bt_slices: out length");
+    let _t = Timer::start(KernelOp::MatmulI8);
+    if worth_parallel(m, k, n) {
+        par_row_panels(out, m, n, &|i0, i1, out_rows| {
+            matmul_i8_panel(&a[i0 * k..i1 * k], b, out_rows, i1 - i0, k, n);
+        });
+    } else {
+        matmul_i8_panel(a, b, out, m, k, n);
+    }
+}
+
+/// Sequential i8 dot-product kernel over an `m`-row slice of `A`/`out`.
+/// Columns are walked in blocks of four so each `A` row stays register/L1
+/// resident across several `B` rows; i32 exactness makes the blocking
+/// order-irrelevant.
+fn matmul_i8_panel(a: &[i8], b: &[i8], out: &mut [i32], m: usize, k: usize, n: usize) {
+    const JB: usize = 4;
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        let mut j = 0;
+        while j + JB <= n {
+            for jj in j..j + JB {
+                orow[jj] = dot_i8(arow, &b[jj * k..(jj + 1) * k]);
+            }
+            j += JB;
+        }
+        while j < n {
+            orow[j] = dot_i8(arow, &b[j * k..(j + 1) * k]);
+            j += 1;
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -643,5 +857,101 @@ mod tests {
         let a = Tensor::from_vec(vec![3.0], [1, 1]);
         let b = Tensor::from_vec(vec![4.0], [1, 1]);
         assert_eq!(matmul(&a, &b).data(), &[12.0]);
+    }
+
+    /// Deterministic pseudo-random i8 buffer covering the full [-128, 127]
+    /// range (including the -128 the quantizer never emits — the kernel must
+    /// not care).
+    fn rand_i8(len: usize, seed: u64) -> Vec<i8> {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(99);
+        (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 33) as i8
+            })
+            .collect()
+    }
+
+    /// The dispatched accumulate step (SIMD when the `simd` feature is on)
+    /// is bitwise-identical to the scalar reference for arbitrary inputs.
+    #[test]
+    fn axpy_step_matches_scalar_bitwise() {
+        for seed in 0..32u64 {
+            let a = rand_matrix(1, NR, seed);
+            let base = rand_matrix(1, NR, seed ^ 0xFFFF);
+            let av = a.data()[0] * 1.7 - 0.3;
+            let mut acc = [0.0f32; NR];
+            let mut acc_ref = [0.0f32; NR];
+            acc.copy_from_slice(base.data());
+            acc_ref.copy_from_slice(base.data());
+            axpy_nr(&mut acc, av, a.data());
+            axpy_nr_scalar(&mut acc_ref, av, a.data());
+            assert_eq!(
+                acc.map(f32::to_bits),
+                acc_ref.map(f32::to_bits),
+                "seed {seed}"
+            );
+        }
+    }
+
+    /// The dispatched i8 dot (SIMD when enabled) equals the scalar widened
+    /// reference exactly, across lengths that exercise every tail path.
+    #[test]
+    fn dot_i8_matches_scalar_exactly() {
+        for &len in &[0usize, 1, 7, 8, 15, 16, 17, 31, 32, 33, 63, 100, 257] {
+            let a = rand_i8(len, len as u64 + 1);
+            let b = rand_i8(len, len as u64 * 31 + 7);
+            assert_eq!(dot_i8(&a, &b), dot_i8_scalar(&a, &b), "len {len}");
+        }
+    }
+
+    /// The i8 GEMM equals a naive widened-i32 triple loop exactly on
+    /// awkward shapes (same tile-edge torture list as the f32 kernels).
+    #[test]
+    fn i8_gemm_matches_widened_reference() {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (1, 7, 23),
+            (23, 7, 1),
+            (4, 4, 16),
+            (8, 3, 32),
+            (5, 13, 17),
+            (17, 1, 19),
+            (16, 16, 16),
+            (19, 29, 31),
+            (3, 40, 15),
+            (40, 2, 48),
+        ] {
+            let a = rand_i8(m * k, (m * 100 + k) as u64);
+            let b = rand_i8(n * k, (k * 100 + n) as u64);
+            let mut out = vec![0i32; m * n];
+            matmul_i8_a_bt_slices(&a, &b, &mut out, m, k, n);
+            for i in 0..m {
+                for j in 0..n {
+                    let mut acc = 0i32;
+                    for p in 0..k {
+                        acc += a[i * k + p] as i32 * b[j * k + p] as i32;
+                    }
+                    assert_eq!(out[i * n + j], acc, "({i},{j}) of {m}x{k}x{n}");
+                }
+            }
+        }
+    }
+
+    /// Row-parallel i8 GEMM is identical to the serial panel at 8 workers.
+    #[test]
+    fn parallel_i8_matches_serial() {
+        crate::runtime::set_threads(8);
+        for &(m, k, n) in &[(97, 64, 48), (130, 70, 33), (256, 64, 17)] {
+            let a = rand_i8(m * k, (m + k) as u64);
+            let b = rand_i8(n * k, (k + n + 7) as u64);
+            let mut serial = vec![0i32; m * n];
+            matmul_i8_panel(&a, &b, &mut serial, m, k, n);
+            let mut par = vec![0i32; m * n];
+            matmul_i8_a_bt_slices(&a, &b, &mut par, m, k, n);
+            assert_eq!(par, serial, "matmul_i8 {m}x{k}x{n}");
+        }
     }
 }

@@ -27,6 +27,8 @@ pub enum KernelOp {
     MatmulAtB,
     /// `C = A × Bᵀ` (conv forward / input-gradient matmul).
     MatmulABt,
+    /// Integer `i8×i8→i32` GEMM (the NPU arm's quantized matmul/conv).
+    MatmulI8,
     /// Rank-2 transpose.
     Transpose,
     /// im2col patch extraction.
@@ -37,13 +39,14 @@ pub enum KernelOp {
     Quant,
 }
 
-const OP_COUNT: usize = 7;
+const OP_COUNT: usize = 8;
 
 /// All attributed kernel families, in reporting order.
 pub const ALL_OPS: [KernelOp; OP_COUNT] = [
     KernelOp::Matmul,
     KernelOp::MatmulAtB,
     KernelOp::MatmulABt,
+    KernelOp::MatmulI8,
     KernelOp::Transpose,
     KernelOp::Im2col,
     KernelOp::Col2im,
@@ -57,6 +60,7 @@ impl KernelOp {
             KernelOp::Matmul => "matmul",
             KernelOp::MatmulAtB => "matmul_at_b",
             KernelOp::MatmulABt => "matmul_a_bt",
+            KernelOp::MatmulI8 => "matmul_i8",
             KernelOp::Transpose => "transpose",
             KernelOp::Im2col => "im2col",
             KernelOp::Col2im => "col2im",
@@ -69,10 +73,11 @@ impl KernelOp {
             KernelOp::Matmul => 0,
             KernelOp::MatmulAtB => 1,
             KernelOp::MatmulABt => 2,
-            KernelOp::Transpose => 3,
-            KernelOp::Im2col => 4,
-            KernelOp::Col2im => 5,
-            KernelOp::Quant => 6,
+            KernelOp::MatmulI8 => 3,
+            KernelOp::Transpose => 4,
+            KernelOp::Im2col => 5,
+            KernelOp::Col2im => 6,
+            KernelOp::Quant => 7,
         }
     }
 }

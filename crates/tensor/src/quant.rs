@@ -10,8 +10,10 @@
 //! - [`fake_quant`]: quantize-dequantize in f32, the standard
 //!   quantization-aware-training forward transform whose backward is the
 //!   straight-through estimator (identity inside the clip range);
-//! - [`quantized_matmul`]: an actual INT8×INT8→i32 GEMM, used by tests to
-//!   validate that fake-quant f32 arithmetic matches integer arithmetic.
+//! - [`quantized_matmul`]: an actual INT8×INT8→i32 GEMM (backed by the
+//!   register-blocked integer kernel in [`crate::linalg`]) — the execution
+//!   path of the mixed-precision INT8 replica arm, with per-tensor scales
+//!   applied once at the i32→f32 epilogue.
 //!
 //! The NiTi-style integer optimizer in `socflow-nn` builds on these
 //! primitives.
@@ -172,6 +174,34 @@ pub fn quantize(t: &Tensor, p: QuantParams) -> Vec<i8> {
     t.data().iter().map(|&v| p.quantize_value(v)).collect()
 }
 
+/// [`quantize`] writing into a caller-owned buffer (cleared and refilled),
+/// so steady-state integer forwards allocate nothing.
+pub fn quantize_into(t: &Tensor, p: QuantParams, out: &mut Vec<i8>) {
+    let _timer = Timer::start(KernelOp::Quant);
+    out.clear();
+    out.extend(t.data().iter().map(|&v| p.quantize_value(v)));
+}
+
+/// Quantizes a rank-2 tensor's *transpose* into `out`: `t: (r, c)` yields a
+/// row-major `(c, r)` i8 buffer. This feeds the `(n, k)` operand of
+/// [`crate::linalg::matmul_i8_a_bt_slices`] without materializing an f32
+/// transpose first.
+///
+/// # Panics
+/// Panics if `t` is not rank-2.
+pub fn quantize_transposed_into(t: &Tensor, p: QuantParams, out: &mut Vec<i8>) {
+    let _timer = Timer::start(KernelOp::Quant);
+    let (r, c) = t.shape().as_matrix();
+    out.clear();
+    out.resize(r * c, 0);
+    let d = t.data();
+    for (i, row) in d.chunks_exact(c).enumerate() {
+        for (j, &v) in row.iter().enumerate() {
+            out[j * r + i] = p.quantize_value(v);
+        }
+    }
+}
+
 /// Dequantizes an INT8 buffer back to an f32 tensor of the given shape.
 ///
 /// # Panics
@@ -179,6 +209,23 @@ pub fn quantize(t: &Tensor, p: QuantParams) -> Vec<i8> {
 pub fn dequantize(q: &[i8], shape: impl Into<Shape>, p: QuantParams) -> Tensor {
     let data = q.iter().map(|&v| p.dequantize_value(v)).collect();
     Tensor::from_vec(data, shape)
+}
+
+/// [`dequantize`] writing into `out`, reusing its storage.
+///
+/// `dequantize_into(quantize(x), ..)` is bitwise-identical to
+/// [`fake_quant`]`(x)` for finite inputs (both compute
+/// `round(clamp(v/s)) * s` with the same operand order), so integer-path
+/// layers can cache the dequantized activations and leave every backward
+/// pass untouched.
+pub fn dequantize_into(q: &[i8], shape: impl Into<Shape>, p: QuantParams, out: &mut Tensor) {
+    let _timer = Timer::start(KernelOp::Quant);
+    out.resize(shape.into());
+    let od = out.data_mut();
+    assert_eq!(q.len(), od.len(), "dequantize_into: length mismatch");
+    for (o, &v) in od.iter_mut().zip(q) {
+        *o = p.dequantize_value(v);
+    }
 }
 
 /// Quantize-dequantize in f32 (the QAT "fake quantization" transform).
@@ -237,20 +284,17 @@ pub fn quantized_matmul(
 ) -> Tensor {
     assert_eq!(a.len(), m * k, "lhs buffer length");
     assert_eq!(b.len(), k * n, "rhs buffer length");
-    let mut out = vec![0i32; m * n];
-    for i in 0..m {
-        for p in 0..k {
-            let av = a[i * k + p] as i32;
-            if av == 0 {
-                continue;
-            }
-            let brow = &b[p * n..(p + 1) * n];
-            let crow = &mut out[i * n..(i + 1) * n];
-            for (c, &bv) in crow.iter_mut().zip(brow.iter()) {
-                *c += av * bv as i32;
-            }
+    // Pack Bᵀ so both operands of every dot product are contiguous, then run
+    // the register-blocked integer kernel. i32 accumulation is exact, so the
+    // packing changes nothing numerically.
+    let mut bt = vec![0i8; n * k];
+    for (p, brow) in b.chunks_exact(n).enumerate() {
+        for (j, &bv) in brow.iter().enumerate() {
+            bt[j * k + p] = bv;
         }
     }
+    let mut out = vec![0i32; m * n];
+    crate::linalg::matmul_i8_a_bt_slices(a, &bt, &mut out, m, k, n);
     let s = pa.scale * pb.scale;
     Tensor::from_vec(
         out.into_iter().map(|v| v as f32 * s).collect(),
@@ -386,6 +430,67 @@ mod tests {
         for (qv, fv) in qres.data().iter().zip(fres.data()) {
             assert!((qv - fv).abs() <= tol, "{qv} vs {fv} (tol {tol})");
         }
+    }
+
+    #[test]
+    fn quantized_matmul_matches_widened_reference_exactly() {
+        // The integer path is exact: i32 accumulation with one f32 scale at
+        // the end must reproduce the naive widened product bit for bit.
+        let (m, k, n) = (7, 19, 11);
+        let mut state = 0x5EEDu64;
+        let mut next_i8 = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as i8
+        };
+        let a: Vec<i8> = (0..m * k).map(|_| next_i8()).collect();
+        let b: Vec<i8> = (0..k * n).map(|_| next_i8()).collect();
+        let pa = QuantParams { scale: 0.031 };
+        let pb = QuantParams { scale: 0.27 };
+        let got = quantized_matmul(&a, pa, &b, pb, m, k, n);
+        let s = pa.scale * pb.scale;
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0i32;
+                for p in 0..k {
+                    acc += a[i * k + p] as i32 * b[p * n + j] as i32;
+                }
+                assert_eq!(got.data()[i * n + j], acc as f32 * s);
+            }
+        }
+    }
+
+    #[test]
+    fn into_variants_match_allocating_quantize() {
+        let t = Tensor::from_vec(
+            (0..24).map(|i| ((i as f32) * 0.7).sin() * 2.0).collect(),
+            [4, 6],
+        );
+        let p = QuantParams::from_tensor(&t);
+
+        let mut q = vec![5i8; 3]; // wrong size: must be cleared and refilled
+        quantize_into(&t, p, &mut q);
+        assert_eq!(q, quantize(&t, p));
+
+        let mut back = Tensor::full([2], 9.0);
+        dequantize_into(&q, [4, 6], p, &mut back);
+        assert_eq!(back, dequantize(&q, [4, 6], p));
+
+        // dequantize(quantize(x)) must be bitwise-identical to fake_quant(x):
+        // integer-path layers rely on this to cache activations for backward.
+        let fq = fake_quant(&t, p);
+        assert_eq!(
+            back.data()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<u32>>(),
+            fq.data().iter().map(|v| v.to_bits()).collect::<Vec<u32>>()
+        );
+
+        // transposed quantization == quantize(transpose)
+        let mut qt = Vec::new();
+        quantize_transposed_into(&t, p, &mut qt);
+        let tt = crate::linalg::transpose(&t);
+        assert_eq!(qt, quantize(&tt, p));
     }
 
     #[test]

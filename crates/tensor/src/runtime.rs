@@ -304,16 +304,16 @@ pub fn parallel_for_slice_chunks(
 }
 
 /// Crate-internal wrapper that lets kernels hand disjoint sub-slices of one
-/// output buffer to pool workers; every chunk derives a non-overlapping
-/// range from it.
-pub(crate) struct SendPtr(*mut f32);
-// Safety: only ever used to produce disjoint `&mut [f32]` ranges.
-unsafe impl Send for SendPtr {}
-unsafe impl Sync for SendPtr {}
+/// output buffer (`f32` accumulators, `i32` integer-GEMM outputs, …) to pool
+/// workers; every chunk derives a non-overlapping range from it.
+pub(crate) struct SendPtr<T>(*mut T);
+// Safety: only ever used to produce disjoint `&mut [T]` ranges.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
 
-impl SendPtr {
+impl<T> SendPtr<T> {
     /// Captures the base pointer of `out`.
-    pub(crate) fn new(out: &mut [f32]) -> SendPtr {
+    pub(crate) fn new(out: &mut [T]) -> SendPtr<T> {
         SendPtr(out.as_mut_ptr())
     }
 
@@ -325,7 +325,7 @@ impl SendPtr {
     // The `&self -> &mut` shape is the point of the wrapper: disjointness is
     // the caller's obligation, stated above, exactly like `from_raw_parts_mut`.
     #[allow(clippy::mut_from_ref)]
-    pub(crate) unsafe fn slice(&self, off: usize, len: usize) -> &mut [f32] {
+    pub(crate) unsafe fn slice(&self, off: usize, len: usize) -> &mut [T] {
         std::slice::from_raw_parts_mut(self.0.add(off), len)
     }
 }

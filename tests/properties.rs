@@ -223,6 +223,39 @@ proptest! {
         prop_assert_eq!(linalg::transpose(&at), a);
     }
 
+    /// The packed INT8 GEMM — the execution path of the INT8 replica arm —
+    /// equals a naive widened-i32 reference **exactly** on arbitrary shapes
+    /// and scales: i32 accumulation is associative, so there is no rounding
+    /// to order, and the per-tensor scales are applied once at the epilogue
+    /// in the same operand order as the reference.
+    #[test]
+    fn int8_gemm_matches_widened_reference_exactly(
+        m in 1usize..24,
+        k in 1usize..48,
+        n in 1usize..24,
+        seed in 0u64..1000,
+    ) {
+        let a = lcg_tensor(m, k, seed).scale(3.0);
+        let b = lcg_tensor(k, n, seed ^ 0x1117).scale(0.4);
+        let pa = QuantParams::from_tensor(&a);
+        let pb = QuantParams::from_tensor(&b);
+        let qa: Vec<i8> = a.data().iter().map(|&v| pa.quantize_value(v)).collect();
+        let qb: Vec<i8> = b.data().iter().map(|&v| pb.quantize_value(v)).collect();
+        let got = quant::quantized_matmul(&qa, pa, &qb, pb, m, k, n);
+        let s = pa.scale * pb.scale;
+        let mut expect = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0i32;
+                for p in 0..k {
+                    acc += i32::from(qa[i * k + p]) * i32::from(qb[p * n + j]);
+                }
+                expect[i * n + j] = acc as f32 * s;
+            }
+        }
+        prop_assert_eq!(got.data(), &expect[..]);
+    }
+
     /// The `_into` kernel variants equal their allocating wrappers even
     /// when the destination arrives dirty with a stale shape — the pooled
     /// scratch path recycles buffers across layers of different sizes.
