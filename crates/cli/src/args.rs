@@ -30,6 +30,12 @@ pub struct Options {
     /// Price SoCFlow epochs with the event-driven fluid timeline instead
     /// of the closed-form Eq. 1 sums.
     pub timeline: bool,
+    /// Overlap per-bucket gradient transfers with backprop on the fluid
+    /// timeline (wait-free bucketing; implies `--timeline`).
+    pub overlap: bool,
+    /// Minimum gradient-bucket size in KiB of reference payload
+    /// (requires `--overlap`).
+    pub bucket_kb: Option<usize>,
     /// Worker-pool size for host compute (overrides `SOCFLOW_THREADS`).
     /// Results are bit-identical at any thread count; this only changes
     /// wall-clock time.
@@ -58,6 +64,8 @@ impl Default for Options {
             checkpoint_every: None,
             resume: false,
             timeline: false,
+            overlap: false,
+            bucket_kb: None,
             threads: None,
             profiled_beta: None,
         }
@@ -89,6 +97,10 @@ impl Options {
                 o.timeline = true;
                 continue;
             }
+            if flag == "--overlap" {
+                o.overlap = true;
+                continue;
+            }
             let value = it
                 .next()
                 .ok_or_else(|| format!("flag `{flag}` needs a value"))?;
@@ -106,6 +118,7 @@ impl Options {
                 "--checkpoint-dir" => o.checkpoint_dir = Some(value.clone()),
                 "--checkpoint-every" => o.checkpoint_every = Some(parse_num(flag, value)?),
                 "--threads" => o.threads = Some(parse_num(flag, value)?),
+                "--bucket-kb" => o.bucket_kb = Some(parse_num(flag, value)?),
                 "--profiled-beta" => {
                     let beta: f64 = value
                         .parse()
@@ -128,6 +141,12 @@ impl Options {
         }
         if o.threads == Some(0) {
             return Err("--threads must be positive".into());
+        }
+        if o.bucket_kb == Some(0) {
+            return Err("--bucket-kb must be positive".into());
+        }
+        if o.bucket_kb.is_some() && !o.overlap {
+            return Err("--bucket-kb needs --overlap".into());
         }
         Ok(o)
     }
@@ -189,6 +208,19 @@ mod tests {
         assert!(o.timeline);
         assert_eq!(o.epochs, 2);
         assert!(!parse(&[]).unwrap().timeline);
+    }
+
+    #[test]
+    fn overlap_and_bucket_kb_parse_together() {
+        let o = parse(&["--overlap", "--bucket-kb", "2048"]).unwrap();
+        assert!(o.overlap);
+        assert_eq!(o.bucket_kb, Some(2048));
+        let bare = parse(&["--overlap"]).unwrap();
+        assert!(bare.overlap && bare.bucket_kb.is_none());
+        assert!(!parse(&[]).unwrap().overlap);
+        assert!(parse(&["--bucket-kb", "512"]).is_err(), "needs --overlap");
+        assert!(parse(&["--overlap", "--bucket-kb", "0"]).is_err());
+        assert!(parse(&["--overlap", "--bucket-kb"]).is_err());
     }
 
     #[test]

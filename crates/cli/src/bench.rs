@@ -427,6 +427,9 @@ struct TimelineRun {
     /// Fluid timeline with the same CG slots but syncs strictly after
     /// compute — the no-interleaving comparator.
     no_overlap_s: f64,
+    /// Fluid timeline with wait-free per-bucket gradient overlap at the
+    /// default bucket size (buckets from all CGs contend concurrently).
+    wait_free_s: f64,
 }
 
 impl TimelineRun {
@@ -447,6 +450,37 @@ impl TimelineRun {
             1.0
         }
     }
+
+    /// No-overlap / wait-free epoch time (≥ `overlap_speedup` by
+    /// construction: wait-free never loses to interleaving).
+    fn wait_free_speedup(&self) -> f64 {
+        if self.wait_free_s > 0.0 {
+            self.no_overlap_s / self.wait_free_s
+        } else {
+            1.0
+        }
+    }
+}
+
+/// One bucket-size sweep row: the wait-free epoch time at one minimum
+/// gradient-bucket size, on a fixed group count.
+struct BucketSweepRun {
+    bucket_kb: usize,
+    /// Gradient buckets the VGG-11 layout coalesces into at this size.
+    buckets: usize,
+    wait_free_s: f64,
+}
+
+/// The reference gradient layout every timeline arm buckets: VGG-11 at
+/// the standard 0.25 width used by the training workloads. The init seed
+/// is irrelevant — only the per-layer parameter counts matter here.
+fn vgg11_grad_layout() -> Vec<socflow_nn::GradReady> {
+    use rand::{rngs::StdRng, SeedableRng};
+    use socflow_nn::models::{ModelConfig, ModelKind};
+    let mut rng = StdRng::seed_from_u64(0);
+    ModelKind::Vgg11
+        .build(ModelConfig::new(3, 32, 10, 0.25), &mut rng)
+        .grad_layout()
 }
 
 /// Sweeps logical-group counts on one cluster and prices each epoch three
@@ -474,7 +508,10 @@ fn run_timeline_suite(fast: bool) -> Vec<TimelineRun> {
     };
     let mut spec = TrainJobSpec::new(ModelKind::Vgg11, DatasetPreset::Cifar10, MethodSpec::Ring);
     spec.socs = socs;
-    let tm = TimeModel::new(&spec);
+    let mut tm = TimeModel::new(&spec);
+    // the explicit-schedule arms ignore the overlap plan; only the
+    // WaitFree arm reads it
+    tm.set_overlap(socflow::timemodel::DEFAULT_BUCKET_KB, &vgg11_grad_layout());
     let cluster = ClusterSpec::for_socs(socs);
     group_counts
         .iter()
@@ -496,6 +533,8 @@ fn run_timeline_suite(fast: bool) -> Vec<TimelineRun> {
             );
             let serial =
                 simulate_socflow_schedule(&tm, &mapping, &cgs, true, SyncSchedule::Serial, 1.0);
+            let wait_free =
+                simulate_socflow_schedule(&tm, &mapping, &cgs, true, SyncSchedule::WaitFree, 1.0);
             TimelineRun {
                 groups,
                 split_lgs,
@@ -503,12 +542,60 @@ fn run_timeline_suite(fast: bool) -> Vec<TimelineRun> {
                 analytic_s: analytic.time,
                 simulated_s: interleaved.cost.time,
                 no_overlap_s: serial.cost.time,
+                wait_free_s: wait_free.cost.time,
             }
         })
         .collect()
 }
 
-fn timeline_suite_to_json(results: &[TimelineRun], fast: bool, socs: usize) -> serde_json::Value {
+/// Sweeps the minimum bucket size on one fixed multi-CG group count and
+/// prices each wait-free epoch: small buckets release transfers earliest
+/// but fragment the payload into more per-bucket ring latencies, large
+/// buckets degenerate toward the single-flush interleaved schedule.
+fn run_bucket_sweep(fast: bool) -> (usize, Vec<BucketSweepRun>) {
+    use socflow::config::{MethodSpec, TrainJobSpec};
+    use socflow::mapping::integrity_greedy;
+    use socflow::planning::divide_communication_groups;
+    use socflow::sim::{simulate_socflow_schedule, SyncSchedule};
+    use socflow::timemodel::TimeModel;
+    use socflow_cluster::ClusterSpec;
+    use socflow_data::DatasetPreset;
+    use socflow_nn::models::ModelKind;
+
+    // a group count whose mapping splits boards, so several CGs contend
+    let (socs, groups) = if fast { (20, 7) } else { (60, 12) };
+    const SIZES_KB: &[usize] = &[512, 2048, 8192, 32768];
+    let mut spec = TrainJobSpec::new(ModelKind::Vgg11, DatasetPreset::Cifar10, MethodSpec::Ring);
+    spec.socs = socs;
+    let mut tm = TimeModel::new(&spec);
+    let layout = vgg11_grad_layout();
+    let cluster = ClusterSpec::for_socs(socs);
+    let mapping = integrity_greedy(&cluster, socs, groups);
+    let cgs = divide_communication_groups(&mapping).expect("integrity-greedy mappings 2-color");
+    let runs = SIZES_KB
+        .iter()
+        .map(|&bucket_kb| {
+            tm.set_overlap(bucket_kb, &layout);
+            let buckets = tm.overlap().map_or(1, |p| p.shares.len());
+            let wait_free =
+                simulate_socflow_schedule(&tm, &mapping, &cgs, true, SyncSchedule::WaitFree, 1.0);
+            BucketSweepRun {
+                bucket_kb,
+                buckets,
+                wait_free_s: wait_free.cost.time,
+            }
+        })
+        .collect();
+    (groups, runs)
+}
+
+fn timeline_suite_to_json(
+    results: &[TimelineRun],
+    sweep_groups: usize,
+    sweep: &[BucketSweepRun],
+    fast: bool,
+    socs: usize,
+) -> serde_json::Value {
     use serde_json::Value;
     let rows = results
         .iter()
@@ -520,15 +607,30 @@ fn timeline_suite_to_json(results: &[TimelineRun], fast: bool, socs: usize) -> s
                 ("analytic_s".into(), Value::F64(r.analytic_s)),
                 ("simulated_s".into(), Value::F64(r.simulated_s)),
                 ("no_overlap_s".into(), Value::F64(r.no_overlap_s)),
+                ("wait_free_s".into(), Value::F64(r.wait_free_s)),
                 ("agreement".into(), Value::F64(r.agreement())),
                 ("overlap_speedup".into(), Value::F64(r.overlap_speedup())),
+                (
+                    "wait_free_speedup".into(),
+                    Value::F64(r.wait_free_speedup()),
+                ),
+            ])
+        })
+        .collect();
+    let sweep_rows = sweep
+        .iter()
+        .map(|r| {
+            Value::Object(vec![
+                ("bucket_kb".into(), Value::U64(r.bucket_kb as u64)),
+                ("buckets".into(), Value::U64(r.buckets as u64)),
+                ("wait_free_s".into(), Value::F64(r.wait_free_s)),
             ])
         })
         .collect();
     Value::Object(vec![
         (
             "schema".into(),
-            Value::Str("socflow-timeline-bench/v1".into()),
+            Value::Str("socflow-timeline-bench/v2".into()),
         ),
         (
             "mode".into(),
@@ -536,6 +638,13 @@ fn timeline_suite_to_json(results: &[TimelineRun], fast: bool, socs: usize) -> s
         ),
         ("socs".into(), Value::U64(socs as u64)),
         ("results".into(), Value::Array(rows)),
+        (
+            "bucket_sweep".into(),
+            Value::Object(vec![
+                ("groups".into(), Value::U64(sweep_groups as u64)),
+                ("results".into(), Value::Array(sweep_rows)),
+            ]),
+        ),
     ])
 }
 
@@ -708,32 +817,48 @@ fn bench_e2e(fast: bool, json_path: Option<String>) -> Result<(), String> {
 fn bench_timeline(fast: bool, json_path: Option<String>) -> Result<(), String> {
     let socs = if fast { 20 } else { 60 };
     let results = run_timeline_suite(fast);
+    let (sweep_groups, sweep) = run_bucket_sweep(fast);
     println!(
-        "{:<7} {:>6} {:>4} {:>12} {:>12} {:>13} {:>10} {:>8}",
+        "{:<7} {:>6} {:>4} {:>12} {:>12} {:>13} {:>11} {:>10} {:>8} {:>8}",
         "groups",
         "split",
         "cgs",
         "analytic s",
         "simulated s",
         "no-overlap s",
+        "wait-free s",
         "agreement",
-        "speedup"
+        "speedup",
+        "wf spdup"
     );
     for r in &results {
         println!(
-            "{:<7} {:>6} {:>4} {:>12.1} {:>12.1} {:>13.1} {:>10.4} {:>8.3}",
+            "{:<7} {:>6} {:>4} {:>12.1} {:>12.1} {:>13.1} {:>11.1} {:>10.4} {:>8.3} {:>8.3}",
             r.groups,
             r.split_lgs,
             r.cgs,
             r.analytic_s,
             r.simulated_s,
             r.no_overlap_s,
+            r.wait_free_s,
             r.agreement(),
-            r.overlap_speedup()
+            r.overlap_speedup(),
+            r.wait_free_speedup()
+        );
+    }
+    println!("\nbucket-size sweep ({sweep_groups} groups, wait-free)");
+    println!(
+        "{:<10} {:>8} {:>12}",
+        "bucket KiB", "buckets", "wait-free s"
+    );
+    for r in &sweep {
+        println!(
+            "{:<10} {:>8} {:>12.1}",
+            r.bucket_kb, r.buckets, r.wait_free_s
         );
     }
     if let Some(path) = json_path {
-        let doc = timeline_suite_to_json(&results, fast, socs);
+        let doc = timeline_suite_to_json(&results, sweep_groups, &sweep, fast, socs);
         let text = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
         std::fs::write(&path, text + "\n")
             .map_err(|e| format!("cannot write bench file `{path}`: {e}"))?;
@@ -915,19 +1040,71 @@ mod tests {
                 r.simulated_s,
                 r.no_overlap_s
             );
+            // wait-free never loses to serial or to interleaving, on
+            // every config (the overlap property, not a lucky sample)
+            let eps = 1e-6 * r.no_overlap_s;
+            assert!(
+                r.wait_free_s <= r.no_overlap_s + eps,
+                "{} groups: wait-free {} vs serial {}",
+                r.groups,
+                r.wait_free_s,
+                r.no_overlap_s
+            );
+            assert!(
+                r.wait_free_s <= r.simulated_s + eps,
+                "{} groups: wait-free {} vs interleaved {}",
+                r.groups,
+                r.wait_free_s,
+                r.simulated_s
+            );
             // board-aligned counts reproduce the analytic model within 1%
             if r.split_lgs == 0 {
                 let rel = (r.analytic_s - r.simulated_s).abs() / r.analytic_s;
                 assert!(rel < 0.01, "{} groups: rel {rel}", r.groups);
             }
         }
-        let doc = timeline_suite_to_json(&results, true, 20);
+        // at least one multi-CG config must gain from bucketing over
+        // plain interleaving (the acceptance bar for the wait-free arm)
+        assert!(
+            results
+                .iter()
+                .any(|r| r.cgs > 1 && r.wait_free_speedup() > r.overlap_speedup() + 1e-9),
+            "no multi-CG config gained from wait-free bucketing"
+        );
+        let (sweep_groups, sweep) = run_bucket_sweep(true);
+        assert_eq!(sweep_groups, 7);
+        assert_eq!(sweep.len(), 4);
+        for w in sweep.windows(2) {
+            assert!(w[0].bucket_kb < w[1].bucket_kb);
+            assert!(
+                w[0].buckets >= w[1].buckets,
+                "smaller buckets cannot coalesce fewer: {} KiB → {} vs {} KiB → {}",
+                w[0].bucket_kb,
+                w[0].buckets,
+                w[1].bucket_kb,
+                w[1].buckets
+            );
+        }
+        assert!(
+            sweep[0].buckets > 1,
+            "the 512 KiB floor must split VGG-11 into multiple buckets"
+        );
+        for r in &sweep {
+            assert!(r.wait_free_s > 0.0, "{} KiB", r.bucket_kb);
+        }
+        let doc = timeline_suite_to_json(&results, sweep_groups, &sweep, true, 20);
         assert_eq!(
             doc.get("schema").as_str(),
-            Some("socflow-timeline-bench/v1")
+            Some("socflow-timeline-bench/v2")
         );
         assert_eq!(doc.get("mode").as_str(), Some("fast"));
         assert_eq!(doc.get("results").as_array().unwrap().len(), results.len());
+        let sweep_doc = doc.get("bucket_sweep");
+        assert_eq!(sweep_doc.get("groups").as_u64(), Some(7));
+        assert_eq!(
+            sweep_doc.get("results").as_array().unwrap().len(),
+            sweep.len()
+        );
     }
 
     #[test]

@@ -24,7 +24,7 @@ USAGE:
                 [--groups G] [--epochs E] [--samples S] [--seed S] [--json]
   socflow-cli compare [--model M] [--dataset D] [--socs N] [--epochs E]
   socflow-cli tidal [--socs N] [--seed S]
-  socflow-cli trace summarize <run.jsonl>
+  socflow-cli trace summarize <run.jsonl> [--spans-full]
   socflow-cli bench kernels [--fast] [--json <path>]
   socflow-cli bench faults [--fast] [--json <path>]
   socflow-cli bench timeline [--fast] [--json <path>]
@@ -49,6 +49,12 @@ USAGE:
       timeline (compute and CG collectives contend on one simulated
       clock) instead of the closed-form Eq. 1 sums; with --trace, span
       and link-utilization events land in the trace
+  --overlap (train): bucket gradients per layer and overlap their CG
+      transfers with the remainder of backprop on the fluid timeline
+      (wait-free bucketing; implies --timeline). Pricing only — the
+      accuracy stream is bit-identical to a non-overlapped run
+  --bucket-kb <N> (train): minimum gradient-bucket size in KiB of
+      reference payload (default 4096; requires --overlap)
   --profiled-beta <f> (train): override the calibrated β compute-power
       ratio with a measured value in (0,1) — typically the β that
       `bench kernels` reports from timing the f32 and i8 GEMMs
@@ -185,6 +191,12 @@ pub fn train(opts: &Options) -> Result<(), String> {
     let mut sched = GlobalScheduler::new(spec, workload);
     if opts.timeline {
         sched = sched.with_timeline(true);
+    }
+    if opts.overlap {
+        sched = sched.with_overlap(true);
+    }
+    if let Some(kb) = opts.bucket_kb {
+        sched = sched.with_bucket_kb(kb);
     }
     if let Some(beta) = opts.profiled_beta {
         sched = sched.with_profiled_beta(beta);
@@ -337,21 +349,30 @@ pub fn tidal(opts: &Options) -> Result<(), String> {
 /// `summarize` replays the JSONL events and prints the aggregate report —
 /// the same per-run Breakdown the engine computed, reproduced from the
 /// trace alone (Fig. 12-style compute/sync/update shares plus network and
-/// scheduler counters).
+/// scheduler counters). With `--spans-full` it additionally prints every
+/// recorded timeline span (the summary otherwise reports only the span
+/// *count*, and the engine digest keeps the first 2 spans per lane×kind),
+/// with gradient-bucket lanes grouped by the model layers they carry.
 pub fn trace(argv: &[String]) -> Result<(), String> {
     match argv {
-        [action, path] if action == "summarize" => trace_summarize(path),
-        _ => Err("usage: socflow-cli trace summarize <run.jsonl>".into()),
+        [action, path] if action == "summarize" => trace_summarize(path, false),
+        [action, path, flag] if action == "summarize" && flag == "--spans-full" => {
+            trace_summarize(path, true)
+        }
+        _ => Err("usage: socflow-cli trace summarize <run.jsonl> [--spans-full]".into()),
     }
 }
 
-fn trace_summarize(path: &str) -> Result<(), String> {
+fn trace_summarize(path: &str, spans_full: bool) -> Result<(), String> {
     let events = read_trace(path)?;
     if events.is_empty() {
         return Err(format!("trace `{path}` contains no events"));
     }
     let summary = Summary::from_events(&events);
     println!("{}", summary.render());
+    if spans_full {
+        println!("{}", socflow_telemetry::render_spans(&events));
+    }
     Ok(())
 }
 
@@ -454,6 +475,35 @@ mod tests {
             ..Options::default()
         };
         train(&opts).unwrap();
+    }
+
+    #[test]
+    fn train_runs_with_overlap_and_full_span_summary() {
+        let path = std::env::temp_dir().join("socflow_cli_overlap_trace.jsonl");
+        std::fs::remove_file(&path).ok();
+        let opts = Options {
+            socs: 8,
+            groups: Some(2),
+            epochs: 1,
+            samples: 128,
+            overlap: true,
+            bucket_kb: Some(32),
+            trace: Some(path.to_string_lossy().into_owned()),
+            ..Options::default()
+        };
+        train(&opts).unwrap();
+        let p = path.to_string_lossy().into_owned();
+        let argv = vec!["summarize".to_string(), p.clone()];
+        trace(&argv).unwrap();
+        let full = vec![
+            "summarize".to_string(),
+            p.clone(),
+            "--spans-full".to_string(),
+        ];
+        trace(&full).unwrap();
+        let bad = vec!["summarize".to_string(), p, "--bogus".to_string()];
+        assert!(trace(&bad).is_err());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

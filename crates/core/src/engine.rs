@@ -25,7 +25,7 @@ use crate::mapping::{self, Mapping};
 use crate::mixed::MixedPrecisionController;
 use crate::planning::{divide_communication_groups, CommunicationGroups};
 use crate::report::{Breakdown, RunResult};
-use crate::timemodel::{SyncCollective, TimeModel};
+use crate::timemodel::{SyncCollective, TimeModel, DEFAULT_BUCKET_KB};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use socflow_cluster::faults::{FaultEvent, FaultKind, FaultPlan};
@@ -233,6 +233,12 @@ pub struct Engine {
     /// Price SoCFlow epochs with the discrete-event fluid timeline instead
     /// of the closed-form Eq. 1 sums (`--timeline`).
     timeline: bool,
+    /// Overlap per-bucket gradient transfers with backprop on the timeline
+    /// (`--overlap`; implies `timeline`).
+    overlap: bool,
+    /// Minimum gradient-bucket size in KiB of reference payload
+    /// (`--bucket-kb`).
+    bucket_kb: usize,
 }
 
 /// How many spans of each (lane, kind) pair the per-epoch timeline digest
@@ -257,6 +263,8 @@ impl Engine {
             resume_from: None,
             sink: None,
             timeline: false,
+            overlap: false,
+            bucket_kb: DEFAULT_BUCKET_KB,
         }
     }
 
@@ -269,6 +277,33 @@ impl Engine {
     pub fn with_timeline(mut self, on: bool) -> Self {
         self.timeline = on;
         self.time_model.set_simulated(on);
+        self
+    }
+
+    /// Enables wait-free gradient bucketing (`--overlap`): simulated
+    /// SoCFlow epochs release per-bucket CG transfers at each bucket's
+    /// backprop-completion offset ([`crate::sim::SyncSchedule::WaitFree`])
+    /// instead of one monolithic sync. The bucket layout comes from the
+    /// trained network's [`socflow_nn::Network::grad_layout`] at run
+    /// start. Implies [`Self::with_timeline`]. Pricing only — the learning
+    /// dynamics (and so the accuracy stream) are untouched.
+    pub fn with_overlap(mut self, on: bool) -> Self {
+        self.overlap = on;
+        if on {
+            self = self.with_timeline(true);
+        }
+        self
+    }
+
+    /// Sets the minimum gradient-bucket size in KiB of reference payload
+    /// (`--bucket-kb`; default [`DEFAULT_BUCKET_KB`]). Only meaningful
+    /// with [`Self::with_overlap`].
+    ///
+    /// # Panics
+    /// Panics if `kb` is zero.
+    pub fn with_bucket_kb(mut self, kb: usize) -> Self {
+        assert!(kb > 0, "bucket size must be positive");
+        self.bucket_kb = kb;
         self
     }
 
@@ -769,6 +804,13 @@ impl Engine {
         // the base network regardless of the replica count, then the
         // restored state overwrites everything below
         let mut replicas = self.build_replicas(streams, &mut rng, with_int8);
+        if self.overlap {
+            // bucketize the trained network's actual gradient layout; the
+            // plan maps its per-layer byte fractions onto the reference
+            // payload the cluster simulation prices
+            let grad_layout = replicas[0].net.grad_layout();
+            self.time_model.set_overlap(self.bucket_kb, &grad_layout);
+        }
         let beta = self.time_model.compute().beta() as f32;
         let mut ctrl = MixedPrecisionController::new(beta.clamp(0.05, 0.95));
         if let MixedMode::Half = mixed {
@@ -895,6 +937,7 @@ impl Engine {
                 );
                 if self.sink.is_some() {
                     self.emit_span_digest(epoch, clock, &sim.spans);
+                    self.emit_bucket_digest(epoch, clock, &sim.bucket_flushes);
                     self.emit(Event::LinkUtilization {
                         epoch,
                         soc_links: sim.link_util.soc_links,
@@ -1214,6 +1257,49 @@ impl Engine {
                 kind: s.kind.to_string(),
                 lane: s.lane.clone(),
                 at: offset + s.end,
+            });
+        }
+    }
+
+    /// Emits the bounded per-epoch [`Event::BucketFlushed`] digest for a
+    /// wait-free epoch: the first [`SPAN_DIGEST_PER_LANE`] flushes of each
+    /// `(cg, bucket)` pair (the schedule is periodic over iterations),
+    /// with times shifted by the run clock and the bucket's layer range
+    /// looked up in the active overlap plan.
+    fn emit_bucket_digest(&self, epoch: usize, offset: f64, flushes: &[crate::sim::BucketFlush]) {
+        if flushes.is_empty() {
+            return;
+        }
+        let layers = self
+            .time_model
+            .overlap()
+            .map(|p| p.layers.clone())
+            .unwrap_or_default();
+        let mut counts: Vec<((usize, usize), usize)> = Vec::new();
+        for f in flushes {
+            let key = (f.cg, f.bucket);
+            let n = match counts.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, n)) => {
+                    *n += 1;
+                    *n
+                }
+                None => {
+                    counts.push((key, 1));
+                    1
+                }
+            };
+            if n > SPAN_DIGEST_PER_LANE {
+                continue;
+            }
+            let (layer_first, layer_last) = layers.get(f.bucket).copied().unwrap_or((0, 0));
+            self.emit(Event::BucketFlushed {
+                epoch,
+                cg: f.cg,
+                bucket: f.bucket,
+                layer_first,
+                layer_last,
+                bytes: f.bytes,
+                at: offset + f.at,
             });
         }
     }
@@ -1829,6 +1915,54 @@ mod tests {
         assert_eq!(analytic.epoch_accuracy, timeline.epoch_accuracy);
         assert_eq!(analytic.alpha_trace, timeline.alpha_trace);
         assert!(timeline.total_time() > 0.0);
+    }
+
+    #[test]
+    fn overlap_mode_emits_bucket_flushes_and_keeps_accuracy() {
+        // wait-free bucketing changes epoch *pricing*, never the learning
+        // dynamics: accuracy and alpha streams stay bit-identical
+        let analytic = tiny_engine(MethodSpec::SocFlow(SocFlowConfig::with_groups(2))).run();
+        let sink = Arc::new(socflow_telemetry::MemorySink::new());
+        let spec = tiny_spec(MethodSpec::SocFlow(SocFlowConfig::with_groups(2)));
+        let workload = easy_workload(&spec, 512);
+        let mut e = Engine::new(spec, workload)
+            .with_overlap(true)
+            .with_bucket_kb(32)
+            .with_sink(sink.clone());
+        let r = e.run();
+        assert_eq!(analytic.epoch_accuracy, r.epoch_accuracy);
+        assert_eq!(analytic.alpha_trace, r.alpha_trace);
+        assert!(r.total_time() > 0.0);
+        let events = sink.events();
+        let flushes: Vec<_> = events
+            .iter()
+            .filter_map(|ev| match ev {
+                Event::BucketFlushed {
+                    cg,
+                    bucket,
+                    layer_first,
+                    layer_last,
+                    bytes,
+                    ..
+                } => Some((*cg, *bucket, *layer_first, *layer_last, *bytes)),
+                _ => None,
+            })
+            .collect();
+        assert!(!flushes.is_empty(), "overlap runs must emit bucket flushes");
+        assert!(
+            flushes.iter().any(|f| f.1 > 0),
+            "bucket layout should split into several buckets: {flushes:?}"
+        );
+        for (_, _, first, last, bytes) in &flushes {
+            assert!(first <= last);
+            assert!(*bytes > 0.0);
+        }
+        assert!(
+            events.iter().any(
+                |ev| matches!(ev, Event::SpanBegin { kind, lane, .. } if kind == "bucket" && lane.contains("/b"))
+            ),
+            "per-bucket spans must appear in the digest"
+        );
     }
 
     #[test]

@@ -44,6 +44,8 @@ pub struct GlobalScheduler {
     ckpt_policy: CheckpointPolicy,
     resume: Option<Checkpoint>,
     timeline: bool,
+    overlap: bool,
+    bucket_kb: Option<usize>,
     profiled_beta: Option<f64>,
 }
 
@@ -58,6 +60,8 @@ impl std::fmt::Debug for GlobalScheduler {
             .field("ckpt_policy", &self.ckpt_policy)
             .field("resume", &self.resume.as_ref().map(|c| c.epoch))
             .field("timeline", &self.timeline)
+            .field("overlap", &self.overlap)
+            .field("bucket_kb", &self.bucket_kb)
             .field("profiled_beta", &self.profiled_beta)
             .finish()
     }
@@ -75,6 +79,8 @@ impl GlobalScheduler {
             ckpt_policy: CheckpointPolicy::default(),
             resume: None,
             timeline: false,
+            overlap: false,
+            bucket_kb: None,
             profiled_beta: None,
         }
     }
@@ -92,6 +98,22 @@ impl GlobalScheduler {
     /// the [`Engine`] at dispatch.
     pub fn with_timeline(mut self, on: bool) -> Self {
         self.timeline = on;
+        self
+    }
+
+    /// Overlaps per-bucket gradient transfers with backprop on the fluid
+    /// timeline (the `--overlap` CLI flag; see [`Engine::with_overlap`]),
+    /// forwarded to the [`Engine`] at dispatch. Implies the timeline.
+    pub fn with_overlap(mut self, on: bool) -> Self {
+        self.overlap = on;
+        self
+    }
+
+    /// Sets the minimum gradient-bucket size in KiB (the `--bucket-kb`
+    /// CLI flag; see [`Engine::with_bucket_kb`]), forwarded to the
+    /// [`Engine`] at dispatch.
+    pub fn with_bucket_kb(mut self, kb: usize) -> Self {
+        self.bucket_kb = Some(kb);
         self
     }
 
@@ -233,6 +255,12 @@ impl GlobalScheduler {
         if self.timeline {
             engine = engine.with_timeline(true);
         }
+        if self.overlap {
+            engine = engine.with_overlap(true);
+        }
+        if let Some(kb) = self.bucket_kb {
+            engine = engine.with_bucket_kb(kb);
+        }
         if let Some(sink) = self.sink {
             engine = engine.with_sink(sink);
         }
@@ -293,6 +321,19 @@ mod tests {
         let w = Workload::standard(&s, 128, 8, 0.5);
         let r = GlobalScheduler::new(s, w).run();
         assert_eq!(r.epoch_accuracy.len(), 2);
+    }
+
+    #[test]
+    fn overlap_run_matches_plain_accuracy() {
+        let s = spec(MethodSpec::SocFlow(SocFlowConfig::with_groups(2)));
+        let w = Workload::standard(&s, 128, 8, 0.5);
+        let plain = GlobalScheduler::new(s, w.clone()).run();
+        let overlapped = GlobalScheduler::new(s, w)
+            .with_overlap(true)
+            .with_bucket_kb(32)
+            .run();
+        assert_eq!(plain.epoch_accuracy, overlapped.epoch_accuracy);
+        assert!(overlapped.total_time() > 0.0);
     }
 
     #[test]

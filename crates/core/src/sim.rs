@@ -67,13 +67,68 @@ pub struct SimulatedEpoch {
     pub spans: Vec<Span>,
     /// Average per-link-class utilization over the epoch.
     pub link_util: LinkClassUtil,
+    /// Every completed gradient-bucket transfer, in completion order
+    /// (empty unless the epoch ran [`SyncSchedule::WaitFree`]).
+    pub bucket_flushes: Vec<BucketFlush>,
+}
+
+/// One completed per-bucket gradient transfer of a wait-free epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BucketFlush {
+    /// Communication-group (sync slot) index the bucket synced in.
+    pub cg: usize,
+    /// Bucket index in release (reverse-topological) order.
+    pub bucket: usize,
+    /// The bucket's share of the slot's gradient wire bytes. Shares are
+    /// residual-split so they sum to the slot total without double-counting
+    /// bucket edges.
+    pub bytes: f64,
+    /// Completion time, seconds from epoch begin.
+    pub at: Seconds,
+}
+
+/// Splits `total` into one part per share, multiplying through for every
+/// share but the last, which takes the exact residual — so the parts
+/// telescope back to `total` with no double-count at the seams.
+///
+/// # Panics
+/// Panics if `shares` is empty.
+pub fn partition_exact(total: f64, shares: &[f64]) -> Vec<f64> {
+    assert!(
+        !shares.is_empty(),
+        "partition_exact needs at least one share"
+    );
+    let mut parts: Vec<f64> = shares[..shares.len() - 1]
+        .iter()
+        .map(|s| total * s)
+        .collect();
+    let head: f64 = parts.iter().sum();
+    parts.push(total - head);
+    parts
 }
 
 /// What an admitted timeline task meant, indexed densely by task id.
 enum Tag {
-    Compute { g: usize },
-    Update { g: usize },
-    SyncStep { slot: usize },
+    Compute {
+        g: usize,
+    },
+    Update {
+        g: usize,
+    },
+    SyncStep {
+        slot: usize,
+    },
+    /// Wait-free: the release timer holding bucket `bucket` of `slot`
+    /// until its backprop-completion offset.
+    BucketTimer {
+        slot: usize,
+        bucket: usize,
+    },
+    /// Wait-free: one ring step of bucket `bucket` of `slot`.
+    BucketStep {
+        slot: usize,
+        bucket: usize,
+    },
     Boundary,
 }
 
@@ -116,9 +171,35 @@ struct BoundaryPhase {
     latency: Seconds,
 }
 
+/// Per-slot wait-free bucket state (one ring per bucket per iteration).
+struct WfSlot {
+    /// One ring step's flow set per bucket: the slot's flows with each
+    /// flow's bytes residual-split by the bucket shares.
+    flows: Vec<Vec<Flow>>,
+    /// Per-bucket gradient wire bytes (residual split of the slot total).
+    bytes: Vec<f64>,
+    /// Ring steps left per in-flight bucket, this iteration.
+    steps_left: Vec<usize>,
+    /// When each bucket's ring began, this iteration.
+    started: Vec<Seconds>,
+    /// Buckets fully synced this iteration.
+    done: usize,
+}
+
+/// Wait-free driver state shared across slots.
+struct WaitFreeState {
+    /// Cumulative share of backprop completed *before* each bucket — the
+    /// bucket's release offset as a fraction of its members' compute time.
+    release_frac: Vec<f64>,
+    slots: Vec<WfSlot>,
+}
+
 struct Driver {
-    /// `true` for the interleaved schedule, `false` for the serial one.
+    /// `true` for the interleaved and wait-free schedules, `false` for
+    /// the serial one (sync readiness at iteration begin vs compute end).
     overlap: bool,
+    /// Wait-free bucket state; `None` for the monolithic schedules.
+    wf: Option<WaitFreeState>,
     iters: usize,
     compute_t: Vec<Seconds>,
     update_t: Seconds,
@@ -127,6 +208,7 @@ struct Driver {
     groups: Vec<GroupState>,
     tags: Vec<Tag>,
     spans: Vec<Span>,
+    bucket_flushes: Vec<BucketFlush>,
     /// Running sync in `(slot, started_at, steps_left)` form, if any.
     token: Option<(usize, Seconds, usize)>,
     /// Ready-but-waiting syncs as `(ready_at, slot, iter)`.
@@ -165,6 +247,18 @@ pub enum SyncSchedule {
     /// member groups have *finished* computing, so sync time is fully
     /// visible. Slot structure (the 2-coloring) is unchanged.
     Serial,
+    /// Wait-free gradient bucketing: instead of one monolithic sync per
+    /// iteration, the gradient payload is split into buckets (per
+    /// [`TimeModel::overlap`](crate::timemodel::TimeModel::overlap)'s
+    /// plan) and each bucket runs its own ring, released at the simulated
+    /// offset where backprop has produced that bucket's layers — minus a
+    /// pre-posting lead of `steps × latency` (the ring handshakes carry
+    /// no gradient bytes, so they are posted ahead of the data), clamped
+    /// at iteration begin. There is no network token: buckets from *all*
+    /// CGs contend concurrently under the timeline's max-min fairness,
+    /// which is where wait-free beats the interleaved turn-taking on
+    /// multi-CG mappings.
+    WaitFree,
 }
 
 /// The per-step protocol latency `ClusterNet::collective_step_time` would
@@ -250,10 +344,12 @@ pub fn simulate_socflow_epoch(
     planning: bool,
     cpu_fraction: f64,
 ) -> SimulatedEpoch {
-    let schedule = if planning {
-        SyncSchedule::Interleaved
-    } else {
+    let schedule = if !planning {
         SyncSchedule::Serial
+    } else if tm.overlap().is_some() {
+        SyncSchedule::WaitFree
+    } else {
+        SyncSchedule::Interleaved
     };
     simulate_socflow_schedule(tm, mapping, cgs, planning, schedule, cpu_fraction)
 }
@@ -282,6 +378,7 @@ pub fn simulate_socflow_schedule(
             },
             spans: Vec::new(),
             link_util: LinkClassUtil::default(),
+            bucket_flushes: Vec::new(),
         };
     }
     let iters =
@@ -354,8 +451,61 @@ pub fn simulate_socflow_schedule(
         }
     }
 
+    // Wait-free bucket construction: the overlap plan's shares split every
+    // slot's gradient wire bytes and per-step flow chunks residually, so
+    // each flow's bucket parts telescope back to the monolithic bytes.
+    let wf = if schedule == SyncSchedule::WaitFree {
+        let shares: Vec<f64> = match tm.overlap() {
+            Some(plan) => plan.shares.clone(),
+            None => vec![1.0], // degenerate single bucket
+        };
+        let mut release_frac = Vec::with_capacity(shares.len());
+        let mut cum = 0.0;
+        for s in &shares {
+            release_frac.push(cum);
+            cum += s;
+        }
+        let wf_slots: Vec<WfSlot> = slots
+            .iter()
+            .map(|s| {
+                let n_buckets = if s.flows.is_empty() { 0 } else { shares.len() };
+                let mut flows: Vec<Vec<Flow>> = vec![Vec::new(); n_buckets];
+                for f in &s.flows {
+                    for (b, part) in partition_exact(f.bytes, &shares).into_iter().enumerate() {
+                        flows[b].push(Flow::new(f.src, f.dst, part));
+                    }
+                }
+                let syncing = s
+                    .groups
+                    .iter()
+                    .filter(|&&g| mapping.group(GroupId(g)).len() >= 2)
+                    .count();
+                let slot_wire = wire * syncing as f64;
+                let bytes = if n_buckets == 0 {
+                    Vec::new()
+                } else {
+                    partition_exact(slot_wire, &shares)
+                };
+                WfSlot {
+                    flows,
+                    bytes,
+                    steps_left: vec![0; n_buckets],
+                    started: vec![0.0; n_buckets],
+                    done: 0,
+                }
+            })
+            .collect();
+        Some(WaitFreeState {
+            release_frac,
+            slots: wf_slots,
+        })
+    } else {
+        None
+    };
+
     let mut drv = Driver {
-        overlap: schedule == SyncSchedule::Interleaved,
+        overlap: schedule != SyncSchedule::Serial,
+        wf,
         iters,
         compute_t,
         update_t: tm.update_time(),
@@ -372,6 +522,7 @@ pub fn simulate_socflow_schedule(
             .collect(),
         tags: Vec::new(),
         spans: Vec::new(),
+        bucket_flushes: Vec::new(),
         token: None,
         queue: Vec::new(),
         sync_busy: 0.0,
@@ -391,6 +542,10 @@ pub fn simulate_socflow_schedule(
             Tag::Compute { g } => drv.on_compute_done(&mut tl, g, c.at),
             Tag::Update { g } => drv.on_update_done(&mut tl, g, c.at),
             Tag::SyncStep { slot } => drv.on_sync_step_done(&mut tl, slot, c.at),
+            Tag::BucketTimer { slot, bucket } => drv.on_bucket_timer(&mut tl, slot, bucket, c.at),
+            Tag::BucketStep { slot, bucket } => {
+                drv.on_bucket_step_done(&mut tl, slot, bucket, c.at)
+            }
             Tag::Boundary => {
                 let (kind, started) = current_boundary.take().expect("boundary bookkeeping");
                 drv.spans.push(Span {
@@ -451,6 +606,7 @@ pub fn simulate_socflow_schedule(
         },
         spans: drv.spans,
         link_util: tl.class_utilization(time),
+        bucket_flushes: drv.bucket_flushes,
     }
 }
 
@@ -493,6 +649,8 @@ impl Driver {
         if self.slots[slot].ready_count[iter] == self.slots[slot].groups.len() {
             if self.slots[slot].steps == 0 {
                 self.finish_sync(tl, slot, iter);
+            } else if self.wf.is_some() {
+                self.release_buckets(tl, slot);
             } else {
                 let now = tl.now();
                 self.queue.push((now, slot, iter));
@@ -547,6 +705,89 @@ impl Driver {
         self.sync_busy += at - started;
         self.finish_sync(tl, slot, iter);
         self.dispatch_sync(tl);
+    }
+
+    /// Wait-free: admits one release timer per bucket for `slot`'s
+    /// current iteration. A bucket's release offset is the latest point
+    /// at which any member group's backprop completes the bucket's layer
+    /// slice (`begun_at + c_g · cum-share-before`), minus the pre-posting
+    /// lead of `steps × latency`, never before now (= the last member's
+    /// iteration begin).
+    fn release_buckets(&mut self, tl: &mut FluidTimeline<'_>, slot: usize) {
+        let now = tl.now();
+        let lead = self.slots[slot].steps as f64 * self.slots[slot].latency;
+        let wf = self.wf.as_mut().expect("wait-free state");
+        wf.slots[slot].done = 0;
+        let n_buckets = wf.slots[slot].flows.len();
+        for b in 0..n_buckets {
+            let frac = wf.release_frac[b];
+            let release_at = self.slots[slot]
+                .groups
+                .iter()
+                .map(|&g| self.groups[g].begun_at + self.compute_t[g] * frac)
+                .fold(0.0f64, f64::max)
+                - lead;
+            let id = tl.start_span((release_at - now).max(0.0));
+            debug_assert_eq!(id.0, self.tags.len());
+            self.tags.push(Tag::BucketTimer { slot, bucket: b });
+        }
+    }
+
+    fn on_bucket_timer(
+        &mut self,
+        tl: &mut FluidTimeline<'_>,
+        slot: usize,
+        bucket: usize,
+        at: Seconds,
+    ) {
+        let steps = self.slots[slot].steps;
+        let ws = &mut self.wf.as_mut().expect("wait-free state").slots[slot];
+        ws.started[bucket] = at;
+        ws.steps_left[bucket] = steps;
+        self.start_bucket_step(tl, slot, bucket);
+    }
+
+    fn start_bucket_step(&mut self, tl: &mut FluidTimeline<'_>, slot: usize, bucket: usize) {
+        let wf = self.wf.as_ref().expect("wait-free state");
+        let id = tl.start_flows(&wf.slots[slot].flows[bucket], self.slots[slot].latency);
+        debug_assert_eq!(id.0, self.tags.len());
+        self.tags.push(Tag::BucketStep { slot, bucket });
+    }
+
+    fn on_bucket_step_done(
+        &mut self,
+        tl: &mut FluidTimeline<'_>,
+        slot: usize,
+        bucket: usize,
+        at: Seconds,
+    ) {
+        let ws = &mut self.wf.as_mut().expect("wait-free state").slots[slot];
+        ws.steps_left[bucket] -= 1;
+        if ws.steps_left[bucket] > 0 {
+            self.start_bucket_step(tl, slot, bucket);
+            return;
+        }
+        let started = ws.started[bucket];
+        let bytes = ws.bytes[bucket];
+        ws.done += 1;
+        let all_done = ws.done == ws.flows.len();
+        self.spans.push(Span {
+            kind: "bucket",
+            lane: format!("cg{slot}/b{bucket}"),
+            start: started,
+            end: at,
+        });
+        self.sync_busy += at - started;
+        self.bucket_flushes.push(BucketFlush {
+            cg: slot,
+            bucket,
+            bytes,
+            at,
+        });
+        if all_done {
+            let iter = self.groups[self.slots[slot].groups[0]].iter;
+            self.finish_sync(tl, slot, iter);
+        }
     }
 
     fn finish_sync(&mut self, tl: &mut FluidTimeline<'_>, slot: usize, iter: usize) {
@@ -689,6 +930,138 @@ mod tests {
         let analytic = m.socflow_epoch(&mapping, &cgs, true, 1.0);
         let rel = (sim.cost.time - analytic.time).abs() / analytic.time;
         assert!(rel < 0.01, "rel {rel}");
+    }
+
+    fn layout(lens: &[usize]) -> Vec<socflow_nn::GradReady> {
+        let mut off = 0;
+        lens.iter()
+            .enumerate()
+            .map(|(i, &len)| {
+                let g = socflow_nn::GradReady {
+                    layer: i,
+                    offset: off,
+                    len,
+                };
+                off += len;
+                g
+            })
+            .collect()
+    }
+
+    /// A VGG-ish per-layer parameter profile: small input convs, large
+    /// middle convs, a fat head.
+    const LENS: &[usize] = &[
+        1_728, 36_864, 73_728, 147_456, 294_912, 589_824, 1_179_648, 589_824, 262_144, 65_536,
+        10_240,
+    ];
+
+    #[test]
+    fn wait_free_is_no_slower_than_serial_or_interleaved() {
+        let mut m = model(60);
+        m.set_overlap(4096, &layout(LENS));
+        assert!(m.overlap().expect("plan set").shares.len() >= 2);
+        let cluster = ClusterSpec::for_socs(60);
+        for groups in [8, 12, 20] {
+            let mapping = integrity_greedy(&cluster, 60, groups);
+            let cgs = divide_communication_groups(&mapping).unwrap();
+            let wf =
+                simulate_socflow_schedule(&m, &mapping, &cgs, true, SyncSchedule::WaitFree, 1.0);
+            let il =
+                simulate_socflow_schedule(&m, &mapping, &cgs, true, SyncSchedule::Interleaved, 1.0);
+            let serial =
+                simulate_socflow_schedule(&m, &mapping, &cgs, true, SyncSchedule::Serial, 1.0);
+            let eps = 1e-6 * serial.cost.time;
+            assert!(
+                wf.cost.time <= il.cost.time + eps,
+                "{groups} groups: wait-free {} vs interleaved {}",
+                wf.cost.time,
+                il.cost.time
+            );
+            assert!(
+                wf.cost.time <= serial.cost.time + eps,
+                "{groups} groups: wait-free {} vs serial {}",
+                wf.cost.time,
+                serial.cost.time
+            );
+            assert!(!wf.bucket_flushes.is_empty());
+        }
+    }
+
+    #[test]
+    fn wait_free_is_deterministic_and_beats_serial_on_multi_cg() {
+        let mut m = model(60);
+        m.set_overlap(4096, &layout(LENS));
+        let cluster = ClusterSpec::for_socs(60);
+        let mapping = integrity_greedy(&cluster, 60, 8);
+        let cgs = divide_communication_groups(&mapping).unwrap();
+        assert!(cgs.cgs.len() >= 2, "expected a multi-CG coloring");
+        let a = simulate_socflow_schedule(&m, &mapping, &cgs, true, SyncSchedule::WaitFree, 1.0);
+        let b = simulate_socflow_schedule(&m, &mapping, &cgs, true, SyncSchedule::WaitFree, 1.0);
+        assert_eq!(a, b);
+        let serial = simulate_socflow_schedule(&m, &mapping, &cgs, true, SyncSchedule::Serial, 1.0);
+        assert!(
+            a.cost.time < serial.cost.time,
+            "wait-free {} vs serial {}",
+            a.cost.time,
+            serial.cost.time
+        );
+    }
+
+    /// With everything in one bucket the wait-free schedule degenerates
+    /// to the interleaved release (ready at iteration begin), so the
+    /// totals agree tightly on a single-CG mapping.
+    #[test]
+    fn single_bucket_wait_free_matches_interleaved_on_one_cg() {
+        let mut m = model(60);
+        m.set_overlap(1 << 20, &layout(LENS)); // 1 GiB floor ⇒ one bucket
+        assert_eq!(m.overlap().expect("plan set").shares.len(), 1);
+        let cluster = ClusterSpec::for_socs(60);
+        let mapping = integrity_greedy(&cluster, 60, 12);
+        let cgs = divide_communication_groups(&mapping).unwrap();
+        assert_eq!(cgs.cgs.len(), 1);
+        let wf = simulate_socflow_schedule(&m, &mapping, &cgs, true, SyncSchedule::WaitFree, 1.0);
+        let il =
+            simulate_socflow_schedule(&m, &mapping, &cgs, true, SyncSchedule::Interleaved, 1.0);
+        let rel = (wf.cost.time - il.cost.time).abs() / il.cost.time;
+        assert!(
+            rel < 1e-9,
+            "wait-free {} vs interleaved {} (rel {rel})",
+            wf.cost.time,
+            il.cost.time
+        );
+    }
+
+    /// Satellite 1's no-double-count invariant: each CG's per-iteration
+    /// bucket bytes sum back to the monolithic gradient wire bytes.
+    #[test]
+    fn bucket_bytes_partition_the_monolithic_payload_exactly() {
+        // partition_exact telescopes by construction
+        for total in [36_924_456.0, 1.0, 1e-3] {
+            for shares in [vec![0.5, 0.25, 0.25], vec![0.3, 0.3, 0.2, 0.2], vec![1.0]] {
+                let parts = partition_exact(total, &shares);
+                assert_eq!(parts.iter().sum::<f64>(), total, "shares {shares:?}");
+            }
+        }
+        // and the simulated flushes carry exactly those parts
+        let mut m = model(60);
+        m.set_overlap(4096, &layout(LENS));
+        let n_buckets = m.overlap().expect("plan set").shares.len();
+        let cluster = ClusterSpec::for_socs(60);
+        let mapping = integrity_greedy(&cluster, 60, 12);
+        let cgs = divide_communication_groups(&mapping).unwrap();
+        let wf = simulate_socflow_schedule(&m, &mapping, &cgs, true, SyncSchedule::WaitFree, 1.0);
+        // every group syncs the full FP32 payload in this mapping
+        let slot_wire = m.payload() * 12.0;
+        let first_iter: Vec<f64> = wf.bucket_flushes[..n_buckets]
+            .iter()
+            .map(|f| f.bytes)
+            .collect();
+        assert_eq!(first_iter.len(), n_buckets);
+        assert_eq!(first_iter.iter().sum::<f64>(), slot_wire);
+        // all iterations flush the same partition
+        for chunk in wf.bucket_flushes.chunks(n_buckets) {
+            assert_eq!(chunk.iter().map(|f| f.bytes).sum::<f64>(), slot_wire);
+        }
     }
 
     #[test]

@@ -21,6 +21,32 @@ use socflow_cluster::{
     Seconds,
 };
 use socflow_collectives::{Collective, ParameterServer, RingAllReduce, TreeAggregate};
+use socflow_nn::{bucketize, GradReady};
+
+/// Default wait-free gradient bucket size, KiB of reference payload (the
+/// `--bucket-kb` default). Large enough that per-bucket ring latency stays
+/// a small fraction of the bucket's drain time, small enough that several
+/// buckets release while backprop still runs.
+pub const DEFAULT_BUCKET_KB: usize = 4096;
+
+/// How the reference gradient payload is bucketed for wait-free overlap
+/// ([`crate::sim::SyncSchedule::WaitFree`]): built by
+/// [`TimeModel::set_overlap`] from a scaled model's
+/// [`GradReady`] layout, with per-layer byte *fractions* mapped onto the
+/// reference payload so the simulator prices paper-scale transfers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverlapPlan {
+    /// Requested bucket size, KiB of reference payload.
+    pub bucket_kb: usize,
+    /// Per-bucket share of the wire payload, in release order (output-most
+    /// layers first — the order backprop produces gradients). The shares
+    /// sum to exactly 1: the last share is computed as the residual, so
+    /// bucket edges can never double-count bytes.
+    pub shares: Vec<f64>,
+    /// Per-bucket top-level layer range `(first, last)`, inclusive — for
+    /// telemetry (`BucketFlushed`) and span rendering.
+    pub layers: Vec<(usize, usize)>,
+}
 
 /// Cost of one simulated epoch.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -55,6 +81,9 @@ pub struct TimeModel {
     /// Price SoCFlow epochs on the event-driven timeline ([`crate::sim`])
     /// instead of the closed-form schedule.
     simulated: bool,
+    /// Wait-free gradient bucketing: when set (and `simulated`), planned
+    /// SoCFlow epochs use [`crate::sim::SyncSchedule::WaitFree`].
+    overlap: Option<OverlapPlan>,
 }
 
 impl TimeModel {
@@ -76,6 +105,7 @@ impl TimeModel {
             batch: spec.global_batch,
             params: spec.model.reference_params() as f64,
             simulated: false,
+            overlap: None,
         }
     }
 
@@ -89,6 +119,65 @@ impl TimeModel {
     /// `true` when SoCFlow epochs are priced on the event-driven timeline.
     pub fn simulated(&self) -> bool {
         self.simulated
+    }
+
+    /// Enables wait-free gradient bucketing for simulated SoCFlow epochs:
+    /// the scaled model's flat-gradient `layout` is coalesced into buckets
+    /// of at least `bucket_kb` KiB *of reference payload* (per-layer byte
+    /// fractions scale onto [`ModelKind::payload_bytes_fp32`]-sized
+    /// transfers), in reverse-topological release order. With the plan set,
+    /// [`Self::socflow_epoch_timeline`] prices planned epochs with
+    /// [`crate::sim::SyncSchedule::WaitFree`] instead of
+    /// [`crate::sim::SyncSchedule::Interleaved`].
+    ///
+    /// [`ModelKind::payload_bytes_fp32`]: socflow_nn::models::ModelKind::payload_bytes_fp32
+    ///
+    /// # Panics
+    /// Panics if `bucket_kb` is zero.
+    pub fn set_overlap(&mut self, bucket_kb: usize, layout: &[GradReady]) {
+        assert!(bucket_kb > 0, "bucket size must be positive");
+        let total: usize = layout.iter().map(|g| g.len).sum();
+        let min_params = if total == 0 {
+            1
+        } else {
+            // map the KiB threshold from reference-payload bytes onto the
+            // scaled layout's parameter counts
+            let bytes_per_param = self.payload / total as f64;
+            (((bucket_kb as f64 * 1024.0) / bytes_per_param).ceil() as usize).max(1)
+        };
+        let buckets = bucketize(layout, min_params);
+        let mut shares: Vec<f64> = buckets
+            .iter()
+            .map(|b| {
+                if total == 0 {
+                    1.0
+                } else {
+                    b.len as f64 / total as f64
+                }
+            })
+            .collect();
+        // the last share takes the residual so the shares sum to exactly 1
+        let head: f64 = shares[..shares.len() - 1].iter().sum();
+        *shares.last_mut().expect("bucketize never returns empty") = (1.0 - head).max(0.0);
+        self.overlap = Some(OverlapPlan {
+            bucket_kb,
+            shares,
+            layers: buckets
+                .iter()
+                .map(|b| (b.first_layer, b.last_layer))
+                .collect(),
+        });
+    }
+
+    /// Removes the wait-free overlap plan (planned simulated epochs fall
+    /// back to [`crate::sim::SyncSchedule::Interleaved`]).
+    pub fn clear_overlap(&mut self) {
+        self.overlap = None;
+    }
+
+    /// The active wait-free overlap plan, if any.
+    pub fn overlap(&self) -> Option<&OverlapPlan> {
+        self.overlap.as_ref()
     }
 
     /// The underlying network simulation.

@@ -12,6 +12,11 @@
 //!   their backward needs.
 //! - [`Network`]: an owned stack of layers with flat parameter/gradient
 //!   views, the unit that SoC workers replicate and synchronize.
+//! - [`GradReady`] / [`Network::grad_layout`] /
+//!   [`Network::backward_with_ready`]: the flat-gradient layout table and
+//!   the per-layer readiness stream backprop emits in reverse layer order,
+//!   plus [`bucketize`] to coalesce layers into [`GradBucket`] transfer
+//!   units — the hooks wait-free communication overlap builds on.
 //! - [`Precision`]: FP32 (mobile CPU path) or INT8 quantization-aware
 //!   training (mobile NPU path, NiTi-style): weights and activations are
 //!   fake-quantized in the forward pass and gradients receive bounded
@@ -57,4 +62,4 @@ pub mod optim;
 pub mod schedule;
 
 pub use layer::{Layer, Mode, Parameter, Precision};
-pub use network::Network;
+pub use network::{bucketize, GradBucket, GradReady, Network};

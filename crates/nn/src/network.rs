@@ -1,6 +1,92 @@
 use crate::layer::{Layer, Mode, Parameter};
 use socflow_tensor::Tensor;
 
+/// One layer's slice of the flat gradient vector: the gradients of layer
+/// `layer` occupy `flat_grads()[offset..offset + len]`.
+///
+/// This is the first-class layout table behind [`Network::flat_grads`] /
+/// [`Network::set_flat_grads`]: both walk the parameters in layer order, so
+/// the spans returned by [`Network::grad_layout`] are exactly the offsets
+/// those flat views use. [`Network::backward_with_ready`] streams the same
+/// spans in *reverse* layer order as each layer's backward completes —
+/// gradient readiness for wait-free communication overlap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GradReady {
+    /// Top-level layer index (position in the network's layer stack).
+    pub layer: usize,
+    /// Start of the layer's gradients in the flat vector.
+    pub offset: usize,
+    /// Number of gradient scalars the layer contributes (0 for layers
+    /// without parameters).
+    pub len: usize,
+}
+
+/// A coalesced run of layers whose gradients are transferred together —
+/// the unit of wait-free communication. Buckets are built in
+/// *reverse-topological* order (output layers first: their gradients are
+/// produced first during backprop), so each bucket covers a contiguous
+/// flat-gradient range and the bucket list partitions the flat vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GradBucket {
+    /// First (lowest-index) top-level layer in the bucket.
+    pub first_layer: usize,
+    /// Last (highest-index) top-level layer in the bucket.
+    pub last_layer: usize,
+    /// Start of the bucket's span in the flat gradient vector.
+    pub offset: usize,
+    /// Gradient scalars in the bucket.
+    pub len: usize,
+}
+
+/// Coalesces a gradient layout into transfer buckets of at least
+/// `min_params` scalars each, walking the layers in reverse-topological
+/// order (output first — the order backprop produces gradients). Small
+/// layers merge into the running bucket; the leftover head of the network
+/// (input-most layers) merges into the final bucket rather than forming an
+/// undersized straggler, so no bucket but the whole-network case is ever
+/// smaller than `min_params`. Parameterless layers ride along with their
+/// neighbours. Returns one whole-network bucket when `min_params` exceeds
+/// the parameter count (or the layout is empty of parameters).
+pub fn bucketize(layout: &[GradReady], min_params: usize) -> Vec<GradBucket> {
+    let total: usize = layout.iter().map(|g| g.len).sum();
+    if layout.is_empty() || total == 0 {
+        return vec![GradBucket {
+            first_layer: 0,
+            last_layer: layout.len().saturating_sub(1),
+            offset: 0,
+            len: total,
+        }];
+    }
+    let mut buckets = Vec::new();
+    let mut acc = 0usize;
+    let mut last_layer = layout.len() - 1;
+    for (i, g) in layout.iter().enumerate().rev() {
+        acc += g.len;
+        // flush once full — unless the remaining (lower) layers are too
+        // small to stand alone, in which case they join this bucket
+        let remaining: usize = layout[..i].iter().map(|l| l.len).sum();
+        if acc >= min_params && remaining >= min_params {
+            buckets.push(GradBucket {
+                first_layer: i,
+                last_layer,
+                offset: g.offset,
+                len: acc,
+            });
+            acc = 0;
+            last_layer = i.saturating_sub(1);
+        }
+    }
+    if acc > 0 || buckets.is_empty() {
+        buckets.push(GradBucket {
+            first_layer: 0,
+            last_layer,
+            offset: 0,
+            len: acc,
+        });
+    }
+    buckets
+}
+
 /// A sequential stack of layers — the model replica each SoC worker owns.
 ///
 /// Besides forward/backward, `Network` exposes the *flat views* distributed
@@ -32,12 +118,62 @@ impl Network {
     }
 
     /// Runs the full backward pass, accumulating parameter gradients.
+    /// Equivalent to [`Network::backward_with_ready`] with a no-op
+    /// callback, without paying for the layout table on the hot path.
     pub fn backward(&mut self, grad_out: &Tensor, mode: Mode) -> Tensor {
         let mut cur = grad_out.clone();
         for l in self.layers.iter_mut().rev() {
             cur = l.backward(&cur, mode);
         }
         cur
+    }
+
+    /// [`Network::backward`] with a gradient-readiness stream: after each
+    /// parameterized layer's backward completes, `on_ready` receives that
+    /// layer's [`GradReady`] span. Spans arrive in reverse layer order
+    /// (output layers first — the order backprop produces gradients) and
+    /// agree exactly with the [`Network::grad_layout`] table, hence with
+    /// the offsets [`Network::flat_grads`] / [`Network::set_flat_grads`]
+    /// use. Layers without parameters produce no callback.
+    pub fn backward_with_ready<F: FnMut(GradReady)>(
+        &mut self,
+        grad_out: &Tensor,
+        mode: Mode,
+        mut on_ready: F,
+    ) -> Tensor {
+        let layout = self.grad_layout();
+        let mut cur = grad_out.clone();
+        for (i, l) in self.layers.iter_mut().enumerate().rev() {
+            cur = l.backward(&cur, mode);
+            if layout[i].len > 0 {
+                on_ready(layout[i]);
+            }
+        }
+        cur
+    }
+
+    /// The flat-gradient layout table: one [`GradReady`] span per layer, in
+    /// layer order, with offsets matching the concatenation order of
+    /// [`Network::flat_grads`] (and every other flat view — they all walk
+    /// [`Network::parameters`], which is layer-ordered). Layers without
+    /// parameters appear with `len == 0` so indices stay aligned with the
+    /// layer stack.
+    pub fn grad_layout(&self) -> Vec<GradReady> {
+        let mut offset = 0;
+        self.layers
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                let len: usize = l.parameters().iter().map(|p| p.len()).sum();
+                let g = GradReady {
+                    layer: i,
+                    offset,
+                    len,
+                };
+                offset += len;
+                g
+            })
+            .collect()
     }
 
     /// All parameters, in layer order.
@@ -289,6 +425,97 @@ mod tests {
     fn set_flat_weights_checks_length() {
         let mut n = tiny_net(4);
         n.set_flat_weights(&[0.0; 3]);
+    }
+
+    #[test]
+    fn grad_layout_matches_flat_grads_offsets() {
+        let mut n = tiny_net(5);
+        let layout = n.grad_layout();
+        assert_eq!(layout.len(), n.num_layers());
+        // Linear(4→8): 32+8, Relu: 0, Linear(8→3): 24+3
+        assert_eq!(
+            layout,
+            vec![
+                GradReady {
+                    layer: 0,
+                    offset: 0,
+                    len: 40
+                },
+                GradReady {
+                    layer: 1,
+                    offset: 40,
+                    len: 0
+                },
+                GradReady {
+                    layer: 2,
+                    offset: 40,
+                    len: 27
+                },
+            ]
+        );
+        assert_eq!(layout.iter().map(|g| g.len).sum::<usize>(), n.param_count());
+
+        // writing one layer's span through set_flat_grads changes exactly
+        // that span of flat_grads
+        let mut flat = vec![0.0f32; n.param_count()];
+        let g = layout[2];
+        for v in &mut flat[g.offset..g.offset + g.len] {
+            *v = 7.0;
+        }
+        n.set_flat_grads(&flat);
+        let out = n.flat_grads();
+        assert!(out[..g.offset].iter().all(|v| *v == 0.0));
+        assert!(out[g.offset..].iter().all(|v| *v == 7.0));
+    }
+
+    #[test]
+    fn backward_streams_ready_spans_in_reverse_layer_order() {
+        let mut n = tiny_net(6);
+        let mode = Mode::train(Precision::Fp32);
+        let y = n.forward(&Tensor::ones([2, 4]), mode);
+        let mut seen = Vec::new();
+        let g1 = n.backward_with_ready(&Tensor::ones(y.shape().clone()), mode, |r| seen.push(r));
+        let layout = n.grad_layout();
+        // parameterized layers only, output-most first
+        assert_eq!(seen, vec![layout[2], layout[0]]);
+
+        // identical input gradient and parameter gradients as plain backward
+        let mut m = tiny_net(6);
+        let y2 = m.forward(&Tensor::ones([2, 4]), mode);
+        let g2 = m.backward(&Tensor::ones(y2.shape().clone()), mode);
+        assert_eq!(g1.data(), g2.data());
+        assert_eq!(n.flat_grads(), m.flat_grads());
+    }
+
+    #[test]
+    fn bucketize_partitions_the_flat_range_in_reverse_order() {
+        let n = tiny_net(7);
+        let layout = n.grad_layout();
+        let buckets = bucketize(&layout, 10);
+        // output Linear (27) flushes first; Relu + input Linear (40) follow
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0].offset, 40);
+        assert_eq!(buckets[0].len, 27);
+        assert_eq!((buckets[0].first_layer, buckets[0].last_layer), (2, 2));
+        assert_eq!(buckets[1].offset, 0);
+        assert_eq!(buckets[1].len, 40);
+        assert_eq!((buckets[1].first_layer, buckets[1].last_layer), (0, 1));
+        // exact partition: no gap, no double-count at the bucket edge
+        assert_eq!(buckets.iter().map(|b| b.len).sum::<usize>(), 67);
+
+        // oversized bucket → one whole-network bucket
+        let one = bucketize(&layout, 1_000_000);
+        assert_eq!(one.len(), 1);
+        assert_eq!((one[0].offset, one[0].len), (0, 67));
+
+        // no undersized stragglers: every bucket meets the floor
+        let fine = bucketize(&layout, 25);
+        assert_eq!(fine.len(), 2);
+        assert!(fine.iter().all(|b| b.len >= 25));
+        // when the head is too small to stand alone it merges instead
+        let merged = bucketize(&layout, 30);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].len, 67);
     }
 
     #[test]

@@ -198,6 +198,23 @@ pub enum Event {
         board_nics: f64,
         switch: f64,
     },
+    /// A gradient bucket finished its wait-free ring transfer
+    /// (`--overlap` mode only). `cg` is the communication group, `bucket`
+    /// the bucket index in release (reverse-topological) order,
+    /// `layer_first..=layer_last` the model layers whose gradients it
+    /// carried, `bytes` its share of the wire payload, and `at` the
+    /// completion time on the run clock. Like the span digest, the engine
+    /// emits a bounded prefix per epoch (the schedule is periodic), not
+    /// every flush.
+    BucketFlushed {
+        epoch: usize,
+        cg: usize,
+        bucket: usize,
+        layer_first: usize,
+        layer_last: usize,
+        bytes: f64,
+        at: f64,
+    },
     /// Host-side kernel-profiling totals for one run, emitted once per
     /// micro-kernel family (matmul, conv im2col, quant, …) just before
     /// [`Event::RunCompleted`] — and only when the process-wide kernel
@@ -389,6 +406,11 @@ pub struct Summary {
     /// Per-epoch link-class utilization rows, in emission order
     /// (`--timeline` runs only, empty otherwise).
     pub link_timeline: Vec<LinkUtilRow>,
+    /// Gradient-bucket flushes recorded (`--overlap` runs only, 0
+    /// otherwise).
+    pub bucket_flushes: usize,
+    /// Wire bytes those flushes carried, summed.
+    pub bucket_bytes: f64,
 }
 
 /// One per-epoch link-utilization row in a [`Summary`] (from
@@ -544,6 +566,10 @@ impl Summary {
                     row.wall_nanos += wall_nanos;
                 }
                 Event::SpanBegin { .. } => s.spans += 1,
+                Event::BucketFlushed { bytes, .. } => {
+                    s.bucket_flushes += 1;
+                    s.bucket_bytes += bytes;
+                }
                 Event::LinkUtilization {
                     epoch,
                     soc_links,
@@ -641,6 +667,13 @@ impl Summary {
         }
         if self.spans > 0 || !self.link_timeline.is_empty() {
             out.push_str(&format!("timeline spans   {}\n", self.spans));
+            if self.bucket_flushes > 0 {
+                out.push_str(&format!(
+                    "bucket flushes   {} ({:.1} MB gradient wire)\n",
+                    self.bucket_flushes,
+                    self.bucket_bytes / 1e6
+                ));
+            }
             if !self.link_timeline.is_empty() {
                 let n = self.link_timeline.len() as f64;
                 let avg = |f: fn(&LinkUtilRow) -> f64| {
@@ -690,6 +723,105 @@ impl Summary {
         }
         out
     }
+}
+
+/// Renders *every* recorded timeline span as a table (what
+/// `socflow-cli trace summarize --spans-full` prints), instead of the
+/// count the digest-oriented [`Summary::render`] shows. Gradient-bucket
+/// lanes (`cg<c>/b<b>`) are annotated with the model layers their bucket
+/// carries, and a trailing section groups the bucket lanes by layer range
+/// with flush counts and wire bytes, so wait-free overlap is inspectable
+/// span by span.
+pub fn render_spans(events: &[Event]) -> String {
+    struct Row {
+        epoch: usize,
+        kind: String,
+        lane: String,
+        start: f64,
+        end: Option<f64>,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    // (cg, bucket) -> (layer_first, layer_last, total bytes, flushes)
+    let mut buckets: std::collections::BTreeMap<(usize, usize), (usize, usize, f64, usize)> =
+        std::collections::BTreeMap::new();
+    for e in events {
+        match e {
+            Event::SpanBegin {
+                epoch,
+                kind,
+                lane,
+                at,
+            } => rows.push(Row {
+                epoch: *epoch,
+                kind: kind.clone(),
+                lane: lane.clone(),
+                start: *at,
+                end: None,
+            }),
+            Event::SpanEnd {
+                epoch,
+                kind,
+                lane,
+                at,
+            } => {
+                if let Some(r) = rows.iter_mut().find(|r| {
+                    r.end.is_none() && r.epoch == *epoch && &r.kind == kind && &r.lane == lane
+                }) {
+                    r.end = Some(*at);
+                }
+            }
+            Event::BucketFlushed {
+                cg,
+                bucket,
+                layer_first,
+                layer_last,
+                bytes,
+                ..
+            } => {
+                let entry =
+                    buckets
+                        .entry((*cg, *bucket))
+                        .or_insert((*layer_first, *layer_last, 0.0, 0));
+                entry.2 += bytes;
+                entry.3 += 1;
+            }
+            _ => {}
+        }
+    }
+    let layers_of = |lane: &str| -> Option<(usize, usize)> {
+        let (cg, b) = lane.split_once("/b")?;
+        let key = (cg.strip_prefix("cg")?.parse().ok()?, b.parse().ok()?);
+        buckets.get(&key).map(|&(first, last, _, _)| (first, last))
+    };
+    let mut out = format!("spans ({} recorded)\n", rows.len());
+    out.push_str(&format!(
+        "{:<6} {:<10} {:<12} {:>10} {:>10} {:>9}\n",
+        "epoch", "lane", "kind", "start", "end", "dur"
+    ));
+    for r in &rows {
+        let (end, dur) = match r.end {
+            Some(end) => (format!("{end:.3}"), format!("{:.3}", end - r.start)),
+            None => ("?".into(), "?".into()),
+        };
+        let note = match layers_of(&r.lane) {
+            Some((first, last)) => format!("  layers {first}..={last}"),
+            None => String::new(),
+        };
+        out.push_str(&format!(
+            "{:<6} {:<10} {:<12} {:>10.3} {:>10} {:>9}{}\n",
+            r.epoch, r.lane, r.kind, r.start, end, dur, note
+        ));
+    }
+    if !buckets.is_empty() {
+        out.push_str("gradient buckets by layer\n");
+        for (&(cg, bucket), &(first, last, bytes, flushes)) in &buckets {
+            out.push_str(&format!(
+                "  cg{cg}/b{bucket}  layers {first}..={last}  {flushes} flushes  {:.1} MB\n",
+                bytes / 1e6
+            ));
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -742,6 +874,47 @@ mod tests {
             .collect();
         let parsed = parse_trace(&text).unwrap();
         assert_eq!(parsed, events);
+    }
+
+    #[test]
+    fn bucket_flushed_round_trips_and_renders_grouped_by_layer() {
+        let events = vec![
+            Event::SpanBegin {
+                epoch: 0,
+                kind: "bucket".into(),
+                lane: "cg0/b1".into(),
+                at: 1.0,
+            },
+            Event::SpanEnd {
+                epoch: 0,
+                kind: "bucket".into(),
+                lane: "cg0/b1".into(),
+                at: 1.5,
+            },
+            Event::BucketFlushed {
+                epoch: 0,
+                cg: 0,
+                bucket: 1,
+                layer_first: 3,
+                layer_last: 7,
+                bytes: 2e6,
+                at: 1.5,
+            },
+        ];
+        let text: String = events
+            .iter()
+            .map(|e| serde_json::to_string(e).unwrap() + "\n")
+            .collect();
+        let parsed = parse_trace(&text).unwrap();
+        assert_eq!(parsed, events);
+        let s = Summary::from_events(&parsed);
+        assert_eq!(s.bucket_flushes, 1);
+        assert!((s.bucket_bytes - 2e6).abs() < 1e-9);
+        assert!(s.render().contains("bucket flushes"), "{}", s.render());
+        let full = render_spans(&parsed);
+        assert!(full.contains("cg0/b1"), "{full}");
+        assert!(full.contains("layers 3..=7"), "{full}");
+        assert!(full.contains("1 flushes"), "{full}");
     }
 
     #[test]

@@ -1,0 +1,76 @@
+//! The flat-gradient layout contract across every bundled model: the
+//! per-layer [`GradReady`] spans the backward pass streams must tile the
+//! flat gradient vector exactly as `flat_grads` / `set_flat_grads` lay it
+//! out — same offsets, same lengths, no gaps, no overlap — and the
+//! contract must hold at any worker-pool size (the pool partitions by
+//! problem shape, never by thread count).
+
+use rand::{rngs::StdRng, SeedableRng};
+use socflow_nn::models::{ModelConfig, ModelKind};
+use socflow_nn::{GradReady, Mode, Precision};
+use socflow_tensor::{runtime, Tensor};
+
+/// A config small enough to backprop every architecture in a test.
+fn tiny_cfg(kind: ModelKind) -> ModelConfig {
+    match kind {
+        ModelKind::LeNet5 => ModelConfig::new(1, 16, 10, 0.5),
+        ModelKind::ResNet50 => ModelConfig::new(3, 8, 10, 0.0625),
+        ModelKind::TinyViT => ModelConfig::new(3, 8, 10, 0.5),
+        _ => ModelConfig::new(3, 8, 10, 0.125),
+    }
+}
+
+fn check_model(kind: ModelKind) {
+    let cfg = tiny_cfg(kind);
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut net = kind.build(cfg, &mut rng);
+    let layout = net.grad_layout();
+    assert_eq!(layout.len(), net.num_layers(), "{kind}");
+
+    // the layout table tiles [0, param_count) contiguously in layer order
+    let mut expected_offset = 0;
+    for g in &layout {
+        assert_eq!(g.offset, expected_offset, "{kind}: layer {}", g.layer);
+        expected_offset += g.len;
+    }
+    assert_eq!(expected_offset, net.param_count(), "{kind}");
+
+    // stream the spans out of a real backward pass
+    let mode = Mode::train(Precision::Fp32);
+    let x = Tensor::ones([2, cfg.in_channels, cfg.input_size, cfg.input_size]);
+    let y = net.forward(&x, mode);
+    let mut streamed: Vec<GradReady> = Vec::new();
+    net.backward_with_ready(&Tensor::ones(y.shape().clone()), mode, |g| streamed.push(g));
+
+    // spans arrive output-layers-first and are exactly the parameterized
+    // rows of the layout table
+    let mut expected: Vec<GradReady> = layout.iter().copied().filter(|g| g.len > 0).collect();
+    expected.reverse();
+    assert_eq!(streamed, expected, "{kind}");
+
+    // round trip: stamp each span's slice of the flat vector with a value
+    // derived from its layer index, push it through `set_flat_grads`, and
+    // demand `flat_grads` reproduces it bit-for-bit — any offset slip
+    // would bleed one layer's stamp into another
+    let mut flat = net.flat_grads();
+    assert_eq!(flat.len(), net.param_count(), "{kind}");
+    for g in &streamed {
+        for v in &mut flat[g.offset..g.offset + g.len] {
+            *v = g.layer as f32 + 0.5;
+        }
+    }
+    net.set_flat_grads(&flat);
+    assert_eq!(net.flat_grads(), flat, "{kind}");
+}
+
+#[test]
+fn grad_layout_round_trips_on_every_model_at_any_pool_size() {
+    let before = runtime::threads();
+    for threads in [1, 8] {
+        runtime::set_threads(threads);
+        for kind in ModelKind::ALL {
+            check_model(kind);
+        }
+    }
+    runtime::set_threads(before);
+}

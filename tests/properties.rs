@@ -462,6 +462,43 @@ proptest! {
         prop_assert!((c1 - c2).abs() < 1e-6, "symmetry");
         prop_assert!((-1.0001..=1.0001).contains(&c1), "bounded");
     }
+
+    /// Gradient bucketing partitions the flat vector exactly for any layer
+    /// layout: buckets are contiguous in reverse-topological order, their
+    /// lengths telescope to the total parameter count, and no bucket is
+    /// undersized unless it is the lone whole-network bucket.
+    #[test]
+    fn bucketize_partitions_any_layout(
+        lens in proptest::collection::vec(0usize..5000, 1..40),
+        min_params in 1usize..20_000,
+    ) {
+        use socflow_nn::{bucketize, GradReady};
+
+        let mut offset = 0;
+        let layout: Vec<GradReady> = lens.iter().enumerate().map(|(i, &len)| {
+            let g = GradReady { layer: i, offset, len };
+            offset += len;
+            g
+        }).collect();
+        let total = offset;
+        let buckets = bucketize(&layout, min_params);
+        prop_assert!(!buckets.is_empty());
+        // output-first: each bucket ends exactly where the previous began
+        let mut expected_end = total;
+        for b in &buckets {
+            prop_assert_eq!(b.offset + b.len, expected_end, "contiguous");
+            prop_assert!(b.first_layer <= b.last_layer);
+            expected_end = b.offset;
+        }
+        prop_assert_eq!(expected_end, 0, "buckets must reach offset 0");
+        let sum: usize = buckets.iter().map(|b| b.len).sum();
+        prop_assert_eq!(sum, total, "bucket bytes = monolithic bytes");
+        if buckets.len() > 1 {
+            for b in &buckets {
+                prop_assert!(b.len >= min_params, "undersized bucket {b:?}");
+            }
+        }
+    }
 }
 
 // Timeline-simulation properties price whole epochs (hundreds of fluid
@@ -503,6 +540,58 @@ proptest! {
             rel < 0.01,
             "{} groups on {} SoCs: sim {} vs analytic {} (rel {})",
             k, socs, sim.cost.time, analytic.time, rel
+        );
+    }
+
+    /// Wait-free bucketed overlap never prices an epoch above the serial
+    /// or interleaved schedules, on any topology and bucket size: every
+    /// bucket's transfer is released no later than the monolithic flush
+    /// interleaving would issue.
+    #[test]
+    fn wait_free_never_loses(
+        socs in 4usize..41,
+        groups in 1usize..9,
+        bucket_mb in 0usize..7,
+    ) {
+        use rand::{rngs::StdRng, SeedableRng};
+        use socflow::config::{MethodSpec, TrainJobSpec};
+        use socflow::sim::{simulate_socflow_schedule, SyncSchedule};
+        use socflow::timemodel::TimeModel;
+        use socflow_data::DatasetPreset;
+        use socflow_nn::models::{ModelConfig, ModelKind};
+
+        prop_assume!(groups <= socs);
+        let mut spec = TrainJobSpec::new(
+            ModelKind::Vgg11,
+            DatasetPreset::Cifar10,
+            MethodSpec::Ring,
+        );
+        spec.socs = socs;
+        let mut tm = TimeModel::new(&spec);
+        let mut rng = StdRng::seed_from_u64(0);
+        let layout = ModelKind::Vgg11
+            .build(ModelConfig::new(3, 32, 10, 0.25), &mut rng)
+            .grad_layout();
+        tm.set_overlap(512 << bucket_mb, &layout);
+        let cluster = ClusterSpec::for_socs(socs);
+        let mapping = integrity_greedy(&cluster, socs, groups);
+        let cgs = divide_communication_groups(&mapping).unwrap();
+        let serial =
+            simulate_socflow_schedule(&tm, &mapping, &cgs, true, SyncSchedule::Serial, 1.0);
+        let interleaved =
+            simulate_socflow_schedule(&tm, &mapping, &cgs, true, SyncSchedule::Interleaved, 1.0);
+        let wf =
+            simulate_socflow_schedule(&tm, &mapping, &cgs, true, SyncSchedule::WaitFree, 1.0);
+        let eps = 1e-6 * serial.cost.time;
+        prop_assert!(
+            wf.cost.time <= serial.cost.time + eps,
+            "{groups} groups / {socs} SoCs: wf {} vs serial {}",
+            wf.cost.time, serial.cost.time
+        );
+        prop_assert!(
+            wf.cost.time <= interleaved.cost.time + eps,
+            "{groups} groups / {socs} SoCs: wf {} vs interleaved {}",
+            wf.cost.time, interleaved.cost.time
         );
     }
 }

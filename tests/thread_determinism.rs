@@ -95,6 +95,22 @@ fn baseline_and_federated_methods_are_thread_count_invariant() {
     }
 }
 
+/// Wait-free gradient overlap changes only the *pricing* of an epoch (the
+/// fluid-timeline schedule), never the learning dynamics — so an overlap
+/// run's result and trace (bucket spans, `BucketFlushed` events and all)
+/// must stay byte-identical across pool sizes too.
+#[test]
+fn overlap_runs_are_thread_count_invariant() {
+    let spec = spec_of(MethodSpec::SocFlow(SocFlowConfig::with_groups(2)));
+    let workload = Workload::standard(&spec, 96, 8, 0.5);
+    assert_thread_invariant("overlap", &|sink| {
+        Engine::new(spec, workload.clone())
+            .with_overlap(true)
+            .with_bucket_kb(32)
+            .with_sink(sink)
+    });
+}
+
 #[test]
 fn faulted_runs_are_thread_count_invariant() {
     let plan = FaultPlan::from_events(vec![
