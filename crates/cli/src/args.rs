@@ -43,6 +43,17 @@ pub struct Options {
     /// Measured β compute-power ratio override in (0,1) — typically the
     /// value `bench kernels` reports from timing the f32 and i8 GEMMs.
     pub profiled_beta: Option<f64>,
+    /// Number of servers in the simulated fleet (`fleet`).
+    pub servers: usize,
+    /// Number of jobs on the fleet arrival trace (`fleet`).
+    pub jobs: usize,
+    /// Fleet admission/placement policy: `tidal` | `fifo` (`fleet`).
+    pub policy: String,
+    /// Fleet simulation horizon in hours (`fleet`).
+    pub horizon: usize,
+    /// Mean Poisson inter-arrival time between fleet jobs, seconds
+    /// (`fleet`).
+    pub interarrival: f64,
 }
 
 impl Default for Options {
@@ -68,6 +79,11 @@ impl Default for Options {
             bucket_kb: None,
             threads: None,
             profiled_beta: None,
+            servers: 4,
+            jobs: 12,
+            policy: "tidal".into(),
+            horizon: 72,
+            interarrival: 5400.0,
         }
     }
 }
@@ -119,6 +135,19 @@ impl Options {
                 "--checkpoint-every" => o.checkpoint_every = Some(parse_num(flag, value)?),
                 "--threads" => o.threads = Some(parse_num(flag, value)?),
                 "--bucket-kb" => o.bucket_kb = Some(parse_num(flag, value)?),
+                "--servers" => o.servers = parse_num(flag, value)?,
+                "--jobs" => o.jobs = parse_num(flag, value)?,
+                "--policy" => o.policy = value.clone(),
+                "--horizon" => o.horizon = parse_num(flag, value)?,
+                "--interarrival" => {
+                    let v: f64 = value
+                        .parse()
+                        .map_err(|_| format!("`{flag}` expects a number, got `{value}`"))?;
+                    if v <= 0.0 || !v.is_finite() {
+                        return Err(format!("`{flag}` must be positive, got `{value}`"));
+                    }
+                    o.interarrival = v;
+                }
                 "--profiled-beta" => {
                     let beta: f64 = value
                         .parse()
@@ -147,6 +176,15 @@ impl Options {
         }
         if o.bucket_kb.is_some() && !o.overlap {
             return Err("--bucket-kb needs --overlap".into());
+        }
+        if o.servers == 0 {
+            return Err("--servers must be positive".into());
+        }
+        if o.jobs == 0 {
+            return Err("--jobs must be positive".into());
+        }
+        if o.horizon == 0 {
+            return Err("--horizon must be positive".into());
         }
         Ok(o)
     }
@@ -265,6 +303,38 @@ mod tests {
         assert!(parse(&["--profiled-beta", "1.0"]).is_err());
         assert!(parse(&["--profiled-beta", "nan"]).is_err());
         assert!(parse(&["--profiled-beta", "big"]).is_err());
+    }
+
+    #[test]
+    fn fleet_flags_parse_and_validate() {
+        let o = parse(&[
+            "--servers",
+            "2",
+            "--jobs",
+            "9",
+            "--policy",
+            "fifo",
+            "--horizon",
+            "48",
+            "--interarrival",
+            "1800",
+        ])
+        .unwrap();
+        assert_eq!(o.servers, 2);
+        assert_eq!(o.jobs, 9);
+        assert_eq!(o.policy, "fifo");
+        assert_eq!(o.horizon, 48);
+        assert_eq!(o.interarrival, 1800.0);
+        let d = parse(&[]).unwrap();
+        assert_eq!(d.servers, 4);
+        assert_eq!(d.jobs, 12);
+        assert_eq!(d.policy, "tidal");
+        assert_eq!(d.horizon, 72);
+        assert!(parse(&["--servers", "0"]).is_err());
+        assert!(parse(&["--jobs", "0"]).is_err());
+        assert!(parse(&["--horizon", "0"]).is_err());
+        assert!(parse(&["--interarrival", "-5"]).is_err());
+        assert!(parse(&["--interarrival", "soon"]).is_err());
     }
 
     #[test]

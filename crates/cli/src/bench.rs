@@ -777,6 +777,125 @@ fn e2e_suite_to_json(results: &[E2eRun], fast: bool) -> serde_json::Value {
     ])
 }
 
+/// Fleet-bench configuration shared by both policies so the comparison
+/// runs on the *same* traced arrival schedule.
+fn fleet_bench_config(fast: bool) -> (socflow::fleet::FleetSpec, usize, f64, u64) {
+    use socflow::fleet::{FleetPolicy, FleetSpec};
+    // Both schedules are contended enough that admission policy matters: the
+    // fast tier packs 8 overnight arrivals onto two servers, the full tier
+    // stretches 14 arrivals across five diurnal cycles of a single server so
+    // FIFO's eager daytime placements pay real preemption/requeue costs.
+    let (servers, jobs, horizon, interarrival, seed, mix_seed) = if fast {
+        (2, 8, 48, 3600.0, 42, 7)
+    } else {
+        (1, 14, 120, 7200.0, 23, 29)
+    };
+    let spec = FleetSpec {
+        servers,
+        socs_per_server: 60,
+        seed,
+        horizon_hours: horizon,
+        policy: FleetPolicy::Tidal,
+    };
+    (spec, jobs, interarrival, mix_seed)
+}
+
+fn run_fleet_suite(fast: bool) -> Vec<socflow::fleet::FleetReport> {
+    use socflow::fleet::{standard_job_mix, FleetPolicy, FleetSim};
+    let (base, jobs, interarrival, mix_seed) = fleet_bench_config(fast);
+    [FleetPolicy::Fifo, FleetPolicy::Tidal]
+        .into_iter()
+        .map(|policy| {
+            let spec = socflow::fleet::FleetSpec { policy, ..base };
+            FleetSim::new(spec, standard_job_mix(jobs, interarrival, mix_seed)).run()
+        })
+        .collect()
+}
+
+fn fleet_suite_to_json(results: &[socflow::fleet::FleetReport], fast: bool) -> serde_json::Value {
+    use serde_json::Value;
+    let (base, jobs, interarrival, mix_seed) = fleet_bench_config(fast);
+    let rows = results
+        .iter()
+        .map(|r| {
+            Value::Object(vec![
+                ("policy".into(), Value::Str(r.policy.clone())),
+                ("completed".into(), Value::U64(r.completed as u64)),
+                ("preemptions".into(), Value::U64(r.preemptions as u64)),
+                ("mean_jct_s".into(), Value::F64(r.mean_jct_s)),
+                ("utilization".into(), Value::F64(r.utilization)),
+                (
+                    "idle_capacity_used".into(),
+                    Value::F64(r.idle_capacity_used),
+                ),
+                (
+                    "throughput_jobs_per_day".into(),
+                    Value::F64(r.throughput_jobs_per_day),
+                ),
+            ])
+        })
+        .collect();
+    let fifo = results.iter().find(|r| r.policy == "fifo");
+    let tidal = results.iter().find(|r| r.policy == "tidal");
+    let (jct_x, util_gain) = match (fifo, tidal) {
+        (Some(f), Some(t)) if t.mean_jct_s > 0.0 => {
+            (f.mean_jct_s / t.mean_jct_s, t.utilization - f.utilization)
+        }
+        _ => (0.0, 0.0),
+    };
+    Value::Object(vec![
+        ("schema".into(), Value::Str("socflow-fleet-bench/v1".into())),
+        (
+            "mode".into(),
+            Value::Str(if fast { "fast" } else { "full" }.into()),
+        ),
+        ("servers".into(), Value::U64(base.servers as u64)),
+        (
+            "socs_per_server".into(),
+            Value::U64(base.socs_per_server as u64),
+        ),
+        ("jobs".into(), Value::U64(jobs as u64)),
+        (
+            "horizon_hours".into(),
+            Value::U64(base.horizon_hours as u64),
+        ),
+        ("interarrival_s".into(), Value::F64(interarrival)),
+        ("seed".into(), Value::U64(base.seed)),
+        ("mix_seed".into(), Value::U64(mix_seed)),
+        ("jct_speedup_vs_fifo".into(), Value::F64(jct_x)),
+        ("utilization_gain_vs_fifo".into(), Value::F64(util_gain)),
+        ("results".into(), Value::Array(rows)),
+    ])
+}
+
+fn bench_fleet(fast: bool, json_path: Option<String>) -> Result<(), String> {
+    let results = run_fleet_suite(fast);
+    println!(
+        "{:<8} {:>9} {:>10} {:>12} {:>12} {:>10} {:>9}",
+        "policy", "completed", "preempts", "mean JCT s", "util %", "idle %", "jobs/day"
+    );
+    for r in &results {
+        println!(
+            "{:<8} {:>9} {:>10} {:>12.0} {:>11.1}% {:>9.1}% {:>9.2}",
+            r.policy,
+            r.completed,
+            r.preemptions,
+            r.mean_jct_s,
+            r.utilization * 100.0,
+            r.idle_capacity_used * 100.0,
+            r.throughput_jobs_per_day
+        );
+    }
+    if let Some(path) = json_path {
+        let doc = fleet_suite_to_json(&results, fast);
+        let text = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
+        std::fs::write(&path, text + "\n")
+            .map_err(|e| format!("cannot write bench file `{path}`: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
 fn bench_e2e(fast: bool, json_path: Option<String>) -> Result<(), String> {
     let results = run_e2e_suite(fast);
     let base_run = results.first().map_or(0.0, |r| r.run_s);
@@ -903,15 +1022,16 @@ fn bench_faults(fast: bool, json_path: Option<String>) -> Result<(), String> {
     Ok(())
 }
 
-/// `socflow-cli bench <kernels|faults|timeline|e2e> [--fast] [--json <path>]`.
+/// `socflow-cli bench <kernels|faults|timeline|e2e|fleet> [--fast] [--json <path>]`.
 ///
 /// # Errors
 /// Returns a message on unknown operands or an unwritable `--json` path.
 pub fn bench(argv: &[String]) -> Result<(), String> {
-    let usage = "usage: socflow-cli bench <kernels|faults|timeline|e2e> [--fast] [--json <path>]";
+    let usage =
+        "usage: socflow-cli bench <kernels|faults|timeline|e2e|fleet> [--fast] [--json <path>]";
     let mut it = argv.iter();
     let suite = match it.next().map(String::as_str) {
-        Some(s @ ("kernels" | "faults" | "timeline" | "e2e")) => s.to_string(),
+        Some(s @ ("kernels" | "faults" | "timeline" | "e2e" | "fleet")) => s.to_string(),
         _ => return Err(usage.into()),
     };
     let mut fast = false;
@@ -933,6 +1053,9 @@ pub fn bench(argv: &[String]) -> Result<(), String> {
     }
     if suite == "e2e" {
         return bench_e2e(fast, json_path);
+    }
+    if suite == "fleet" {
+        return bench_fleet(fast, json_path);
     }
 
     let results = run_suite(fast);
@@ -997,6 +1120,57 @@ mod tests {
         assert!(bench(&args(&["kernels", "--json"])).is_err());
         assert!(bench(&args(&["kernels", "--turbo"])).is_err());
         assert!(bench(&args(&["faults", "--turbo"])).is_err());
+    }
+
+    #[test]
+    fn fast_fleet_suite_beats_fifo_and_serializes() {
+        let results = run_fleet_suite(true);
+        assert_eq!(results.len(), 2, "fifo then tidal");
+        let fifo = &results[0];
+        let tidal = &results[1];
+        assert_eq!(fifo.policy, "fifo");
+        assert_eq!(tidal.policy, "tidal");
+        assert!(fifo.completed > 0 && tidal.completed > 0);
+        // the acceptance bar: the fleet policy wins on JCT and utilization
+        assert!(
+            tidal.mean_jct_s < fifo.mean_jct_s,
+            "tidal JCT {} vs fifo {}",
+            tidal.mean_jct_s,
+            fifo.mean_jct_s
+        );
+        assert!(
+            tidal.utilization > fifo.utilization,
+            "tidal util {} vs fifo {}",
+            tidal.utilization,
+            fifo.utilization
+        );
+        let doc = fleet_suite_to_json(&results, true);
+        assert_eq!(doc.get("schema").as_str(), Some("socflow-fleet-bench/v1"));
+        assert_eq!(doc.get("mode").as_str(), Some("fast"));
+        assert_eq!(doc.get("results").as_array().unwrap().len(), 2);
+        assert!(doc.get("jct_speedup_vs_fifo").as_f64().unwrap() > 1.0);
+        assert!(doc.get("utilization_gain_vs_fifo").as_f64().unwrap() > 0.0);
+        let row = &doc.get("results").as_array().unwrap()[0];
+        for key in [
+            "policy",
+            "completed",
+            "preemptions",
+            "mean_jct_s",
+            "utilization",
+            "idle_capacity_used",
+            "throughput_jobs_per_day",
+        ] {
+            assert!(!row.get(key).is_null(), "missing field {key}");
+        }
+    }
+
+    #[test]
+    fn fleet_suite_is_byte_deterministic() {
+        let a = serde_json::to_string_pretty(&fleet_suite_to_json(&run_fleet_suite(true), true))
+            .unwrap();
+        let b = serde_json::to_string_pretty(&fleet_suite_to_json(&run_fleet_suite(true), true))
+            .unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

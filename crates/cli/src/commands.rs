@@ -4,6 +4,7 @@ use crate::args::Options;
 use socflow::checkpoint::{Checkpoint, CheckpointPolicy};
 use socflow::config::{MethodSpec, SocFlowConfig, TrainJobSpec};
 use socflow::engine::Workload;
+use socflow::fleet::{standard_job_mix, FleetPolicy, FleetSim, FleetSpec};
 use socflow::scheduler::GlobalScheduler;
 use socflow_cluster::faults::FaultPlan;
 use socflow_cluster::tidal::TidalTrace;
@@ -24,11 +25,15 @@ USAGE:
                 [--groups G] [--epochs E] [--samples S] [--seed S] [--json]
   socflow-cli compare [--model M] [--dataset D] [--socs N] [--epochs E]
   socflow-cli tidal [--socs N] [--seed S]
+  socflow-cli fleet [--servers N] [--jobs M] [--policy tidal|fifo]
+                [--socs N] [--horizon H] [--interarrival S] [--seed S]
+                [--trace <path>] [--json]
   socflow-cli trace summarize <run.jsonl> [--spans-full]
   socflow-cli bench kernels [--fast] [--json <path>]
   socflow-cli bench faults [--fast] [--json <path>]
   socflow-cli bench timeline [--fast] [--json <path>]
   socflow-cli bench e2e [--fast] [--json <path>]
+  socflow-cli bench fleet [--fast] [--json <path>]
   socflow-cli info
 
   --threads <N> (train, compare): size of the host worker pool
@@ -58,6 +63,11 @@ USAGE:
   --profiled-beta <f> (train): override the calibrated β compute-power
       ratio with a measured value in (0,1) — typically the β that
       `bench kernels` reports from timing the f32 and i8 GEMMs
+  --servers/--jobs/--policy/--horizon/--interarrival (fleet): size the
+      simulated fleet (servers x --socs SoCs each), the Poisson arrival
+      trace, and the admission policy (tidal = window-aware + priorities,
+      fifo = naive greedy). All simulated-clock and deterministic in
+      --seed; --trace records job lifecycle events
 
   models:   lenet5 | vgg11 | resnet18 | resnet50 | mobilenet | tinyvit
   datasets: cifar10 | emnist | fmnist | celeba | cinic10
@@ -341,6 +351,58 @@ pub fn tidal(opts: &Options) -> Result<(), String> {
         "\nbest window with >={} idle SoCs: {len} h starting {start:02}:00",
         opts.socs / 2
     );
+    Ok(())
+}
+
+/// `socflow-cli fleet`: simulate a multi-tenant fleet of SoC-Cluster
+/// servers packing trace-driven job arrivals onto tidal-idle capacity,
+/// and print per-job outcomes plus throughput/JCT/utilization.
+pub fn fleet(opts: &Options) -> Result<(), String> {
+    let policy = FleetPolicy::parse(&opts.policy)?;
+    let spec = FleetSpec {
+        servers: opts.servers,
+        socs_per_server: opts.socs,
+        seed: opts.seed,
+        horizon_hours: opts.horizon,
+        policy,
+    };
+    let jobs = standard_job_mix(opts.jobs, opts.interarrival, opts.seed);
+    let mut sim = FleetSim::new(spec, jobs);
+    if let Some(path) = &opts.trace {
+        let writer = TraceWriter::create(path)
+            .map_err(|e| format!("cannot create trace file `{path}`: {e}"))?;
+        sim = sim.with_sink(Arc::new(writer));
+    }
+    let report = sim.run();
+    if opts.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+    println!(
+        "{} servers x {} SoCs, {} jobs, seed {}\n",
+        opts.servers, opts.socs, opts.jobs, opts.seed
+    );
+    println!("job  prio  arrival_h  admit_h  finish_h  preempts");
+    for j in &report.jobs {
+        let fmt_h = |s: Option<f64>| match s {
+            Some(s) => format!("{:>7.2}", s / 3600.0),
+            None => format!("{:>7}", "-"),
+        };
+        println!(
+            "{:>3}  {:>4}  {:>9.2}  {}  {}  {:>8}",
+            j.id,
+            j.priority,
+            j.arrival_s / 3600.0,
+            fmt_h(j.first_admit_s),
+            fmt_h(j.completed_s),
+            j.preemptions
+        );
+    }
+    println!();
+    print!("{}", report.render());
     Ok(())
 }
 

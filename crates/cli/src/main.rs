@@ -6,11 +6,14 @@
 //!               [--groups G] [--epochs E] [--samples S] [--json]
 //! socflow-cli compare [--model M] [--dataset D] [--socs N] [--epochs E]
 //! socflow-cli tidal [--socs N] [--seed S]
+//! socflow-cli fleet [--servers N] [--jobs M] [--policy tidal|fifo] [--socs N]
+//!               [--horizon H] [--interarrival S] [--seed S] [--json]
 //! socflow-cli trace summarize <run.jsonl>
 //! socflow-cli bench kernels [--fast] [--json <path>]
 //! socflow-cli bench faults [--fast] [--json <path>]
 //! socflow-cli bench timeline [--fast] [--json <path>]
 //! socflow-cli bench e2e [--fast] [--json <path>]
+//! socflow-cli bench fleet [--fast] [--json <path>]
 //! socflow-cli info
 //! ```
 
@@ -51,6 +54,7 @@ fn main() {
         "train" => commands::train(&opts),
         "compare" => commands::compare(&opts),
         "tidal" => commands::tidal(&opts),
+        "fleet" => commands::fleet(&opts),
         "info" => commands::info(),
         "help" | "--help" | "-h" => {
             commands::print_usage();

@@ -34,7 +34,16 @@ impl TidalTrace {
     /// probability given by [`HOURLY_BUSY_FRACTION`]; busy SoCs are chosen
     /// with temporal correlation (a busy SoC tends to stay busy next hour,
     /// as game sessions span hours).
+    ///
+    /// A zero-SoC cluster yields an empty (but well-formed, 24-row) trace
+    /// rather than panicking in the correction loop's `gen_range(0..0)`.
     pub fn generate(socs: usize, seed: u64) -> Self {
+        if socs == 0 {
+            return TidalTrace {
+                busy: vec![Vec::new(); 24],
+                socs: 0,
+            };
+        }
         let mut rng = StdRng::seed_from_u64(seed);
         let mut busy = Vec::with_capacity(24);
         let mut prev = vec![false; socs];
@@ -49,8 +58,10 @@ impl TidalTrace {
                 };
                 cur[s] = rng.gen::<f64>() < p.min(1.0);
             }
-            // correct toward the target fraction
-            let want = (target * socs as f64).round() as usize;
+            // correct toward the target fraction; a rounded target can never
+            // exceed the population, but clamp anyway so the fill loop below
+            // cannot spin forever on a bad future edit
+            let want = ((target * socs as f64).round() as usize).min(socs);
             let mut have = cur.iter().filter(|&&b| b).count();
             while have > want {
                 let s = rng.gen_range(0..socs);
@@ -77,12 +88,16 @@ impl TidalTrace {
         self.socs
     }
 
-    /// Busy-SoC fraction in `[0,1]` for an hour of the day.
+    /// Busy-SoC fraction in `[0,1]` for an hour of the day (0.0 for an
+    /// empty trace).
     ///
     /// # Panics
     /// Panics if `hour >= 24`.
     pub fn busy_fraction(&self, hour: usize) -> f64 {
         let row = &self.busy[hour];
+        if self.socs == 0 {
+            return 0.0;
+        }
         row.iter().filter(|&&b| b).count() as f64 / self.socs as f64
     }
 
@@ -173,6 +188,20 @@ mod tests {
         for h in 0..24 {
             assert_eq!(a.busy_fraction(h), b.busy_fraction(h));
         }
+    }
+
+    #[test]
+    fn zero_socs_yields_an_empty_trace_not_a_panic() {
+        let t = TidalTrace::generate(0, 7);
+        assert_eq!(t.socs(), 0);
+        for h in 0..24 {
+            assert_eq!(t.busy_fraction(h), 0.0, "hour {h}");
+            assert!(t.idle_through(h, 4).is_empty());
+        }
+        // window search over an empty trace terminates with a full window
+        let (_, len) = t.best_idle_window(0);
+        assert_eq!(len, 24);
+        assert_eq!(t.best_idle_window(1).1, 0);
     }
 
     #[test]

@@ -51,6 +51,7 @@
 pub mod checkpoint;
 pub mod config;
 pub mod engine;
+pub mod fleet;
 pub mod grouping;
 pub mod mapping;
 pub mod mixed;

@@ -212,6 +212,42 @@ impl GlobalScheduler {
         }
     }
 
+    /// Per-SoC batch share implied by the planned topology. SoCFlow runs
+    /// each logical group data-parallel over its members (the time model
+    /// prices `batch / group_size` samples per SoC), so the share is the
+    /// global batch over the *smallest* planned group — the most loaded
+    /// SoC. Synchronous baselines divide the batch across all SoCs; local
+    /// and federated methods train the full batch per participant.
+    pub fn per_soc_batch(&self) -> usize {
+        let socs = self.spec.socs.max(1);
+        let groups = match self.spec.method {
+            MethodSpec::SocFlow(c) | MethodSpec::SocFlowInt8(c) | MethodSpec::SocFlowHalf(c) => {
+                match c.groups {
+                    Some(g) => g.clamp(1, socs),
+                    // a resumed job is pinned to the snapshot topology; an
+                    // unplanned one is admitted against the worst case the
+                    // warm-up heuristic could pick (one SoC per group, i.e.
+                    // the full batch) rather than paying probe epochs here
+                    None => match &self.resume {
+                        Some(c) => c.initial_groups.clamp(1, socs),
+                        None => socs,
+                    },
+                }
+            }
+            MethodSpec::Local | MethodSpec::FedAvg | MethodSpec::TFedAvg { .. } => {
+                return self.spec.global_batch.max(1)
+            }
+            // synchronous baselines: one data-parallel world over all SoCs
+            _ => 1,
+        };
+        let min_group = mapping::group_sizes(socs, groups)
+            .into_iter()
+            .min()
+            .unwrap_or(1)
+            .max(1);
+        (self.spec.global_batch.max(1)).div_ceil(min_group)
+    }
+
     /// Estimates the per-SoC training memory footprint of this job and
     /// whether it fits the SoC's budget — checked before dispatch (each
     /// Snapdragon 865 has 12 GB shared with the OS and user services).
@@ -221,9 +257,7 @@ impl GlobalScheduler {
         let net = self.spec.model.build(self.workload.model_cfg, &mut rng);
         let cfg = self.workload.model_cfg;
         let input_elems = cfg.in_channels * cfg.input_size * cfg.input_size;
-        // per-SoC batch share: the group batch divides across group members
-        let per_soc_batch = (self.spec.global_batch / 4).max(1);
-        let est = socflow_nn::memory::estimate(&net, per_soc_batch, input_elems, 1, 2.0);
+        let est = socflow_nn::memory::estimate(&net, self.per_soc_batch(), input_elems, 1, 2.0);
         self.emit(Event::MemoryChecked {
             bytes: est.total(),
             fits: est.fits_soc(),
@@ -231,26 +265,41 @@ impl GlobalScheduler {
         est
     }
 
-    /// Plans (for SoCFlow methods) and runs the job.
-    pub fn run(self) -> RunResult {
-        let spec = match self.spec.method {
-            MethodSpec::SocFlow(cfg) if cfg.groups.is_none() => {
-                // a resumed job re-enters with the group count it started
-                // with: re-running the warm-up heuristic would waste probe
-                // epochs and could disagree with the snapshot's topology
+    /// The job spec the engine will actually run: SoCFlow-variant jobs
+    /// with `groups: None` get the group count pinned — from the resume
+    /// snapshot's `initial_groups` when resuming (re-running the warm-up
+    /// heuristic would waste probe epochs and could disagree with the
+    /// snapshot's topology), else from [`Self::plan_topology`].
+    pub fn resolved_spec(&self) -> TrainJobSpec {
+        match self.spec.method {
+            MethodSpec::SocFlow(cfg)
+            | MethodSpec::SocFlowInt8(cfg)
+            | MethodSpec::SocFlowHalf(cfg)
+                if cfg.groups.is_none() =>
+            {
                 let groups = match &self.resume {
                     Some(c) => c.initial_groups.clamp(1, self.spec.socs),
                     None => self.plan_topology().groups,
                 };
-                let mut s = self.spec;
-                s.method = MethodSpec::SocFlow(SocFlowConfig {
+                let pinned = SocFlowConfig {
                     groups: Some(groups),
                     ..cfg
-                });
+                };
+                let mut s = self.spec;
+                s.method = match self.spec.method {
+                    MethodSpec::SocFlowInt8(_) => MethodSpec::SocFlowInt8(pinned),
+                    MethodSpec::SocFlowHalf(_) => MethodSpec::SocFlowHalf(pinned),
+                    _ => MethodSpec::SocFlow(pinned),
+                };
                 s
             }
             _ => self.spec,
-        };
+        }
+    }
+
+    /// Plans (for SoCFlow methods) and runs the job.
+    pub fn run(self) -> RunResult {
+        let spec = self.resolved_spec();
         let mut engine = Engine::new(spec, self.workload);
         if self.timeline {
             engine = engine.with_timeline(true);
@@ -355,6 +404,104 @@ mod tests {
             est.total()
         );
         assert!(est.total() > 0);
+    }
+
+    /// Regression (ISSUE 8): `check_memory` used to hardcode a
+    /// `global_batch / 4` per-SoC share. A 60-SoC single-group job actually
+    /// spreads the batch over 60 members, so the old estimate overpriced
+    /// activations ~15x and could refuse admission to jobs that fit.
+    #[test]
+    fn memory_check_follows_the_planned_topology() {
+        use rand::SeedableRng;
+        let mut s = spec(MethodSpec::SocFlow(SocFlowConfig::with_groups(1)));
+        s.socs = 60;
+        s.global_batch = 240;
+        let w = Workload::standard(&s, 128, 8, 0.5);
+        let sched = GlobalScheduler::new(s, w.clone());
+        assert_eq!(
+            sched.per_soc_batch(),
+            4,
+            "240 samples over one 60-SoC group"
+        );
+        let est = sched.check_memory();
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(s.seed);
+        let net = s.model.build(w.model_cfg, &mut rng);
+        let cfg = w.model_cfg;
+        let input_elems = cfg.in_channels * cfg.input_size * cfg.input_size;
+        let expected = socflow_nn::memory::estimate(&net, 4, input_elems, 1, 2.0);
+        let old = socflow_nn::memory::estimate(&net, 240 / 4, input_elems, 1, 2.0);
+        assert_eq!(est.total(), expected.total());
+        assert!(
+            old.total() > 2 * est.total(),
+            "old hardcoded share overestimated: {} vs {}",
+            old.total(),
+            est.total()
+        );
+    }
+
+    #[test]
+    fn per_soc_batch_by_method() {
+        let mk = |method| {
+            let mut s = spec(method);
+            s.socs = 8;
+            s.global_batch = 64;
+            let w = Workload::standard(&s, 128, 8, 0.5);
+            GlobalScheduler::new(s, w)
+        };
+        // 2 groups of 4 SoCs: 64 / 4 = 16 per SoC
+        assert_eq!(
+            mk(MethodSpec::SocFlow(SocFlowConfig::with_groups(2))).per_soc_batch(),
+            16
+        );
+        assert_eq!(
+            mk(MethodSpec::SocFlowInt8(SocFlowConfig::with_groups(8))).per_soc_batch(),
+            64
+        );
+        // unplanned jobs are admitted against the heuristic's worst case
+        assert_eq!(
+            mk(MethodSpec::SocFlow(SocFlowConfig::full())).per_soc_batch(),
+            64
+        );
+        // synchronous baselines divide across the whole cluster
+        assert_eq!(mk(MethodSpec::Ring).per_soc_batch(), 8);
+        // local / federated participants train the full batch
+        assert_eq!(mk(MethodSpec::Local).per_soc_batch(), 64);
+        assert_eq!(mk(MethodSpec::FedAvg).per_soc_batch(), 64);
+    }
+
+    /// Regression (ISSUE 8): resumed `SocFlowInt8`/`SocFlowHalf` jobs with
+    /// `groups: None` used to fall through `_ => self.spec`, skipping the
+    /// snapshot's `initial_groups` pin (the engine would then run its
+    /// default group count instead of the topology the job started with).
+    #[test]
+    fn resume_pins_groups_for_every_socflow_variant() {
+        let mut ckpt = Checkpoint::new(1, vec![vec![0.0; 4]; 3], 0.8);
+        ckpt.initial_groups = 3;
+        let variants: [fn(SocFlowConfig) -> MethodSpec; 3] = [
+            MethodSpec::SocFlow,
+            MethodSpec::SocFlowInt8,
+            MethodSpec::SocFlowHalf,
+        ];
+        for make in variants {
+            let s = spec(make(SocFlowConfig::full()));
+            let w = Workload::standard(&s, 128, 8, 0.5);
+            let resolved = GlobalScheduler::new(s, w)
+                .with_resume(ckpt.clone())
+                .resolved_spec();
+            let got = match resolved.method {
+                MethodSpec::SocFlow(c)
+                | MethodSpec::SocFlowInt8(c)
+                | MethodSpec::SocFlowHalf(c) => c.groups,
+                other => panic!("variant changed to {other:?}"),
+            };
+            assert_eq!(got, Some(3), "{:?}", s.method);
+            assert_eq!(
+                std::mem::discriminant(&resolved.method),
+                std::mem::discriminant(&s.method),
+                "pinning must not change the method variant"
+            );
+        }
     }
 
     #[test]

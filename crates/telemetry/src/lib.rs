@@ -241,6 +241,42 @@ pub enum Event {
         busy_nanos: u64,
         wall_nanos: u64,
     },
+    /// A training job entered the fleet scheduler's queue (multi-tenant
+    /// fleet runs only). `at` is the fleet clock in seconds.
+    JobArrived {
+        job: usize,
+        at: f64,
+        priority: u8,
+        socs: usize,
+        epochs: usize,
+    },
+    /// The fleet scheduler admitted a queued job onto a server: which
+    /// server, how many SoCs it was packed onto, and how long it waited
+    /// in the queue.
+    JobAdmitted {
+        job: usize,
+        at: f64,
+        server: usize,
+        socs: usize,
+        queue_wait: f64,
+    },
+    /// Returning user load reclaimed a running fleet job's SoCs below its
+    /// floor; the job checkpointed and went back to the queue with
+    /// `epochs_left` epochs of work remaining.
+    JobPreempted {
+        job: usize,
+        at: f64,
+        server: usize,
+        epochs_left: usize,
+    },
+    /// A fleet job finished all its epochs. `jct` is the job-completion
+    /// time (finish − arrival) on the fleet clock.
+    JobCompleted {
+        job: usize,
+        at: f64,
+        server: usize,
+        jct: f64,
+    },
     /// The run finished; totals over all epochs.
     RunCompleted {
         epochs: usize,
@@ -411,6 +447,14 @@ pub struct Summary {
     pub bucket_flushes: usize,
     /// Wire bytes those flushes carried, summed.
     pub bucket_bytes: f64,
+    /// Fleet job lifecycle counters (multi-tenant fleet traces only, all
+    /// 0 otherwise): arrivals, admissions, preemptions, completions.
+    pub jobs_arrived: usize,
+    pub jobs_admitted: usize,
+    pub jobs_preempted: usize,
+    pub jobs_completed: usize,
+    /// Mean job-completion time over `JobCompleted` events, seconds.
+    pub mean_jct: f64,
 }
 
 /// One per-epoch link-utilization row in a [`Summary`] (from
@@ -581,6 +625,14 @@ impl Summary {
                     board_nics: *board_nics,
                     switch: *switch,
                 }),
+                Event::JobArrived { .. } => s.jobs_arrived += 1,
+                Event::JobAdmitted { .. } => s.jobs_admitted += 1,
+                Event::JobPreempted { .. } => s.jobs_preempted += 1,
+                Event::JobCompleted { jct, .. } => {
+                    // incremental mean keeps the field directly usable
+                    s.mean_jct += (jct - s.mean_jct) / (s.jobs_completed as f64 + 1.0);
+                    s.jobs_completed += 1;
+                }
                 Event::RunStarted { .. }
                 | Event::PlanComputed { .. }
                 | Event::MemoryChecked { .. }
@@ -685,6 +737,15 @@ impl Summary {
                     avg(|r| r.board_nics),
                     avg(|r| r.switch)
                 ));
+            }
+        }
+        if self.jobs_arrived > 0 {
+            out.push_str(&format!(
+                "fleet jobs       {} arrived, {} admitted, {} preempted, {} completed\n",
+                self.jobs_arrived, self.jobs_admitted, self.jobs_preempted, self.jobs_completed
+            ));
+            if self.jobs_completed > 0 {
+                out.push_str(&format!("mean JCT         {:.1} s\n", self.mean_jct));
             }
         }
         if !self.kernels.is_empty() {
@@ -1174,6 +1235,69 @@ mod tests {
             report.contains("link util (avg)  soc 60.0%, nic 30.0%, switch 2.0%"),
             "{report}"
         );
+    }
+
+    #[test]
+    fn job_lifecycle_events_round_trip_and_aggregate() {
+        let events = vec![
+            Event::JobArrived {
+                job: 0,
+                at: 0.0,
+                priority: 2,
+                socs: 16,
+                epochs: 4,
+            },
+            Event::JobArrived {
+                job: 1,
+                at: 120.0,
+                priority: 1,
+                socs: 8,
+                epochs: 2,
+            },
+            Event::JobAdmitted {
+                job: 0,
+                at: 60.0,
+                server: 0,
+                socs: 16,
+                queue_wait: 60.0,
+            },
+            Event::JobPreempted {
+                job: 0,
+                at: 3600.0,
+                server: 0,
+                epochs_left: 2,
+            },
+            Event::JobCompleted {
+                job: 0,
+                at: 7200.0,
+                server: 1,
+                jct: 7200.0,
+            },
+            Event::JobCompleted {
+                job: 1,
+                at: 3720.0,
+                server: 0,
+                jct: 3600.0,
+            },
+        ];
+        let text: String = events
+            .iter()
+            .map(|e| serde_json::to_string(e).unwrap() + "\n")
+            .collect();
+        assert_eq!(parse_trace(&text).unwrap(), events);
+
+        let s = Summary::from_events(&events);
+        assert_eq!(s.jobs_arrived, 2);
+        assert_eq!(s.jobs_admitted, 1);
+        assert_eq!(s.jobs_preempted, 1);
+        assert_eq!(s.jobs_completed, 2);
+        assert!((s.mean_jct - 5400.0).abs() < 1e-9, "{}", s.mean_jct);
+        let report = s.render();
+        assert!(
+            report.contains("fleet jobs       2 arrived, 1 admitted, 1 preempted, 2 completed"),
+            "{report}"
+        );
+        assert!(report.contains("mean JCT         5400.0 s"), "{report}");
     }
 
     #[test]

@@ -171,6 +171,78 @@ fn checkpoint_states_roundtrip_and_redistribute() {
     assert_eq!(shrunk.states_int8, ckpt.states_int8[..2]);
 }
 
+/// Fleet-style tidal preemption end to end: derive a fault plan from a
+/// diurnal utilization trace (the idle window closing takes SoCs back),
+/// kill the checkpointed run at an epoch boundary, and the resumed
+/// accuracy stream must be byte-identical to an uninterrupted run of the
+/// same preempted job — for every SoCFlow method variant.
+#[test]
+fn tidal_preemption_resume_is_bit_identical_across_variants() {
+    use socflow::fleet::{priced_epoch_seconds, tidal_fault_plan};
+    use socflow_cluster::tidal::TidalTrace;
+
+    let trace = TidalTrace::generate(60, 5);
+    let (start, len) = trace.best_idle_window(8);
+    assert!(len >= 1, "trace must have an idle window for 8 SoCs");
+    let assigned: Vec<SocId> = trace.idle_through(start, len).into_iter().take(8).collect();
+
+    let variants: [fn(SocFlowConfig) -> MethodSpec; 3] = [
+        MethodSpec::SocFlow,
+        MethodSpec::SocFlowInt8,
+        MethodSpec::SocFlowHalf,
+    ];
+    for (i, variant) in variants.into_iter().enumerate() {
+        let mut s = small_spec(4);
+        s.method = variant(SocFlowConfig::with_groups(4));
+        let w = Workload::standard(&s, 512, 8, 0.5);
+
+        // compress the tidal clock so the window's closing edge lands
+        // inside this short job (hour h fires at h * hour_s seconds)
+        let est_total = priced_epoch_seconds(&s, s.socs) * s.epochs as f64;
+        let hour_s = est_total / (len as f64 + 1.0);
+        let plan = tidal_fault_plan(&trace, &assigned, start, len + 6, hour_s);
+        assert!(
+            !plan.events().is_empty(),
+            "the tide must reclaim at least one SoC"
+        );
+
+        let full = Engine::new(s, w.clone())
+            .with_fault_plan(plan.clone())
+            .run();
+        assert!(
+            !plan.between(0.0, full.total_time()).is_empty(),
+            "a reclaim must land inside the run ({})",
+            full.total_time()
+        );
+
+        let dir = std::env::temp_dir().join(format!("socflow_it_tidal_resume_{i}"));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut short = s;
+        short.epochs = 2;
+        let policy = CheckpointPolicy {
+            every_epochs: Some(2),
+            on_reclaim: true,
+        };
+        let _ = Engine::new(short, Workload::standard(&short, 512, 8, 0.5))
+            .with_fault_plan(plan.clone())
+            .with_checkpointing(dir.clone(), policy)
+            .run();
+
+        let ckpt = Checkpoint::load(&dir).expect("killed run persisted a checkpoint");
+        assert_eq!(ckpt.epoch, 2);
+
+        let resumed = Engine::new(s, w)
+            .with_fault_plan(plan)
+            .with_resume(ckpt)
+            .run();
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(
+            resumed, full,
+            "variant {i}: tidal-preempted resume must be bit-identical"
+        );
+    }
+}
+
 #[test]
 fn baseline_preemption_costs_a_stall() {
     let mut s = spec(4);
