@@ -54,6 +54,17 @@ pub struct Options {
     /// Mean Poisson inter-arrival time between fleet jobs, seconds
     /// (`fleet`).
     pub interarrival: f64,
+    /// Ingest training data from live per-SoC streams instead of the
+    /// static pre-partitioned corpus (`train --streaming`).
+    pub streaming: bool,
+    /// Per-SoC stream-rate profile: `uniform` | `hetero` | `bimodal`
+    /// (requires `--streaming`).
+    pub rates: String,
+    /// Per-group ingest-buffer capacity in multiples of the global batch
+    /// (requires `--streaming`).
+    pub buffer_batches: usize,
+    /// Full-buffer policy: `drop` | `block` (requires `--streaming`).
+    pub on_full: String,
 }
 
 impl Default for Options {
@@ -84,6 +95,10 @@ impl Default for Options {
             policy: "tidal".into(),
             horizon: 72,
             interarrival: 5400.0,
+            streaming: false,
+            rates: "uniform".into(),
+            buffer_batches: 2,
+            on_full: "block".into(),
         }
     }
 }
@@ -117,6 +132,10 @@ impl Options {
                 o.overlap = true;
                 continue;
             }
+            if flag == "--streaming" {
+                o.streaming = true;
+                continue;
+            }
             let value = it
                 .next()
                 .ok_or_else(|| format!("flag `{flag}` needs a value"))?;
@@ -135,6 +154,9 @@ impl Options {
                 "--checkpoint-every" => o.checkpoint_every = Some(parse_num(flag, value)?),
                 "--threads" => o.threads = Some(parse_num(flag, value)?),
                 "--bucket-kb" => o.bucket_kb = Some(parse_num(flag, value)?),
+                "--rates" => o.rates = value.clone(),
+                "--buffer-batches" => o.buffer_batches = parse_num(flag, value)?,
+                "--on-full" => o.on_full = value.clone(),
                 "--servers" => o.servers = parse_num(flag, value)?,
                 "--jobs" => o.jobs = parse_num(flag, value)?,
                 "--policy" => o.policy = value.clone(),
@@ -185,6 +207,23 @@ impl Options {
         }
         if o.horizon == 0 {
             return Err("--horizon must be positive".into());
+        }
+        if !o.streaming {
+            let defaults = Options::default();
+            if o.rates != defaults.rates {
+                return Err("--rates needs --streaming".into());
+            }
+            if o.buffer_batches != defaults.buffer_batches {
+                return Err("--buffer-batches needs --streaming".into());
+            }
+            if o.on_full != defaults.on_full {
+                return Err("--on-full needs --streaming".into());
+            }
+        }
+        socflow_data::stream::RateProfile::parse(&o.rates)?;
+        socflow_data::stream::OnFull::parse(&o.on_full)?;
+        if o.buffer_batches == 0 {
+            return Err("--buffer-batches must be positive".into());
         }
         Ok(o)
     }
@@ -335,6 +374,38 @@ mod tests {
         assert!(parse(&["--horizon", "0"]).is_err());
         assert!(parse(&["--interarrival", "-5"]).is_err());
         assert!(parse(&["--interarrival", "soon"]).is_err());
+    }
+
+    #[test]
+    fn streaming_flags_parse_and_validate() {
+        let o = parse(&[
+            "--streaming",
+            "--rates",
+            "hetero",
+            "--buffer-batches",
+            "4",
+            "--on-full",
+            "drop",
+        ])
+        .unwrap();
+        assert!(o.streaming);
+        assert_eq!(o.rates, "hetero");
+        assert_eq!(o.buffer_batches, 4);
+        assert_eq!(o.on_full, "drop");
+        let d = parse(&[]).unwrap();
+        assert!(!d.streaming);
+        assert_eq!(d.rates, "uniform");
+        assert_eq!(d.buffer_batches, 2);
+        assert_eq!(d.on_full, "block");
+        assert!(parse(&["--rates", "hetero"]).is_err(), "needs --streaming");
+        assert!(parse(&["--on-full", "drop"]).is_err(), "needs --streaming");
+        assert!(
+            parse(&["--buffer-batches", "4"]).is_err(),
+            "needs --streaming"
+        );
+        assert!(parse(&["--streaming", "--rates", "chaotic"]).is_err());
+        assert!(parse(&["--streaming", "--on-full", "explode"]).is_err());
+        assert!(parse(&["--streaming", "--buffer-batches", "0"]).is_err());
     }
 
     #[test]

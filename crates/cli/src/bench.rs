@@ -7,7 +7,10 @@
 //! simulated and machine-independent). `bench e2e` wall-clocks one full
 //! training run (train step + eval + aggregation) at worker-pool sizes
 //! 1/2/4/all, verifying along the way that the accuracy trajectory is
-//! bit-identical at every pool size.
+//! bit-identical at every pool size. `bench fleet` replays the tidal-trace
+//! multi-tenant scheduler comparison, and `bench streaming` measures
+//! time-to-accuracy under live per-SoC data streams (uniform vs
+//! heterogeneous rates, rate-aware regrouping on vs off).
 //!
 //! Runs the tensor micro-kernels the training hot path lives in (tiled
 //! GEMM variants, transpose, the pooled conv2d forward/backward, the fused
@@ -1022,16 +1025,203 @@ fn bench_faults(fast: bool, json_path: Option<String>) -> Result<(), String> {
     Ok(())
 }
 
-/// `socflow-cli bench <kernels|faults|timeline|e2e|fleet> [--fast] [--json <path>]`.
+/// One streaming-bench arm: a stream-rate profile crossed with rate-aware
+/// vs topology-only grouping, measured by time-to-accuracy on the priced
+/// simulated clock.
+struct StreamingRun {
+    profile: &'static str,
+    rate_aware: bool,
+    best_accuracy: f64,
+    time_to_acc_s: Option<f64>,
+    sim_time_s: f64,
+    stall_s: f64,
+    dropped: u64,
+    regroups: u64,
+}
+
+/// Runs the streaming-ingestion experiment: uniform vs heterogeneous
+/// per-SoC stream rates, each with rate-aware regrouping on and off.
+/// The shared accuracy target is 80% of the weakest arm's best accuracy,
+/// so every arm's time-to-accuracy is defined and comparable. Returns the
+/// four arms plus that target. Everything is simulated and seeded, so the
+/// numbers are machine-independent.
+fn run_streaming_suite(fast: bool) -> (Vec<StreamingRun>, f64) {
+    use socflow::config::{MethodSpec, SocFlowConfig, StreamingConfig, TrainJobSpec};
+    use socflow::engine::Workload;
+    use socflow::scheduler::GlobalScheduler;
+    use socflow_data::stream::RateProfile;
+    use socflow_data::DatasetPreset;
+    use socflow_nn::models::ModelKind;
+    use socflow_telemetry::{MemorySink, Summary};
+    use std::sync::Arc;
+
+    let (socs, groups, epochs, samples) = streaming_suite_shape(fast);
+    let arms: [(&'static str, RateProfile, bool); 4] = [
+        ("uniform", RateProfile::Uniform, false),
+        ("uniform", RateProfile::Uniform, true),
+        ("hetero", RateProfile::Heterogeneous, false),
+        ("hetero", RateProfile::Heterogeneous, true),
+    ];
+    let mut runs = Vec::new();
+    for (name, profile, rate_aware) in arms {
+        let mut spec = TrainJobSpec::new(
+            ModelKind::LeNet5,
+            DatasetPreset::FashionMnist,
+            MethodSpec::SocFlow(SocFlowConfig::with_groups(groups)),
+        );
+        spec.socs = socs;
+        spec.epochs = epochs;
+        spec.global_batch = 32;
+        let mut scfg = StreamingConfig::new(profile);
+        scfg.rate_aware = rate_aware;
+        let sink = Arc::new(MemorySink::new());
+        let r = GlobalScheduler::new(spec, Workload::standard(&spec, samples, 8, 0.5))
+            .with_streaming(scfg)
+            .with_sink(sink.clone())
+            .run();
+        let s = Summary::from_events(&sink.events());
+        runs.push((r, s, name, rate_aware));
+    }
+    let target = 0.8
+        * runs
+            .iter()
+            .map(|(r, ..)| r.best_accuracy())
+            .fold(f32::INFINITY, f32::min);
+    let out = runs
+        .into_iter()
+        .map(|(r, s, profile, rate_aware)| StreamingRun {
+            profile,
+            rate_aware,
+            best_accuracy: r.best_accuracy() as f64,
+            time_to_acc_s: r.time_to_accuracy(target),
+            sim_time_s: r.total_time(),
+            stall_s: s.stream_stall_cost,
+            dropped: s.samples_dropped,
+            regroups: s.rate_regroups as u64,
+        })
+        .collect();
+    (out, target as f64)
+}
+
+/// (socs, groups, epochs, samples) for the streaming suite's two tiers.
+/// Groups of two leave within-board freedom for the rate-aware refill.
+fn streaming_suite_shape(fast: bool) -> (usize, usize, usize, usize) {
+    if fast {
+        (8, 4, 3, 256)
+    } else {
+        (16, 8, 4, 512)
+    }
+}
+
+fn streaming_suite_to_json(
+    results: &[StreamingRun],
+    target: f64,
+    fast: bool,
+) -> serde_json::Value {
+    use serde_json::Value;
+    let (socs, groups, epochs, samples) = streaming_suite_shape(fast);
+    let rows = results
+        .iter()
+        .map(|r| {
+            Value::Object(vec![
+                ("profile".into(), Value::Str(r.profile.into())),
+                ("rate_aware".into(), Value::Bool(r.rate_aware)),
+                ("best_accuracy".into(), Value::F64(r.best_accuracy)),
+                (
+                    "time_to_acc_s".into(),
+                    r.time_to_acc_s.map_or(Value::Null, Value::F64),
+                ),
+                ("sim_time_s".into(), Value::F64(r.sim_time_s)),
+                ("stall_s".into(), Value::F64(r.stall_s)),
+                ("samples_dropped".into(), Value::U64(r.dropped)),
+                ("rate_regroups".into(), Value::U64(r.regroups)),
+            ])
+        })
+        .collect();
+    let tta = |profile: &str, aware: bool| {
+        results
+            .iter()
+            .find(|r| r.profile == profile && r.rate_aware == aware)
+            .and_then(|r| r.time_to_acc_s)
+    };
+    let speedup = match (tta("hetero", false), tta("hetero", true)) {
+        (Some(blind), Some(aware)) if aware > 0.0 => blind / aware,
+        _ => 0.0,
+    };
+    Value::Object(vec![
+        (
+            "schema".into(),
+            Value::Str("socflow-streaming-bench/v1".into()),
+        ),
+        (
+            "mode".into(),
+            Value::Str(if fast { "fast" } else { "full" }.into()),
+        ),
+        ("socs".into(), Value::U64(socs as u64)),
+        ("groups".into(), Value::U64(groups as u64)),
+        ("epochs".into(), Value::U64(epochs as u64)),
+        ("samples".into(), Value::U64(samples as u64)),
+        ("global_batch".into(), Value::U64(32)),
+        ("target_accuracy".into(), Value::F64(target)),
+        ("hetero_tta_speedup_vs_topology".into(), Value::F64(speedup)),
+        ("results".into(), Value::Array(rows)),
+    ])
+}
+
+fn bench_streaming(fast: bool, json_path: Option<String>) -> Result<(), String> {
+    let (results, target) = run_streaming_suite(fast);
+    println!(
+        "target accuracy {:.1}% (80% of weakest arm)",
+        target * 100.0
+    );
+    println!(
+        "{:<8} {:<10} {:>9} {:>14} {:>11} {:>9} {:>8} {:>9}",
+        "profile",
+        "grouping",
+        "best acc",
+        "time-to-acc s",
+        "sim time s",
+        "stall s",
+        "dropped",
+        "regroups"
+    );
+    for r in &results {
+        let tta = r
+            .time_to_acc_s
+            .map_or_else(|| "never".to_string(), |t| format!("{t:.1}"));
+        println!(
+            "{:<8} {:<10} {:>8.1}% {:>14} {:>11.1} {:>9.1} {:>8} {:>9}",
+            r.profile,
+            if r.rate_aware { "rate" } else { "topology" },
+            r.best_accuracy * 100.0,
+            tta,
+            r.sim_time_s,
+            r.stall_s,
+            r.dropped,
+            r.regroups
+        );
+    }
+    if let Some(path) = json_path {
+        let doc = streaming_suite_to_json(&results, target, fast);
+        let text = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
+        std::fs::write(&path, text + "\n")
+            .map_err(|e| format!("cannot write bench file `{path}`: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// `socflow-cli bench <kernels|faults|timeline|e2e|fleet|streaming> [--fast] [--json <path>]`.
 ///
 /// # Errors
 /// Returns a message on unknown operands or an unwritable `--json` path.
 pub fn bench(argv: &[String]) -> Result<(), String> {
-    let usage =
-        "usage: socflow-cli bench <kernels|faults|timeline|e2e|fleet> [--fast] [--json <path>]";
+    let usage = "usage: socflow-cli bench <kernels|faults|timeline|e2e|fleet|streaming> [--fast] [--json <path>]";
     let mut it = argv.iter();
     let suite = match it.next().map(String::as_str) {
-        Some(s @ ("kernels" | "faults" | "timeline" | "e2e" | "fleet")) => s.to_string(),
+        Some(s @ ("kernels" | "faults" | "timeline" | "e2e" | "fleet" | "streaming")) => {
+            s.to_string()
+        }
         _ => return Err(usage.into()),
     };
     let mut fast = false;
@@ -1056,6 +1246,9 @@ pub fn bench(argv: &[String]) -> Result<(), String> {
     }
     if suite == "fleet" {
         return bench_fleet(fast, json_path);
+    }
+    if suite == "streaming" {
+        return bench_streaming(fast, json_path);
     }
 
     let results = run_suite(fast);
@@ -1299,6 +1492,62 @@ mod tests {
         assert_eq!(doc.get("schema").as_str(), Some("socflow-e2e-bench/v1"));
         assert_eq!(doc.get("mode").as_str(), Some("fast"));
         assert_eq!(doc.get("results").as_array().unwrap().len(), results.len());
+    }
+
+    #[test]
+    fn fast_streaming_suite_rate_awareness_wins_and_serializes() {
+        let (results, target) = run_streaming_suite(true);
+        assert_eq!(results.len(), 4, "uniform/hetero × topology/rate-aware");
+        assert!(target > 0.0);
+        let arm = |profile: &str, aware: bool| {
+            results
+                .iter()
+                .find(|r| r.profile == profile && r.rate_aware == aware)
+                .expect("arm present")
+        };
+        // uniform streams never trigger regrouping and never stall
+        assert_eq!(arm("uniform", true).regroups, 0);
+        assert_eq!(arm("uniform", true).stall_s, 0.0);
+        assert_eq!(arm("uniform", false).stall_s, 0.0);
+        let blind = arm("hetero", false);
+        let aware = arm("hetero", true);
+        assert!(blind.stall_s > 0.0, "topology-only hetero must stall");
+        assert!(aware.regroups > 0, "rate-aware hetero must regroup");
+        // the acceptance bar: rate-aware regrouping improves
+        // time-to-accuracy under heterogeneous stream rates
+        let tb = blind.time_to_acc_s.expect("blind arm reaches target");
+        let ta = aware.time_to_acc_s.expect("aware arm reaches target");
+        assert!(ta < tb, "rate-aware TTA {ta} vs topology-only {tb}");
+        let doc = streaming_suite_to_json(&results, target, true);
+        assert_eq!(
+            doc.get("schema").as_str(),
+            Some("socflow-streaming-bench/v1")
+        );
+        assert_eq!(doc.get("mode").as_str(), Some("fast"));
+        assert!(doc.get("hetero_tta_speedup_vs_topology").as_f64().unwrap() > 1.0);
+        let rows = doc.get("results").as_array().unwrap();
+        assert_eq!(rows.len(), 4);
+        for key in [
+            "profile",
+            "rate_aware",
+            "best_accuracy",
+            "time_to_acc_s",
+            "sim_time_s",
+            "stall_s",
+            "samples_dropped",
+            "rate_regroups",
+        ] {
+            assert!(!rows[0].get(key).is_null(), "missing field {key}");
+        }
+    }
+
+    #[test]
+    fn streaming_suite_is_byte_deterministic() {
+        let (r1, t1) = run_streaming_suite(true);
+        let (r2, t2) = run_streaming_suite(true);
+        let a = serde_json::to_string_pretty(&streaming_suite_to_json(&r1, t1, true)).unwrap();
+        let b = serde_json::to_string_pretty(&streaming_suite_to_json(&r2, t2, true)).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::args::Options;
 use socflow::checkpoint::{Checkpoint, CheckpointPolicy};
-use socflow::config::{MethodSpec, SocFlowConfig, TrainJobSpec};
+use socflow::config::{MethodSpec, SocFlowConfig, StreamingConfig, TrainJobSpec};
 use socflow::engine::Workload;
 use socflow::fleet::{standard_job_mix, FleetPolicy, FleetSim, FleetSpec};
 use socflow::scheduler::GlobalScheduler;
@@ -23,6 +23,8 @@ USAGE:
   socflow-cli plan  [--socs N] [--groups G]
   socflow-cli train [--model M] [--dataset D] [--method X] [--socs N]
                 [--groups G] [--epochs E] [--samples S] [--seed S] [--json]
+                [--streaming [--rates P] [--buffer-batches N]
+                 [--on-full drop|block]]
   socflow-cli compare [--model M] [--dataset D] [--socs N] [--epochs E]
   socflow-cli tidal [--socs N] [--seed S]
   socflow-cli fleet [--servers N] [--jobs M] [--policy tidal|fifo]
@@ -34,6 +36,7 @@ USAGE:
   socflow-cli bench timeline [--fast] [--json <path>]
   socflow-cli bench e2e [--fast] [--json <path>]
   socflow-cli bench fleet [--fast] [--json <path>]
+  socflow-cli bench streaming [--fast] [--json <path>]
   socflow-cli info
 
   --threads <N> (train, compare): size of the host worker pool
@@ -63,6 +66,19 @@ USAGE:
   --profiled-beta <f> (train): override the calibrated β compute-power
       ratio with a measured value in (0,1) — typically the β that
       `bench kernels` reports from timing the f32 and i8 GEMMs
+  --streaming (train): ingest training data from live per-SoC streams
+      instead of the static pre-partitioned corpus. Epoch shards come
+      from a deterministic stream; supply deficits stall only the short
+      group and are priced on the simulated clock
+  --rates <P> (train): per-SoC stream-rate profile with --streaming:
+      uniform | hetero | bimodal (default uniform). Non-uniform spreads
+      trigger rate-aware regrouping (fast SoCs group together and data
+      shares follow observed rates)
+  --buffer-batches <N> (train): per-group ingest-buffer capacity in
+      multiples of the global batch (default 2; requires --streaming)
+  --on-full drop|block (train): what a full ingest buffer does with
+      fresh arrivals — shed them (drop) or exert backpressure (block,
+      the default; requires --streaming)
   --servers/--jobs/--policy/--horizon/--interarrival (fleet): size the
       simulated fleet (servers x --socs SoCs each), the Poisson arrival
       trace, and the admission policy (tidal = window-aware + priorities,
@@ -210,6 +226,12 @@ pub fn train(opts: &Options) -> Result<(), String> {
     }
     if let Some(beta) = opts.profiled_beta {
         sched = sched.with_profiled_beta(beta);
+    }
+    if opts.streaming {
+        let mut scfg = StreamingConfig::new(socflow_data::stream::RateProfile::parse(&opts.rates)?);
+        scfg.buffer_batches = opts.buffer_batches;
+        scfg.on_full = socflow_data::stream::OnFull::parse(&opts.on_full)?;
+        sched = sched.with_streaming(scfg);
     }
     if let Some(path) = &opts.trace {
         let writer = TraceWriter::create(path)
@@ -521,6 +543,22 @@ mod tests {
             groups: Some(2),
             epochs: 1,
             samples: 128,
+            ..Options::default()
+        };
+        train(&opts).unwrap();
+    }
+
+    #[test]
+    fn train_runs_streaming() {
+        let opts = Options {
+            socs: 8,
+            groups: Some(4),
+            epochs: 1,
+            samples: 128,
+            streaming: true,
+            rates: "bimodal".into(),
+            on_full: "drop".into(),
+            buffer_batches: 1,
             ..Options::default()
         };
         train(&opts).unwrap();

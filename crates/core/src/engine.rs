@@ -20,7 +20,7 @@
 //! stay tractable; DESIGN.md documents this substitution.
 
 use crate::checkpoint::{Checkpoint, CheckpointPolicy};
-use crate::config::{MappingMode, MethodSpec, SocFlowConfig, TrainJobSpec};
+use crate::config::{MappingMode, MethodSpec, SocFlowConfig, StreamingConfig, TrainJobSpec};
 use crate::mapping::{self, Mapping};
 use crate::mixed::MixedPrecisionController;
 use crate::planning::{divide_communication_groups, CommunicationGroups};
@@ -30,6 +30,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use socflow_cluster::faults::{FaultEvent, FaultKind, FaultPlan};
 use socflow_cluster::{calibration, ClusterSpec, Processor, SocId};
+use socflow_data::stream::{IngestBuffer, StreamSource};
 use socflow_data::{iid_partition, Batch, Dataset};
 use socflow_nn::models::ModelConfig;
 use socflow_nn::{loss, metrics, optim::Sgd, Mode, Network, Precision};
@@ -239,6 +240,235 @@ pub struct Engine {
     /// Minimum gradient-bucket size in KiB of reference payload
     /// (`--bucket-kb`).
     bucket_kb: usize,
+    /// Live streaming ingestion (`--streaming`): per-SoC rate profiles,
+    /// bounded ingest buffers and straggler-aware grouping. SoCFlow
+    /// methods only; baselines ignore it.
+    streaming: Option<StreamingConfig>,
+}
+
+/// Outcome of settling one epoch's stream supply against its demand.
+struct StreamEpoch {
+    /// Barrier stall added to the epoch (the slowest group's deficit).
+    stall: f64,
+    /// Per-group stalls, ascending group order (positive entries only).
+    stalls: Vec<(usize, f64)>,
+    /// Per-group samples dropped this epoch, ascending group order.
+    drops: Vec<(usize, u64)>,
+}
+
+/// Live state of the streaming-ingestion mode for one SoCFlow run.
+///
+/// All stream math runs on the coordinating thread at scaled-sample
+/// granularity: sample identity comes from the stateless position-indexed
+/// [`StreamSource`] through one global cursor (so shard contents are
+/// independent of thread count), and stalls/drops are settled against the
+/// simulated clock after each epoch is priced. Not checkpointed: a
+/// resumed run restarts the cursor and refills buffers from empty.
+struct StreamState {
+    cfg: StreamingConfig,
+    /// Per-SoC rate multipliers, indexed by `SocId.0`; fixed for the run.
+    multipliers: Vec<f64>,
+    /// Deterministic sample-identity stream over the scaled corpus.
+    source: StreamSource,
+    /// Next unconsumed stream position (global across groups).
+    cursor: u64,
+    /// Scaled samples/sec per unit multiplier per SoC. Either the
+    /// configured reference rate mapped to the scaled corpus, or
+    /// calibrated from the first priced epoch (see [`Self::calibrate`]).
+    base_scaled: Option<f64>,
+    /// One bounded ingest buffer per logical group; rebuilt empty on any
+    /// topology change (accumulation belongs to the dead grouping).
+    buffers: Vec<IngestBuffer>,
+    /// Per-group dropped-sample watermarks for per-epoch drop deltas.
+    dropped_seen: Vec<u64>,
+}
+
+impl StreamState {
+    fn new(
+        cfg: StreamingConfig,
+        socs: usize,
+        seed: u64,
+        train_len: usize,
+        reference_samples: usize,
+    ) -> Self {
+        // a configured base rate is in reference samples/sec; the stream
+        // runs over the scaled corpus, so rescale by corpus ratio
+        let scale = train_len as f64 / reference_samples.max(1) as f64;
+        StreamState {
+            cfg,
+            multipliers: cfg.profile.multipliers(socs, seed),
+            source: StreamSource::new(train_len, seed ^ 0x57ea_4d1d),
+            cursor: 0,
+            base_scaled: cfg.base_rate.map(|r| r * scale),
+            buffers: Vec::new(),
+            dropped_seen: Vec::new(),
+        }
+    }
+
+    /// Self-calibrates the base rate from the first priced epoch: 1.05×
+    /// the per-SoC rate at which a uniform cluster exactly refills one
+    /// epoch's total demand during one epoch's compute. Uniform profiles
+    /// then stream essentially stall-free while heterogeneous ones stall
+    /// on their slowest members — spread, not raw supply, is the story.
+    fn calibrate(&mut self, socs: usize, t_train: f64) {
+        if self.base_scaled.is_none() {
+            let t = t_train.max(1e-9);
+            self.base_scaled = Some(1.05 * self.source.len() as f64 / (socs.max(1) as f64 * t));
+        }
+    }
+
+    /// Max/min per-SoC rate multiplier over the surviving SoCs.
+    fn spread_over(&self, alive: &[SocId]) -> f64 {
+        let mut max = f64::MIN;
+        let mut min = f64::MAX;
+        for s in alive {
+            max = max.max(self.multipliers[s.0]);
+            min = min.min(self.multipliers[s.0]);
+        }
+        if min > 0.0 {
+            max / min
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// A group's effective ingest rate in multiplier units: the slowest
+    /// member gates every member's contribution (straggler semantics —
+    /// intra-group SSGD cannot outrun its slowest feeder).
+    fn group_weight(&self, g: usize, mapping: &Mapping) -> f64 {
+        let members = mapping.group(crate::mapping::GroupId(g));
+        if members.is_empty() {
+            return 0.0;
+        }
+        let min_mult = members
+            .iter()
+            .map(|s| self.multipliers[s.0])
+            .fold(f64::MAX, f64::min);
+        members.len() as f64 * min_mult
+    }
+
+    /// Resets the per-group ingest buffers for a (re)built topology.
+    fn rebuild_buffers(&mut self, groups: usize, global_batch: usize) {
+        let cap = (self.cfg.buffer_batches * global_batch).max(1) as u64;
+        self.buffers = (0..groups)
+            .map(|_| IngestBuffer::new(cap, self.cfg.on_full))
+            .collect();
+        self.dropped_seen = vec![0; groups];
+    }
+
+    /// Draws one epoch's shards from the stream: rate-proportional sizes
+    /// (largest-remainder over the corpus size) when rate-aware, equal
+    /// sizes otherwise, consumed in ascending replica order from the one
+    /// global cursor.
+    fn epoch_shards(&mut self, streams: usize, mapping: &Mapping) -> Vec<Vec<usize>> {
+        let total = self.source.len();
+        let weights: Vec<f64> = (0..streams)
+            .map(|g| {
+                if self.cfg.rate_aware {
+                    self.group_weight(g, mapping)
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        largest_remainder(total, &weights)
+            .into_iter()
+            .map(|n| {
+                let shard = self.source.take(self.cursor, n);
+                self.cursor += n as u64;
+                shard
+            })
+            .collect()
+    }
+
+    /// Settles one priced epoch, group by group: buffered samples are
+    /// consumed first, in-epoch arrivals drain through at line rate, any
+    /// leftover arrivals fill the bounded buffer (drop/block applies),
+    /// and a remaining deficit becomes a stall priced at the group's line
+    /// rate. The slowest group's stall is the epoch's barrier stall;
+    /// faster groups bank their barrier wait as buffered samples.
+    fn settle(&mut self, mapping: &Mapping, needs: &[usize], t_train: f64) -> StreamEpoch {
+        let base = self
+            .base_scaled
+            .expect("stream rate calibrated before settle");
+        let n_groups = mapping.num_groups();
+        let mut stalls = Vec::new();
+        let mut per_group = vec![0.0f64; n_groups];
+        let mut rates = vec![0.0f64; n_groups];
+        for g in 0..n_groups {
+            let weight = self.group_weight(g, mapping);
+            if weight <= 0.0 || needs.is_empty() {
+                continue;
+            }
+            let rate = base * weight;
+            rates[g] = rate;
+            // accuracy streams may be capped below the group count; the
+            // extra groups mirror the capped streams' demand for timing
+            let need = needs[g % needs.len()] as u64;
+            let in_train = (rate * t_train).floor() as u64;
+            let buf = &mut self.buffers[g];
+            let taken = buf.consume(need);
+            let remaining = need - taken;
+            let from_arrivals = in_train.min(remaining);
+            buf.drain_through(from_arrivals);
+            buf.produce(in_train - from_arrivals);
+            let deficit = remaining - from_arrivals;
+            if deficit > 0 {
+                let stall = deficit as f64 / rate;
+                buf.drain_through(deficit);
+                per_group[g] = stall;
+                stalls.push((g, stall));
+            }
+        }
+        let epoch_stall = per_group.iter().cloned().fold(0.0, f64::max);
+        // groups done early keep ingesting while they wait at the barrier
+        let mut drops = Vec::new();
+        for g in 0..n_groups {
+            if rates[g] > 0.0 {
+                let wait = epoch_stall - per_group[g];
+                if wait > 0.0 {
+                    self.buffers[g].produce((rates[g] * wait).floor() as u64);
+                }
+            }
+            let d = self.buffers[g].dropped() - self.dropped_seen[g];
+            if d > 0 {
+                drops.push((g, d));
+                self.dropped_seen[g] = self.buffers[g].dropped();
+            }
+        }
+        StreamEpoch {
+            stall: epoch_stall,
+            stalls,
+            drops,
+        }
+    }
+}
+
+/// Apportions `total` into integer shares proportional to `weights` by
+/// the largest-remainder method (ties to the lower index) — deterministic
+/// and exactly summing to `total`.
+fn largest_remainder(total: usize, weights: &[f64]) -> Vec<usize> {
+    let n = weights.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let sum: f64 = weights.iter().sum();
+    if !(sum > 0.0) {
+        return largest_remainder(total, &vec![1.0; n]);
+    }
+    let exact: Vec<f64> = weights.iter().map(|w| total as f64 * w / sum).collect();
+    let mut out: Vec<usize> = exact.iter().map(|e| e.floor() as usize).collect();
+    let leftover = total - out.iter().sum::<usize>();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        let fa = exact[a] - exact[a].floor();
+        let fb = exact[b] - exact[b].floor();
+        fb.partial_cmp(&fa).expect("finite shares").then(a.cmp(&b))
+    });
+    for &i in order.iter().cycle().take(leftover) {
+        out[i] += 1;
+    }
+    out
 }
 
 /// How many spans of each (lane, kind) pair the per-epoch timeline digest
@@ -265,6 +495,7 @@ impl Engine {
             timeline: false,
             overlap: false,
             bucket_kb: DEFAULT_BUCKET_KB,
+            streaming: None,
         }
     }
 
@@ -371,6 +602,19 @@ impl Engine {
     /// Panics if `beta` is not strictly inside `(0, 1)`.
     pub fn with_profiled_beta(mut self, beta: f64) -> Self {
         self.time_model.compute_mut().set_profiled_beta(beta);
+        self
+    }
+
+    /// Switches data ingestion from the static pre-partitioned corpus to
+    /// live per-SoC streams (`train --streaming`): each epoch's shards are
+    /// drawn from a deterministic position-indexed stream, bounded ingest
+    /// buffers settle supply against demand on the simulated clock, and a
+    /// group whose stream cannot fill its share stalls only its own LG
+    /// until the delayed-aggregation barrier. SoCFlow methods only;
+    /// baselines ignore the setting. Stream state is *not* checkpointed —
+    /// a resumed run restarts the cursor and refills buffers from empty.
+    pub fn with_streaming(mut self, cfg: StreamingConfig) -> Self {
+        self.streaming = Some(cfg);
         self
     }
 
@@ -790,7 +1034,21 @@ impl Engine {
                     (0, g, g, (0..socs0).map(SocId).collect::<Vec<_>>(), 0.0, 0.0)
                 }
             };
-        let (mut mapping, mut cgs) = self.build_topology(&cfg, &cluster, &alive, groups);
+        // live-stream state (`--streaming`); None keeps the static corpus
+        let mut stream = self.streaming.map(|scfg| {
+            StreamState::new(
+                scfg,
+                socs0,
+                self.spec.seed,
+                self.workload.train.len(),
+                self.spec.preset.spec().reference_samples,
+            )
+        });
+        let (mut mapping, mut cgs) =
+            self.build_stream_topology(&cfg, &cluster, &alive, groups, stream.as_ref(), start_epoch);
+        if let Some(st) = stream.as_mut() {
+            st.rebuild_buffers(groups, self.spec.global_batch);
+        }
 
         // accuracy streams may be capped independently of the topology
         let mut streams = match &resume {
@@ -852,12 +1110,16 @@ impl Engine {
         drop(resume);
 
         for epoch in start_epoch..self.spec.epochs {
-            // cross-group reshuffle every epoch (unlike FL)
-            let shards = iid_partition(
-                self.workload.train.len(),
-                replicas.len(),
-                self.spec.seed ^ (epoch as u64 * 97 + 13),
-            );
+            // cross-group reshuffle every epoch (unlike FL); streaming
+            // draws shards from the live stream cursor instead
+            let shards = match stream.as_mut() {
+                Some(st) => st.epoch_shards(replicas.len(), &mapping),
+                None => iid_partition(
+                    self.workload.train.len(),
+                    replicas.len(),
+                    self.spec.seed ^ (epoch as u64 * 97 + 13),
+                ),
+            };
             // logical groups run in parallel between delayed aggregations,
             // as persistent-pool jobs. `epoch_batches_of` shuffles the
             // borrowed shard indices directly — bit-identical batches to
@@ -928,7 +1190,7 @@ impl Engine {
                 MixedMode::Int8Only => 0.0,
                 MixedMode::Fp32Only => 1.0,
             };
-            let cost = if self.timeline {
+            let mut cost = if self.timeline {
                 let sim = self.time_model.socflow_epoch_timeline(
                     &mapping,
                     &cgs,
@@ -950,6 +1212,29 @@ impl Engine {
                 self.time_model
                     .socflow_epoch(&mapping, &cgs, cfg.planning, cpu_fraction)
             };
+            // settle this epoch's stream supply against its demand and
+            // fold the barrier stall into the epoch before the result,
+            // telemetry and fault window see the time
+            if let Some(st) = stream.as_mut() {
+                st.calibrate(socs0, cost.time);
+                let needs: Vec<usize> = shards.iter().map(|s| s.len()).collect();
+                let settled = st.settle(&mapping, &needs, cost.time);
+                for (group, stall) in &settled.stalls {
+                    self.emit(Event::StreamStalled {
+                        epoch,
+                        group: *group,
+                        stall: *stall,
+                    });
+                }
+                for (group, count) in &settled.drops {
+                    self.emit(Event::SamplesDropped {
+                        epoch,
+                        group: *group,
+                        count: *count,
+                    });
+                }
+                cost.time += settled.stall;
+            }
             result.alpha_trace.push(ctrl.alpha());
             result.epoch_accuracy.push(acc);
             result.epoch_time.push(cost.time);
@@ -1023,9 +1308,13 @@ impl Engine {
                         alive.len(),
                     );
                 }
-                let t = self.build_topology(&cfg, &cluster, &alive, groups);
+                let t =
+                    self.build_stream_topology(&cfg, &cluster, &alive, groups, stream.as_ref(), epoch + 1);
                 mapping = t.0;
                 cgs = t.1;
+                if let Some(st) = stream.as_mut() {
+                    st.rebuild_buffers(groups, self.spec.global_batch);
+                }
                 self.emit(Event::PlanComputed {
                     groups,
                     probes: 0,
@@ -1090,9 +1379,13 @@ impl Engine {
                     &mut streams,
                     alive.len(),
                 );
-                let t = self.build_topology(&cfg, &cluster, &alive, groups);
+                let t =
+                    self.build_stream_topology(&cfg, &cluster, &alive, groups, stream.as_ref(), epoch + 1);
                 mapping = t.0;
                 cgs = t.1;
+                if let Some(st) = stream.as_mut() {
+                    st.rebuild_buffers(groups, self.spec.global_batch);
+                }
                 self.emit(Event::PlanComputed {
                     groups,
                     probes: 0,
@@ -1357,7 +1650,14 @@ impl Engine {
             MappingMode::IntegrityGreedy => mapping::integrity_greedy_over(cluster, alive, groups),
             MappingMode::Sequential => mapping::sequential_over(cluster, alive, groups),
         };
-        let cgs = match divide_communication_groups(&mapping) {
+        let cgs = self.cgs_for(&mapping);
+        (mapping, cgs)
+    }
+
+    /// Communication-group planning over a mapping, with the serialized
+    /// fallback for non-bipartite conflict graphs.
+    fn cgs_for(&self, mapping: &Mapping) -> CommunicationGroups {
+        match divide_communication_groups(mapping) {
             Ok(cgs) => cgs,
             Err(e) => {
                 // non-bipartite conflicts (possible for ad-hoc mappings):
@@ -1374,7 +1674,80 @@ impl Engine {
                 });
                 cgs
             }
+        }
+    }
+
+    /// Streaming-aware topology build. With rate-aware regrouping on and
+    /// the per-SoC stream-rate spread over `alive` above the configured
+    /// threshold, the topology mapping's *physical shape* is kept — each
+    /// group retains its exact per-board SoC counts, so board integrity,
+    /// the conflict graph and the priced sync topology are unchanged —
+    /// but within each board the fastest remaining SoCs are dealt to the
+    /// lowest group ids. Groups become contiguous rate chunks instead of
+    /// arbitrary ones, so a fast SoC no longer idles behind a slow
+    /// teammate, and an [`Event::RegroupedByRate`] marks the decision.
+    /// Otherwise (or without streaming) this defers to the topology-only
+    /// build.
+    fn build_stream_topology(
+        &self,
+        cfg: &SocFlowConfig,
+        cluster: &ClusterSpec,
+        alive: &[SocId],
+        groups: usize,
+        stream: Option<&StreamState>,
+        epoch: usize,
+    ) -> (Mapping, CommunicationGroups) {
+        let Some(st) = stream else {
+            return self.build_topology(cfg, cluster, alive, groups);
         };
+        let spread = st.spread_over(alive);
+        if !st.cfg.rate_aware || spread <= st.cfg.regroup_spread {
+            return self.build_topology(cfg, cluster, alive, groups);
+        }
+        let base = match cfg.mapping {
+            MappingMode::IntegrityGreedy => mapping::integrity_greedy_over(cluster, alive, groups),
+            MappingMode::Sequential => mapping::sequential_over(cluster, alive, groups),
+        };
+        // per-board pools, fastest first (SocId tie-break): deterministic
+        // and independent of the incoming `alive` order
+        let board_of = |s: SocId| s.0 / cluster.socs_per_board.max(1);
+        let n_boards = alive.iter().map(|s| board_of(*s)).max().unwrap_or(0) + 1;
+        let mut pools: Vec<Vec<SocId>> = vec![Vec::new(); n_boards];
+        for s in alive {
+            pools[board_of(*s)].push(*s);
+        }
+        for pool in pools.iter_mut() {
+            pool.sort_by(|a, b| {
+                st.multipliers[b.0]
+                    .partial_cmp(&st.multipliers[a.0])
+                    .expect("finite rate multipliers")
+                    .then(a.0.cmp(&b.0))
+            });
+        }
+        // refill the base shape board by board
+        let mut cursor = vec![0usize; n_boards];
+        let mut members = Vec::with_capacity(base.num_groups());
+        for g in 0..base.num_groups() {
+            let mut counts = vec![0usize; n_boards];
+            for s in base.group(crate::mapping::GroupId(g)) {
+                counts[board_of(*s)] += 1;
+            }
+            let mut m = Vec::new();
+            for (b, &c) in counts.iter().enumerate() {
+                for _ in 0..c {
+                    m.push(pools[b][cursor[b]]);
+                    cursor[b] += 1;
+                }
+            }
+            members.push(m);
+        }
+        let mapping = Mapping::from_members(members, cluster);
+        let cgs = self.cgs_for(&mapping);
+        self.emit(Event::RegroupedByRate {
+            epoch,
+            spread,
+            groups,
+        });
         (mapping, cgs)
     }
 
@@ -1488,6 +1861,7 @@ enum MixedMode {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use socflow_data::stream::{OnFull, RateProfile};
     use socflow_data::DatasetPreset;
     use socflow_nn::models::ModelKind;
 
@@ -2000,6 +2374,129 @@ mod tests {
         assert!(
             matches!(events.last(), Some(Event::RunCompleted { .. })),
             "kernel totals precede RunCompleted"
+        );
+    }
+
+    fn streaming_engine(
+        scfg: StreamingConfig,
+        groups: usize,
+    ) -> (Engine, Arc<socflow_telemetry::MemorySink>) {
+        let sink = Arc::new(socflow_telemetry::MemorySink::new());
+        let spec = tiny_spec(MethodSpec::SocFlow(SocFlowConfig::with_groups(groups)));
+        let workload = easy_workload(&spec, 512);
+        let e = Engine::new(spec, workload)
+            .with_streaming(scfg)
+            .with_sink(sink.clone());
+        (e, sink)
+    }
+
+    fn stall_sum(events: &[Event]) -> f64 {
+        events
+            .iter()
+            .filter_map(|e| match e {
+                Event::StreamStalled { stall, .. } => Some(*stall),
+                _ => None,
+            })
+            .sum()
+    }
+
+    fn dropped_sum(events: &[Event]) -> u64 {
+        events
+            .iter()
+            .filter_map(|e| match e {
+                Event::SamplesDropped { count, .. } => Some(*count),
+                _ => None,
+            })
+            .sum()
+    }
+
+    #[test]
+    fn streaming_uniform_is_stall_free_and_deterministic() {
+        let run = || {
+            let (mut e, sink) = streaming_engine(StreamingConfig::new(RateProfile::Uniform), 2);
+            let r = e.run();
+            (r, sink.events())
+        };
+        let (r1, ev1) = run();
+        let (r2, ev2) = run();
+        assert_eq!(r1.epoch_accuracy.len(), 4, "streaming run completes");
+        assert_eq!(r1.epoch_accuracy, r2.epoch_accuracy);
+        assert_eq!(r1.epoch_time, r2.epoch_time);
+        assert_eq!(format!("{ev1:?}"), format!("{ev2:?}"), "bit-identical trace");
+        assert_eq!(
+            stall_sum(&ev1),
+            0.0,
+            "1.05x calibrated supply covers a uniform cluster"
+        );
+        assert_eq!(dropped_sum(&ev1), 0, "backpressure never drops");
+        assert!(
+            !ev1.iter()
+                .any(|e| matches!(e, Event::RegroupedByRate { .. })),
+            "no rate spread, no regroup"
+        );
+    }
+
+    #[test]
+    fn heterogeneous_streams_stall_topology_only_groups() {
+        let mut cfg = StreamingConfig::new(RateProfile::Bimodal);
+        cfg.rate_aware = false;
+        let (mut e, sink) = streaming_engine(cfg, 4);
+        let r = e.run();
+        assert_eq!(r.epoch_accuracy.len(), 4);
+        let ev = sink.events();
+        assert!(
+            stall_sum(&ev) > 0.0,
+            "a mixed-rate group is gated by its slowest member"
+        );
+        assert!(
+            !ev.iter().any(|e| matches!(e, Event::RegroupedByRate { .. })),
+            "topology-only arm never regroups"
+        );
+    }
+
+    #[test]
+    fn rate_aware_regrouping_beats_topology_only_on_stalls() {
+        let aware = StreamingConfig::new(RateProfile::Bimodal);
+        let mut blind = aware;
+        blind.rate_aware = false;
+        let (mut ea, sink_a) = streaming_engine(blind, 4);
+        let ra = ea.run();
+        let (mut eb, sink_b) = streaming_engine(aware, 4);
+        let rb = eb.run();
+        let (ev_a, ev_b) = (sink_a.events(), sink_b.events());
+        assert!(
+            ev_b.iter()
+                .any(|e| matches!(e, Event::RegroupedByRate { .. })),
+            "bimodal spread exceeds the regroup threshold"
+        );
+        assert!(
+            stall_sum(&ev_b) < stall_sum(&ev_a),
+            "rate-sorted groups + proportional shares shrink the barrier stall"
+        );
+        let total = |r: &RunResult| r.epoch_time.iter().sum::<f64>();
+        assert!(total(&rb) < total(&ra), "less stall, faster run");
+    }
+
+    #[test]
+    fn drop_policy_sheds_oversupply_and_block_never_drops() {
+        let mut fast = StreamingConfig::new(RateProfile::Uniform);
+        fast.base_rate = Some(1.0e6); // reference samples/sec: vast oversupply
+        fast.on_full = OnFull::Drop;
+        let (mut ed, sink_d) = streaming_engine(fast, 2);
+        ed.run();
+        let mut blk = fast;
+        blk.on_full = OnFull::Block;
+        let (mut eb, sink_b) = streaming_engine(blk, 2);
+        eb.run();
+        assert!(
+            dropped_sum(&sink_d.events()) > 0,
+            "oversupply overflows a Drop buffer"
+        );
+        assert_eq!(stall_sum(&sink_d.events()), 0.0, "oversupply never stalls");
+        assert_eq!(
+            dropped_sum(&sink_b.events()),
+            0,
+            "Block sheds nothing, it just stops ingesting"
         );
     }
 }

@@ -9,7 +9,7 @@
 //! during training, one logical group is surrendered.
 
 use crate::checkpoint::{Checkpoint, CheckpointPolicy};
-use crate::config::{MethodSpec, SocFlowConfig, TrainJobSpec};
+use crate::config::{MethodSpec, SocFlowConfig, StreamingConfig, TrainJobSpec};
 use crate::engine::{Engine, Workload};
 use crate::grouping::{choose_group_count, GroupChoice};
 use crate::mapping::{self, Mapping};
@@ -47,6 +47,7 @@ pub struct GlobalScheduler {
     overlap: bool,
     bucket_kb: Option<usize>,
     profiled_beta: Option<f64>,
+    streaming: Option<StreamingConfig>,
 }
 
 impl std::fmt::Debug for GlobalScheduler {
@@ -63,6 +64,7 @@ impl std::fmt::Debug for GlobalScheduler {
             .field("overlap", &self.overlap)
             .field("bucket_kb", &self.bucket_kb)
             .field("profiled_beta", &self.profiled_beta)
+            .field("streaming", &self.streaming)
             .finish()
     }
 }
@@ -82,7 +84,16 @@ impl GlobalScheduler {
             overlap: false,
             bucket_kb: None,
             profiled_beta: None,
+            streaming: None,
         }
+    }
+
+    /// Switches ingestion to live per-SoC streams (the `--streaming` CLI
+    /// flag; see [`Engine::with_streaming`]), forwarded to the [`Engine`]
+    /// at dispatch. SoCFlow methods only; baselines ignore it.
+    pub fn with_streaming(mut self, cfg: StreamingConfig) -> Self {
+        self.streaming = Some(cfg);
+        self
     }
 
     /// Overrides the calibrated β compute-power ratio with a measured value
@@ -325,6 +336,9 @@ impl GlobalScheduler {
         if let Some(beta) = self.profiled_beta {
             engine = engine.with_profiled_beta(beta);
         }
+        if let Some(streaming) = self.streaming {
+            engine = engine.with_streaming(streaming);
+        }
         engine.run()
     }
 }
@@ -370,6 +384,25 @@ mod tests {
         let w = Workload::standard(&s, 128, 8, 0.5);
         let r = GlobalScheduler::new(s, w).run();
         assert_eq!(r.epoch_accuracy.len(), 2);
+    }
+
+    #[test]
+    fn scheduler_forwards_streaming_to_the_engine() {
+        use socflow_data::stream::RateProfile;
+        let s = spec(MethodSpec::SocFlow(SocFlowConfig::with_groups(2)));
+        let w = Workload::standard(&s, 128, 8, 0.5);
+        let sink = std::sync::Arc::new(socflow_telemetry::MemorySink::new());
+        let r = GlobalScheduler::new(s, w)
+            .with_streaming(StreamingConfig::new(RateProfile::Heterogeneous))
+            .with_sink(sink.clone())
+            .run();
+        assert_eq!(r.epoch_accuracy.len(), 2);
+        // the hetero profile's spread exceeds the default threshold, so
+        // the engine's rate-aware regrouping must have fired
+        assert!(sink
+            .events()
+            .iter()
+            .any(|e| matches!(e, Event::RegroupedByRate { .. })));
     }
 
     #[test]

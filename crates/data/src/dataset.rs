@@ -217,6 +217,18 @@ impl Dataset {
     /// range would, so the produced batches (and the RNG stream afterwards)
     /// are bit-identical to the subset path.
     ///
+    /// ```
+    /// use rand::{rngs::StdRng, SeedableRng};
+    /// use socflow_data::{Dataset, DatasetPreset};
+    ///
+    /// let d = Dataset::synthetic(DatasetPreset::Cifar10.synthetic_spec(32, 8, 42));
+    /// let shard: Vec<usize> = (0..32).step_by(2).collect(); // 16 samples
+    /// let mut rng = StdRng::seed_from_u64(7);
+    /// let batches: Vec<_> = d.epoch_batches_of(&shard, 5, &mut rng).collect();
+    /// assert_eq!(batches.len(), 4); // 3 full batches + a partial of 1
+    /// assert_eq!(batches.iter().map(|b| b.len()).sum::<usize>(), 16);
+    /// ```
+    ///
     /// # Panics
     /// Panics if `batch_size == 0`; out-of-range indices panic on batch
     /// materialization.

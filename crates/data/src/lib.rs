@@ -21,7 +21,10 @@
 //!
 //! [`Partitioner`] implements the data-parallel sharding strategies
 //! (IID shuffle-shard, label-sharded non-IID, Dirichlet non-IID) used when
-//! dispatching data to SoCs.
+//! dispatching data to SoCs. The [`stream`] module models live per-SoC
+//! ingestion: seeded rate-heterogeneity profiles, stateless
+//! position-indexed sample streams, and bounded ingest buffers with
+//! drop-vs-backpressure overflow policies.
 //!
 //! ## Example
 //!
@@ -34,12 +37,16 @@
 //! assert_eq!(shards.iter().map(Vec::len).sum::<usize>(), 128);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod augment;
 mod dataset;
 mod partition;
 mod presets;
+pub mod stream;
 
 pub use augment::Augment;
 pub use dataset::{Batch, BatchIter, Dataset, SyntheticSpec};
 pub use partition::{dirichlet_partition, iid_partition, label_shard_partition, Partitioner};
 pub use presets::{DatasetPreset, PresetSpec};
+pub use stream::{IngestBuffer, OnFull, RateProfile, StreamSource};

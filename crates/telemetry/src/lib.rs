@@ -277,6 +277,24 @@ pub enum Event {
         server: usize,
         jct: f64,
     },
+    /// A logical group's live stream could not fill its epoch data share
+    /// within training time (streaming mode only): the group — and, at
+    /// the delayed-aggregation barrier, the epoch — stalled for `stall`
+    /// modelled seconds waiting for arrivals.
+    StreamStalled { epoch: usize, group: usize, stall: f64 },
+    /// A logical group's bounded ingest buffer overflowed under the
+    /// `drop` policy (streaming mode only): `count` freshly streamed
+    /// samples were discarded this epoch.
+    SamplesDropped { epoch: usize, group: usize, count: u64 },
+    /// Grouping was re-run by observed stream rate (streaming mode with
+    /// rate-aware grouping): the max/min per-SoC rate `spread` exceeded
+    /// the regroup threshold, so the `groups` logical groups were
+    /// re-dealt rate-homogeneous with rate-proportional data shares.
+    RegroupedByRate {
+        epoch: usize,
+        spread: f64,
+        groups: usize,
+    },
     /// The run finished; totals over all epochs.
     RunCompleted {
         epochs: usize,
@@ -455,6 +473,17 @@ pub struct Summary {
     pub jobs_completed: usize,
     /// Mean job-completion time over `JobCompleted` events, seconds.
     pub mean_jct: f64,
+    /// Streaming-ingestion counters (streaming traces only, all 0
+    /// otherwise): group-epoch stall events and their summed modelled
+    /// seconds, samples lost to `drop`-policy buffer overflow, and
+    /// rate-aware regrouping passes.
+    pub stream_stalls: usize,
+    /// Summed modelled seconds of [`Event::StreamStalled`] stalls.
+    pub stream_stall_cost: f64,
+    /// Samples lost to buffer overflow ([`Event::SamplesDropped`] summed).
+    pub samples_dropped: u64,
+    /// Rate-aware regrouping passes ([`Event::RegroupedByRate`] count).
+    pub rate_regroups: usize,
 }
 
 /// One per-epoch link-utilization row in a [`Summary`] (from
@@ -625,6 +654,12 @@ impl Summary {
                     board_nics: *board_nics,
                     switch: *switch,
                 }),
+                Event::StreamStalled { stall, .. } => {
+                    s.stream_stalls += 1;
+                    s.stream_stall_cost += stall;
+                }
+                Event::SamplesDropped { count, .. } => s.samples_dropped += count,
+                Event::RegroupedByRate { .. } => s.rate_regroups += 1,
                 Event::JobArrived { .. } => s.jobs_arrived += 1,
                 Event::JobAdmitted { .. } => s.jobs_admitted += 1,
                 Event::JobPreempted { .. } => s.jobs_preempted += 1,
@@ -738,6 +773,12 @@ impl Summary {
                     avg(|r| r.switch)
                 ));
             }
+        }
+        if self.stream_stalls > 0 || self.samples_dropped > 0 || self.rate_regroups > 0 {
+            out.push_str(&format!(
+                "streaming        {} stalls ({:.3} s), {} samples dropped, {} rate regroups\n",
+                self.stream_stalls, self.stream_stall_cost, self.samples_dropped, self.rate_regroups
+            ));
         }
         if self.jobs_arrived > 0 {
             out.push_str(&format!(
@@ -1298,6 +1339,56 @@ mod tests {
             "{report}"
         );
         assert!(report.contains("mean JCT         5400.0 s"), "{report}");
+    }
+
+    #[test]
+    fn streaming_events_round_trip_and_summarize() {
+        let events = vec![
+            Event::RegroupedByRate {
+                epoch: 0,
+                spread: 3.2,
+                groups: 4,
+            },
+            Event::StreamStalled {
+                epoch: 0,
+                group: 2,
+                stall: 1.5,
+            },
+            Event::StreamStalled {
+                epoch: 1,
+                group: 2,
+                stall: 0.5,
+            },
+            Event::SamplesDropped {
+                epoch: 1,
+                group: 0,
+                count: 12,
+            },
+            Event::SamplesDropped {
+                epoch: 2,
+                group: 1,
+                count: 8,
+            },
+        ];
+        let text: String = events
+            .iter()
+            .map(|e| serde_json::to_string(e).unwrap() + "\n")
+            .collect();
+        let parsed = parse_trace(&text).unwrap();
+        assert_eq!(parsed, events);
+        let s = Summary::from_events(&parsed);
+        assert_eq!(s.stream_stalls, 2);
+        assert!((s.stream_stall_cost - 2.0).abs() < 1e-12);
+        assert_eq!(s.samples_dropped, 20);
+        assert_eq!(s.rate_regroups, 1);
+        let report = s.render();
+        assert!(
+            report.contains("streaming        2 stalls (2.000 s), 20 samples dropped, 1 rate regroups"),
+            "{report}"
+        );
+        // non-streaming traces keep the section out of the report
+        let quiet = Summary::from_events(&[epoch_event(0, 1.0, 0.5, 0.1)]);
+        assert!(!quiet.render().contains("streaming"), "{}", quiet.render());
     }
 
     #[test]

@@ -134,6 +134,48 @@ fn faulted_runs_are_thread_count_invariant() {
     });
 }
 
+/// Streaming ingestion runs entirely on the coordinating thread — stream
+/// cursors, buffer levels, stall pricing and rate-aware regrouping must
+/// all be byte-identical at every pool size, for both overflow policies
+/// and with regrouping on and off.
+#[test]
+fn streaming_runs_are_thread_count_invariant() {
+    use socflow::config::StreamingConfig;
+    use socflow_data::stream::{OnFull, RateProfile};
+
+    let arms: [(&str, RateProfile, OnFull, bool); 3] = [
+        ("uniform-block", RateProfile::Uniform, OnFull::Block, true),
+        (
+            "bimodal-rate-aware",
+            RateProfile::Bimodal,
+            OnFull::Block,
+            true,
+        ),
+        (
+            "hetero-drop",
+            RateProfile::Heterogeneous,
+            OnFull::Drop,
+            false,
+        ),
+    ];
+    for (label, profile, on_full, rate_aware) in arms {
+        let spec = spec_of(MethodSpec::SocFlow(SocFlowConfig::with_groups(4)));
+        let workload = Workload::standard(&spec, 128, 8, 0.5);
+        let mut scfg = StreamingConfig::new(profile);
+        scfg.on_full = on_full;
+        scfg.rate_aware = rate_aware;
+        if on_full == OnFull::Drop {
+            // oversupply so the drop path actually sheds samples
+            scfg.base_rate = Some(1.0e6);
+        }
+        assert_thread_invariant(label, &|sink| {
+            Engine::new(spec, workload.clone())
+                .with_streaming(scfg)
+                .with_sink(sink)
+        });
+    }
+}
+
 /// Checkpoint bytes written at one pool size must resume bit-exactly at
 /// another: the durable artifact itself is part of the determinism
 /// contract, so the full run, the checkpointing run and the resumed
