@@ -65,6 +65,12 @@ pub struct Options {
     pub buffer_batches: usize,
     /// Full-buffer policy: `drop` | `block` (requires `--streaming`).
     pub on_full: String,
+    /// Autotune the parallelization plan on the simulated clock before
+    /// training and adopt the winner (`train --auto`).
+    pub auto: bool,
+    /// Max candidates the autotuner prices on the timeline (requires
+    /// `--auto`; `tune` accepts it standalone).
+    pub auto_budget: Option<usize>,
 }
 
 impl Default for Options {
@@ -99,6 +105,8 @@ impl Default for Options {
             rates: "uniform".into(),
             buffer_batches: 2,
             on_full: "block".into(),
+            auto: false,
+            auto_budget: None,
         }
     }
 }
@@ -136,6 +144,10 @@ impl Options {
                 o.streaming = true;
                 continue;
             }
+            if flag == "--auto" {
+                o.auto = true;
+                continue;
+            }
             let value = it
                 .next()
                 .ok_or_else(|| format!("flag `{flag}` needs a value"))?;
@@ -154,6 +166,7 @@ impl Options {
                 "--checkpoint-every" => o.checkpoint_every = Some(parse_num(flag, value)?),
                 "--threads" => o.threads = Some(parse_num(flag, value)?),
                 "--bucket-kb" => o.bucket_kb = Some(parse_num(flag, value)?),
+                "--auto-budget" => o.auto_budget = Some(parse_num(flag, value)?),
                 "--rates" => o.rates = value.clone(),
                 "--buffer-batches" => o.buffer_batches = parse_num(flag, value)?,
                 "--on-full" => o.on_full = value.clone(),
@@ -198,6 +211,14 @@ impl Options {
         }
         if o.bucket_kb.is_some() && !o.overlap {
             return Err("--bucket-kb needs --overlap".into());
+        }
+        if o.auto_budget == Some(0) {
+            return Err("--auto-budget must be positive".into());
+        }
+        if o.auto && (o.timeline || o.overlap || o.bucket_kb.is_some()) {
+            return Err(
+                "--auto picks the schedule itself; drop --timeline/--overlap/--bucket-kb".into(),
+            );
         }
         if o.servers == 0 {
             return Err("--servers must be positive".into());
@@ -406,6 +427,23 @@ mod tests {
         assert!(parse(&["--streaming", "--rates", "chaotic"]).is_err());
         assert!(parse(&["--streaming", "--on-full", "explode"]).is_err());
         assert!(parse(&["--streaming", "--buffer-batches", "0"]).is_err());
+    }
+
+    #[test]
+    fn auto_flags_parse_and_validate() {
+        let o = parse(&["--auto", "--auto-budget", "24"]).unwrap();
+        assert!(o.auto);
+        assert_eq!(o.auto_budget, Some(24));
+        // `tune` takes --auto-budget without --auto
+        let t = parse(&["--auto-budget", "8"]).unwrap();
+        assert!(!t.auto && t.auto_budget == Some(8));
+        assert!(!parse(&[]).unwrap().auto);
+        assert!(parse(&["--auto-budget", "0"]).is_err());
+        assert!(
+            parse(&["--auto", "--timeline"]).is_err(),
+            "auto picks the schedule"
+        );
+        assert!(parse(&["--auto", "--overlap"]).is_err());
     }
 
     #[test]

@@ -8,9 +8,11 @@
 //! training run (train step + eval + aggregation) at worker-pool sizes
 //! 1/2/4/all, verifying along the way that the accuracy trajectory is
 //! bit-identical at every pool size. `bench fleet` replays the tidal-trace
-//! multi-tenant scheduler comparison, and `bench streaming` measures
+//! multi-tenant scheduler comparison, `bench streaming` measures
 //! time-to-accuracy under live per-SoC data streams (uniform vs
-//! heterogeneous rates, rate-aware regrouping on vs off).
+//! heterogeneous rates, rate-aware regrouping on vs off), and
+//! `bench autotune` runs the plan-space search for the bundled model
+//! families and reports tuned-vs-default predicted epoch seconds.
 //!
 //! Runs the tensor micro-kernels the training hot path lives in (tiled
 //! GEMM variants, transpose, the pooled conv2d forward/backward, the fused
@@ -567,7 +569,9 @@ fn run_bucket_sweep(fast: bool) -> (usize, Vec<BucketSweepRun>) {
 
     // a group count whose mapping splits boards, so several CGs contend
     let (socs, groups) = if fast { (20, 7) } else { (60, 12) };
-    const SIZES_KB: &[usize] = &[512, 2048, 8192, 32768];
+    // the autotuner's grid, so the sweep prices exactly the bucket sizes
+    // the plan search considers
+    let sizes_kb = socflow::autotune::BUCKET_GRID_KB;
     let mut spec = TrainJobSpec::new(ModelKind::Vgg11, DatasetPreset::Cifar10, MethodSpec::Ring);
     spec.socs = socs;
     let mut tm = TimeModel::new(&spec);
@@ -575,7 +579,7 @@ fn run_bucket_sweep(fast: bool) -> (usize, Vec<BucketSweepRun>) {
     let cluster = ClusterSpec::for_socs(socs);
     let mapping = integrity_greedy(&cluster, socs, groups);
     let cgs = divide_communication_groups(&mapping).expect("integrity-greedy mappings 2-color");
-    let runs = SIZES_KB
+    let runs = sizes_kb
         .iter()
         .map(|&bucket_kb| {
             tm.set_overlap(bucket_kb, &layout);
@@ -592,10 +596,52 @@ fn run_bucket_sweep(fast: bool) -> (usize, Vec<BucketSweepRun>) {
     (groups, runs)
 }
 
+/// Scratch-pool traffic observed while re-pricing a warm epoch: the
+/// allocation-churn witness for the `TimelineScratch` free-list.
+struct ScratchWitness {
+    acquires: u64,
+    misses: u64,
+}
+
+/// Prices one wait-free epoch twice on this thread and counts scratch-pool
+/// traffic on the second (warm) pass. Every `FluidTimeline` the warm pass
+/// creates must be served from the thread's free-list — `misses == 0` is
+/// the witness that repeated pricing no longer allocates fresh scratch
+/// buffers (task arenas, flow paths, carried-bytes ledgers).
+fn run_scratch_witness(fast: bool) -> ScratchWitness {
+    use socflow::config::{MethodSpec, TrainJobSpec};
+    use socflow::mapping::integrity_greedy;
+    use socflow::planning::divide_communication_groups;
+    use socflow::sim::{simulate_socflow_schedule, SyncSchedule};
+    use socflow::timemodel::TimeModel;
+    use socflow_cluster::ClusterSpec;
+    use socflow_data::DatasetPreset;
+    use socflow_nn::models::ModelKind;
+
+    let (socs, groups) = if fast { (20, 7) } else { (60, 12) };
+    let mut spec = TrainJobSpec::new(ModelKind::Vgg11, DatasetPreset::Cifar10, MethodSpec::Ring);
+    spec.socs = socs;
+    let mut tm = TimeModel::new(&spec);
+    tm.set_overlap(socflow::timemodel::DEFAULT_BUCKET_KB, &vgg11_grad_layout());
+    let cluster = ClusterSpec::for_socs(socs);
+    let mapping = integrity_greedy(&cluster, socs, groups);
+    let cgs = divide_communication_groups(&mapping).expect("integrity-greedy mappings 2-color");
+    // cold pass parks a scratch in this thread's pool
+    simulate_socflow_schedule(&tm, &mapping, &cgs, true, SyncSchedule::WaitFree, 1.0);
+    socflow_cluster::reset_scratch_stats();
+    simulate_socflow_schedule(&tm, &mapping, &cgs, true, SyncSchedule::WaitFree, 1.0);
+    let stats = socflow_cluster::scratch_stats();
+    ScratchWitness {
+        acquires: stats.acquires,
+        misses: stats.misses,
+    }
+}
+
 fn timeline_suite_to_json(
     results: &[TimelineRun],
     sweep_groups: usize,
     sweep: &[BucketSweepRun],
+    scratch: &ScratchWitness,
     fast: bool,
     socs: usize,
 ) -> serde_json::Value {
@@ -633,7 +679,7 @@ fn timeline_suite_to_json(
     Value::Object(vec![
         (
             "schema".into(),
-            Value::Str("socflow-timeline-bench/v2".into()),
+            Value::Str("socflow-timeline-bench/v3".into()),
         ),
         (
             "mode".into(),
@@ -646,6 +692,13 @@ fn timeline_suite_to_json(
             Value::Object(vec![
                 ("groups".into(), Value::U64(sweep_groups as u64)),
                 ("results".into(), Value::Array(sweep_rows)),
+            ]),
+        ),
+        (
+            "scratch_reuse".into(),
+            Value::Object(vec![
+                ("acquires".into(), Value::U64(scratch.acquires)),
+                ("misses".into(), Value::U64(scratch.misses)),
             ]),
         ),
     ])
@@ -979,8 +1032,19 @@ fn bench_timeline(fast: bool, json_path: Option<String>) -> Result<(), String> {
             r.bucket_kb, r.buckets, r.wait_free_s
         );
     }
+    let scratch = run_scratch_witness(fast);
+    println!(
+        "\nscratch reuse: {} acquires, {} pool misses on the warm pass",
+        scratch.acquires, scratch.misses
+    );
+    if scratch.misses != 0 {
+        return Err(format!(
+            "warm re-pricing allocated {} fresh TimelineScratch(es); the free-list should serve all {} acquires",
+            scratch.misses, scratch.acquires
+        ));
+    }
     if let Some(path) = json_path {
-        let doc = timeline_suite_to_json(&results, sweep_groups, &sweep, fast, socs);
+        let doc = timeline_suite_to_json(&results, sweep_groups, &sweep, &scratch, fast, socs);
         let text = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
         std::fs::write(&path, text + "\n")
             .map_err(|e| format!("cannot write bench file `{path}`: {e}"))?;
@@ -1113,11 +1177,7 @@ fn streaming_suite_shape(fast: bool) -> (usize, usize, usize, usize) {
     }
 }
 
-fn streaming_suite_to_json(
-    results: &[StreamingRun],
-    target: f64,
-    fast: bool,
-) -> serde_json::Value {
+fn streaming_suite_to_json(results: &[StreamingRun], target: f64, fast: bool) -> serde_json::Value {
     use serde_json::Value;
     let (socs, groups, epochs, samples) = streaming_suite_shape(fast);
     let rows = results
@@ -1211,17 +1271,231 @@ fn bench_streaming(fast: bool, json_path: Option<String>) -> Result<(), String> 
     Ok(())
 }
 
-/// `socflow-cli bench <kernels|faults|timeline|e2e|fleet|streaming> [--fast] [--json <path>]`.
+/// One autotune-bench row: the plan search for one model family on the
+/// bench server, the default plan's predicted epoch seconds against the
+/// tuned winner's.
+struct AutotuneRun {
+    /// Row label: the model family, `-pbeta` suffixed when the profiled-β
+    /// axis was searched.
+    arm: &'static str,
+    model: &'static str,
+    /// Profiled β supplied to the search (`None` = calibrated only).
+    profiled_beta_in: Option<f64>,
+    /// CGs of the *default* plan's topology (≥ 2 = multi-CG config).
+    default_cgs: usize,
+    default: socflow::autotune::PlanChoice,
+    best: socflow::autotune::PlanChoice,
+    evaluated: usize,
+    pruned: usize,
+    skipped: usize,
+    /// Predicted default-plan / best-plan epoch-time ratio (≥ 1).
+    speedup: f64,
+}
+
+/// Runs the plan-space search for the three bundled model families (plus
+/// a profiled-β arm) on the bench server and reports tuned-vs-default
+/// predicted epoch seconds. Entirely on the simulated clock: the rows are
+/// machine-independent and bit-identical at any worker-pool size.
+fn run_autotune_suite(fast: bool) -> (usize, Vec<AutotuneRun>) {
+    use rand::{rngs::StdRng, SeedableRng};
+    use socflow::autotune::{autotune, default_candidate, TuneOptions};
+    use socflow::config::{MethodSpec, SocFlowConfig, TrainJobSpec};
+    use socflow::mapping::integrity_greedy;
+    use socflow::planning::divide_communication_groups;
+    use socflow_cluster::ClusterSpec;
+    use socflow_data::DatasetPreset;
+    use socflow_nn::models::{ModelConfig, ModelKind};
+
+    // the paper server is 60 SoCs, where the hand-set 8-group plan maps
+    // to a multi-CG topology; the fast smoke uses a 20-SoC slice, where
+    // 7 groups is the multi-CG count (as in the timeline suite's sweep)
+    let (socs, default_groups) = if fast { (20, 7) } else { (60, 8) };
+    // the β that bench kernels measured on the reference machine
+    let arms: &[(&str, ModelKind, &str, f32, Option<f64>)] = &[
+        ("vgg11", ModelKind::Vgg11, "vgg11", 0.22, None),
+        ("resnet18", ModelKind::ResNet18, "resnet18", 0.18, None),
+        ("mobilenet", ModelKind::MobileNetV1, "mobilenet", 0.22, None),
+        ("vgg11-pbeta", ModelKind::Vgg11, "vgg11", 0.22, Some(0.2502)),
+    ];
+    let rows = arms
+        .iter()
+        .map(|&(arm, model, name, width, pbeta)| {
+            // the paper's hand-set plan: fixed groups, interleaved sync
+            let mut spec = TrainJobSpec::new(
+                model,
+                DatasetPreset::Cifar10,
+                MethodSpec::SocFlow(SocFlowConfig::with_groups(default_groups)),
+            );
+            spec.socs = socs;
+            let layout = model
+                .build(
+                    ModelConfig::new(3, 32, 10, width),
+                    &mut StdRng::seed_from_u64(0),
+                )
+                .grad_layout();
+            let opts = TuneOptions {
+                budget: None,
+                profiled_beta: pbeta,
+                max_groups: None,
+            };
+            let report = autotune(&spec, &layout, &opts);
+            let dflt = default_candidate(&spec);
+            let cluster = ClusterSpec::for_socs(socs);
+            let mapping = integrity_greedy(&cluster, socs, dflt.groups);
+            let default_cgs =
+                divide_communication_groups(&mapping).map_or(dflt.groups, |c| c.len());
+            AutotuneRun {
+                arm,
+                model: name,
+                profiled_beta_in: pbeta,
+                default_cgs,
+                default: report.default_plan,
+                best: report.best(),
+                evaluated: report.evaluated,
+                pruned: report.pruned,
+                skipped: report.skipped,
+                speedup: report.speedup(),
+            }
+        })
+        .collect();
+    (socs, rows)
+}
+
+fn autotune_plan_json(c: &socflow::autotune::PlanChoice) -> serde_json::Value {
+    use serde_json::Value;
+    Value::Object(vec![
+        ("groups".into(), Value::U64(c.candidate.groups as u64)),
+        (
+            "schedule".into(),
+            Value::Str(c.candidate.schedule_name().into()),
+        ),
+        (
+            "bucket_kb".into(),
+            match c.candidate.bucket_kb {
+                Some(kb) => Value::U64(kb as u64),
+                None => Value::Null,
+            },
+        ),
+        (
+            "profiled_beta".into(),
+            match c.candidate.profiled_beta {
+                Some(b) => Value::F64(b),
+                None => Value::Null,
+            },
+        ),
+        ("predicted_s".into(), Value::F64(c.predicted_s)),
+    ])
+}
+
+fn autotune_suite_to_json(results: &[AutotuneRun], fast: bool, socs: usize) -> serde_json::Value {
+    use serde_json::Value;
+    let rows = results
+        .iter()
+        .map(|r| {
+            Value::Object(vec![
+                ("arm".into(), Value::Str(r.arm.into())),
+                ("model".into(), Value::Str(r.model.into())),
+                (
+                    "profiled_beta_in".into(),
+                    match r.profiled_beta_in {
+                        Some(b) => Value::F64(b),
+                        None => Value::Null,
+                    },
+                ),
+                ("default_cgs".into(), Value::U64(r.default_cgs as u64)),
+                ("default".into(), autotune_plan_json(&r.default)),
+                ("best".into(), autotune_plan_json(&r.best)),
+                ("evaluated".into(), Value::U64(r.evaluated as u64)),
+                ("pruned".into(), Value::U64(r.pruned as u64)),
+                ("skipped".into(), Value::U64(r.skipped as u64)),
+                ("speedup".into(), Value::F64(r.speedup)),
+            ])
+        })
+        .collect();
+    Value::Object(vec![
+        (
+            "schema".into(),
+            Value::Str("socflow-autotune-bench/v1".into()),
+        ),
+        (
+            "mode".into(),
+            Value::Str(if fast { "fast" } else { "full" }.into()),
+        ),
+        ("socs".into(), Value::U64(socs as u64)),
+        (
+            "budget".into(),
+            Value::U64(socflow::autotune::DEFAULT_BUDGET as u64),
+        ),
+        ("results".into(), Value::Array(rows)),
+    ])
+}
+
+fn bench_autotune(fast: bool, json_path: Option<String>) -> Result<(), String> {
+    let (socs, results) = run_autotune_suite(fast);
+    let dg = results.first().map_or(0, |r| r.default.candidate.groups);
+    println!("plan autotuner vs the hand-set default ({dg} groups, interleaved) on {socs} SoCs");
+    println!(
+        "{:<12} {:>4} {:>11} {:>7} {:>11} {:>8} {:>11} {:>8} {:>5}/{:<5} {:>5}",
+        "arm",
+        "cgs",
+        "default s",
+        "groups",
+        "schedule",
+        "bucket",
+        "tuned s",
+        "speedup",
+        "eval",
+        "prune",
+        "skip"
+    );
+    for r in &results {
+        println!(
+            "{:<12} {:>4} {:>11.1} {:>7} {:>11} {:>8} {:>11.1} {:>7.2}x {:>5}/{:<5} {:>5}",
+            r.arm,
+            r.default_cgs,
+            r.default.predicted_s,
+            r.best.candidate.groups,
+            r.best.candidate.schedule_name(),
+            r.best
+                .candidate
+                .bucket_kb
+                .map_or("-".to_string(), |kb| format!("{kb}K")),
+            r.best.predicted_s,
+            r.speedup,
+            r.evaluated,
+            r.pruned,
+            r.skipped
+        );
+    }
+    // the suite's acceptance bar: the search must beat the hand-set plan
+    // by ≥ 1.05× on at least one multi-CG config
+    if !results
+        .iter()
+        .any(|r| r.default_cgs >= 2 && r.speedup >= 1.05)
+    {
+        return Err("no multi-CG arm reached the 1.05x tuned-vs-default bar".into());
+    }
+    if let Some(path) = json_path {
+        let doc = autotune_suite_to_json(&results, fast, socs);
+        let text = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
+        std::fs::write(&path, text + "\n")
+            .map_err(|e| format!("cannot write bench file `{path}`: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// `socflow-cli bench <kernels|faults|timeline|e2e|fleet|streaming|autotune> [--fast] [--json <path>]`.
 ///
 /// # Errors
 /// Returns a message on unknown operands or an unwritable `--json` path.
 pub fn bench(argv: &[String]) -> Result<(), String> {
-    let usage = "usage: socflow-cli bench <kernels|faults|timeline|e2e|fleet|streaming> [--fast] [--json <path>]";
+    let usage = "usage: socflow-cli bench <kernels|faults|timeline|e2e|fleet|streaming|autotune> [--fast] [--json <path>]";
     let mut it = argv.iter();
     let suite = match it.next().map(String::as_str) {
-        Some(s @ ("kernels" | "faults" | "timeline" | "e2e" | "fleet" | "streaming")) => {
-            s.to_string()
-        }
+        Some(
+            s @ ("kernels" | "faults" | "timeline" | "e2e" | "fleet" | "streaming" | "autotune"),
+        ) => s.to_string(),
         _ => return Err(usage.into()),
     };
     let mut fast = false;
@@ -1249,6 +1523,9 @@ pub fn bench(argv: &[String]) -> Result<(), String> {
     }
     if suite == "streaming" {
         return bench_streaming(fast, json_path);
+    }
+    if suite == "autotune" {
+        return bench_autotune(fast, json_path);
     }
 
     let results = run_suite(fast);
@@ -1358,6 +1635,68 @@ mod tests {
     }
 
     #[test]
+    fn fast_autotune_suite_beats_the_default_and_serializes() {
+        let (socs, results) = run_autotune_suite(true);
+        assert_eq!(socs, 20);
+        assert_eq!(results.len(), 4, "three families + the profiled-β arm");
+        for r in &results {
+            assert!(
+                r.default.predicted_s > 0.0 && r.best.predicted_s > 0.0,
+                "{}",
+                r.arm
+            );
+            // the search never returns a plan predicted slower than default
+            assert!(
+                r.best.predicted_s <= r.default.predicted_s,
+                "{}: best {} vs default {}",
+                r.arm,
+                r.best.predicted_s,
+                r.default.predicted_s
+            );
+            assert!(r.evaluated > 0, "{}", r.arm);
+        }
+        // the acceptance bar, on the fast slice too: ≥1.05x on a multi-CG
+        // default config
+        assert!(
+            results
+                .iter()
+                .any(|r| r.default_cgs >= 2 && r.speedup >= 1.05),
+            "no multi-CG arm reached 1.05x"
+        );
+        let doc = autotune_suite_to_json(&results, true, socs);
+        assert_eq!(
+            doc.get("schema").as_str(),
+            Some("socflow-autotune-bench/v1")
+        );
+        assert_eq!(doc.get("mode").as_str(), Some("fast"));
+        assert_eq!(doc.get("results").as_array().unwrap().len(), 4);
+        let row = &doc.get("results").as_array().unwrap()[0];
+        for key in [
+            "arm",
+            "model",
+            "default_cgs",
+            "default",
+            "best",
+            "evaluated",
+            "pruned",
+            "skipped",
+            "speedup",
+        ] {
+            assert!(!row.get(key).is_null(), "missing field {key}");
+        }
+        assert!(row.get("speedup").as_f64().unwrap() >= 1.0);
+    }
+
+    #[test]
+    fn autotune_suite_is_byte_deterministic() {
+        let (socs, a) = run_autotune_suite(true);
+        let (_, b) = run_autotune_suite(true);
+        let ja = serde_json::to_string_pretty(&autotune_suite_to_json(&a, true, socs)).unwrap();
+        let jb = serde_json::to_string_pretty(&autotune_suite_to_json(&b, true, socs)).unwrap();
+        assert_eq!(ja, jb);
+    }
+
+    #[test]
     fn fleet_suite_is_byte_deterministic() {
         let a = serde_json::to_string_pretty(&fleet_suite_to_json(&run_fleet_suite(true), true))
             .unwrap();
@@ -1459,10 +1798,16 @@ mod tests {
         for r in &sweep {
             assert!(r.wait_free_s > 0.0, "{} KiB", r.bucket_kb);
         }
-        let doc = timeline_suite_to_json(&results, sweep_groups, &sweep, true, 20);
+        let scratch = run_scratch_witness(true);
+        assert!(scratch.acquires > 0, "the warm pass builds timelines");
+        assert_eq!(
+            scratch.misses, 0,
+            "warm re-pricing must serve every scratch from the free-list"
+        );
+        let doc = timeline_suite_to_json(&results, sweep_groups, &sweep, &scratch, true, 20);
         assert_eq!(
             doc.get("schema").as_str(),
-            Some("socflow-timeline-bench/v2")
+            Some("socflow-timeline-bench/v3")
         );
         assert_eq!(doc.get("mode").as_str(), Some("fast"));
         assert_eq!(doc.get("results").as_array().unwrap().len(), results.len());
@@ -1472,6 +1817,7 @@ mod tests {
             sweep_doc.get("results").as_array().unwrap().len(),
             sweep.len()
         );
+        assert_eq!(doc.get("scratch_reuse").get("misses").as_u64(), Some(0));
     }
 
     #[test]

@@ -23,8 +23,12 @@ USAGE:
   socflow-cli plan  [--socs N] [--groups G]
   socflow-cli train [--model M] [--dataset D] [--method X] [--socs N]
                 [--groups G] [--epochs E] [--samples S] [--seed S] [--json]
+                [--auto [--auto-budget N]]
                 [--streaming [--rates P] [--buffer-batches N]
                  [--on-full drop|block]]
+  socflow-cli tune  [--model M] [--dataset D] [--method X] [--socs N]
+                [--groups G] [--seed S] [--auto-budget N]
+                [--profiled-beta F] [--json]
   socflow-cli compare [--model M] [--dataset D] [--socs N] [--epochs E]
   socflow-cli tidal [--socs N] [--seed S]
   socflow-cli fleet [--servers N] [--jobs M] [--policy tidal|fifo]
@@ -37,6 +41,7 @@ USAGE:
   socflow-cli bench e2e [--fast] [--json <path>]
   socflow-cli bench fleet [--fast] [--json <path>]
   socflow-cli bench streaming [--fast] [--json <path>]
+  socflow-cli bench autotune [--fast] [--json <path>]
   socflow-cli info
 
   --threads <N> (train, compare): size of the host worker pool
@@ -66,6 +71,14 @@ USAGE:
   --profiled-beta <f> (train): override the calibrated β compute-power
       ratio with a measured value in (0,1) — typically the β that
       `bench kernels` reports from timing the f32 and i8 GEMMs
+  --auto (train): search the parallelization-plan space (group count x
+      sync schedule x bucket size x β source) on the simulated clock
+      before training and adopt the fastest predicted plan. Replaces
+      --timeline/--overlap/--bucket-kb — the winner decides them. The
+      search is deterministic: bit-identical at any --threads setting
+  --auto-budget <N> (train --auto, tune): cap on candidate plans priced
+      on the fluid timeline (default 64). `tune` prints the ranked
+      candidate table without training; --json emits it on stdout
   --streaming (train): ingest training data from live per-SoC streams
       instead of the static pre-partitioned corpus. Epoch shards come
       from a deterministic stream; supply deficits stall only the short
@@ -213,8 +226,26 @@ pub fn train(opts: &Options) -> Result<(), String> {
     spec.epochs = opts.epochs;
     spec.seed = opts.seed;
     spec.lr = 0.05;
+    if opts.auto_budget.is_some() && !opts.auto {
+        return Err("--auto-budget needs --auto (or the `tune` command)".into());
+    }
+    if opts.auto
+        && !matches!(
+            method,
+            MethodSpec::SocFlow(_) | MethodSpec::SocFlowInt8(_) | MethodSpec::SocFlowHalf(_)
+        )
+    {
+        return Err(format!(
+            "--auto tunes the SoCFlow plan space and needs a SoCFlow method \
+             (ours | ours-int8 | ours-half), got `{}`",
+            opts.method
+        ));
+    }
     let workload = Workload::standard(&spec, opts.samples, 8, default_width(model));
     let mut sched = GlobalScheduler::new(spec, workload);
+    if opts.auto {
+        sched = sched.with_autotune(opts.auto_budget);
+    }
     if opts.timeline {
         sched = sched.with_timeline(true);
     }
@@ -312,6 +343,140 @@ pub fn train(opts: &Options) -> Result<(), String> {
             result.recovery_time / result.total_time().max(1e-9) * 100.0
         );
     }
+    Ok(())
+}
+
+/// Serializes a [`socflow::autotune::PlanChoice`] as a JSON object.
+fn plan_choice_json(c: &socflow::autotune::PlanChoice) -> serde_json::Value {
+    use serde_json::Value;
+    Value::Object(vec![
+        ("groups".into(), Value::U64(c.candidate.groups as u64)),
+        (
+            "schedule".into(),
+            Value::Str(c.candidate.schedule_name().into()),
+        ),
+        (
+            "bucket_kb".into(),
+            match c.candidate.bucket_kb {
+                Some(kb) => Value::U64(kb as u64),
+                None => Value::Null,
+            },
+        ),
+        (
+            "profiled_beta".into(),
+            match c.candidate.profiled_beta {
+                Some(b) => Value::F64(b),
+                None => Value::Null,
+            },
+        ),
+        ("predicted_s".into(), Value::F64(c.predicted_s)),
+        ("bound_s".into(), Value::F64(c.bound_s)),
+    ])
+}
+
+/// `socflow-cli tune`: search the parallelization-plan space and print the
+/// ranked candidate table without training.
+///
+/// The search runs entirely on the simulated clock and is deterministic:
+/// the `--json` output is byte-identical across reruns and any `--threads`
+/// setting (CI diffs it across `SOCFLOW_THREADS` values).
+pub fn tune(opts: &Options) -> Result<(), String> {
+    if let Some(t) = opts.threads {
+        socflow_tensor::runtime::set_threads(t);
+    }
+    let model = model_of(&opts.model)?;
+    let preset = dataset_of(&opts.dataset)?;
+    let method = method_of(&opts.method, opts.groups)?;
+    if !matches!(
+        method,
+        MethodSpec::SocFlow(_) | MethodSpec::SocFlowInt8(_) | MethodSpec::SocFlowHalf(_)
+    ) {
+        return Err(format!(
+            "tune searches the SoCFlow plan space and needs a SoCFlow method \
+             (ours | ours-int8 | ours-half), got `{}`",
+            opts.method
+        ));
+    }
+    let mut spec = TrainJobSpec::new(model, preset, method);
+    spec.socs = opts.socs;
+    spec.epochs = opts.epochs;
+    spec.seed = opts.seed;
+    spec.lr = 0.05;
+    let workload = Workload::standard(&spec, opts.samples, 8, default_width(model));
+    let mut sched = GlobalScheduler::new(spec, workload).with_autotune(opts.auto_budget);
+    if let Some(beta) = opts.profiled_beta {
+        sched = sched.with_profiled_beta(beta);
+    }
+    let report = sched.tune();
+    let default = report.default_plan;
+    let best = report.best();
+
+    if opts.json {
+        use serde_json::Value;
+        let doc = Value::Object(vec![
+            ("schema".into(), Value::Str("socflow-tune/v1".into())),
+            ("model".into(), Value::Str(opts.model.clone())),
+            ("dataset".into(), Value::Str(opts.dataset.clone())),
+            ("method".into(), Value::Str(opts.method.clone())),
+            ("socs".into(), Value::U64(opts.socs as u64)),
+            ("evaluated".into(), Value::U64(report.evaluated as u64)),
+            ("pruned".into(), Value::U64(report.pruned as u64)),
+            ("skipped".into(), Value::U64(report.skipped as u64)),
+            ("speedup".into(), Value::F64(report.speedup())),
+            ("default".into(), plan_choice_json(&default)),
+            ("best".into(), plan_choice_json(&best)),
+            (
+                "ranked".into(),
+                Value::Array(report.ranked.iter().map(plan_choice_json).collect()),
+            ),
+        ]);
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+
+    println!(
+        "plan search: {} on {} with {} over {} SoCs",
+        model, preset, opts.method, opts.socs
+    );
+    println!(
+        "{} candidates priced, {} pruned by the compute bound, {} skipped (budget)",
+        report.evaluated, report.pruned, report.skipped
+    );
+    println!("\nrank  groups  schedule     bucket   beta      predicted(s)");
+    for (i, c) in report.ranked.iter().take(10).enumerate() {
+        println!(
+            "{:>4}  {:>6}  {:<11}  {:>7}  {:<8}  {:>12.3}",
+            i + 1,
+            c.candidate.groups,
+            c.candidate.schedule_name(),
+            c.candidate
+                .bucket_kb
+                .map_or("-".to_string(), |kb| format!("{kb} KiB")),
+            c.candidate
+                .profiled_beta
+                .map_or("calib".to_string(), |b| format!("{b:.3}")),
+            c.predicted_s,
+        );
+    }
+    println!(
+        "\ndefault plan: {} groups, {} — predicted {:.3} s",
+        default.candidate.groups,
+        default.candidate.schedule_name(),
+        default.predicted_s
+    );
+    println!(
+        "best plan:    {} groups, {}{} — predicted {:.3} s ({:.2}x vs default)",
+        best.candidate.groups,
+        best.candidate.schedule_name(),
+        best.candidate
+            .bucket_kb
+            .map_or(String::new(), |kb| format!(" @ {kb} KiB buckets")),
+        best.predicted_s,
+        report.speedup()
+    );
     Ok(())
 }
 

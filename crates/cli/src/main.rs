@@ -4,6 +4,9 @@
 //! socflow-cli plan  [--socs N] [--groups G]
 //! socflow-cli train [--model M] [--dataset D] [--method X] [--socs N]
 //!               [--groups G] [--epochs E] [--samples S] [--json]
+//!               [--auto [--auto-budget N]]
+//! socflow-cli tune  [--model M] [--dataset D] [--method X] [--socs N]
+//!               [--groups G] [--auto-budget N] [--json]
 //! socflow-cli compare [--model M] [--dataset D] [--socs N] [--epochs E]
 //! socflow-cli tidal [--socs N] [--seed S]
 //! socflow-cli fleet [--servers N] [--jobs M] [--policy tidal|fifo] [--socs N]
@@ -14,6 +17,7 @@
 //! socflow-cli bench timeline [--fast] [--json <path>]
 //! socflow-cli bench e2e [--fast] [--json <path>]
 //! socflow-cli bench fleet [--fast] [--json <path>]
+//! socflow-cli bench autotune [--fast] [--json <path>]
 //! socflow-cli info
 //! ```
 
@@ -52,6 +56,7 @@ fn main() {
     let outcome = match cmd.as_str() {
         "plan" => commands::plan(&opts),
         "train" => commands::train(&opts),
+        "tune" => commands::tune(&opts),
         "compare" => commands::compare(&opts),
         "tidal" => commands::tidal(&opts),
         "fleet" => commands::fleet(&opts),

@@ -52,7 +52,10 @@ pub mod trace;
 pub use compute::{ComputeModel, Processor};
 pub use energy::{EnergyMeter, PowerState};
 pub use net::{ClusterNet, Flow, TransferStats};
-pub use timeline::{Completion, FluidTimeline, LinkClassUtil, TaskId};
+pub use timeline::{
+    reset_scratch_stats, scratch_stats, Completion, FluidTimeline, LinkClassUtil, ScratchStats,
+    TaskId,
+};
 pub use topology::{BoardId, ClusterSpec, SocId};
 
 /// Simulated time in seconds.

@@ -149,8 +149,18 @@ impl ClusterNet {
 
     /// The fixed link path a flow occupies (empty for self-flows).
     pub(crate) fn path(&self, f: &Flow) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.path_into(f, &mut out);
+        out
+    }
+
+    /// Writes a flow's link path into `out` (cleared first) — the
+    /// allocation-free variant for callers recycling path buffers, like
+    /// the timeline's scratch free-list.
+    pub(crate) fn path_into(&self, f: &Flow, out: &mut Vec<usize>) {
+        out.clear();
         if f.src == f.dst {
-            return Vec::new();
+            return;
         }
         let socs = self.spec.total_socs();
         let soc_tx = |s: SocId| 2 * s.0;
@@ -158,15 +168,15 @@ impl ClusterNet {
         let a = self.spec.board_of(f.src);
         let b = self.spec.board_of(f.dst);
         if a == b {
-            vec![soc_tx(f.src), soc_rx(f.dst)]
+            out.extend_from_slice(&[soc_tx(f.src), soc_rx(f.dst)]);
         } else {
-            vec![
+            out.extend_from_slice(&[
                 soc_tx(f.src),
                 2 * socs + 2 * a.0,              // uplink tx of board A
                 2 * socs + 2 * self.spec.boards, // switch
                 2 * socs + 2 * b.0 + 1,          // uplink rx of board B
                 soc_rx(f.dst),
-            ]
+            ]);
         }
     }
 

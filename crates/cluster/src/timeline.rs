@@ -21,6 +21,7 @@
 
 use crate::net::{ClusterNet, Flow};
 use crate::Seconds;
+use std::cell::{Cell, RefCell};
 
 /// Handle to a task admitted to the timeline. Ids are dense and assigned
 /// in admission order, which also fixes the tie-break order when several
@@ -76,6 +77,110 @@ struct TaskState {
     reported: bool,
 }
 
+/// Max scratches parked per thread; repeated pricing is serial per
+/// thread, so a small pool covers nested timelines without hoarding.
+const SCRATCH_POOL_CAP: usize = 4;
+/// Max recycled flow-path buffers kept inside one scratch.
+const PATH_POOL_CAP: usize = 512;
+
+/// Reusable buffers for one timeline run: the task/event queue, the live
+/// set, per-link carried bytes, the `step()` workspace, and a free-list
+/// of flow-path buffers. Parked in a thread-local pool between runs so
+/// repeated pricing (the autotuner's bread and butter) stops paying
+/// allocation churn per call.
+#[derive(Default)]
+struct TimelineScratch {
+    tasks: Vec<TaskState>,
+    live: Vec<usize>,
+    carried: Vec<f64>,
+    /// `step()` workspace: active-flow paths. Outer and inner capacity
+    /// both persist across steps and runs.
+    paths: Vec<Vec<usize>>,
+    /// `step()` workspace: (task, flow) of each active path.
+    locate: Vec<(usize, usize)>,
+    /// `step()` workspace: active indices for the max-min solver.
+    active: Vec<usize>,
+    /// Recycled `FlowState` path buffers, harvested when a run ends.
+    path_pool: Vec<Vec<usize>>,
+}
+
+impl TimelineScratch {
+    /// Clears run state, harvesting flow-path buffers into the pool.
+    /// Capacity is what the free-list exists to keep.
+    fn reset(&mut self) {
+        for t in self.tasks.drain(..) {
+            if let Work::Batch { flows, .. } = t.work {
+                for mut f in flows {
+                    if self.path_pool.len() < PATH_POOL_CAP {
+                        f.path.clear();
+                        self.path_pool.push(f.path);
+                    }
+                }
+            }
+        }
+        self.live.clear();
+        self.carried.clear();
+        self.locate.clear();
+        self.active.clear();
+        for p in &mut self.paths {
+            p.clear();
+        }
+    }
+}
+
+thread_local! {
+    static SCRATCH_POOL: RefCell<Vec<TimelineScratch>> = const { RefCell::new(Vec::new()) };
+    static SCRATCH_ACQUIRES: Cell<u64> = const { Cell::new(0) };
+    static SCRATCH_MISSES: Cell<u64> = const { Cell::new(0) };
+}
+
+fn acquire_scratch() -> TimelineScratch {
+    SCRATCH_ACQUIRES.with(|c| c.set(c.get() + 1));
+    let parked = SCRATCH_POOL.with(|p| p.borrow_mut().pop());
+    parked.unwrap_or_else(|| {
+        SCRATCH_MISSES.with(|c| c.set(c.get() + 1));
+        TimelineScratch::default()
+    })
+}
+
+fn release_scratch(mut scratch: TimelineScratch) {
+    scratch.reset();
+    SCRATCH_POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        if pool.len() < SCRATCH_POOL_CAP {
+            pool.push(scratch);
+        }
+    });
+}
+
+/// Counters over the calling thread's scratch free-list (the pool is
+/// thread-local, so the counters are too — measurements can't be
+/// polluted by other threads pricing concurrently).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScratchStats {
+    /// Scratch acquisitions — one per [`FluidTimeline::new`].
+    pub acquires: u64,
+    /// Acquisitions that allocated fresh because the pool was empty.
+    /// `acquires > misses` witnesses buffer reuse across runs.
+    pub misses: u64,
+}
+
+/// Snapshot of this thread's scratch free-list counters
+/// (see [`ScratchStats`]).
+pub fn scratch_stats() -> ScratchStats {
+    ScratchStats {
+        acquires: SCRATCH_ACQUIRES.with(|c| c.get()),
+        misses: SCRATCH_MISSES.with(|c| c.get()),
+    }
+}
+
+/// Zeroes this thread's scratch free-list counters (the parked buffers
+/// stay, so a post-reset acquisition still hits the pool).
+pub fn reset_scratch_stats() {
+    SCRATCH_ACQUIRES.with(|c| c.set(0));
+    SCRATCH_MISSES.with(|c| c.set(0));
+}
+
 impl TaskState {
     fn is_complete(&self) -> bool {
         match &self.work {
@@ -93,33 +198,39 @@ impl TaskState {
 pub struct FluidTimeline<'n> {
     net: &'n ClusterNet,
     now: Seconds,
-    tasks: Vec<TaskState>,
-    /// Unreported task indices in admission (id) order. Keeping the live
-    /// set separate makes each event O(live) instead of O(all admitted) —
-    /// an epoch can admit ~10⁵ tasks but only ~10² are ever live at once.
-    live: Vec<usize>,
-    /// Bytes carried per link since timeline start.
-    carried: Vec<f64>,
+    /// All run state lives in the scratch: the task/event queue, the
+    /// unreported-task live set (kept in admission order, so each event
+    /// is O(live) instead of O(all admitted) — an epoch can admit ~10⁵
+    /// tasks but only ~10² are ever live at once), per-link carried
+    /// bytes, and the `step()` workspace. Acquired from a thread-local
+    /// free-list and parked again on drop.
+    scratch: TimelineScratch,
 }
 
 impl std::fmt::Debug for FluidTimeline<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FluidTimeline")
             .field("now", &self.now)
-            .field("tasks", &self.tasks.len())
+            .field("tasks", &self.scratch.tasks.len())
             .finish()
+    }
+}
+
+impl Drop for FluidTimeline<'_> {
+    fn drop(&mut self) {
+        release_scratch(std::mem::take(&mut self.scratch));
     }
 }
 
 impl<'n> FluidTimeline<'n> {
     /// Creates an empty timeline over a cluster network at clock zero.
     pub fn new(net: &'n ClusterNet) -> Self {
+        let mut scratch = acquire_scratch();
+        scratch.carried.resize(net.num_links(), 0.0);
         FluidTimeline {
             now: 0.0,
-            carried: vec![0.0; net.num_links()],
             net,
-            tasks: Vec::new(),
-            live: Vec::new(),
+            scratch,
         }
     }
 
@@ -154,14 +265,18 @@ impl<'n> FluidTimeline<'n> {
     /// Panics if `latency` is negative or not finite.
     pub fn start_flows(&mut self, flows: &[Flow], latency: Seconds) -> TaskId {
         assert!(latency.is_finite() && latency >= 0.0, "invalid latency");
-        let states = flows
-            .iter()
-            .filter(|f| f.bytes > 0.0 && f.src != f.dst)
-            .map(|f| FlowState {
-                path: self.net.path(f),
-                remaining: f.bytes,
-            })
-            .collect();
+        let mut states = Vec::with_capacity(flows.len());
+        for f in flows {
+            if f.bytes > 0.0 && f.src != f.dst {
+                // recycled path buffers: the free-list's hottest customer
+                let mut path = self.scratch.path_pool.pop().unwrap_or_default();
+                self.net.path_into(f, &mut path);
+                states.push(FlowState {
+                    path,
+                    remaining: f.bytes,
+                });
+            }
+        }
         self.push(Work::Batch {
             latency_left: latency,
             flows: states,
@@ -169,9 +284,9 @@ impl<'n> FluidTimeline<'n> {
     }
 
     fn push(&mut self, work: Work) -> TaskId {
-        let id = TaskId(self.tasks.len());
-        self.live.push(id.0);
-        self.tasks.push(TaskState {
+        let id = TaskId(self.scratch.tasks.len());
+        self.scratch.live.push(id.0);
+        self.scratch.tasks.push(TaskState {
             work,
             reported: false,
         });
@@ -197,11 +312,12 @@ impl<'n> FluidTimeline<'n> {
     /// is kept in admission order, so a linear scan finds it).
     fn harvest(&mut self) -> Option<Completion> {
         let pos = self
+            .scratch
             .live
             .iter()
-            .position(|&i| self.tasks[i].is_complete())?;
-        let i = self.live.remove(pos);
-        self.tasks[i].reported = true;
+            .position(|&i| self.scratch.tasks[i].is_complete())?;
+        let i = self.scratch.live.remove(pos);
+        self.scratch.tasks[i].reported = true;
         Some(Completion {
             id: TaskId(i),
             at: self.now,
@@ -211,12 +327,23 @@ impl<'n> FluidTimeline<'n> {
     /// Integrates the fluid system forward to the next event (span end,
     /// latency expiry, or flow drain). Returns `false` if nothing is live.
     fn step(&mut self) -> bool {
-        // Gather the active flow set: batches past their setup latency.
-        let mut paths: Vec<Vec<usize>> = Vec::new();
-        let mut locate: Vec<(usize, usize)> = Vec::new(); // (task, flow idx)
+        // Gather the active flow set (batches past their setup latency)
+        // into the persistent workspace: inner path buffers keep their
+        // capacity across steps, so a warm step allocates nothing.
+        let TimelineScratch {
+            tasks,
+            live,
+            carried,
+            paths,
+            locate,
+            active,
+            ..
+        } = &mut self.scratch;
+        locate.clear();
+        let mut used = 0usize;
         let mut dt = f64::INFINITY;
-        for &ti in &self.live {
-            let t = &self.tasks[ti];
+        for &ti in live.iter() {
+            let t = &tasks[ti];
             match &t.work {
                 Work::Span { remaining } => dt = dt.min(*remaining),
                 Work::Batch {
@@ -228,7 +355,12 @@ impl<'n> FluidTimeline<'n> {
                     } else {
                         for (fi, f) in flows.iter().enumerate() {
                             if f.remaining > DRAIN_EPS {
-                                paths.push(f.path.clone());
+                                if used == paths.len() {
+                                    paths.push(Vec::with_capacity(f.path.len()));
+                                }
+                                paths[used].clear();
+                                paths[used].extend_from_slice(&f.path);
+                                used += 1;
                                 locate.push((ti, fi));
                             }
                         }
@@ -236,15 +368,16 @@ impl<'n> FluidTimeline<'n> {
                 }
             }
         }
-        let active: Vec<usize> = (0..paths.len()).collect();
+        active.clear();
+        active.extend(0..used);
         let rates = if active.is_empty() {
             Vec::new()
         } else {
-            self.net.max_min_rates(&active, &paths)
+            self.net.max_min_rates(active, &paths[..used])
         };
         for ((ti, fi), &r) in locate.iter().zip(&rates) {
             debug_assert!(r > 0.0, "max-min must give every flow a rate");
-            if let Work::Batch { flows, .. } = &self.tasks[*ti].work {
+            if let Work::Batch { flows, .. } = &tasks[*ti].work {
                 dt = dt.min(flows[*fi].remaining / r);
             }
         }
@@ -253,8 +386,8 @@ impl<'n> FluidTimeline<'n> {
         }
         // Integrate forward by dt.
         self.now += dt;
-        for &ti in &self.live {
-            match &mut self.tasks[ti].work {
+        for &ti in live.iter() {
+            match &mut tasks[ti].work {
                 Work::Span { remaining } => *remaining -= dt,
                 Work::Batch { latency_left, .. } => {
                     if *latency_left > TIME_EPS {
@@ -264,11 +397,11 @@ impl<'n> FluidTimeline<'n> {
             }
         }
         for ((ti, fi), &r) in locate.iter().zip(&rates) {
-            if let Work::Batch { flows, .. } = &mut self.tasks[*ti].work {
+            if let Work::Batch { flows, .. } = &mut tasks[*ti].work {
                 let moved = r * dt;
                 flows[*fi].remaining -= moved;
                 for &l in &flows[*fi].path {
-                    self.carried[l] += moved;
+                    carried[l] += moved;
                 }
             }
         }
@@ -286,7 +419,7 @@ impl<'n> FluidTimeline<'n> {
         let socs = 2 * self.net.spec().total_socs();
         let boards = 2 * self.net.spec().boards;
         let class = |range: std::ops::Range<usize>| -> f64 {
-            let carried: f64 = self.carried[range.clone()].iter().sum();
+            let carried: f64 = self.scratch.carried[range.clone()].iter().sum();
             let cap: f64 = caps[range].iter().sum();
             if cap <= 0.0 {
                 0.0
@@ -440,5 +573,29 @@ mod tests {
     fn rejects_negative_span() {
         let n = net();
         FluidTimeline::new(&n).start_span(-1.0);
+    }
+
+    #[test]
+    fn scratch_is_reused_across_runs_without_changing_results() {
+        let n = net();
+        let run = || {
+            let mut tl = FluidTimeline::new(&n);
+            tl.start_flows(
+                &[
+                    Flow::new(SocId(0), SocId(7), 40.0 * MB),
+                    Flow::new(SocId(2), SocId(9), 80.0 * MB),
+                ],
+                0.009,
+            );
+            tl.start_span(0.3);
+            drain(&mut tl)
+        };
+        let cold = run(); // parks a scratch on drop
+        reset_scratch_stats();
+        let warm = run();
+        let stats = scratch_stats();
+        assert_eq!(stats.acquires, 1);
+        assert_eq!(stats.misses, 0, "warm run must reuse the parked scratch");
+        assert_eq!(cold, warm, "reuse must not change results");
     }
 }

@@ -453,7 +453,7 @@ fn largest_remainder(total: usize, weights: &[f64]) -> Vec<usize> {
         return Vec::new();
     }
     let sum: f64 = weights.iter().sum();
-    if !(sum > 0.0) {
+    if sum.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
         return largest_remainder(total, &vec![1.0; n]);
     }
     let exact: Vec<f64> = weights.iter().map(|w| total as f64 * w / sum).collect();
@@ -1044,8 +1044,14 @@ impl Engine {
                 self.spec.preset.spec().reference_samples,
             )
         });
-        let (mut mapping, mut cgs) =
-            self.build_stream_topology(&cfg, &cluster, &alive, groups, stream.as_ref(), start_epoch);
+        let (mut mapping, mut cgs) = self.build_stream_topology(
+            &cfg,
+            &cluster,
+            &alive,
+            groups,
+            stream.as_ref(),
+            start_epoch,
+        );
         if let Some(st) = stream.as_mut() {
             st.rebuild_buffers(groups, self.spec.global_batch);
         }
@@ -1308,8 +1314,14 @@ impl Engine {
                         alive.len(),
                     );
                 }
-                let t =
-                    self.build_stream_topology(&cfg, &cluster, &alive, groups, stream.as_ref(), epoch + 1);
+                let t = self.build_stream_topology(
+                    &cfg,
+                    &cluster,
+                    &alive,
+                    groups,
+                    stream.as_ref(),
+                    epoch + 1,
+                );
                 mapping = t.0;
                 cgs = t.1;
                 if let Some(st) = stream.as_mut() {
@@ -1379,8 +1391,14 @@ impl Engine {
                     &mut streams,
                     alive.len(),
                 );
-                let t =
-                    self.build_stream_topology(&cfg, &cluster, &alive, groups, stream.as_ref(), epoch + 1);
+                let t = self.build_stream_topology(
+                    &cfg,
+                    &cluster,
+                    &alive,
+                    groups,
+                    stream.as_ref(),
+                    epoch + 1,
+                );
                 mapping = t.0;
                 cgs = t.1;
                 if let Some(st) = stream.as_mut() {
@@ -2422,7 +2440,11 @@ mod tests {
         assert_eq!(r1.epoch_accuracy.len(), 4, "streaming run completes");
         assert_eq!(r1.epoch_accuracy, r2.epoch_accuracy);
         assert_eq!(r1.epoch_time, r2.epoch_time);
-        assert_eq!(format!("{ev1:?}"), format!("{ev2:?}"), "bit-identical trace");
+        assert_eq!(
+            format!("{ev1:?}"),
+            format!("{ev2:?}"),
+            "bit-identical trace"
+        );
         assert_eq!(
             stall_sum(&ev1),
             0.0,
@@ -2449,7 +2471,8 @@ mod tests {
             "a mixed-rate group is gated by its slowest member"
         );
         assert!(
-            !ev.iter().any(|e| matches!(e, Event::RegroupedByRate { .. })),
+            !ev.iter()
+                .any(|e| matches!(e, Event::RegroupedByRate { .. })),
             "topology-only arm never regroups"
         );
     }

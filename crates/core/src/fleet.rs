@@ -222,6 +222,12 @@ pub fn tidal_fault_plan(
 /// and the epoch runs on the simulated clock. This is the fleet's cost
 /// model — no training happens.
 ///
+/// Prices land in the process-wide plan-key memo shared with
+/// [`crate::autotune`] (under a fleet-specific key, since the fleet's
+/// fixed 0.5 mixed split differs from the tuner's controller-derived
+/// one), so re-pricing a job on every arrival, shrink and resume is a
+/// hash lookup instead of a fresh timeline simulation.
+///
 /// # Panics
 /// Panics if the spec's method is not a SoCFlow variant.
 pub fn priced_epoch_seconds(spec: &TrainJobSpec, socs: usize) -> Seconds {
@@ -236,20 +242,28 @@ pub fn priced_epoch_seconds(spec: &TrainJobSpec, socs: usize) -> Seconds {
         .clamp(1, socs);
     let mut spec = *spec;
     spec.socs = socs;
-    let cluster = ClusterSpec::for_socs(socs);
-    let mapping = mapping::integrity_greedy(&cluster, socs, groups);
-    let cgs = match divide_communication_groups(&mapping) {
-        Ok(cgs) => cgs,
-        Err(_) => CommunicationGroups {
-            cgs: (0..mapping.num_groups())
-                .map(|g| vec![crate::mapping::GroupId(g)])
-                .collect(),
-        },
-    };
-    let mut tm = TimeModel::new(&spec);
-    tm.set_simulated(true);
-    let cpu_fraction = if mixed { 0.5 } else { 1.0 };
-    tm.socflow_epoch(&mapping, &cgs, true, cpu_fraction).time
+    // Everything the priced time depends on: model/preset/batch shape the
+    // time model, socs+groups shape the topology, mixed picks the split.
+    let key = format!(
+        "fleet|{}|{:?}|{}|{}|{}|{}",
+        spec.model, spec.preset, spec.global_batch, socs, groups, mixed
+    );
+    crate::autotune::memoized(key, || {
+        let cluster = ClusterSpec::for_socs(socs);
+        let mapping = mapping::integrity_greedy(&cluster, socs, groups);
+        let cgs = match divide_communication_groups(&mapping) {
+            Ok(cgs) => cgs,
+            Err(_) => CommunicationGroups {
+                cgs: (0..mapping.num_groups())
+                    .map(|g| vec![crate::mapping::GroupId(g)])
+                    .collect(),
+            },
+        };
+        let mut tm = TimeModel::new(&spec);
+        tm.set_simulated(true);
+        let cpu_fraction = if mixed { 0.5 } else { 1.0 };
+        tm.socflow_epoch(&mapping, &cgs, true, cpu_fraction).time
+    })
 }
 
 /// Per-job outcome in a [`FleetReport`].

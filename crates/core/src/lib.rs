@@ -48,6 +48,7 @@
 
 #![deny(missing_docs)]
 
+pub mod autotune;
 pub mod checkpoint;
 pub mod config;
 pub mod engine;

@@ -48,6 +48,8 @@ pub struct GlobalScheduler {
     bucket_kb: Option<usize>,
     profiled_beta: Option<f64>,
     streaming: Option<StreamingConfig>,
+    autotune: bool,
+    auto_budget: Option<usize>,
 }
 
 impl std::fmt::Debug for GlobalScheduler {
@@ -65,6 +67,8 @@ impl std::fmt::Debug for GlobalScheduler {
             .field("bucket_kb", &self.bucket_kb)
             .field("profiled_beta", &self.profiled_beta)
             .field("streaming", &self.streaming)
+            .field("autotune", &self.autotune)
+            .field("auto_budget", &self.auto_budget)
             .finish()
     }
 }
@@ -85,7 +89,22 @@ impl GlobalScheduler {
             bucket_kb: None,
             profiled_beta: None,
             streaming: None,
+            autotune: false,
+            auto_budget: None,
         }
+    }
+
+    /// Runs the plan-space autotuner ([`crate::autotune`]) before dispatch
+    /// (the `--auto` CLI flag) and adopts the winning plan: the tuned group
+    /// count is pinned (replacing the first-epoch warm-up heuristic), the
+    /// fluid timeline is switched on, and a wait-free winner carries its
+    /// bucket size and β source into the engine. `budget` caps the number
+    /// of candidates priced ([`crate::autotune::DEFAULT_BUDGET`] when
+    /// `None`).
+    pub fn with_autotune(mut self, budget: Option<usize>) -> Self {
+        self.autotune = true;
+        self.auto_budget = budget;
+        self
     }
 
     /// Switches ingestion to live per-SoC streams (the `--streaming` CLI
@@ -308,8 +327,80 @@ impl GlobalScheduler {
         }
     }
 
+    /// Runs the plan-space search for this job's spec and emits the
+    /// telemetry: one [`Event::PlanEvaluated`] per priced candidate (in
+    /// ranked order) and a closing [`Event::PlanChosen`]. Does not train —
+    /// [`Self::run`] calls this when [`Self::with_autotune`] is set, and
+    /// `socflow-cli tune` calls it directly for the ranked table.
+    ///
+    /// # Panics
+    /// Panics if the job's method is not a SoCFlow variant.
+    pub fn tune(&self) -> crate::autotune::TuneReport {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.spec.seed);
+        let net = self.spec.model.build(self.workload.model_cfg, &mut rng);
+        let layout = net.grad_layout();
+        let opts = crate::autotune::TuneOptions {
+            budget: self.auto_budget,
+            profiled_beta: self.profiled_beta,
+            max_groups: None,
+        };
+        let report = crate::autotune::autotune(&self.spec, &layout, &opts);
+        for choice in &report.ranked {
+            self.emit(Event::PlanEvaluated {
+                groups: choice.candidate.groups,
+                schedule: choice.candidate.schedule_name().to_string(),
+                bucket_kb: choice.candidate.bucket_kb.unwrap_or(0),
+                profiled_beta: choice.candidate.profiled_beta.is_some(),
+                predicted_s: choice.predicted_s,
+            });
+        }
+        let best = report.best();
+        self.emit(Event::PlanChosen {
+            groups: best.candidate.groups,
+            schedule: best.candidate.schedule_name().to_string(),
+            bucket_kb: best.candidate.bucket_kb.unwrap_or(0),
+            profiled_beta: best.candidate.profiled_beta.is_some(),
+            predicted_s: best.predicted_s,
+            default_s: report.default_plan.predicted_s,
+            evaluated: report.evaluated,
+            pruned: report.pruned,
+            skipped: report.skipped,
+        });
+        report
+    }
+
     /// Plans (for SoCFlow methods) and runs the job.
-    pub fn run(self) -> RunResult {
+    pub fn run(mut self) -> RunResult {
+        if self.autotune {
+            let best = self.tune().best();
+            // Adopt the winner: pin its group count (the search replaces
+            // the warm-up heuristic), price on the timeline it was tuned
+            // against, and carry the wait-free bucket / β source only when
+            // the winning plan actually uses them.
+            let pin = |cfg: SocFlowConfig| SocFlowConfig {
+                groups: Some(best.candidate.groups),
+                ..cfg
+            };
+            self.spec.method = match self.spec.method {
+                MethodSpec::SocFlow(c) => MethodSpec::SocFlow(pin(c)),
+                MethodSpec::SocFlowInt8(c) => MethodSpec::SocFlowInt8(pin(c)),
+                MethodSpec::SocFlowHalf(c) => MethodSpec::SocFlowHalf(pin(c)),
+                other => other,
+            };
+            self.timeline = true;
+            match best.candidate.bucket_kb {
+                Some(kb) => {
+                    self.overlap = true;
+                    self.bucket_kb = Some(kb);
+                }
+                None => {
+                    self.overlap = false;
+                    self.bucket_kb = None;
+                }
+            }
+            self.profiled_beta = best.candidate.profiled_beta;
+        }
         let spec = self.resolved_spec();
         let mut engine = Engine::new(spec, self.workload);
         if self.timeline {
@@ -535,6 +626,59 @@ mod tests {
                 "pinning must not change the method variant"
             );
         }
+    }
+
+    #[test]
+    fn autotuned_run_adopts_a_plan_and_reports_it() {
+        let s = spec(MethodSpec::SocFlow(SocFlowConfig::with_groups(4)));
+        let w = Workload::standard(&s, 128, 8, 0.5);
+        let sink = std::sync::Arc::new(socflow_telemetry::MemorySink::new());
+        let r = GlobalScheduler::new(s, w)
+            .with_autotune(Some(8))
+            .with_sink(sink.clone())
+            .run();
+        assert_eq!(r.epoch_accuracy.len(), 2);
+        assert!(r.total_time() > 0.0);
+        let events = sink.events();
+        let evaluated = events
+            .iter()
+            .filter(|e| matches!(e, Event::PlanEvaluated { .. }))
+            .count();
+        assert!((1..=8).contains(&evaluated));
+        let chosen = events
+            .iter()
+            .find_map(|e| match e {
+                Event::PlanChosen {
+                    groups,
+                    predicted_s,
+                    default_s,
+                    ..
+                } => Some((*groups, *predicted_s, *default_s)),
+                _ => None,
+            })
+            .expect("PlanChosen must be emitted");
+        assert!(chosen.0 >= 1 && chosen.0 <= 8);
+        assert!(
+            chosen.1 <= chosen.2,
+            "never adopt a plan slower than default"
+        );
+    }
+
+    #[test]
+    fn autotuned_accuracy_matches_the_untuned_run() {
+        // The tuner only moves the simulated clock: training math is a
+        // function of (spec, seed, groups), so a tuned run that lands on
+        // the same group count must reproduce accuracy bit-for-bit.
+        let s = spec(MethodSpec::SocFlow(SocFlowConfig::with_groups(2)));
+        let w = Workload::standard(&s, 128, 8, 0.5);
+        let plain = GlobalScheduler::new(s, w.clone()).run();
+        let sched = GlobalScheduler::new(s, w).with_autotune(Some(16));
+        let report = sched.tune();
+        let tuned = sched.run();
+        if report.best().candidate.groups == 2 {
+            assert_eq!(plain.epoch_accuracy, tuned.epoch_accuracy);
+        }
+        assert_eq!(tuned.epoch_accuracy.len(), 2);
     }
 
     #[test]

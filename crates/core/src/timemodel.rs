@@ -533,6 +533,37 @@ impl TimeModel {
         }
     }
 
+    /// Analytic lower bound on one SoCFlow epoch over `mapping`, valid for
+    /// *every* sync schedule the simulator can produce. Within each
+    /// group's iteration stream, the compute span and the weight update
+    /// are serial no matter how sync is scheduled against them (Eq. 1's
+    /// compute and update terms survive unchanged in the event-driven
+    /// model), so `iters × (max_g compute_g + update)` under-estimates
+    /// serial, interleaved and wait-free epochs alike — sync slots,
+    /// boundary aggregation and stalls only ever add time. The plan
+    /// autotuner ([`crate::autotune`]) prunes candidates whose bound
+    /// already exceeds the incumbent without paying for a simulation.
+    pub fn socflow_epoch_lower_bound(&self, mapping: &Mapping, cpu_fraction: f64) -> Seconds {
+        let n_groups = mapping.num_groups();
+        if n_groups == 0 {
+            return 0.0;
+        }
+        let iters = (self.ref_samples as f64 / (n_groups as f64 * self.batch as f64))
+            .ceil()
+            .max(1.0);
+        let mut compute: Seconds = 0.0;
+        for gi in 0..n_groups {
+            let g = mapping.group(crate::mapping::GroupId(gi));
+            let speed_sum: f64 = g.iter().map(|s| self.compute.underclock(s.0)).sum();
+            let cpu_n = self.batch as f64 * cpu_fraction;
+            let npu_n = self.batch as f64 - cpu_n;
+            let t_cpu = self.compute.per_sample(Processor::SocCpuFp32) * cpu_n / speed_sum;
+            let t_npu = self.compute.per_sample(Processor::SocNpuInt8) * npu_n / speed_sum;
+            compute = compute.max(t_cpu.max(t_npu));
+        }
+        iters * (compute + self.update_time())
+    }
+
     /// Stall charged when a SoC *crashes*: the survivors reload the latest
     /// checkpoint from board flash (~1 Gb/s effective), redo the lost
     /// in-flight batch, and pay a fixed re-coordination latency. Graceful

@@ -281,11 +281,19 @@ pub enum Event {
     /// within training time (streaming mode only): the group — and, at
     /// the delayed-aggregation barrier, the epoch — stalled for `stall`
     /// modelled seconds waiting for arrivals.
-    StreamStalled { epoch: usize, group: usize, stall: f64 },
+    StreamStalled {
+        epoch: usize,
+        group: usize,
+        stall: f64,
+    },
     /// A logical group's bounded ingest buffer overflowed under the
     /// `drop` policy (streaming mode only): `count` freshly streamed
     /// samples were discarded this epoch.
-    SamplesDropped { epoch: usize, group: usize, count: u64 },
+    SamplesDropped {
+        epoch: usize,
+        group: usize,
+        count: u64,
+    },
     /// Grouping was re-run by observed stream rate (streaming mode with
     /// rate-aware grouping): the max/min per-SoC rate `spread` exceeded
     /// the regroup threshold, so the `groups` logical groups were
@@ -294,6 +302,34 @@ pub enum Event {
         epoch: usize,
         spread: f64,
         groups: usize,
+    },
+    /// The plan autotuner priced one candidate parallelization plan on
+    /// the simulated clock (`train --auto` / `tune`). `schedule` is the
+    /// sync schedule name (`"serial"`, `"interleaved"`, `"wait-free"`),
+    /// `bucket_kb` the wait-free gradient-bucket size (0 for monolithic
+    /// schedules), `profiled_beta` whether the candidate used the
+    /// profiled β override, and `predicted_s` the predicted epoch time.
+    PlanEvaluated {
+        groups: usize,
+        schedule: String,
+        bucket_kb: usize,
+        profiled_beta: bool,
+        predicted_s: f64,
+    },
+    /// The plan autotuner committed to a winner: the chosen plan, its
+    /// predicted epoch seconds against the default plan's, and the search
+    /// totals (`evaluated` candidates priced, `pruned` cut by the
+    /// analytic lower bound, `skipped` left unpriced by the budget).
+    PlanChosen {
+        groups: usize,
+        schedule: String,
+        bucket_kb: usize,
+        profiled_beta: bool,
+        predicted_s: f64,
+        default_s: f64,
+        evaluated: usize,
+        pruned: usize,
+        skipped: usize,
     },
     /// The run finished; totals over all epochs.
     RunCompleted {
@@ -484,6 +520,20 @@ pub struct Summary {
     pub samples_dropped: u64,
     /// Rate-aware regrouping passes ([`Event::RegroupedByRate`] count).
     pub rate_regroups: usize,
+    /// Autotuner counters (`--auto` / `tune` traces only, all 0/None
+    /// otherwise): candidates priced on the timeline, candidates cut by
+    /// the analytic lower bound, and candidates left unpriced by the
+    /// evaluation budget ([`Event::PlanEvaluated`] / [`Event::PlanChosen`]).
+    pub plans_evaluated: usize,
+    /// Candidates pruned by the lower bound before pricing.
+    pub plans_pruned: usize,
+    /// Candidates skipped when the evaluation budget ran out.
+    pub plans_skipped: usize,
+    /// Predicted default-plan / chosen-plan epoch-time ratio (>1 means
+    /// the tuned plan is predicted faster); 0 when no plan was chosen.
+    pub plan_speedup: f64,
+    /// Human-readable chosen plan, e.g. `"12 groups, wait-free @ 2048 KiB"`.
+    pub plan_chosen: Option<String>,
 }
 
 /// One per-epoch link-utilization row in a [`Summary`] (from
@@ -660,6 +710,30 @@ impl Summary {
                 }
                 Event::SamplesDropped { count, .. } => s.samples_dropped += count,
                 Event::RegroupedByRate { .. } => s.rate_regroups += 1,
+                Event::PlanEvaluated { .. } => s.plans_evaluated += 1,
+                Event::PlanChosen {
+                    groups,
+                    schedule,
+                    bucket_kb,
+                    predicted_s,
+                    default_s,
+                    pruned,
+                    skipped,
+                    ..
+                } => {
+                    s.plans_pruned += pruned;
+                    s.plans_skipped += skipped;
+                    s.plan_speedup = if *predicted_s > 0.0 {
+                        default_s / predicted_s
+                    } else {
+                        0.0
+                    };
+                    s.plan_chosen = Some(if *bucket_kb > 0 {
+                        format!("{groups} groups, {schedule} @ {bucket_kb} KiB")
+                    } else {
+                        format!("{groups} groups, {schedule}")
+                    });
+                }
                 Event::JobArrived { .. } => s.jobs_arrived += 1,
                 Event::JobAdmitted { .. } => s.jobs_admitted += 1,
                 Event::JobPreempted { .. } => s.jobs_preempted += 1,
@@ -777,7 +851,16 @@ impl Summary {
         if self.stream_stalls > 0 || self.samples_dropped > 0 || self.rate_regroups > 0 {
             out.push_str(&format!(
                 "streaming        {} stalls ({:.3} s), {} samples dropped, {} rate regroups\n",
-                self.stream_stalls, self.stream_stall_cost, self.samples_dropped, self.rate_regroups
+                self.stream_stalls,
+                self.stream_stall_cost,
+                self.samples_dropped,
+                self.rate_regroups
+            ));
+        }
+        if let Some(plan) = &self.plan_chosen {
+            out.push_str(&format!(
+                "autotune         {} evaluated, {} pruned, {} skipped; {:.2}x predicted vs default ({plan})\n",
+                self.plans_evaluated, self.plans_pruned, self.plans_skipped, self.plan_speedup
             ));
         }
         if self.jobs_arrived > 0 {
@@ -1383,12 +1466,68 @@ mod tests {
         assert_eq!(s.rate_regroups, 1);
         let report = s.render();
         assert!(
-            report.contains("streaming        2 stalls (2.000 s), 20 samples dropped, 1 rate regroups"),
+            report.contains(
+                "streaming        2 stalls (2.000 s), 20 samples dropped, 1 rate regroups"
+            ),
             "{report}"
         );
         // non-streaming traces keep the section out of the report
         let quiet = Summary::from_events(&[epoch_event(0, 1.0, 0.5, 0.1)]);
         assert!(!quiet.render().contains("streaming"), "{}", quiet.render());
+    }
+
+    #[test]
+    fn autotune_events_round_trip_and_summarize() {
+        let events = vec![
+            Event::PlanEvaluated {
+                groups: 8,
+                schedule: "interleaved".into(),
+                bucket_kb: 0,
+                profiled_beta: false,
+                predicted_s: 120.0,
+            },
+            Event::PlanEvaluated {
+                groups: 12,
+                schedule: "wait-free".into(),
+                bucket_kb: 2048,
+                profiled_beta: false,
+                predicted_s: 100.0,
+            },
+            Event::PlanChosen {
+                groups: 12,
+                schedule: "wait-free".into(),
+                bucket_kb: 2048,
+                profiled_beta: false,
+                predicted_s: 100.0,
+                default_s: 120.0,
+                evaluated: 2,
+                pruned: 5,
+                skipped: 1,
+            },
+        ];
+        let text: String = events
+            .iter()
+            .map(|e| serde_json::to_string(e).unwrap() + "\n")
+            .collect();
+        assert_eq!(parse_trace(&text).unwrap(), events);
+        let s = Summary::from_events(&events);
+        assert_eq!(s.plans_evaluated, 2);
+        assert_eq!(s.plans_pruned, 5);
+        assert_eq!(s.plans_skipped, 1);
+        assert!((s.plan_speedup - 1.2).abs() < 1e-12);
+        assert_eq!(
+            s.plan_chosen.as_deref(),
+            Some("12 groups, wait-free @ 2048 KiB")
+        );
+        let report = s.render();
+        assert!(
+            report.contains("autotune         2 evaluated, 5 pruned, 1 skipped"),
+            "{report}"
+        );
+        assert!(report.contains("1.20x predicted vs default"), "{report}");
+        // non-autotuned traces keep the section out of the report
+        let quiet = Summary::from_events(&[epoch_event(0, 1.0, 0.5, 0.1)]);
+        assert!(!quiet.render().contains("autotune"), "{}", quiet.render());
     }
 
     #[test]

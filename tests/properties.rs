@@ -743,3 +743,145 @@ proptest! {
         prop_assert_eq!(resumed, full, "resume must continue bit-exactly");
     }
 }
+
+/// The model families the autotuner properties sample topologies over,
+/// with the grad layout each wait-free bucket plan is shaped by.
+fn autotune_spec_and_layout(
+    model_ix: usize,
+    socs: usize,
+    groups: usize,
+) -> (socflow::config::TrainJobSpec, Vec<socflow_nn::GradReady>) {
+    use rand::{rngs::StdRng, SeedableRng};
+    use socflow::config::{MethodSpec, SocFlowConfig, TrainJobSpec};
+    use socflow_data::DatasetPreset;
+    use socflow_nn::models::{ModelConfig, ModelKind};
+
+    let model = [
+        ModelKind::Vgg11,
+        ModelKind::ResNet18,
+        ModelKind::MobileNetV1,
+    ][model_ix % 3];
+    let mut spec = TrainJobSpec::new(
+        model,
+        DatasetPreset::Cifar10,
+        MethodSpec::SocFlow(SocFlowConfig::with_groups(groups)),
+    );
+    spec.socs = socs;
+    let layout = model
+        .build(
+            ModelConfig::new(3, 32, 10, 0.2),
+            &mut StdRng::seed_from_u64(0),
+        )
+        .grad_layout();
+    (spec, layout)
+}
+
+// Plan-autotuner properties: searches run many timeline simulations per
+// case, so they get few cases like the determinism block above.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The tuned plan never loses to the default plan: for arbitrary
+    /// cluster sizes, default group counts and model families, the
+    /// search's winner is predicted at most as slow as the hand-set
+    /// (default-groups, interleaved) plan — `TuneReport::best` falls back
+    /// to the default rather than adopt a regression.
+    #[test]
+    fn autotuned_plan_never_loses_to_default(
+        socs in 4usize..33,
+        groups in 1usize..9,
+        model_ix in 0usize..3,
+    ) {
+        use socflow::autotune::{autotune, TuneOptions};
+
+        prop_assume!(groups <= socs);
+        let (spec, layout) = autotune_spec_and_layout(model_ix, socs, groups);
+        let opts = TuneOptions { budget: Some(12), ..Default::default() };
+        let report = autotune(&spec, &layout, &opts);
+        prop_assert!(
+            report.best().predicted_s <= report.default_plan.predicted_s,
+            "best {} vs default {}",
+            report.best().predicted_s,
+            report.default_plan.predicted_s
+        );
+        prop_assert!(report.speedup() >= 1.0);
+        prop_assert!(report.evaluated > 0 && report.evaluated <= 12);
+    }
+
+    /// Memoized pricing is exact: for arbitrary candidates the plan-key
+    /// memo returns the very bits the uncached pricing computes — the
+    /// cache can change cost, never results.
+    #[test]
+    fn memoized_pricing_equals_uncached_exactly(
+        socs in 4usize..25,
+        groups in 1usize..9,
+        sched_ix in 0usize..3,
+        bucket_ix in 0usize..4,
+        model_ix in 0usize..3,
+    ) {
+        use socflow::autotune::{price_plan, price_plan_uncached, PlanCandidate, BUCKET_GRID_KB};
+        use socflow::sim::SyncSchedule;
+
+        prop_assume!(groups <= socs);
+        let (spec, layout) = autotune_spec_and_layout(model_ix, socs, groups);
+        let schedule = [SyncSchedule::Serial, SyncSchedule::Interleaved, SyncSchedule::WaitFree][sched_ix];
+        let cand = PlanCandidate {
+            groups,
+            schedule,
+            bucket_kb: matches!(schedule, SyncSchedule::WaitFree)
+                .then(|| BUCKET_GRID_KB[bucket_ix]),
+            profiled_beta: None,
+        };
+        let memoized = price_plan(&spec, &layout, &cand);
+        let raw = price_plan_uncached(&spec, &layout, &cand);
+        prop_assert_eq!(
+            memoized.to_bits(),
+            raw.to_bits(),
+            "memo {} vs uncached {}",
+            memoized,
+            raw
+        );
+        // and a second lookup returns the same bits again
+        prop_assert_eq!(price_plan(&spec, &layout, &cand).to_bits(), raw.to_bits());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The search is byte-deterministic across worker-pool sizes: the
+    /// full ranked report at an 8-worker pool equals the 1-worker report
+    /// bit-for-bit — candidate evaluation fans out over the pool but is
+    /// reduced in fixed candidate order, so the incumbent (and with it
+    /// every pruning decision) never depends on thread scheduling. CI
+    /// additionally `cmp`s `tune --json` output across SOCFLOW_THREADS
+    /// values cross-process, where the plan memo starts cold each time.
+    #[test]
+    fn autotune_report_identical_across_pool_sizes(
+        socs in 4usize..25,
+        groups in 1usize..9,
+        model_ix in 0usize..3,
+        budget in 4usize..20,
+    ) {
+        use socflow::autotune::{autotune, TuneOptions};
+        use socflow_tensor::runtime;
+
+        prop_assume!(groups <= socs);
+        let (spec, layout) = autotune_spec_and_layout(model_ix, socs, groups);
+        let opts = TuneOptions { budget: Some(budget), ..Default::default() };
+        runtime::set_threads(8);
+        let wide = autotune(&spec, &layout, &opts);
+        runtime::set_threads(1);
+        let narrow = autotune(&spec, &layout, &opts);
+        runtime::set_threads(8);
+        prop_assert_eq!(&wide, &narrow);
+        for (a, b) in wide.ranked.iter().zip(&narrow.ranked) {
+            prop_assert_eq!(a.predicted_s.to_bits(), b.predicted_s.to_bits());
+            prop_assert_eq!(a.bound_s.to_bits(), b.bound_s.to_bits());
+        }
+        prop_assert_eq!(
+            wide.default_plan.predicted_s.to_bits(),
+            narrow.default_plan.predicted_s.to_bits()
+        );
+    }
+}
